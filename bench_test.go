@@ -1,0 +1,95 @@
+// Benchmarks: one per table and figure of the paper's evaluation. Each
+// benchmark regenerates its artifact (quick fidelity; see
+// cmd/preembench -all for the full-fidelity runs recorded in
+// EXPERIMENTS.md) and logs the regenerated rows on the first iteration.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tables, err := experiments.Run(id, experiments.Options{Quick: true, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, t := range tables {
+				b.Log("\n" + t.String())
+			}
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table I (thread oversubscription).
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkFig1Left regenerates Fig. 1 left (SW vs HW IPC gap).
+func BenchmarkFig1Left(b *testing.B) { benchExperiment(b, "fig1left") }
+
+// BenchmarkFig1Right regenerates Fig. 1 right (preemption overhead vs
+// workload dispersion on Shinjuku).
+func BenchmarkFig1Right(b *testing.B) { benchExperiment(b, "fig1right") }
+
+// BenchmarkFig2 regenerates Fig. 2 (tail latency per quantum and load).
+func BenchmarkFig2(b *testing.B) { benchExperiment(b, "fig2") }
+
+// BenchmarkFig8 regenerates Fig. 8 (systems comparison + max
+// throughput under SLO).
+func BenchmarkFig8(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9 regenerates Fig. 9 (SLO violations, adaptive quanta).
+func BenchmarkFig9(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10 regenerates Fig. 10 (RPC-server deployment overhead).
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkFig11 regenerates Fig. 11 (timer delivery scalability).
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
+
+// BenchmarkFig12 regenerates Fig. 12 (LibUtimer precision).
+func BenchmarkFig12(b *testing.B) { benchExperiment(b, "fig12") }
+
+// BenchmarkTable2 echoes Table II (integration time; human-factors,
+// not reproducible — see the table's caveat).
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkTable3 echoes Table III (integration code percentage).
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+
+// BenchmarkTable4 regenerates Table IV (IPC mechanism overheads).
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+
+// BenchmarkTable5 regenerates Table V (colocation workload configs and
+// solo latencies).
+func BenchmarkTable5(b *testing.B) { benchExperiment(b, "table5") }
+
+// BenchmarkFig13 regenerates Fig. 13 (colocation, fixed quantum).
+func BenchmarkFig13(b *testing.B) { benchExperiment(b, "fig13") }
+
+// BenchmarkFig14 regenerates Fig. 14 (colocation, bursty load and
+// dynamic interval).
+func BenchmarkFig14(b *testing.B) { benchExperiment(b, "fig14") }
+
+// BenchmarkFig15 regenerates Fig. 15 (qualitative positioning matrix).
+func BenchmarkFig15(b *testing.B) { benchExperiment(b, "fig15") }
+
+// BenchmarkExtDNN regenerates the §VII-C concurrent DNN-serving study.
+func BenchmarkExtDNN(b *testing.B) { benchExperiment(b, "ext-dnn") }
+
+// BenchmarkExtShaping regenerates the §VII-C traffic-shaping study.
+func BenchmarkExtShaping(b *testing.B) { benchExperiment(b, "ext-shaping") }
+
+// BenchmarkExtNet regenerates the network front-end comparison.
+func BenchmarkExtNet(b *testing.B) { benchExperiment(b, "ext-net") }
+
+// BenchmarkExtAblation regenerates the design-choice ablations.
+func BenchmarkExtAblation(b *testing.B) { benchExperiment(b, "ext-ablation") }
+
+// BenchmarkExtTenants regenerates the multi-tenant timer scalability
+// study.
+func BenchmarkExtTenants(b *testing.B) { benchExperiment(b, "ext-tenants") }

@@ -1,0 +1,67 @@
+// Command preembench regenerates the tables and figures of the
+// LibPreemptible paper (HPCA 2024) on the simulated substrate.
+//
+// Usage:
+//
+//	preembench -list                 list experiment ids
+//	preembench -exp fig8             regenerate one experiment
+//	preembench -all                  regenerate everything
+//	preembench -exp fig8 -quick      fast, low-fidelity run
+//	preembench -seed 7               change the deterministic seed
+//
+// Output is tab-separated tables, one block per artifact, in the same
+// row/series structure the paper reports.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/preemptsim"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		exp   = flag.String("exp", "", "experiment id to run (see -list)")
+		all   = flag.Bool("all", false, "run every experiment")
+		quick = flag.Bool("quick", false, "reduced-fidelity quick run")
+		seed  = flag.Uint64("seed", 1, "deterministic seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range preemptsim.Experiments() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		ids = preemptsim.Experiments()
+	case *exp != "":
+		ids = []string{*exp}
+	default:
+		fmt.Fprintln(os.Stderr, "preembench: need -exp <id>, -all, or -list")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := preemptsim.Options{Quick: *quick, Seed: *seed}
+	for _, id := range ids {
+		start := time.Now()
+		tables, err := preemptsim.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "preembench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("### experiment %s (%.1fs)\n\n", id, time.Since(start).Seconds())
+		for _, t := range tables {
+			fmt.Println(t.String())
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Command preemkv runs the live preemptible key-value + compression
+// server (internal/liveserver), or benchmarks one: a miniature,
+// runnable version of the paper's §V-C colocation deployment.
+//
+// Serve:
+//
+//	preemkv -serve :7070 -workers 2 -quantum 500us
+//
+// Benchmark (against a running server): mixed GET/SET traffic from
+// several client connections while a COMPRESS stream occupies the
+// pool, reporting KV latency percentiles:
+//
+//	preemkv -bench 127.0.0.1:7070 -clients 4 -ops 2000
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/liveserver"
+	"repro/preemptible"
+)
+
+func main() {
+	var (
+		serveAddr = flag.String("serve", "", "address to serve on (e.g. :7070)")
+		benchAddr = flag.String("bench", "", "server address to benchmark")
+		workers   = flag.Int("workers", 2, "pool workers (serve mode)")
+		quantum   = flag.Duration("quantum", 500*time.Microsecond, "pool quantum (serve mode)")
+		clients   = flag.Int("clients", 4, "client connections (bench mode)")
+		ops       = flag.Int("ops", 2000, "KV ops per client (bench mode)")
+		compress  = flag.Bool("compress", true, "run a background COMPRESS stream during bench")
+	)
+	flag.Parse()
+
+	switch {
+	case *serveAddr != "":
+		serve(*serveAddr, *workers, *quantum)
+	case *benchAddr != "":
+		bench(*benchAddr, *clients, *ops, *compress)
+	default:
+		fmt.Fprintln(os.Stderr, "preemkv: need -serve <addr> or -bench <addr>")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func serve(addr string, workers int, quantum time.Duration) {
+	rt, err := preemptible.New(preemptible.Config{})
+	if err != nil {
+		fatal(err)
+	}
+	defer rt.Close()
+	s := liveserver.New(rt, liveserver.Config{Workers: workers, Quantum: quantum})
+	defer s.Close()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("preemkv serving on %s (%d workers, %v quantum); Ctrl-C to stop\n",
+		ln.Addr(), workers, quantum)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	go func() {
+		<-stop
+		s.Close()
+	}()
+	if err := s.Serve(ln); err != nil {
+		fatal(err)
+	}
+	st := s.PoolStats()
+	fmt.Printf("served: %d requests, %d preemptions, p99 %v\n",
+		st.Completed, st.Preemptions, st.P99)
+}
+
+func bench(addr string, clients, ops int, withCompress bool) {
+	stopCompress := make(chan struct{})
+	var compressWG sync.WaitGroup
+	if withCompress {
+		compressWG.Add(1)
+		go func() {
+			defer compressWG.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "compress stream: %v\n", err)
+				return
+			}
+			defer conn.Close()
+			sc := bufio.NewScanner(conn)
+			for {
+				select {
+				case <-stopCompress:
+					return
+				default:
+				}
+				if _, err := conn.Write([]byte("COMPRESS 64\n")); err != nil {
+					return
+				}
+				if !sc.Scan() {
+					return
+				}
+			}
+		}()
+	}
+
+	var mu sync.Mutex
+	var lats []time.Duration
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "client %d: %v\n", c, err)
+				return
+			}
+			defer conn.Close()
+			sc := bufio.NewScanner(conn)
+			for i := 0; i < ops; i++ {
+				req := fmt.Sprintf("SET k%d-%d v%d\n", c, i%100, i)
+				if i%2 == 1 {
+					req = fmt.Sprintf("GET k%d-%d\n", c, i%100)
+				}
+				t0 := time.Now()
+				if _, err := conn.Write([]byte(req)); err != nil {
+					fmt.Fprintf(os.Stderr, "client %d: %v\n", c, err)
+					return
+				}
+				if !sc.Scan() {
+					fmt.Fprintf(os.Stderr, "client %d: connection closed\n", c)
+					return
+				}
+				lat := time.Since(t0)
+				mu.Lock()
+				lats = append(lats, lat)
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(stopCompress)
+	compressWG.Wait()
+	elapsed := time.Since(start)
+
+	if len(lats) == 0 {
+		fatal(fmt.Errorf("no successful operations"))
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	q := func(p float64) time.Duration { return lats[int(p*float64(len(lats)-1))] }
+	fmt.Printf("%d KV ops over %d clients in %v (%.0f ops/s)\n",
+		len(lats), clients, elapsed.Round(time.Millisecond),
+		float64(len(lats))/elapsed.Seconds())
+	fmt.Printf("latency p50 %v  p90 %v  p99 %v  max %v\n",
+		q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
+		q(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "preemkv:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// Command preemreplay records synthetic request traces and replays them
+// through LibPreemptible configurations — variance-free A/B comparisons
+// on identical arrival sequences.
+//
+// Record a trace:
+//
+//	preemreplay -record -workload A1 -load 0.8 -duration 200ms > a1.csv
+//
+// Replay it (repeat with different -quantum/-policy to A/B):
+//
+//	preemreplay -replay a1.csv -quantum 10us -workers 4
+//	preemreplay -replay a1.csv -quantum 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/preemptsim"
+)
+
+func main() {
+	var (
+		record   = flag.Bool("record", false, "record a trace to stdout")
+		replayIn = flag.String("replay", "", "trace CSV file to replay")
+		wlName   = flag.String("workload", "A1", "workload for -record: A1, A2, B, C")
+		load     = flag.Float64("load", 0.7, "offered load for -record")
+		duration = flag.Duration("duration", 200*time.Millisecond, "virtual duration for -record")
+		workers  = flag.Int("workers", 4, "worker cores")
+		quantum  = flag.Duration("quantum", 10*time.Microsecond, "preemption quantum (0 = none)")
+		policy   = flag.String("policy", "cfcfs", "policy: cfcfs, rr, srpt, edf")
+		adaptive = flag.Bool("adaptive", false, "use the Algorithm 1 adaptive controller")
+		seed     = flag.Uint64("seed", 1, "deterministic seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *record:
+		err := preemptsim.RecordTrace(os.Stdout,
+			preemptsim.Workload{Kind: preemptsim.WorkloadKind(*wlName)},
+			*load, *workers, *duration, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	case *replayIn != "":
+		f, err := os.Open(*replayIn)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		res, err := preemptsim.SimulateTrace(preemptsim.Config{
+			Workers:  *workers,
+			Quantum:  *quantum,
+			Policy:   *policy,
+			Adaptive: *adaptive,
+			Seed:     *seed,
+		}, f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("completed %d requests at %.0f rps (utilization %.1f%%)\n",
+			res.Completed, res.ThroughputRPS, 100*res.Utilization)
+		fmt.Printf("latency mean %v  p50 %v  p99 %v  p99.9 %v\n",
+			res.Mean, res.P50, res.P99, res.P999)
+		fmt.Printf("preemptions: %d\n", res.Preemptions)
+	default:
+		fmt.Fprintln(os.Stderr, "preemreplay: need -record or -replay <file>")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "preemreplay:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// Command preemtrace runs a LibPreemptible simulation with scheduling
+// tracing enabled and prints a sojourn-time decomposition (queue wait /
+// service / preempted wait), per-worker busy shares, and optionally the
+// raw event stream as CSV.
+//
+// Usage:
+//
+//	preemtrace -workload A1 -load 0.8 -quantum 10us -duration 100ms
+//	preemtrace -workload B -load 0.5 -csv > trace.csv
+//
+// Workloads: A1, A2, B (the paper's §V-A distributions).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/schedtrace"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		wlName   = flag.String("workload", "A1", "service distribution: A1, A2, B")
+		load     = flag.Float64("load", 0.7, "offered load fraction of capacity")
+		quantum  = flag.Duration("quantum", 10*time.Microsecond, "preemption quantum (0 = none)")
+		duration = flag.Duration("duration", 100*time.Millisecond, "virtual run duration")
+		workers  = flag.Int("workers", 4, "worker cores")
+		seed     = flag.Uint64("seed", 1, "deterministic seed")
+		csv      = flag.Bool("csv", false, "dump raw events as CSV to stdout")
+	)
+	flag.Parse()
+
+	var dist sim.Dist
+	switch *wlName {
+	case "A1":
+		dist = workload.A1()
+	case "A2":
+		dist = workload.A2()
+	case "B":
+		dist = workload.B()
+	default:
+		fmt.Fprintf(os.Stderr, "preemtrace: unknown workload %q (want A1, A2, B)\n", *wlName)
+		os.Exit(2)
+	}
+
+	mech := core.MechUINTR
+	if *quantum == 0 {
+		mech = core.MechNone
+	}
+	rec := &schedtrace.Recorder{}
+	s := core.New(core.Config{
+		Workers: *workers,
+		Quantum: sim.Time(*quantum),
+		Mech:    mech,
+		Seed:    *seed,
+		Tracer:  rec,
+	})
+	gen := workload.NewOpenLoop(s.Eng, sim.NewRNG(*seed+1), sched.ClassLC,
+		[]workload.Phase{{Service: dist,
+			Rate: workload.RateForLoad(*load, *workers, dist.Mean())}},
+		s.Submit)
+	gen.Start()
+	s.Eng.Run(sim.Time(*duration))
+	gen.Stop()
+	s.Eng.RunAll()
+
+	if *csv {
+		if err := schedtrace.WriteCSV(os.Stdout, rec.Events); err != nil {
+			fmt.Fprintf(os.Stderr, "preemtrace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	a := schedtrace.Analyze(rec.Events)
+	fmt.Printf("workload %s, load %.2f, quantum %v, %d workers, %v virtual time\n",
+		*wlName, *load, *quantum, *workers, *duration)
+	fmt.Printf("completed %d requests (%d preemptions, %d cross-worker migrations)\n\n",
+		len(a.Requests), s.Metrics.Preemptions, a.Migrations)
+	fmt.Println(a.SummaryTable().String())
+	fmt.Println("per-worker busy time:")
+	for w := 0; w < *workers; w++ {
+		busy := a.PerWorkerBusy[w]
+		fmt.Printf("  worker %d: %10v (%.1f%%)\n",
+			w, busy.Duration(), 100*float64(busy)/float64(sim.Time(*duration)))
+	}
+}

@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go reproduction of "LibPreemptible:
+// Enabling Fast, Adaptive, and Hardware-Assisted User-Space Scheduling"
+// (HPCA 2024).
+//
+// Public entry points:
+//
+//   - preemptible — the live library: the paper's fn_launch/fn_resume/
+//     fn_completed API and two-level scheduler on real goroutines.
+//   - preemptsim — the simulation facade: regenerate every table and
+//     figure of the paper, or script custom scheduling studies.
+//   - cmd/preembench — the CLI over preemptsim.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured comparison of every artifact.
+package repro

@@ -1,0 +1,221 @@
+package adaptive
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func lightTail(n int, seed uint64) []float64 {
+	rng := sim.NewRNG(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Exp(5000)
+	}
+	return out
+}
+
+func heavyTail(n int, seed uint64) []float64 {
+	rng := sim.NewRNG(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Pareto(1.1, 1000)
+	}
+	return out
+}
+
+func TestControllerLowersQuantumUnderHighLoad(t *testing.T) {
+	cfg := DefaultConfig(100000)
+	c := NewController(cfg, 50*sim.Microsecond)
+	q := c.Step(Observation{Rate: 95000, Latencies: lightTail(1000, 1)})
+	if q != 45*sim.Microsecond {
+		t.Fatalf("quantum = %v, want 45µs (−k1)", q)
+	}
+}
+
+func TestControllerLowersQuantumOnHeavyTail(t *testing.T) {
+	cfg := DefaultConfig(100000)
+	c := NewController(cfg, 50*sim.Microsecond)
+	q := c.Step(Observation{Rate: 50000, Latencies: heavyTail(2000, 2)})
+	if q != 45*sim.Microsecond {
+		t.Fatalf("quantum = %v, want 45µs (−k2 heavy-tail trigger)", q)
+	}
+	if c.LastAlpha >= 2 {
+		t.Fatalf("alpha = %f, want < 2", c.LastAlpha)
+	}
+}
+
+func TestControllerLowersQuantumOnQueueBuildup(t *testing.T) {
+	cfg := DefaultConfig(100000)
+	c := NewController(cfg, 50*sim.Microsecond)
+	q := c.Step(Observation{Rate: 50000, QueueLen: 100, Latencies: lightTail(1000, 3)})
+	if q != 45*sim.Microsecond {
+		t.Fatalf("quantum = %v, want 45µs (−k2 queue trigger)", q)
+	}
+}
+
+func TestControllerRaisesQuantumUnderLowLoad(t *testing.T) {
+	cfg := DefaultConfig(100000)
+	c := NewController(cfg, 50*sim.Microsecond)
+	q := c.Step(Observation{Rate: 5000, Latencies: lightTail(1000, 4)})
+	if q != 70*sim.Microsecond {
+		t.Fatalf("quantum = %v, want 70µs (+k3)", q)
+	}
+}
+
+func TestControllerClampsToBounds(t *testing.T) {
+	cfg := DefaultConfig(100000)
+	c := NewController(cfg, cfg.TMin)
+	// Repeated high-load + heavy-tail steps must not go below TMin.
+	for i := 0; i < 10; i++ {
+		c.Step(Observation{Rate: 99000, QueueLen: 1000, Latencies: heavyTail(2000, uint64(i))})
+	}
+	if c.Quantum() != cfg.TMin {
+		t.Fatalf("quantum = %v, want clamp at TMin %v", c.Quantum(), cfg.TMin)
+	}
+	// Repeated low-load steps must not exceed TMax.
+	for i := 0; i < 50; i++ {
+		c.Step(Observation{Rate: 1000, Latencies: lightTail(1000, uint64(i))})
+	}
+	if c.Quantum() != cfg.TMax {
+		t.Fatalf("quantum = %v, want clamp at TMax %v", c.Quantum(), cfg.TMax)
+	}
+	if c.Steps != 60 {
+		t.Fatalf("Steps = %d", c.Steps)
+	}
+}
+
+func TestControllerRelaxesOnLightTailMidLoad(t *testing.T) {
+	// The §V-A relaxation: light-tailed window with no queue pressure
+	// raises the quantum even at mid load (this is what lets the
+	// controller recover after workload C's shift).
+	cfg := DefaultConfig(100000)
+	c := NewController(cfg, 40*sim.Microsecond)
+	q := c.Step(Observation{Rate: 50000, Latencies: lightTail(2000, 5)})
+	if q != 60*sim.Microsecond {
+		t.Fatalf("quantum = %v, want 60µs (+k3 light-tail relax)", q)
+	}
+}
+
+func TestControllerStableWithEmptyWindow(t *testing.T) {
+	// No completions in the window → no evidence → no movement.
+	cfg := DefaultConfig(100000)
+	c := NewController(cfg, 40*sim.Microsecond)
+	q := c.Step(Observation{Rate: 50000})
+	if q != 40*sim.Microsecond {
+		t.Fatalf("quantum moved to %v on an empty window", q)
+	}
+}
+
+func TestControllerInitialClamp(t *testing.T) {
+	cfg := DefaultConfig(100000)
+	if NewController(cfg, sim.Nanosecond).Quantum() != cfg.TMin {
+		t.Fatal("initial quantum not clamped up")
+	}
+	if NewController(cfg, sim.Second).Quantum() != cfg.TMax {
+		t.Fatal("initial quantum not clamped down")
+	}
+}
+
+func TestNewControllerPanicsOnBadBounds(t *testing.T) {
+	cfg := DefaultConfig(1000)
+	cfg.TMin = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewController(cfg, sim.Microsecond)
+}
+
+func TestAttachDrivesSystemQuantum(t *testing.T) {
+	s := core.New(core.Config{Workers: 4, Quantum: 50 * sim.Microsecond, Mech: core.MechUINTR, Seed: 31})
+	maxLoad := workload.RateForLoad(1.0, 4, workload.A1().Mean())
+	cfg := DefaultConfig(maxLoad)
+	cfg.Period = 20 * sim.Millisecond
+	c := NewController(cfg, 50*sim.Microsecond)
+	Attach(s, c)
+	// Drive at 95% load with the heavy-tailed A1: both the load and the
+	// tail trigger fire, so the quantum must fall toward TMin.
+	gen := workload.NewOpenLoop(s.Eng, sim.NewRNG(32), sched.ClassLC,
+		[]workload.Phase{{Service: workload.A1(), Rate: 0.95 * maxLoad}}, s.Submit)
+	gen.Start()
+	s.Eng.Run(300 * sim.Millisecond)
+	gen.Stop()
+	if got := s.Quantum(); got > 10*sim.Microsecond {
+		t.Fatalf("adaptive quantum = %v after sustained high heavy-tailed load, want near TMin", got)
+	}
+	if c.Steps < 10 {
+		t.Fatalf("controller ran %d times", c.Steps)
+	}
+}
+
+func TestQPSIntervalMapping(t *testing.T) {
+	q := QPSInterval{
+		MinInterval: 10 * sim.Microsecond,
+		MaxInterval: 50 * sim.Microsecond,
+		LowQPS:      40000,
+		HighQPS:     110000,
+	}
+	if q.IntervalFor(200000) != 10*sim.Microsecond {
+		t.Fatal("above HighQPS should give MinInterval")
+	}
+	if q.IntervalFor(10000) != 50*sim.Microsecond {
+		t.Fatal("below LowQPS should give MaxInterval")
+	}
+	mid := q.IntervalFor(75000)
+	if mid <= 10*sim.Microsecond || mid >= 50*sim.Microsecond {
+		t.Fatalf("midpoint interval = %v", mid)
+	}
+	// Monotone decreasing in QPS.
+	prev := q.IntervalFor(30000)
+	for qps := 40000.0; qps <= 120000; qps += 5000 {
+		cur := q.IntervalFor(qps)
+		if cur > prev {
+			t.Fatalf("interval not monotone at %f", qps)
+		}
+		prev = cur
+	}
+}
+
+func TestQPSIntervalPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	QPSInterval{MinInterval: 1, MaxInterval: 2, LowQPS: 10, HighQPS: 5}.IntervalFor(7)
+}
+
+func TestAttachQPSSetsQuantumFromLoad(t *testing.T) {
+	s := core.New(core.Config{Workers: 4, Quantum: 30 * sim.Microsecond, Mech: core.MechUINTR, Seed: 33})
+	AttachQPS(s, QPSInterval{
+		MinInterval: 10 * sim.Microsecond,
+		MaxInterval: 50 * sim.Microsecond,
+		LowQPS:      40000,
+		HighQPS:     110000,
+	}, 10*sim.Millisecond)
+	gen := workload.NewOpenLoop(s.Eng, sim.NewRNG(34), sched.ClassLC,
+		[]workload.Phase{{Service: sim.Fixed{V: sim.Microsecond}, Rate: 150000}}, s.Submit)
+	gen.Start()
+	s.Eng.Run(100 * sim.Millisecond)
+	gen.Stop()
+	if s.Quantum() != 10*sim.Microsecond {
+		t.Fatalf("quantum = %v under high QPS, want MinInterval", s.Quantum())
+	}
+}
+
+func TestAttachPanicsOnBadPeriod(t *testing.T) {
+	s := core.New(core.Config{Workers: 1, Seed: 35})
+	cfg := DefaultConfig(1000)
+	cfg.Period = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Attach(s, NewController(cfg, 10*sim.Microsecond))
+}

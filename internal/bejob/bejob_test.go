@@ -1,0 +1,92 @@
+package bejob
+
+import (
+	"bytes"
+	"compress/flate"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func TestGeneratorMedianService(t *testing.T) {
+	g := NewGenerator(DefaultConfig(), sim.NewRNG(1))
+	h := stats.NewHistogram()
+	for i := 0; i < 20000; i++ {
+		r := g.NextRequest(0)
+		if r.Class != sched.ClassBE {
+			t.Fatal("wrong class")
+		}
+		h.Record(int64(r.Service))
+	}
+	med := sim.Time(h.Median())
+	if med < 90*sim.Microsecond || med > 110*sim.Microsecond {
+		t.Fatalf("median = %v, want ~100µs per Table V", med)
+	}
+}
+
+func TestGeneratorIDsUnique(t *testing.T) {
+	g := NewGenerator(DefaultConfig(), sim.NewRNG(2))
+	a, b := g.NextRequest(0), g.NextRequest(0)
+	if a.ID == b.ID {
+		t.Fatal("duplicate IDs")
+	}
+}
+
+func TestGeneratorPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGenerator(Config{}, sim.NewRNG(3))
+}
+
+func TestEngineRoundTrip(t *testing.T) {
+	e := NewEngine(0)
+	block := MakeBlock(DefaultBlockBytes, 7)
+	n, err := e.CompressBlock(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 || n >= len(block) {
+		t.Fatalf("compressed %d bytes from %d: block should compress", n, len(block))
+	}
+	if e.BlocksDone != 1 || e.BytesIn != uint64(len(block)) || e.BytesOut != uint64(n) {
+		t.Fatalf("engine stats: %+v", *e)
+	}
+}
+
+func TestDecompressRestoresData(t *testing.T) {
+	block := MakeBlock(4096, 9)
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.DefaultCompression)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(block); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, block) {
+		t.Fatal("round trip corrupted data")
+	}
+}
+
+func TestMakeBlockDeterministic(t *testing.T) {
+	a, b := MakeBlock(1024, 5), MakeBlock(1024, 5)
+	if !bytes.Equal(a, b) {
+		t.Fatal("MakeBlock not deterministic")
+	}
+	c := MakeBlock(1024, 6)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds gave identical blocks")
+	}
+}

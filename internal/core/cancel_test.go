@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// overloadWithDeadlines floods one worker with deadline-carrying
+// requests beyond its capacity.
+func overloadWithDeadlines(s *System, n int, service, slo sim.Time) []*sched.Request {
+	reqs := make([]*sched.Request, n)
+	for i := 0; i < n; i++ {
+		r := sched.NewRequest(uint64(i+1), sched.ClassLC, 0, service)
+		r.Deadline = slo
+		reqs[i] = r
+		s.Submit(r)
+	}
+	return reqs
+}
+
+func TestCancelExpiredDropsLateRequests(t *testing.T) {
+	// 100 requests of 50µs on one worker, all with a 500µs deadline:
+	// only ~10 can make it; with cancellation the rest are dropped.
+	s := New(Config{Workers: 1, Quantum: 0, Mech: MechNone, Seed: 61, CancelExpired: true})
+	var cancelled int
+	s.cfg.OnCancel = func(r *sched.Request) {
+		cancelled++
+		if !r.Cancelled {
+			t.Error("OnCancel with Cancelled unset")
+		}
+	}
+	reqs := overloadWithDeadlines(s, 100, 50*sim.Microsecond, 500*sim.Microsecond)
+	s.Eng.RunAll()
+	if s.Metrics.Cancelled == 0 || cancelled != int(s.Metrics.Cancelled) {
+		t.Fatalf("cancelled = %d / hook %d", s.Metrics.Cancelled, cancelled)
+	}
+	if s.Metrics.Completed+s.Metrics.Cancelled != 100 {
+		t.Fatalf("conservation: %d + %d != 100", s.Metrics.Completed, s.Metrics.Cancelled)
+	}
+	if s.InFlight() != 0 {
+		t.Fatalf("in flight %d", s.InFlight())
+	}
+	// Everything that completed met (or nearly met) its deadline; the
+	// cancelled ones released ~90% of the demanded work.
+	for _, r := range reqs {
+		if r.Done() && !r.Cancelled && r.Latency() > 600*sim.Microsecond {
+			t.Fatalf("request %d completed at %v despite cancellation policy", r.ID, r.Latency())
+		}
+	}
+	if s.Metrics.Cancelled < 80 {
+		t.Fatalf("only %d cancelled of ~90 expected", s.Metrics.Cancelled)
+	}
+}
+
+func TestCancellationReleasesCapacityForFeasibleWork(t *testing.T) {
+	// Same overload with and without cancellation, followed by a fresh
+	// feasible request: with cancellation it runs promptly.
+	lateArrival := func(cancel bool) sim.Time {
+		s := New(Config{Workers: 1, Quantum: 0, Mech: MechNone, Seed: 62, CancelExpired: cancel})
+		overloadWithDeadlines(s, 100, 50*sim.Microsecond, 300*sim.Microsecond)
+		var lat sim.Time
+		s.Eng.Schedule(400*sim.Microsecond, func() {
+			r := sched.NewRequest(999, sched.ClassLC, s.Eng.Now(), 10*sim.Microsecond)
+			s.cfg.OnComplete = func(done *sched.Request) {
+				if done.ID == 999 {
+					lat = done.Latency()
+				}
+			}
+			s.Submit(r)
+		})
+		s.Eng.RunAll()
+		return lat
+	}
+	with := lateArrival(true)
+	without := lateArrival(false)
+	if with*5 > without {
+		t.Fatalf("cancellation did not release capacity: %v vs %v", with, without)
+	}
+}
+
+func TestNoCancellationWithoutDeadlines(t *testing.T) {
+	s := New(Config{Workers: 1, Quantum: 0, Mech: MechNone, Seed: 63, CancelExpired: true})
+	for i := 0; i < 50; i++ {
+		s.Submit(sched.NewRequest(uint64(i), sched.ClassLC, 0, 50*sim.Microsecond))
+	}
+	s.Eng.RunAll()
+	if s.Metrics.Cancelled != 0 {
+		t.Fatalf("cancelled %d deadline-free requests", s.Metrics.Cancelled)
+	}
+	if s.Metrics.Completed != 50 {
+		t.Fatalf("completed %d", s.Metrics.Completed)
+	}
+}
+
+func TestCancelPreemptedRequestReleasesContext(t *testing.T) {
+	// A long request gets preempted (holding a context), then expires
+	// while parked: cancellation must return its context to the pool.
+	s := New(Config{Workers: 1, Quantum: 10 * sim.Microsecond, Mech: MechUINTR,
+		Seed: 64, CancelExpired: true, CtxPoolSize: 8})
+	long := sched.NewRequest(1, sched.ClassLC, 0, 300*sim.Microsecond)
+	long.Deadline = 100 * sim.Microsecond
+	s.Submit(long)
+	// Short requests keep arriving so the long one stays parked past
+	// its deadline.
+	for i := 0; i < 30; i++ {
+		i := i
+		s.Eng.Schedule(sim.Time(i)*8*sim.Microsecond, func() {
+			s.Submit(sched.NewRequest(uint64(10+i), sched.ClassLC, s.Eng.Now(), 6*sim.Microsecond))
+		})
+	}
+	s.Eng.RunAll()
+	if !long.Cancelled {
+		t.Fatal("expired preempted request not cancelled")
+	}
+	if long.Ctx != nil {
+		t.Fatal("cancelled request leaked its context")
+	}
+	if s.InFlight() != 0 {
+		t.Fatalf("in flight %d", s.InFlight())
+	}
+}

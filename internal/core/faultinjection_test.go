@@ -1,0 +1,138 @@
+package core
+
+// Failure-injection tests: degrade the substrate (arrival storms,
+// timer-core contention, starved pools, pathological quanta) and verify
+// the scheduler stays correct — every request completes exactly once,
+// nothing leaks — even when performance degrades.
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/utimer"
+	"repro/internal/workload"
+)
+
+func TestArrivalStormNoLoss(t *testing.T) {
+	// 20k simultaneous arrivals into 2 workers: the dispatcher backlog
+	// absorbs the storm and every request completes.
+	s := New(Config{Workers: 2, Quantum: 20 * sim.Microsecond, Mech: MechUINTR,
+		Seed: 81, CtxPoolSize: 1 << 16})
+	const n = 20000
+	for i := 0; i < n; i++ {
+		s.Submit(sched.NewRequest(uint64(i), sched.ClassLC, 0, sim.Microsecond))
+	}
+	s.Eng.RunAll()
+	if s.Metrics.Completed != n || s.InFlight() != 0 {
+		t.Fatalf("completed %d, in flight %d", s.Metrics.Completed, s.InFlight())
+	}
+}
+
+func TestDegradedTimerStillCorrect(t *testing.T) {
+	// Inject severe background contention into the timer core: every
+	// firing delayed by ~1ms spikes. Tail latency degrades but no work
+	// is lost and preemption still happens.
+	eng := sim.NewEngine()
+	_ = eng
+	// Build a System and then degrade its utimer via the exported
+	// config path: construct directly with a contended utimer by using
+	// the internal knobs — here we emulate by comparing against the
+	// healthy run.
+	healthy := runDegraded(t, utimer.Config{})
+	degraded := runDegraded(t, utimer.Config{ContentionProb: 0.9, ContentionMean: sim.Millisecond})
+	if degraded.completed != healthy.completed {
+		t.Fatalf("degraded timer lost work: %d vs %d", degraded.completed, healthy.completed)
+	}
+	if degraded.preempts == 0 {
+		t.Fatal("degraded timer never preempted")
+	}
+	if degraded.p99 <= healthy.p99 {
+		t.Fatalf("contention had no latency effect: %d vs %d", degraded.p99, healthy.p99)
+	}
+}
+
+type degradedResult struct {
+	completed uint64
+	preempts  uint64
+	p99       int64
+}
+
+// runDegraded runs a fixed A2 workload on a system whose timer service
+// has the given contention config. It rebuilds the uintr mech wiring by
+// hand so the test can reach the utimer knobs.
+func runDegraded(t *testing.T, ucfg utimer.Config) degradedResult {
+	t.Helper()
+	s := New(Config{Workers: 2, Quantum: 10 * sim.Microsecond, Mech: MechUINTR, Seed: 82})
+	// Swap in a timer service with the requested contention by
+	// re-initializing the mechanism.
+	rng := sim.NewRNG(9999)
+	s.util = utimer.New(s.M, rng.Stream(1), ucfg)
+	um := &uintrMech{s: s}
+	um.init(rng.Stream(2))
+	s.mech = um
+
+	gen := workload.NewOpenLoop(s.Eng, sim.NewRNG(83), sched.ClassLC,
+		[]workload.Phase{{Service: workload.A2(),
+			Rate: workload.RateForLoad(0.6, 2, workload.A2().Mean())}}, s.Submit)
+	gen.Start()
+	s.Eng.Run(100 * sim.Millisecond)
+	gen.Stop()
+	s.Eng.RunAll()
+	if s.InFlight() != 0 {
+		t.Fatalf("in flight %d", s.InFlight())
+	}
+	return degradedResult{s.Metrics.Completed, s.Metrics.Preemptions, s.Metrics.Latency.P99()}
+}
+
+func TestPathologicalQuantumSmallerThanOverhead(t *testing.T) {
+	// A quantum far below the preemption overhead is a configuration
+	// error a user can make; the system must stay live (forward
+	// progress) rather than thrash forever.
+	costs := hw.DefaultCosts()
+	s := New(Config{Workers: 1, Quantum: 100 * sim.Nanosecond, Mech: MechUINTR,
+		Seed: 84, Costs: &costs})
+	for i := 0; i < 20; i++ {
+		s.Submit(sched.NewRequest(uint64(i), sched.ClassLC, 0, 20*sim.Microsecond))
+	}
+	s.Eng.Run(sim.Second) // bounded, in case of livelock
+	if s.Metrics.Completed != 20 {
+		t.Fatalf("livelock under pathological quantum: %d of 20 done", s.Metrics.Completed)
+	}
+}
+
+func TestZeroServiceDegenerateRequests(t *testing.T) {
+	// Zero-length requests are degenerate but must not wedge the
+	// scheduler.
+	s := New(Config{Workers: 2, Quantum: 10 * sim.Microsecond, Mech: MechUINTR, Seed: 85})
+	for i := 0; i < 100; i++ {
+		s.Submit(sched.NewRequest(uint64(i), sched.ClassLC, 0, 0))
+	}
+	s.Eng.RunAll()
+	if s.Metrics.Completed != 100 || s.InFlight() != 0 {
+		t.Fatalf("completed %d, in flight %d", s.Metrics.Completed, s.InFlight())
+	}
+}
+
+func TestInterleavedClassesUnderStorm(t *testing.T) {
+	// LC shorts and BE longs interleaved in a storm: class accounting
+	// must stay exact.
+	s := New(Config{Workers: 2, Quantum: 25 * sim.Microsecond, Mech: MechUINTR, Seed: 86})
+	const n = 2000
+	for i := 0; i < n; i++ {
+		class := sched.ClassLC
+		service := sim.Microsecond
+		if i%10 == 0 {
+			class = sched.ClassBE
+			service = 100 * sim.Microsecond
+		}
+		s.Submit(sched.NewRequest(uint64(i), class, 0, service))
+	}
+	s.Eng.RunAll()
+	lc := s.Metrics.LatencyLC.Count()
+	be := s.Metrics.LatencyBE.Count()
+	if lc+be != n || be != n/10 {
+		t.Fatalf("class accounting: lc=%d be=%d", lc, be)
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/uintr"
+)
+
+// mech is the preemption delivery mechanism: it arms a deadline for a
+// worker's current assignment generation and delivers a preemption to
+// the worker when it expires.
+type mech interface {
+	arm(w *worker, deadline sim.Time, gen uint64)
+	disarm(w *worker)
+	// handlerCost is the receiver-side cost of taking the preemption
+	// (interrupt/signal entry + return), charged on the worker core.
+	handlerCost() sim.Time
+}
+
+// uintrMech delivers preemptions with LibUtimer + SENDUIPI: the paper's
+// mechanism. One uintr receiver and one LibUtimer deadline slot per
+// worker; the timer core polls deadlines and fires user interrupts.
+type uintrMech struct {
+	s     *System
+	recvs []*uintr.Receiver
+	slots []*utimerSlot
+}
+
+// utimerSlot pairs the LibUtimer slot with its worker.
+type utimerSlot struct {
+	slot interface {
+		Arm(deadline sim.Time)
+		Disarm()
+	}
+}
+
+func (m *uintrMech) init(rng *sim.RNG) {
+	for i, w := range m.s.workers {
+		w := w
+		recv := uintr.NewReceiver(m.s.M, rng.Stream(uint64(0x1000+i)), func(v uintr.Vector) {
+			// The handler body is charged by System.preempt; here we
+			// only return from the interrupt context.
+			m.s.preempt(w, w.armGen)
+			m.recvs[w.id].UIRET()
+		})
+		m.recvs = append(m.recvs, recv)
+		fd, err := recv.CreateFD(0)
+		if err != nil {
+			panic("core: uintr fd setup failed: " + err.Error())
+		}
+		m.slots = append(m.slots, &utimerSlot{slot: m.s.util.Register(fd)})
+	}
+}
+
+func (m *uintrMech) arm(w *worker, deadline sim.Time, gen uint64) {
+	w.armGen = gen
+	m.slots[w.id].slot.Arm(deadline)
+}
+
+func (m *uintrMech) disarm(w *worker) {
+	m.slots[w.id].slot.Disarm()
+}
+
+func (m *uintrMech) handlerCost() sim.Time {
+	return m.s.M.Costs.UINTRHandlerEntry
+}
+
+// signalMech is the no-UINTR ablation: a per-worker one-shot kernel
+// timer delivers SIGALRM through the contended signal bus. Two effects
+// degrade it relative to UINTR (Fig. 8, orange line): the kernel timer
+// granularity floor stretches every quantum, and the signal delivery
+// latency (~15 µs, contention-sensitive) delays each preemption.
+type signalMech struct {
+	s      *System
+	rng    *sim.RNG
+	events []*sim.Event
+}
+
+func (m *signalMech) arm(w *worker, deadline sim.Time, gen uint64) {
+	w.armGen = gen
+	costs := m.s.M.Costs
+	now := m.s.Eng.Now()
+	// The kernel cannot fire earlier than its granularity floor.
+	floor := now + costs.KernelTimerFloor
+	if deadline < floor {
+		deadline = floor
+	}
+	// timer_settime syscall + expiry jitter.
+	deadline += costs.KernelTimerProgram +
+		sim.Time(m.rng.Exp(float64(costs.KernelTimerJitterMean)))
+	m.events[w.id] = m.s.Eng.At(deadline, func() {
+		m.events[w.id] = nil
+		m.s.sigBus.Deliver(func() { m.s.preempt(w, w.armGen) })
+	})
+}
+
+func (m *signalMech) disarm(w *worker) {
+	if ev := m.events[w.id]; ev != nil {
+		m.s.Eng.Cancel(ev)
+		m.events[w.id] = nil
+	}
+}
+
+func (m *signalMech) handlerCost() sim.Time {
+	// Signal frame setup + sigreturn: a kernel-mediated round trip.
+	return m.s.M.Costs.KThreadSwitch
+}
+
+// Compile-time interface checks.
+var (
+	_ mech = (*uintrMech)(nil)
+	_ mech = (*signalMech)(nil)
+	_      = hw.Costs{}
+)

@@ -1,0 +1,120 @@
+package core
+
+// Validation against closed-form queueing theory: these tests tie the
+// simulator to ground truth that does not depend on any calibration
+// constant. Overheads (dispatch, ctx alloc) are set to zero so the
+// system is a pure queue.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/queueing"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// zeroOverheadCosts removes every scheduling cost so the system behaves
+// as an ideal queue.
+func zeroOverheadCosts() *hw.Costs {
+	c := hw.DefaultCosts()
+	c.DispatchCost = 0
+	c.CtxAlloc = 0
+	c.CtxSwitch = 0
+	c.CtxRefill = 0
+	c.UINTRHandlerEntry = 0
+	return &c
+}
+
+func runQueueValidation(t *testing.T, workers int, quantum sim.Time, policy sched.Policy,
+	dist sim.Dist, rho float64, dur sim.Time, seed uint64) *System {
+	t.Helper()
+	s := New(Config{
+		Workers: workers,
+		Quantum: quantum,
+		Policy:  policy,
+		Mech:    MechUINTR,
+		Costs:   zeroOverheadCosts(),
+		Seed:    seed,
+	})
+	if quantum == 0 {
+		// Rebuild without a mechanism at all.
+		s = New(Config{
+			Workers: workers, Quantum: 0, Policy: policy, Mech: MechNone,
+			Costs: zeroOverheadCosts(), Seed: seed,
+		})
+	}
+	rate := workload.RateForLoad(rho, workers, dist.Mean())
+	gen := workload.NewOpenLoop(s.Eng, sim.NewRNG(seed+1), sched.ClassLC,
+		[]workload.Phase{{Service: dist, Rate: rate}}, s.Submit)
+	gen.Start()
+	s.Eng.Run(dur)
+	gen.Stop()
+	s.Eng.RunAll()
+	return s
+}
+
+func TestValidateMM1Sojourn(t *testing.T) {
+	const rho = 0.7
+	s := runQueueValidation(t, 1, 0, nil, workload.B(), rho, 3*sim.Second, 101)
+	got := s.Metrics.Latency.Mean()
+	want := queueing.MM1MeanSojourn(rho, float64(5*sim.Microsecond))
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("M/M/1 mean sojourn = %.0fns, analytic %.0fns", got, want)
+	}
+	// Sojourn quantiles are exponential: check p99.
+	wantP99 := queueing.MM1SojournQuantile(rho, float64(5*sim.Microsecond), 0.99)
+	gotP99 := float64(s.Metrics.Latency.P99())
+	if math.Abs(gotP99-wantP99)/wantP99 > 0.08 {
+		t.Fatalf("M/M/1 p99 = %.0fns, analytic %.0fns", gotP99, wantP99)
+	}
+}
+
+func TestValidateMM4Sojourn(t *testing.T) {
+	const rho = 0.6
+	s := runQueueValidation(t, 4, 0, nil, workload.B(), rho, 2*sim.Second, 102)
+	got := s.Metrics.Latency.Mean()
+	want := queueing.MMcMeanSojourn(4, rho, float64(5*sim.Microsecond))
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("M/M/4 mean sojourn = %.0fns, analytic %.0fns", got, want)
+	}
+}
+
+func TestValidateMG1PollaczekKhinchine(t *testing.T) {
+	// Bimodal A2 service on one worker, FCFS run-to-completion: the
+	// mean sojourn must match P-K despite the wild second moment.
+	const rho = 0.6
+	d := workload.A2()
+	s := runQueueValidation(t, 1, 0, nil, d, rho, 4*sim.Second, 103)
+	es, es2 := queueing.BimodalMoments(0.995,
+		float64(5*sim.Microsecond), float64(500*sim.Microsecond))
+	lambda := rho / es
+	want := queueing.MG1MeanSojourn(lambda, es, es2)
+	got := s.Metrics.Latency.Mean()
+	if math.Abs(got-want)/want > 0.10 {
+		t.Fatalf("M/G/1 mean sojourn = %.0fns, P-K %.0fns", got, want)
+	}
+}
+
+func TestValidatePSInsensitivity(t *testing.T) {
+	// Fine-quantum round-robin approximates processor sharing, whose
+	// mean sojourn depends only on the service MEAN — for the
+	// heavy-tailed A2 it must approach s/(1−ρ), far below the FCFS P-K
+	// value.
+	const rho = 0.6
+	d := workload.A2()
+	s := runQueueValidation(t, 1, sim.Microsecond, sched.NewRoundRobin(), d, rho, 2*sim.Second, 104)
+	got := s.Metrics.Latency.Mean()
+	wantPS := queueing.MM1PSMeanSojourn(rho, float64(d.Mean()))
+	es, es2 := queueing.BimodalMoments(0.995,
+		float64(5*sim.Microsecond), float64(500*sim.Microsecond))
+	fcfs := queueing.MG1MeanSojourn(rho/es, es, es2)
+	if math.Abs(got-wantPS)/wantPS > 0.15 {
+		t.Fatalf("PS mean sojourn = %.0fns, analytic %.0fns", got, wantPS)
+	}
+	if got > fcfs/3 {
+		t.Fatalf("PS mean %.0f should be far below FCFS %.0f on heavy tails", got, fcfs)
+	}
+}

@@ -1,0 +1,173 @@
+// Package dnnserve implements the real-time DNN-serving use case the
+// paper sketches as future work (§VII-C): concurrent model inference on
+// CPU with lightweight microsecond-scale preemption, so that a
+// latency-critical small model can meet its deadline while a large
+// background model shares the same workers.
+//
+// Two layers are provided:
+//
+//   - real inference: Model executes genuine dense layers (matmul +
+//     bias + ReLU) with a preemption safepoint between layers, for the
+//     live runtime example; and
+//   - a service-time model mapping a Model's multiply-accumulate count
+//     to simulated service time, for the simulator experiments.
+package dnnserve
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Layer is one dense layer: Out = relu(W·In + b).
+type Layer struct {
+	Name    string
+	In, Out int
+}
+
+// MACs reports the layer's multiply-accumulate count.
+func (l Layer) MACs() int { return l.In * l.Out }
+
+// Model is a feed-forward stack of dense layers.
+type Model struct {
+	Name   string
+	Layers []Layer
+
+	weights [][]float32 // per layer: Out×In row-major
+	biases  [][]float32
+}
+
+// NewModel builds a model with deterministic pseudo-random weights.
+func NewModel(name string, layers []Layer, seed uint64) *Model {
+	if len(layers) == 0 {
+		panic("dnnserve: model needs at least one layer")
+	}
+	for i := 1; i < len(layers); i++ {
+		if layers[i].In != layers[i-1].Out {
+			panic(fmt.Sprintf("dnnserve: layer %d input %d != previous output %d",
+				i, layers[i].In, layers[i-1].Out))
+		}
+	}
+	m := &Model{Name: name, Layers: layers}
+	rng := sim.NewRNG(seed)
+	for _, l := range layers {
+		w := make([]float32, l.In*l.Out)
+		for i := range w {
+			w[i] = float32(rng.Normal()) * 0.1
+		}
+		b := make([]float32, l.Out)
+		for i := range b {
+			b[i] = float32(rng.Normal()) * 0.01
+		}
+		m.weights = append(m.weights, w)
+		m.biases = append(m.biases, b)
+	}
+	return m
+}
+
+// MACs reports the model's total multiply-accumulate count.
+func (m *Model) MACs() int {
+	total := 0
+	for _, l := range m.Layers {
+		total += l.MACs()
+	}
+	return total
+}
+
+// InputSize reports the expected input vector length.
+func (m *Model) InputSize() int { return m.Layers[0].In }
+
+// OutputSize reports the output vector length.
+func (m *Model) OutputSize() int { return m.Layers[len(m.Layers)-1].Out }
+
+// Checkpointer is the safepoint hook (satisfied by *preemptible.Ctx).
+type Checkpointer interface{ Checkpoint() }
+
+// nopCheckpoint is used when Infer is called without a scheduler.
+type nopCheckpoint struct{}
+
+func (nopCheckpoint) Checkpoint() {}
+
+// Infer runs real inference, checkpointing between layers — the
+// preemption granularity of layered CPU serving. ctx may be nil.
+func (m *Model) Infer(ctx Checkpointer, input []float32) ([]float32, error) {
+	if len(input) != m.InputSize() {
+		return nil, fmt.Errorf("dnnserve: input size %d, model %s expects %d",
+			len(input), m.Name, m.InputSize())
+	}
+	if ctx == nil {
+		ctx = nopCheckpoint{}
+	}
+	act := input
+	for li, l := range m.Layers {
+		w := m.weights[li]
+		b := m.biases[li]
+		next := make([]float32, l.Out)
+		for o := 0; o < l.Out; o++ {
+			sum := b[o]
+			row := w[o*l.In : (o+1)*l.In]
+			for i, v := range act {
+				sum += row[i] * v
+			}
+			if sum < 0 && li < len(m.Layers)-1 {
+				sum = 0 // ReLU on hidden layers
+			}
+			next[o] = sum
+			// Intra-layer safepoint: large layers would otherwise make
+			// the preemption granularity as coarse as a whole layer.
+			if o&15 == 15 {
+				ctx.Checkpoint()
+			}
+		}
+		act = next
+		ctx.Checkpoint()
+	}
+	return act, nil
+}
+
+// perMACPico is the simulated cost per multiply-accumulate in
+// picoseconds (vectorized CPU inference ≈ 0.5 ns/MAC).
+const perMACPico = 500
+
+// ServiceTime estimates the model's simulated inference time.
+func (m *Model) ServiceTime() sim.Time {
+	t := sim.Time(m.MACs()) * perMACPico / 1000
+	if t < sim.Microsecond {
+		t = sim.Microsecond
+	}
+	return t
+}
+
+// RequestFor builds a simulator request for one inference: service time
+// from the MAC count, Deadline = arrival + slo (for EDF policies).
+func (m *Model) RequestFor(id uint64, class int, arrival sim.Time, slo sim.Time) *sched.Request {
+	r := sched.NewRequest(id, class, arrival, m.ServiceTime())
+	if slo > 0 {
+		r.Deadline = arrival + slo
+	}
+	return r
+}
+
+// TinyMLP is a small latency-critical model (~56k MACs ≈ 28 µs).
+func TinyMLP(seed uint64) *Model {
+	return NewModel("tiny-mlp", []Layer{
+		{"fc1", 128, 256},
+		{"fc2", 256, 64},
+		{"fc3", 64, 96},
+		{"out", 96, 16},
+	}, seed)
+}
+
+// BigCNNProxy is a large background model expressed as dense-layer
+// compute (~4M MACs ≈ 2 ms).
+func BigCNNProxy(seed uint64) *Model {
+	return NewModel("big-cnn-proxy", []Layer{
+		{"conv1", 1024, 1024},
+		{"conv2", 1024, 1024},
+		{"conv3", 1024, 1024},
+		{"conv4", 1024, 512},
+		{"fc", 512, 512},
+		{"out", 512, 128},
+	}, seed)
+}

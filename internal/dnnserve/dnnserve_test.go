@@ -1,0 +1,151 @@
+package dnnserve
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func TestModelConstruction(t *testing.T) {
+	m := TinyMLP(1)
+	if m.InputSize() != 128 || m.OutputSize() != 16 {
+		t.Fatalf("shape %d→%d", m.InputSize(), m.OutputSize())
+	}
+	wantMACs := 128*256 + 256*64 + 64*96 + 96*16
+	if m.MACs() != wantMACs {
+		t.Fatalf("MACs = %d, want %d", m.MACs(), wantMACs)
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	for _, layers := range [][]Layer{
+		nil,
+		{{"a", 4, 8}, {"b", 9, 2}}, // shape mismatch
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("layers %v did not panic", layers)
+				}
+			}()
+			NewModel("bad", layers, 1)
+		}()
+	}
+}
+
+func TestInferDeterministic(t *testing.T) {
+	m := TinyMLP(7)
+	in := make([]float32, m.InputSize())
+	for i := range in {
+		in[i] = float32(i%13) * 0.1
+	}
+	a, err := m.Infer(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Infer(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("inference not deterministic")
+		}
+	}
+	// Same architecture, different seed → different function.
+	m2 := TinyMLP(8)
+	c, _ := m2.Infer(nil, in)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different weights produced identical outputs")
+	}
+}
+
+func TestInferOutputsFinite(t *testing.T) {
+	m := TinyMLP(3)
+	in := make([]float32, m.InputSize())
+	for i := range in {
+		in[i] = 1
+	}
+	out, err := m.Infer(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != m.OutputSize() {
+		t.Fatalf("output size %d", len(out))
+	}
+	for _, v := range out {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatal("non-finite activation")
+		}
+	}
+}
+
+func TestInferBadInput(t *testing.T) {
+	m := TinyMLP(1)
+	if _, err := m.Infer(nil, make([]float32, 5)); err == nil {
+		t.Fatal("expected size error")
+	}
+}
+
+type countingCheckpointer struct{ n int }
+
+func (c *countingCheckpointer) Checkpoint() { c.n++ }
+
+func TestInferCheckpointsBetweenLayers(t *testing.T) {
+	m := TinyMLP(1)
+	ck := &countingCheckpointer{}
+	if _, err := m.Infer(ck, make([]float32, m.InputSize())); err != nil {
+		t.Fatal(err)
+	}
+	if ck.n < len(m.Layers) {
+		t.Fatalf("checkpoints = %d, want >= %d (at least one per layer)", ck.n, len(m.Layers))
+	}
+	// Intra-layer safepoints: a 256-wide layer must checkpoint more than
+	// once.
+	if ck.n < len(m.Layers)+3 {
+		t.Fatalf("checkpoints = %d: intra-layer safepoints missing", ck.n)
+	}
+}
+
+func TestServiceTimeScalesWithMACs(t *testing.T) {
+	tiny, big := TinyMLP(1), BigCNNProxy(1)
+	if tiny.ServiceTime() >= big.ServiceTime() {
+		t.Fatal("big model should cost more")
+	}
+	ratio := float64(big.ServiceTime()) / float64(tiny.ServiceTime())
+	macRatio := float64(big.MACs()) / float64(tiny.MACs())
+	if math.Abs(ratio-macRatio)/macRatio > 0.01 {
+		t.Fatalf("service ratio %.1f vs MAC ratio %.1f", ratio, macRatio)
+	}
+	// Calibration sanity: tiny tens of µs, big ~ms.
+	if tiny.ServiceTime() > 100*sim.Microsecond {
+		t.Fatalf("tiny service = %v", tiny.ServiceTime())
+	}
+	if big.ServiceTime() < 500*sim.Microsecond {
+		t.Fatalf("big service = %v", big.ServiceTime())
+	}
+}
+
+func TestRequestFor(t *testing.T) {
+	m := TinyMLP(1)
+	r := m.RequestFor(9, sched.ClassLC, 100, 500*sim.Microsecond)
+	if r.ID != 9 || r.Service != m.ServiceTime() {
+		t.Fatalf("request %+v", r)
+	}
+	if r.Deadline != 100+500*sim.Microsecond {
+		t.Fatalf("deadline %v", r.Deadline)
+	}
+	r2 := m.RequestFor(10, sched.ClassBE, 0, 0)
+	if r2.Deadline != 0 {
+		t.Fatal("zero SLO should leave deadline unset")
+	}
+}

@@ -1,0 +1,90 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation. Each runner regenerates the same rows/series the
+// paper reports, on the simulated substrate, and returns them as
+// stats.Tables. The registry maps experiment ids (table1, fig8, …) to
+// runners; cmd/preembench and the top-level benchmarks drive it.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Options tune experiment fidelity.
+type Options struct {
+	// Quick shrinks durations and sweeps for CI/bench runs. Full runs
+	// (the numbers recorded in EXPERIMENTS.md) leave it false.
+	Quick bool
+	// Seed fixes all randomness (default 1 when zero).
+	Seed uint64
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// scale returns quick when Quick, else full.
+func scale[T any](o Options, full, quick T) T {
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+// Runner regenerates one paper artifact.
+type Runner func(o Options) []*stats.Table
+
+// registry maps experiment ids to runners.
+var registry = map[string]Runner{
+	"table1":    Table1,
+	"fig1left":  Fig1Left,
+	"fig1right": Fig1Right,
+	"fig2":      Fig2,
+	"fig8":      Fig8,
+	"fig9":      Fig9,
+	"fig10":     Fig10,
+	"fig11":     Fig11,
+	"fig12":     Fig12,
+	"table2":    Table2,
+	"table3":    Table3,
+	"table4":    Table4,
+	"table5":    Table5,
+	"fig13":     Fig13,
+	"fig14":     Fig14,
+	"fig15":     Fig15,
+
+	// Extensions beyond the paper's artifacts (§VII-C use cases,
+	// network front-end, reproduction-design ablations).
+	"ext-dnn":      ExtDNN,
+	"ext-shaping":  ExtShaping,
+	"ext-net":      ExtNet,
+	"ext-ablation": ExtAblation,
+	"ext-tenants":  ExtTenants,
+}
+
+// Names lists registered experiment ids in order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, o Options) ([]*stats.Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, Names())
+	}
+	return r(o), nil
+}
+
+// us converts nanoseconds to microseconds for table cells.
+func us(ns int64) float64 { return float64(ns) / 1000 }

@@ -1,0 +1,516 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+var quick = Options{Quick: true, Seed: 1}
+
+func parse(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", s, err)
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"ext-ablation", "ext-dnn", "ext-net", "ext-shaping", "ext-tenants",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+		"fig1left", "fig1right", "fig2", "fig8", "fig9",
+		"table1", "table2", "table3", "table4", "table5",
+	}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registry[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run("nope", quick); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestTable1ShapesMatchPaper(t *testing.T) {
+	tables := Table1(quick)
+	tb := tables[0]
+	if len(tb.Rows) != 4 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	// Every app must be heavily oversubscribed (≥ 40 threads/core).
+	for _, row := range tb.Rows {
+		if parse(t, row[3]) < 40 {
+			t.Fatalf("app %s threads/core = %s: not oversubscribed", row[0], row[3])
+		}
+	}
+}
+
+func TestFig1LeftHWGap(t *testing.T) {
+	tb := Fig1Left(quick)[0]
+	// Last row is uintrFd with speedup 1; kernel mechanisms ≥ 10x.
+	for _, row := range tb.Rows[:len(tb.Rows)-1] {
+		if parse(t, row[2]) < 10 {
+			t.Fatalf("%s speedup = %s, want >= 10x", row[0], row[2])
+		}
+	}
+}
+
+func TestFig1RightOverheadGrowsWithDispersion(t *testing.T) {
+	tb := Fig1Right(quick)[0]
+	if len(tb.Rows) != 3 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	// Rows are ordered by increasing dispersion; preemption overhead
+	// must increase along them.
+	prev := -1.0
+	for _, row := range tb.Rows {
+		ov := parse(t, row[2])
+		if ov < prev {
+			t.Fatalf("overhead not increasing with dispersion: %v", tb.Rows)
+		}
+		prev = ov
+	}
+	if prev < 0.01 {
+		t.Fatalf("heaviest workload overhead = %f: should be significant", prev)
+	}
+}
+
+func TestFig2Crossover(t *testing.T) {
+	tb := Fig2(quick)[0]
+	// At the highest load: for the bimodal workload, 5µs quantum must
+	// beat no-preemption; for the exponential, no-preemption must beat
+	// (or match) 5µs.
+	get := func(wl string, q, load float64) float64 {
+		for _, row := range tb.Rows {
+			if row[0] == wl && parse(t, row[1]) == q && parse(t, row[2]) == load {
+				return parse(t, row[3])
+			}
+		}
+		t.Fatalf("row not found: %s q=%v load=%v", wl, q, load)
+		return 0
+	}
+	if bp5, bp0 := get("bimodal(5us,500us)", 5, 0.8), get("bimodal(5us,500us)", 0, 0.8); bp5 >= bp0 {
+		t.Fatalf("bimodal: 5µs quantum p99 %f >= no-preempt %f", bp5, bp0)
+	}
+	if ep5, ep0 := get("exp(5us)", 5, 0.8), get("exp(5us)", 0, 0.8); ep0 > ep5 {
+		t.Fatalf("exponential: no-preempt p99 %f > 5µs-quantum %f (should win)", ep0, ep5)
+	}
+}
+
+func TestFig8LibPreemptibleWins(t *testing.T) {
+	tables := Fig8(quick)
+	curves, maxTp := tables[0], tables[1]
+
+	// p99 at the highest load on A1: LibPreemptible < Shinjuku,
+	// LibPreemptible < no-UINTR ablation, Shinjuku < Libinger.
+	p99 := func(wl, sys string, load float64) float64 {
+		for _, row := range curves.Rows {
+			if row[0] == wl && row[1] == sys && parse(t, row[2]) == load {
+				return parse(t, row[4])
+			}
+		}
+		t.Fatalf("missing row %s/%s/%v", wl, sys, load)
+		return 0
+	}
+	lp := p99("A1", "LibPreemptible", 0.8)
+	sj := p99("A1", "Shinjuku", 0.8)
+	nu := p99("A1", "LibPreemptible-noUINTR", 0.8)
+	lib := p99("A1", "Libinger", 0.8)
+	if lp >= sj {
+		t.Fatalf("A1@0.8: LibPreemptible p99 %f >= Shinjuku %f", lp, sj)
+	}
+	if lp >= nu {
+		t.Fatalf("A1@0.8: LibPreemptible p99 %f >= no-UINTR %f", lp, nu)
+	}
+	if sj >= lib {
+		t.Fatalf("A1@0.8: Shinjuku p99 %f >= Libinger %f", sj, lib)
+	}
+
+	// Libinger rows for C are NA.
+	foundNA := false
+	for _, row := range curves.Rows {
+		if row[0] == "C" && row[1] == "Libinger" {
+			if row[3] != "NA" {
+				t.Fatalf("Libinger on C should be NA, got %v", row)
+			}
+			foundNA = true
+		}
+	}
+	if !foundNA {
+		t.Fatal("no Libinger/C rows")
+	}
+
+	// Max throughput per worker core: LibPreemptible (4 workers + 1
+	// timer) must beat Shinjuku (5 workers) on the heavy-tailed and
+	// dynamic workloads — the paper's 22%/33% throughput wins.
+	rel := func(wl, sys string) string {
+		for _, row := range maxTp.Rows {
+			if row[0] == wl && row[1] == sys {
+				return row[4]
+			}
+		}
+		t.Fatalf("missing maxTp row %s/%s", wl, sys)
+		return ""
+	}
+	for _, wl := range []string{"A1", "C"} {
+		if v := parse(t, rel(wl, "LibPreemptible")); v < 1.0 {
+			t.Fatalf("%s: LibPreemptible per-worker max throughput %.2fx Shinjuku, want >= 1", wl, v)
+		}
+	}
+}
+
+func TestFig9AdaptiveReducesViolations(t *testing.T) {
+	tables := Fig9(quick)
+	summary := tables[0]
+	// Collect violation% by (policy, phase).
+	viol := map[string]map[string]float64{}
+	preempts := map[string]float64{}
+	for _, row := range summary.Rows {
+		if viol[row[0]] == nil {
+			viol[row[0]] = map[string]float64{}
+		}
+		viol[row[0]][row[1]] = parse(t, row[4])
+		preempts[row[0]] = parse(t, row[5])
+	}
+	// Adaptive must converge to the aggressive regime in the heavy
+	// phase: no worse than the bad static choice (static-50us).
+	if viol["adaptive"]["heavy(A1)"] > viol["static-50us"]["heavy(A1)"] {
+		t.Fatalf("adaptive heavy-phase violations %f > static-50us %f",
+			viol["adaptive"]["heavy(A1)"], viol["static-50us"]["heavy(A1)"])
+	}
+	if preempts["adaptive"] == 0 {
+		t.Fatal("adaptive policy never preempted")
+	}
+	// The controller must actually have moved the quantum downward in
+	// response to the heavy-tailed phase.
+	traj := tables[1]
+	if len(traj.Rows) == 0 {
+		t.Fatal("no quantum trajectory recorded")
+	}
+	last := parse(t, traj.Rows[len(traj.Rows)-1][1])
+	first := parse(t, traj.Rows[0][1])
+	if last >= 20 && first >= 20 {
+		t.Fatalf("adaptive quantum never dropped below its 20µs start (first %.1f, last %.1f)", first, last)
+	}
+}
+
+func TestFig10OverheadSmall(t *testing.T) {
+	tb := Fig10(quick)[0]
+	for _, row := range tb.Rows {
+		ov := parse(t, row[5])
+		if ov > 12 {
+			t.Fatalf("Tn=%s load=%s overhead %.1f%%: should be small", row[0], row[1], ov)
+		}
+	}
+}
+
+func TestFig11UtimerScalesBest(t *testing.T) {
+	tb := Fig11(quick)[0]
+	get := func(design string, threads float64) float64 {
+		for _, row := range tb.Rows {
+			if row[0] == design && parse(t, row[1]) == threads {
+				return parse(t, row[2])
+			}
+		}
+		t.Fatalf("missing %s@%v", design, threads)
+		return 0
+	}
+	creation32 := get("per-thread(creation-time)", 32)
+	aligned32 := get("per-thread(aligned)", 32)
+	utimer32 := get("LibUtimer", 32)
+	chain32 := get("per-process(chain)", 32)
+	// Fig. 11 shape: creation-time is superlinear (reaches ~100µs at
+	// high counts), aligned ~10x better, LibUtimer flat ~1µs and best.
+	if creation32 < aligned32*3 {
+		t.Fatalf("creation-time (%.1fµs) not ≫ aligned (%.1fµs)", creation32, aligned32)
+	}
+	if utimer32 > 2 {
+		t.Fatalf("LibUtimer overhead %.2fµs at 32 threads, want ~1µs", utimer32)
+	}
+	if utimer32 >= aligned32 || utimer32 >= chain32 {
+		t.Fatal("LibUtimer must be best at 32 threads")
+	}
+	// Flatness: LibUtimer at max threads ≈ at 1 thread.
+	utimer1 := get("LibUtimer", 1)
+	if utimer32 > utimer1*3 {
+		t.Fatalf("LibUtimer not flat: %.2f → %.2f", utimer1, utimer32)
+	}
+}
+
+func TestFig12PrecisionShapes(t *testing.T) {
+	tb := Fig12(quick)[0]
+	get := func(timer string, target float64) (mean, rel float64) {
+		for _, row := range tb.Rows {
+			if row[0] == timer && parse(t, row[1]) == target {
+				return parse(t, row[2]), parse(t, row[4])
+			}
+		}
+		t.Fatalf("missing %s@%v", timer, target)
+		return 0, 0
+	}
+	kMean20, _ := get("kernel", 20)
+	// The kernel timer cannot honor 20µs: intervals sit near its ~60µs
+	// floor (the "line around 60us" in Fig. 12).
+	if kMean20 < 50 {
+		t.Fatalf("kernel 20µs-target mean interval %.1fµs: below its floor", kMean20)
+	}
+	uMean20, uRel20 := get("LibUtimer", 20)
+	if uMean20 < 18 || uMean20 > 23 {
+		t.Fatalf("LibUtimer 20µs-target mean %.1fµs", uMean20)
+	}
+	if uRel20 > 0.08 {
+		t.Fatalf("LibUtimer 20µs relative error %.3f, want small", uRel20)
+	}
+	_, uRel100 := get("LibUtimer", 100)
+	if uRel100 > 0.03 {
+		t.Fatalf("LibUtimer 100µs relative error %.3f, want ~1%%", uRel100)
+	}
+}
+
+func TestTables2And3AreEchoes(t *testing.T) {
+	for _, tb := range append(Table2(quick), Table3(quick)...) {
+		if len(tb.Rows) == 0 {
+			t.Fatal("empty echo table")
+		}
+	}
+}
+
+func TestTable4Ranking(t *testing.T) {
+	tb := Table4(quick)[0]
+	if len(tb.Rows) != 6 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	// uintrFd row must have the highest rate.
+	var uintrRate, bestOther float64
+	for _, row := range tb.Rows {
+		rate := parse(t, row[4])
+		if row[0] == "uintrFd" {
+			uintrRate = rate
+		} else if rate > bestOther && row[0] != "uintrFd (blocked)" {
+			bestOther = rate
+		}
+	}
+	if uintrRate < 5*bestOther {
+		t.Fatalf("uintrFd rate %.0f not ≫ best kernel rate %.0f", uintrRate, bestOther)
+	}
+}
+
+func TestTable5SoloLatencies(t *testing.T) {
+	tb := Table5(quick)[0]
+	micaMed := parse(t, tb.Rows[0][2])
+	beMed := parse(t, tb.Rows[1][2])
+	if micaMed < 0.5 || micaMed > 3 {
+		t.Fatalf("MICA solo median %.2fµs, want ~1µs", micaMed)
+	}
+	if beMed < 80 || beMed > 130 {
+		t.Fatalf("BE solo median %.2fµs, want ~100µs", beMed)
+	}
+}
+
+func TestFig13PreemptionHelpsLC(t *testing.T) {
+	tables := Fig13(quick)
+	left := tables[0]
+	// LC-Lib rows must show improvement over LC-Base (paper: 3.2–4.4x).
+	for _, row := range left.Rows {
+		if row[1] == "LC-Lib(30us)" {
+			imp := parse(t, row[4])
+			if imp < 1.5 {
+				t.Fatalf("LC improvement %.2fx at %s kRPS, want > 1.5x", imp, row[0])
+			}
+		}
+	}
+	right := tables[1]
+	// Smaller quanta: better LC tail, higher BE penalty.
+	var lc5, lc30, pen5, pen30 float64
+	for _, row := range right.Rows {
+		switch row[0] {
+		case "5":
+			lc5, pen5 = parse(t, row[1]), parse(t, row[3])
+		case "30":
+			lc30, pen30 = parse(t, row[1]), parse(t, row[3])
+		}
+	}
+	if lc5 >= lc30 {
+		t.Fatalf("5µs LC p99 %.1f >= 30µs %.1f", lc5, lc30)
+	}
+	if pen5 <= pen30 {
+		t.Fatalf("5µs BE penalty %.2f <= 30µs %.2f", pen5, pen30)
+	}
+}
+
+func TestFig14DynamicBestOfBothWorlds(t *testing.T) {
+	tables := Fig14(quick)
+	summary := tables[1]
+	vals := map[string][3]float64{}
+	for _, row := range summary.Rows {
+		vals[row[0]] = [3]float64{parse(t, row[1]), parse(t, row[2]), parse(t, row[3])}
+	}
+	c50, c10, dyn := vals["constant-50us"], vals["constant-10us"], vals["dynamic"]
+	// In-burst LC latency: 10µs best, 50µs worst, dynamic close to 10µs.
+	if c10[1] >= c50[1] {
+		t.Fatalf("in-burst LC: 10µs %.1f >= 50µs %.1f", c10[1], c50[1])
+	}
+	if dyn[1] > (c10[1]+c50[1])/2 {
+		t.Fatalf("dynamic in-burst LC %.1f not close to aggressive %.1f", dyn[1], c10[1])
+	}
+	// BE latency: 10µs worst; dynamic must not be worse than 10µs.
+	if dyn[2] > c10[2]*1.05 {
+		t.Fatalf("dynamic BE %.1f worse than constant-10µs %.1f", dyn[2], c10[2])
+	}
+}
+
+func TestFig15Matrix(t *testing.T) {
+	tb := Fig15(quick)[0]
+	if len(tb.Rows) < 5 {
+		t.Fatal("related-work matrix too small")
+	}
+}
+
+func TestExtDNNPreemptionMeetsDeadlines(t *testing.T) {
+	tb := ExtDNN(quick)[0]
+	get := func(name string) (p99, hit, be float64) {
+		for _, row := range tb.Rows {
+			if row[0] == name {
+				return parse(t, row[1]), parse(t, row[2]), parse(t, row[3])
+			}
+		}
+		t.Fatalf("missing row %s", name)
+		return 0, 0, 0
+	}
+	rtcP99, rtcHit, _ := get("run-to-completion")
+	edfP99, edfHit, edfBE := get("EDF+preempt(50us)")
+	if edfHit <= rtcHit {
+		t.Fatalf("EDF hit rate %.1f%% <= run-to-completion %.1f%%", edfHit, rtcHit)
+	}
+	if edfHit < 95 {
+		t.Fatalf("EDF deadline hit rate = %.1f%%, want high", edfHit)
+	}
+	if edfP99 >= rtcP99 {
+		t.Fatalf("EDF p99 %.1f >= run-to-completion %.1f", edfP99, rtcP99)
+	}
+	if edfBE == 0 {
+		t.Fatal("BE model starved entirely")
+	}
+}
+
+func TestExtShapingShapes(t *testing.T) {
+	tb := ExtShaping(quick)[0]
+	// LibUtimer must achieve every target within 3%; kernel must fail
+	// the 50k+ targets (floored).
+	for _, row := range tb.Rows {
+		target := parse(t, row[1])
+		achieved := parse(t, row[2])
+		switch row[0] {
+		case "LibUtimer":
+			if abs := achieved/target - 1; abs > 0.03 || abs < -0.03 {
+				t.Fatalf("LibUtimer missed target %v: achieved %v", target, achieved)
+			}
+		case "kernel":
+			if target >= 50000 && achieved > target*0.5 {
+				t.Fatalf("kernel pacing at %v achieved %v — should be floored", target, achieved)
+			}
+		}
+	}
+}
+
+func TestExtNetShapes(t *testing.T) {
+	tb := ExtNet(quick)[0]
+	get := func(path string, load float64) float64 {
+		for _, row := range tb.Rows {
+			if row[0] == path && parse(t, row[1]) == load {
+				return parse(t, row[3])
+			}
+		}
+		t.Fatalf("missing %s/%v", path, load)
+		return 0
+	}
+	// Bypass beats kernel TCP on p99 at both loads; nothing dropped.
+	for _, load := range []float64{0.5, 0.8} {
+		if get("dpdk-bypass", load) >= get("kernel-tcp", load) {
+			t.Fatalf("bypass p99 not better at load %v", load)
+		}
+	}
+	for _, row := range tb.Rows {
+		if row[4] != "0" {
+			t.Fatalf("drops on %v", row)
+		}
+	}
+}
+
+func TestExtTenantsFlatOverhead(t *testing.T) {
+	tb := ExtTenants(quick)[0]
+	var first, last float64
+	for i, row := range tb.Rows {
+		v := parse(t, row[1])
+		if i == 0 {
+			first = v
+		}
+		last = v
+	}
+	if last > first*3 {
+		t.Fatalf("timer overhead not flat across tenants: %.2f → %.2f", first, last)
+	}
+	// Beyond the APIC limit, Shinjuku is marked unaddressable.
+	foundLimit := false
+	for _, row := range tb.Rows {
+		if parse(t, row[0]) > 16 && row[3] == "unaddressable" {
+			foundLimit = true
+		}
+	}
+	if !foundLimit {
+		t.Fatal("APIC limit not surfaced")
+	}
+}
+
+func TestExtAblationShapes(t *testing.T) {
+	tb := ExtAblation(quick)[0]
+	vals := map[string][2]float64{} // p99, steals col 5
+	for _, row := range tb.Rows {
+		vals[row[0]] = [2]float64{parse(t, row[2]), parse(t, row[5])}
+	}
+	cen := vals["centralized cFCFS + UINTR"][0]
+	two := vals["two-level + UINTR"][0]
+	sig := vals["centralized + kernel signals"][0]
+	non := vals["no preemption"][0]
+	if cen >= sig || cen >= non {
+		t.Fatalf("UINTR p99 %.1f should beat signals %.1f and none %.1f", cen, sig, non)
+	}
+	if two >= non {
+		t.Fatalf("two-level p99 %.1f should beat no-preemption %.1f", two, non)
+	}
+	if vals["two-level + UINTR"][1] == 0 {
+		t.Fatal("two-level never stole work")
+	}
+}
+
+func TestExperimentsAreDeterministic(t *testing.T) {
+	// Experiment-level determinism: identical options produce
+	// byte-identical tables. (Representative sample across substrates.)
+	for _, id := range []string{"table4", "fig12", "ext-tenants"} {
+		a, err := Run(id, quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(id, quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%s: table counts differ", id)
+		}
+		for i := range a {
+			if a[i].String() != b[i].String() {
+				t.Fatalf("%s: table %d differs between runs", id, i)
+			}
+		}
+	}
+}

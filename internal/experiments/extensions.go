@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"repro/internal/adaptive"
+	"repro/internal/core"
+	"repro/internal/dnnserve"
+	"repro/internal/hw"
+	"repro/internal/netstack"
+	"repro/internal/sched"
+	"repro/internal/shaping"
+	"repro/internal/shinjuku"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/internal/zygos"
+)
+
+// Extension experiments: beyond the paper's artifacts, these cover the
+// §VII-C future-work use cases (DNN serving, traffic shaping), the
+// network front-end, and ablations of this reproduction's own design
+// choices (two-level vs centralized scheduling, preemption mechanism,
+// cache-refill cost).
+
+// ExtDNN regenerates the concurrent DNN-serving scenario of §VII-C: a
+// latency-critical tiny model (500 µs SLO) sharing workers with a large
+// background model, under run-to-completion, preemptive cFCFS, and
+// preemptive EDF.
+func ExtDNN(o Options) []*stats.Table {
+	dur := scale(o, 2*sim.Second, 400*sim.Millisecond)
+	const workers = 2
+	slo := 500 * sim.Microsecond
+	lcModel := dnnserve.TinyMLP(o.seed())
+	beModel := dnnserve.BigCNNProxy(o.seed())
+
+	t := &stats.Table{
+		Title:   "EXT: concurrent DNN serving (tiny-mlp LC @500us SLO + big-cnn BE)",
+		Columns: []string{"scheduler", "lc_p99_us", "lc_deadline_hit_pct", "be_per_sec"},
+	}
+	type setup struct {
+		name    string
+		policy  sched.Policy
+		quantum sim.Time
+		mech    core.MechKind
+	}
+	for si, su := range []setup{
+		{"run-to-completion", sched.NewFCFSPreempt(), 0, core.MechNone},
+		{"cFCFS+preempt(50us)", sched.NewFCFSPreempt(), 50 * sim.Microsecond, core.MechUINTR},
+		{"EDF+preempt(50us)", sched.NewEDF(), 50 * sim.Microsecond, core.MechUINTR},
+	} {
+		var lcTotal, lcHit, beDone uint64
+		s := core.New(core.Config{
+			Workers: workers,
+			Quantum: su.quantum,
+			Policy:  su.policy,
+			Mech:    su.mech,
+			Seed:    o.seed() + uint64(si),
+			OnComplete: func(r *sched.Request) {
+				if r.Class == sched.ClassLC {
+					lcTotal++
+					if r.Deadline == 0 || r.Finish <= r.Deadline {
+						lcHit++
+					}
+				} else {
+					beDone++
+				}
+			},
+		})
+		rng := sim.NewRNG(o.seed() + uint64(100+si))
+		var id uint64
+		// LC inferences at 2k/s; BE inferences back-to-back open loop at
+		// 400/s (≈80% of one worker).
+		lcGen := func() *sched.Request {
+			id++
+			return lcModel.RequestFor(id, sched.ClassLC, s.Eng.Now(), slo)
+		}
+		beGen := func() *sched.Request {
+			id++
+			return beModel.RequestFor(id, sched.ClassBE, s.Eng.Now(), 0)
+		}
+		var lcLoop, beLoop func()
+		lcLoop = func() {
+			gap := sim.Time(rng.Exp(float64(sim.Second) / 2000))
+			s.Eng.Schedule(gap, func() {
+				if s.Eng.Now() >= dur {
+					return
+				}
+				s.Submit(lcGen())
+				lcLoop()
+			})
+		}
+		beLoop = func() {
+			gap := sim.Time(rng.Exp(float64(sim.Second) / 400))
+			s.Eng.Schedule(gap, func() {
+				if s.Eng.Now() >= dur {
+					return
+				}
+				s.Submit(beGen())
+				beLoop()
+			})
+		}
+		lcLoop()
+		beLoop()
+		s.Eng.Run(dur)
+		s.Eng.RunAll()
+		hitPct := 0.0
+		if lcTotal > 0 {
+			hitPct = 100 * float64(lcHit) / float64(lcTotal)
+		}
+		t.AddRow(su.name, us(s.Metrics.LatencyLC.P99()), hitPct, float64(beDone)/dur.Seconds())
+	}
+	return []*stats.Table{t}
+}
+
+// ExtShaping regenerates the traffic-shaping conformance study: pacing
+// accuracy by timer mechanism and target rate (§VII-C).
+func ExtShaping(o Options) []*stats.Table {
+	n := scale(o, 3000, 600)
+	t := &stats.Table{
+		Title:   "EXT: packet pacing conformance, LibUtimer vs kernel timers",
+		Columns: []string{"timer", "target_pps", "achieved_pps", "mean_gap_us", "rel_err"},
+	}
+	for _, rate := range []float64{5000, 20000, 50000, 100000} {
+		for _, kind := range []shaping.TimerKind{shaping.UserTimer, shaping.KernelTimer} {
+			r := shaping.RunPacing(kind, rate, n, o.seed())
+			t.AddRow(kind.String(), rate, r.AchievedRate, r.MeanGapUs, r.MeanRelErr)
+		}
+	}
+	return []*stats.Table{t}
+}
+
+// ExtNet runs LibPreemptible behind the network front-end: kernel TCP
+// versus DPDK-style bypass receive paths, at moderate and high load.
+func ExtNet(o Options) []*stats.Table {
+	dur := scale(o, sim.Second, 200*sim.Millisecond)
+	const workers = 4
+	t := &stats.Table{
+		Title:   "EXT: end-to-end latency with a network front-end (workload A2)",
+		Columns: []string{"rx_path", "load", "p50_us", "p99_us", "dropped"},
+	}
+	for pi, path := range []netstack.PathKind{netstack.KernelTCP, netstack.Bypass} {
+		for li, load := range []float64{0.5, 0.8} {
+			s := core.New(core.Config{
+				Workers: workers,
+				Quantum: 15 * sim.Microsecond,
+				Mech:    core.MechUINTR,
+				Seed:    o.seed() + uint64(pi*10+li),
+			})
+			rng := sim.NewRNG(o.seed() + uint64(50+pi*10+li))
+			nic := netstack.NewNIC(s.Eng, rng.Stream(1), netstack.DefaultCosts(), path,
+				2, 4096, s.Submit)
+			client := netstack.NewClient(s.Eng, rng.Stream(2), netstack.DefaultCosts(), nic)
+			gen := workload.NewOpenLoop(s.Eng, rng.Stream(3), sched.ClassLC,
+				[]workload.Phase{{Service: workload.A2(),
+					Rate: workload.RateForLoad(load, workers, workload.A2().Mean())}},
+				client.Send)
+			gen.Start()
+			s.Eng.Run(dur)
+			gen.Stop()
+			s.Eng.RunAll()
+			t.AddRow(path.String(), load,
+				us(s.Metrics.Latency.Median()), us(s.Metrics.Latency.P99()), nic.Dropped)
+		}
+	}
+	return []*stats.Table{t}
+}
+
+// ExtAblation quantifies this reproduction's own design choices on
+// workload A1 at 80% load: scheduling structure (centralized policy vs
+// the two-level local-queue design), preemption mechanism, and the
+// cache-refill cost model.
+func ExtAblation(o Options) []*stats.Table {
+	dur := scale(o, sim.Second, 200*sim.Millisecond)
+	const workers = 4
+	t := &stats.Table{
+		Title:   "EXT: ablations (A1 @ 80% load, 4 workers, 10us quantum)",
+		Columns: []string{"variant", "p50_us", "p99_us", "krps", "preemptions", "steals"},
+	}
+	run := func(name string, cfg core.Config, attach func(s *core.System)) {
+		cfg.Workers = workers
+		cfg.Seed = o.seed()
+		s := core.New(cfg)
+		if attach != nil {
+			attach(s)
+		}
+		rate := workload.RateForLoad(0.8, workers, workload.A1().Mean())
+		gen := workload.NewOpenLoop(s.Eng, sim.NewRNG(o.seed()+7), sched.ClassLC,
+			[]workload.Phase{{Service: workload.A1(), Rate: rate}}, s.Submit)
+		gen.Start()
+		s.Eng.Run(dur)
+		gen.Stop()
+		s.Eng.RunAll()
+		t.AddRow(name, us(s.Metrics.Latency.Median()), us(s.Metrics.Latency.P99()),
+			s.Throughput()/1000, s.Metrics.Preemptions, s.Metrics.Steals)
+	}
+	q := 10 * sim.Microsecond
+	run("centralized cFCFS + UINTR", core.Config{Quantum: q, Mech: core.MechUINTR}, nil)
+	run("two-level + UINTR", core.Config{Quantum: q, Mech: core.MechUINTR, TwoLevel: true}, nil)
+	run("centralized + kernel signals", core.Config{Quantum: q, Mech: core.MechKernelSignal}, nil)
+	run("no preemption", core.Config{Quantum: 0, Mech: core.MechNone}, nil)
+	noRefill := hw.DefaultCosts()
+	noRefill.CtxRefill = 0
+	run("UINTR, no cache-refill cost", core.Config{Quantum: q, Mech: core.MechUINTR, Costs: &noRefill}, nil)
+	run("adaptive quantum", core.Config{Quantum: 20 * sim.Microsecond, Mech: core.MechUINTR},
+		func(s *core.System) {
+			cfg := adaptive.DefaultConfig(workload.RateForLoad(1.0, workers, workload.A1().Mean()))
+			cfg.Period = dur / 40
+			adaptive.Attach(s, adaptive.NewController(cfg, 20*sim.Microsecond))
+		})
+	// ZygOS-style baseline: RSS partitioning + work stealing, no
+	// preemption (related-work comparator).
+	{
+		zs := zygos.New(zygos.Config{Workers: workers, Seed: o.seed()})
+		rate := workload.RateForLoad(0.8, workers, workload.A1().Mean())
+		gen := workload.NewOpenLoop(zs.Eng, sim.NewRNG(o.seed()+7), sched.ClassLC,
+			[]workload.Phase{{Service: workload.A1(), Rate: rate}}, zs.Submit)
+		gen.Start()
+		zs.Eng.Run(dur)
+		gen.Stop()
+		zs.Eng.RunAll()
+		t.AddRow("ZygOS-style (steal, no preempt)",
+			us(zs.Metrics.Latency.Median()), us(zs.Metrics.Latency.P99()),
+			zs.Throughput()/1000, 0, zs.Metrics.Steals)
+	}
+	return []*stats.Table{t}
+}
+
+// ExtTenants quantifies the §V-B scalability claim: LibUtimer serves
+// many tenants' preemption timers from one timer core with flat
+// delivery overhead, where Shinjuku's mapped-APIC design cannot address
+// more than shinjuku.MaxAPICTargets worker cores at all.
+func ExtTenants(o Options) []*stats.Table {
+	interrupts := scale(o, 1000, 300)
+	tenantCounts := scale(o, []int{1, 4, 16, 32, 64, 128}, []int{1, 16, 64})
+	t := &stats.Table{
+		Title:   "EXT: tenants sharing one preemption-timer core (100us quanta each)",
+		Columns: []string{"tenants", "utimer_mean_overhead_us", "utimer_max_overhead_us", "shinjuku_apic"},
+	}
+	run := utimerOverhead(interrupts)
+	for _, n := range tenantCounts {
+		h := run(n, o.seed())
+		apic := "ok"
+		if n > shinjuku.MaxAPICTargets {
+			apic = "unaddressable"
+		}
+		t.AddRow(n, us(int64(h.Mean())), us(h.Max()), apic)
+	}
+	return []*stats.Table{t}
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"repro/internal/rpcserver"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Fig10 regenerates the deployment-overhead study: a gRPC-style
+// thread-pool server with T_n user-level threads per kernel thread,
+// measured with and without LibPreemptible across load levels. The
+// paper's finding: ~1.2% tail overhead at 89% load, growing sublinearly.
+func Fig10(o Options) []*stats.Table {
+	dur := scale(o, 800*sim.Millisecond, 150*sim.Millisecond)
+	loads := scale(o, []float64{0.5, 0.7, 0.89, 0.95}, []float64{0.5, 0.89})
+	tns := scale(o, []int{1, 4, 16}, []int{4})
+	const kernelThreads = 4
+	serviceMean := 20 * sim.Microsecond
+	capacity := float64(kernelThreads) / serviceMean.Seconds()
+
+	t := &stats.Table{
+		Title:   "Fig 10: LibPreemptible deployment overhead on an RPC server (p99)",
+		Columns: []string{"Tn", "load", "qps", "base_p99_us", "libp_p99_us", "overhead_pct"},
+	}
+	for ti, tn := range tns {
+		for li, load := range loads {
+			qps := load * capacity
+			base := rpcserver.New(rpcserver.Config{
+				KernelThreads: kernelThreads, UserThreadsPerKT: tn,
+				ServiceMean: serviceMean, Seed: o.seed() + uint64(ti*100+li),
+			})
+			baseRes := base.RunLoad(qps, dur, o.seed()+uint64(1000+ti*100+li))
+
+			libp := rpcserver.New(rpcserver.Config{
+				KernelThreads: kernelThreads, UserThreadsPerKT: tn,
+				ServiceMean: serviceMean, Quantum: 100 * sim.Microsecond,
+				Seed: o.seed() + uint64(ti*100+li),
+			})
+			libpRes := libp.RunLoad(qps, dur, o.seed()+uint64(1000+ti*100+li))
+
+			overhead := 100 * (float64(libpRes.Snapshot.P99)/float64(baseRes.Snapshot.P99) - 1)
+			t.AddRow(tn, load, qps,
+				us(baseRes.Snapshot.P99), us(libpRes.Snapshot.P99), overhead)
+		}
+	}
+	return []*stats.Table{t}
+}

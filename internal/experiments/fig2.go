@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Fig2 regenerates "tail latency for different preemption quanta": p99
+// latency versus load for a heavy-tailed bimodal and a light-tailed
+// exponential workload on 16 worker cores, across time quanta (0 =
+// no preemption). The crossover the paper highlights: small quanta win
+// on the bimodal workload, large quanta (or none) win on the
+// exponential one.
+func Fig2(o Options) []*stats.Table {
+	dur := scale(o, 500*sim.Millisecond, 80*sim.Millisecond)
+	loads := scale(o,
+		[]float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9},
+		[]float64{0.3, 0.6, 0.8})
+	quanta := scale(o,
+		[]sim.Time{0, 5 * sim.Microsecond, 10 * sim.Microsecond, 25 * sim.Microsecond, 50 * sim.Microsecond, 100 * sim.Microsecond},
+		[]sim.Time{0, 5 * sim.Microsecond, 50 * sim.Microsecond})
+	const workers = 16
+
+	wls := []struct {
+		name string
+		dist sim.Dist
+	}{
+		{"bimodal(5us,500us)", workload.A2()},
+		{"exp(5us)", workload.B()},
+	}
+
+	t := &stats.Table{
+		Title:   "Fig 2: p99 latency vs load per preemption quantum (16 cores)",
+		Columns: []string{"workload", "quantum_us", "load", "p99_us"},
+	}
+	for wi, wl := range wls {
+		for qi, q := range quanta {
+			for li, load := range loads {
+				mech := core.MechUINTR
+				if q == 0 {
+					mech = core.MechNone
+				}
+				s := core.New(core.Config{
+					Workers: workers,
+					Quantum: q,
+					Mech:    mech,
+					Seed:    o.seed() + uint64(wi*1000+qi*100+li),
+				})
+				rate := workload.RateForLoad(load, workers, wl.dist.Mean())
+				gen := workload.NewOpenLoop(s.Eng, sim.NewRNG(o.seed()+uint64(wi*77+qi*7+li)),
+					sched.ClassLC, []workload.Phase{{Service: wl.dist, Rate: rate}}, s.Submit)
+				gen.Start()
+				s.Eng.Run(dur)
+				gen.Stop()
+				s.Eng.RunAll()
+				t.AddRow(wl.name, q.Micros(), load, us(s.Metrics.Latency.P99()))
+			}
+		}
+	}
+	return []*stats.Table{t}
+}

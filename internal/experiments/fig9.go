@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"repro/internal/adaptive"
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Fig9 regenerates "adaptive time quanta reduce SLO violations in
+// workload C": the dynamic workload (heavy-tailed first half, light-
+// tailed second half) is run under two static quanta and under the
+// Algorithm 1 controller; the fraction of requests violating the 50 µs
+// SLO is reported per phase, together with the controller's quantum
+// trajectory.
+func Fig9(o Options) []*stats.Table {
+	dur := scale(o, 2*sim.Second, 300*sim.Millisecond)
+	const workers = 4
+	const load = 0.8
+	slo := 50 * sim.Microsecond
+
+	type policy struct {
+		name  string
+		setup func(s *core.System) *adaptive.Controller
+	}
+	policies := []policy{
+		{"static-5us", func(s *core.System) *adaptive.Controller {
+			s.SetQuantum(5 * sim.Microsecond)
+			return nil
+		}},
+		{"static-50us", func(s *core.System) *adaptive.Controller {
+			s.SetQuantum(50 * sim.Microsecond)
+			return nil
+		}},
+		{"adaptive", func(s *core.System) *adaptive.Controller {
+			maxLoad := workload.RateForLoad(1.0, workers, (workload.A1().Mean()+workload.B().Mean())/2)
+			cfg := adaptive.DefaultConfig(maxLoad)
+			cfg.Period = dur / 40
+			c := adaptive.NewController(cfg, 20*sim.Microsecond)
+			adaptive.Attach(s, c)
+			return c
+		}},
+	}
+
+	summary := &stats.Table{
+		Title:   "Fig 9: SLO (50us) violations on workload C, static vs adaptive quanta",
+		Columns: []string{"policy", "phase", "requests", "violations", "violation_pct", "preemptions_per_req"},
+	}
+	traj := &stats.Table{
+		Title:   "Fig 9 (aux): adaptive quantum trajectory",
+		Columns: []string{"t_s", "quantum_us"},
+	}
+
+	for pi, pol := range policies {
+		type phaseAgg struct {
+			total, viol uint64
+		}
+		var agg [2]phaseAgg
+		half := dur / 2
+		s := core.New(core.Config{
+			Workers: workers,
+			Quantum: 20 * sim.Microsecond,
+			Mech:    core.MechUINTR,
+			Seed:    o.seed() + uint64(pi),
+			OnComplete: func(r *sched.Request) {
+				ph := 0
+				if r.Arrival >= half {
+					ph = 1
+				}
+				agg[ph].total++
+				if r.Latency() > slo {
+					agg[ph].viol++
+				}
+			},
+		})
+		ctl := pol.setup(s)
+		gen := workload.NewOpenLoop(s.Eng, sim.NewRNG(o.seed()+uint64(100+pi)), sched.ClassLC,
+			[]workload.Phase{
+				{Duration: half, Service: workload.A1(),
+					Rate: workload.RateForLoad(load, workers, workload.A1().Mean())},
+				{Service: workload.B(),
+					Rate: workload.RateForLoad(load, workers, workload.B().Mean())},
+			}, s.Submit)
+
+		if ctl != nil {
+			// Sample the quantum trajectory.
+			step := dur / 40
+			var sample func()
+			sample = func() {
+				traj.AddRow(s.Eng.Now().Seconds(), s.Quantum().Micros())
+				if s.Eng.Now() < dur {
+					s.Eng.Schedule(step, sample)
+				}
+			}
+			s.Eng.Schedule(step, sample)
+		}
+		gen.Start()
+		s.Eng.Run(dur)
+		gen.Stop()
+		s.Eng.RunAll()
+
+		for ph, a := range agg {
+			name := []string{"heavy(A1)", "light(B)"}[ph]
+			pct := 0.0
+			if a.total > 0 {
+				pct = 100 * float64(a.viol) / float64(a.total)
+			}
+			perReq := float64(s.Metrics.Preemptions) / float64(s.Metrics.Completed)
+			summary.AddRow(pol.name, name, a.total, a.viol, pct, perReq)
+		}
+	}
+	return []*stats.Table{summary, traj}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"repro/internal/ipc"
+	"repro/internal/sched"
+	"repro/internal/shinjuku"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Table1 regenerates "Datacenter thread oversubscription from four
+// widely used applications in Google": a synthetic cluster trace is
+// generated and analyzed back into per-app threads/core ratios.
+func Table1(o Options) []*stats.Table {
+	dur := scale(o, 30*sim.Second, 3*sim.Second)
+	samples := trace.Generate(trace.PaperApps(), dur, 10*sim.Millisecond, o.seed())
+	t := &stats.Table{
+		Title:   "Table I: datacenter thread oversubscription (synthetic trace)",
+		Columns: []string{"app", "threads", "cores", "threads/core"},
+	}
+	for _, st := range trace.Analyze(samples) {
+		t.AddRow(st.App, st.Threads, st.Cores, st.ThreadsPerCore)
+	}
+	return []*stats.Table{t}
+}
+
+// Fig1Left regenerates the software- vs hardware-IPC delivery gap: the
+// kernel-mediated mechanisms against user interrupts.
+func Fig1Left(o Options) []*stats.Table {
+	n := scale(o, 200000, 20000)
+	t := &stats.Table{
+		Title:   "Fig 1 (left): SW vs HW IPC delivery latency",
+		Columns: []string{"mechanism", "avg_us", "hw_speedup_vs_mech"},
+	}
+	uintrAvg := ipc.Measure(ipc.UintrFD, n, o.seed()).AvgUs
+	for _, m := range []ipc.Mechanism{ipc.Signal, ipc.MessageQueue, ipc.Pipe, ipc.EventFD, ipc.UintrFD} {
+		r := ipc.Measure(m, n, o.seed())
+		t.AddRow(m.String(), r.AvgUs, r.AvgUs/uintrAvg)
+	}
+	return []*stats.Table{t}
+}
+
+// Fig1Right regenerates the normalized preemption overhead on Shinjuku
+// for µs-scale workloads ranked by dispersion: total preemption CPU
+// time relative to lean execution time, at the best-tail quantum for
+// each workload.
+func Fig1Right(o Options) []*stats.Table {
+	dur := scale(o, sim.Second, 150*sim.Millisecond)
+	type wl struct {
+		name    string
+		dist    sim.Dist
+		quantum sim.Time
+	}
+	wls := []wl{
+		{"exp(5us)", workload.B(), 20 * sim.Microsecond},
+		{"bimodal(5us,500us)", workload.A2(), 10 * sim.Microsecond},
+		{"bimodal(0.5us,500us)", workload.A1(), 5 * sim.Microsecond},
+	}
+	t := &stats.Table{
+		Title:   "Fig 1 (right): preemption overhead vs dispersion on Shinjuku",
+		Columns: []string{"workload", "dispersion_p999/p50", "preempt_overhead_frac"},
+	}
+	for i, w := range wls {
+		s := shinjuku.New(shinjuku.Config{Workers: 5, Quantum: w.quantum, Seed: o.seed() + uint64(i)})
+		var demand sim.Time
+		rate := workload.RateForLoad(0.7, 5, w.dist.Mean())
+		gen := workload.NewOpenLoop(s.Eng, sim.NewRNG(o.seed()+100+uint64(i)), sched.ClassLC,
+			[]workload.Phase{{Service: w.dist, Rate: rate}},
+			func(r *sched.Request) {
+				demand += r.Service
+				s.Submit(r)
+			})
+		gen.Start()
+		s.Eng.Run(dur)
+		gen.Stop()
+		s.Eng.RunAll()
+
+		// Preemption CPU time: worker handler + ctx switch per
+		// preemption, plus dispatcher IPI sends.
+		costs := s.M.Costs
+		overhead := sim.Time(s.Metrics.Preemptions)*(costs.IPIHandler+costs.CtxSwitch) +
+			sim.Time(s.Metrics.IPISends)*costs.IPISend
+
+		// Dispersion of the service-time distribution itself.
+		h := stats.NewHistogram()
+		rng := sim.NewRNG(o.seed() + 200 + uint64(i))
+		for j := 0; j < 100000; j++ {
+			h.Record(int64(w.dist.Sample(rng)))
+		}
+		t.AddRow(w.name, stats.DispersionRatio(h), float64(overhead)/float64(demand))
+	}
+	return []*stats.Table{t}
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"repro/internal/bejob"
+	"repro/internal/core"
+	"repro/internal/ipc"
+	"repro/internal/mica"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Table2 echoes the paper's integration-time table. Integration effort
+// is a human-factors measurement (researcher-weeks) that no simulation
+// can regenerate; the paper's values are reproduced verbatim with that
+// caveat.
+func Table2(o Options) []*stats.Table {
+	t := &stats.Table{
+		Title: "Table II: integration time in person-weeks (NOT REPRODUCIBLE — " +
+			"human-factors measurement; paper values echoed)",
+		Columns: []string{"system", "A(1/2)", "B", "C"},
+	}
+	t.AddRow("Shinjuku", "0.9 / 0.50", "0.70", "0.51")
+	t.AddRow("Libinger", "0.35 / 0.23", "0.12", "NA")
+	t.AddRow("LibPreemptible", "1.1 / 0.75", "0.78", "0.68")
+	return []*stats.Table{t}
+}
+
+// Table3 echoes the paper's additional-code-percentage table, with the
+// same caveat as Table2.
+func Table3(o Options) []*stats.Table {
+	t := &stats.Table{
+		Title: "Table III: additional code to integrate (NOT REPRODUCIBLE — " +
+			"measured on the authors' application ports; paper values echoed)",
+		Columns: []string{"system", "MICA/Zlib", "RPC"},
+	}
+	t.AddRow("LibPreemptible", "3%", "4%")
+	t.AddRow("Libinger", "NA", "7%")
+	return []*stats.Table{t}
+}
+
+// Table4 regenerates the IPC mechanism overhead table: 1M ping-pong
+// notifications (scaled down in quick mode) per mechanism.
+func Table4(o Options) []*stats.Table {
+	n := scale(o, 1000000, 30000)
+	t := &stats.Table{
+		Title:   "Table IV: overhead of IPC mechanisms (1B ping-pong messages)",
+		Columns: []string{"mechanism", "avg_us", "min_us", "std_us", "rate_msg_s"},
+	}
+	for _, m := range ipc.Mechanisms {
+		r := ipc.Measure(m, n, o.seed())
+		t.AddRow(m.String(), r.AvgUs, r.MinUs, r.StdUs, r.RateMsgS)
+	}
+	return []*stats.Table{t}
+}
+
+// Table5 regenerates the colocation workload configuration table:
+// dataset/config parameters plus solo (uncolocated, single core)
+// median and p99 request latencies for the MICA LC job and the zlib BE
+// job.
+func Table5(o Options) []*stats.Table {
+	dur := scale(o, sim.Second, 200*sim.Millisecond)
+
+	solo := func(submitFactory func(s *core.System) func(sim.Time) *sched.Request, rate float64) stats.Snapshot {
+		s := core.New(core.Config{Workers: 1, Quantum: 0, Mech: core.MechNone, Seed: o.seed()})
+		next := submitFactory(s)
+		var loop func()
+		rng := sim.NewRNG(o.seed() + 9)
+		loop = func() {
+			gap := sim.Time(rng.Exp(float64(sim.Second) / rate))
+			if gap < 1 {
+				gap = 1
+			}
+			s.Eng.Schedule(gap, func() {
+				if s.Eng.Now() >= dur {
+					return
+				}
+				s.Submit(next(s.Eng.Now()))
+				loop()
+			})
+		}
+		loop()
+		s.Eng.Run(dur)
+		s.Eng.RunAll()
+		return s.Metrics.Latency.Snapshot()
+	}
+
+	micaSnap := solo(func(s *core.System) func(sim.Time) *sched.Request {
+		g := mica.NewGenerator(mica.DefaultWorkloadConfig(), sim.NewRNG(o.seed()+1))
+		return g.NextRequest
+	}, 100000)
+
+	beSnap := solo(func(s *core.System) func(sim.Time) *sched.Request {
+		g := bejob.NewGenerator(bejob.DefaultConfig(), sim.NewRNG(o.seed()+2))
+		return g.NextRequest
+	}, 2000)
+
+	t := &stats.Table{
+		Title:   "Table V: colocation workload configuration and solo latencies (single core)",
+		Columns: []string{"workload", "config", "median_us", "p99_us"},
+	}
+	t.AddRow("MICA (LC)", "5/95 SET/GET, zipf 0.99, 100k keys", us(micaSnap.Median), us(micaSnap.P99))
+	t.AddRow("zlib (BE)", "25kB raw blocks", us(beSnap.Median), us(beSnap.P99))
+	return []*stats.Table{t}
+}
+
+// Fig15 reproduces the qualitative related-work positioning figure as a
+// feature matrix (the figure is not quantitative).
+func Fig15(o Options) []*stats.Table {
+	t := &stats.Table{
+		Title:   "Fig 15: qualitative comparison with prior scheduling systems",
+		Columns: []string{"system", "preemption", "granularity", "kernel_changes", "scales_past_APIC", "user_policies"},
+	}
+	t.AddRow("Linux CFS", "yes", "ms", "none", "yes", "no")
+	t.AddRow("Go runtime [10]", "yes (signals)", "10ms", "none", "yes", "no")
+	t.AddRow("Shenango/Caladan", "core reallocation", "µs", "module", "yes", "limited")
+	t.AddRow("ZygOS", "no (stealing)", "µs", "dataplane OS", "yes", "no")
+	t.AddRow("Shinjuku", "yes (posted IPI)", "5µs", "dataplane OS + ring0", "no", "limited")
+	t.AddRow("Libinger", "yes (signals)", "~ms", "libc changes", "yes", "limited")
+	t.AddRow("LibPreemptible", "yes (UINTR)", "3µs", "driver only", "yes", "yes (API)")
+	return []*stats.Table{t}
+}

@@ -1,0 +1,289 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/hw"
+	"repro/internal/ktime"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/uintr"
+	"repro/internal/utimer"
+)
+
+// Fig11 regenerates "Scalability of timer delivery overhead": mean
+// delivery overhead per timer design as the thread count grows, with
+// 100 µs timer intervals (1000 interrupts per configuration).
+func Fig11(o Options) []*stats.Table {
+	interrupts := scale(o, 1000, 300)
+	threadCounts := scale(o, []int{1, 2, 4, 8, 16, 32, 64}, []int{1, 4, 16, 32})
+	t := &stats.Table{
+		Title:   "Fig 11: timer delivery overhead vs thread count (100us interval)",
+		Columns: []string{"design", "threads", "mean_overhead_us", "max_overhead_us"},
+	}
+	designs := []struct {
+		name string
+		run  func(n int, seed uint64) *stats.Histogram
+	}{
+		{"per-thread(creation-time)", func(n int, seed uint64) *stats.Histogram {
+			return kernelTimerOverhead(n, interrupts, seed, func(i, n int) sim.Time { return 0 })
+		}},
+		{"per-thread(aligned)", func(n int, seed uint64) *stats.Histogram {
+			return kernelTimerOverhead(n, interrupts, seed, func(i, n int) sim.Time {
+				return sim.Time(i) * 100 * sim.Microsecond / sim.Time(n)
+			})
+		}},
+		{"per-process(chain)", chainOverhead(interrupts)},
+		{"LibUtimer", utimerOverhead(interrupts)},
+	}
+	for _, d := range designs {
+		for _, n := range threadCounts {
+			h := d.run(n, o.seed())
+			t.AddRow(d.name, n, us(int64(h.Mean())), us(h.Max()))
+		}
+	}
+	return []*stats.Table{t}
+}
+
+// kernelTimerOverhead measures per-thread kernel timers with the given
+// arming offset strategy.
+func kernelTimerOverhead(n, interrupts int, seed uint64, offset func(i, n int) sim.Time) *stats.Histogram {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(seed)
+	m := hw.NewMachine(eng, 1, hw.DefaultCosts(), rng)
+	bus := ktime.NewSignalBus(m, rng.Stream(1))
+	h := stats.NewHistogram()
+	total := 0
+	timers := make([]*ktime.KernelTimer, n)
+	for i := 0; i < n; i++ {
+		tm := ktime.NewKernelTimer(m, rng.Stream(uint64(10+i)), bus, 100*sim.Microsecond,
+			func(overhead sim.Time) {
+				if total < interrupts {
+					h.Record(int64(overhead))
+					total++
+				}
+			})
+		timers[i] = tm
+		tm.Arm(offset(i, n))
+	}
+	for total < interrupts {
+		next := eng.Now() + 10*sim.Millisecond
+		eng.Run(next)
+		if eng.Pending() == 0 {
+			break
+		}
+	}
+	for _, tm := range timers {
+		tm.Disarm()
+	}
+	return h
+}
+
+// chainOverhead measures the chained per-process design: one kernel
+// timer; its receiving thread forwards the event thread-to-thread.
+func chainOverhead(interrupts int) func(n int, seed uint64) *stats.Histogram {
+	return func(n int, seed uint64) *stats.Histogram {
+		eng := sim.NewEngine()
+		rng := sim.NewRNG(seed)
+		m := hw.NewMachine(eng, 1, hw.DefaultCosts(), rng)
+		bus := ktime.NewSignalBus(m, rng.Stream(1))
+		h := stats.NewHistogram()
+		total := 0
+		var tm *ktime.KernelTimer
+		tm = ktime.NewKernelTimer(m, rng.Stream(2), bus, 100*sim.Microsecond,
+			func(overhead sim.Time) {
+				// Thread 0 got the signal; chain to threads 1..n-1.
+				ideal := eng.Now() - overhead
+				if total < interrupts {
+					h.Record(int64(overhead))
+					total++
+				}
+				var hop func(i int)
+				hop = func(i int) {
+					if i >= n {
+						return
+					}
+					bus.Forward(func() {
+						if total < interrupts {
+							h.Record(int64(eng.Now() - ideal))
+							total++
+						}
+						hop(i + 1)
+					})
+				}
+				hop(1)
+			})
+		tm.Arm(0)
+		for total < interrupts {
+			eng.Run(eng.Now() + 10*sim.Millisecond)
+			if eng.Pending() == 0 {
+				break
+			}
+		}
+		tm.Disarm()
+		return h
+	}
+}
+
+// utimerOverhead measures LibUtimer: n deadline slots re-armed
+// periodically; overhead is delivery time minus the armed deadline.
+func utimerOverhead(interrupts int) func(n int, seed uint64) *stats.Histogram {
+	return func(n int, seed uint64) *stats.Histogram {
+		eng := sim.NewEngine()
+		rng := sim.NewRNG(seed)
+		m := hw.NewMachine(eng, 2, hw.DefaultCosts(), rng)
+		u := utimer.New(m, rng.Stream(1), utimer.Config{})
+		h := stats.NewHistogram()
+		total := 0
+		const interval = 100 * sim.Microsecond
+		deadlines := make([]sim.Time, n)
+		slots := make([]*utimer.Slot, n)
+		for i := 0; i < n; i++ {
+			i := i
+			var recv *uintr.Receiver
+			recv = uintr.NewReceiver(m, rng.Stream(uint64(100+i)), func(v uintr.Vector) {
+				if total < interrupts {
+					h.Record(int64(eng.Now() - deadlines[i]))
+					total++
+				}
+				recv.UIRET()
+				if total < interrupts {
+					deadlines[i] += interval
+					slots[i].Arm(deadlines[i])
+				}
+			})
+			fd, err := recv.CreateFD(0)
+			if err != nil {
+				panic(err)
+			}
+			slots[i] = u.Register(fd)
+			deadlines[i] = interval
+			slots[i].Arm(deadlines[i])
+		}
+		for total < interrupts {
+			eng.Run(eng.Now() + 10*sim.Millisecond)
+			if eng.Pending() == 0 {
+				break
+			}
+		}
+		return h
+	}
+}
+
+// Fig12 regenerates "Precision of LibUtimer": inter-expiry intervals at
+// 100 µs and 20 µs targets for a kernel timer versus LibUtimer, with
+// stress-ng-style background contention injected for LibUtimer, 26
+// concurrent threads.
+func Fig12(o Options) []*stats.Table {
+	samples := scale(o, 5000, 800)
+	const threads = 26
+	t := &stats.Table{
+		Title:   "Fig 12: timer precision, kernel timer vs LibUtimer (26 threads, with background contention)",
+		Columns: []string{"timer", "target_us", "mean_interval_us", "std_us", "mean_rel_err"},
+	}
+	for _, target := range []sim.Time{100 * sim.Microsecond, 20 * sim.Microsecond} {
+		mean, std, rel := kernelIntervalPrecision(target, threads, samples, o.seed())
+		t.AddRow("kernel", target.Micros(), mean, std, rel)
+		mean, std, rel = utimerIntervalPrecision(target, threads, samples, o.seed())
+		t.AddRow("LibUtimer", target.Micros(), mean, std, rel)
+	}
+	return []*stats.Table{t}
+}
+
+func summarizeIntervals(intervals []float64, target sim.Time) (meanUs, stdUs, relErr float64) {
+	var sum, sumSq, rel float64
+	for _, iv := range intervals {
+		sum += iv
+		sumSq += iv * iv
+		rel += math.Abs(iv-float64(target)) / float64(target)
+	}
+	n := float64(len(intervals))
+	if n == 0 {
+		return 0, 0, 0
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return mean / 1000, math.Sqrt(variance) / 1000, rel / n
+}
+
+func kernelIntervalPrecision(target sim.Time, threads, samples int, seed uint64) (float64, float64, float64) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(seed)
+	m := hw.NewMachine(eng, 1, hw.DefaultCosts(), rng)
+	bus := ktime.NewSignalBus(m, rng.Stream(1))
+	var intervals []float64
+	last := make([]sim.Time, threads)
+	for i := range last {
+		last[i] = -1
+	}
+	timers := make([]*ktime.KernelTimer, threads)
+	for i := 0; i < threads; i++ {
+		i := i
+		tm := ktime.NewKernelTimer(m, rng.Stream(uint64(10+i)), bus, target, func(sim.Time) {
+			now := eng.Now()
+			if last[i] >= 0 && len(intervals) < samples {
+				intervals = append(intervals, float64(now-last[i]))
+			}
+			last[i] = now
+		})
+		timers[i] = tm
+		tm.Arm(sim.Time(i) * target / sim.Time(threads))
+	}
+	for len(intervals) < samples {
+		eng.Run(eng.Now() + 10*sim.Millisecond)
+		if eng.Pending() == 0 {
+			break
+		}
+	}
+	for _, tm := range timers {
+		tm.Disarm()
+	}
+	return summarizeIntervals(intervals, target)
+}
+
+func utimerIntervalPrecision(target sim.Time, threads, samples int, seed uint64) (float64, float64, float64) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(seed)
+	m := hw.NewMachine(eng, 2, hw.DefaultCosts(), rng)
+	u := utimer.New(m, rng.Stream(1), utimer.Config{
+		ContentionProb: 0.02,
+		ContentionMean: sim.Microsecond,
+	})
+	var intervals []float64
+	deadlines := make([]sim.Time, threads)
+	lasts := make([]sim.Time, threads)
+	slots := make([]*utimer.Slot, threads)
+	for i := 0; i < threads; i++ {
+		i := i
+		var recv *uintr.Receiver
+		recv = uintr.NewReceiver(m, rng.Stream(uint64(100+i)), func(v uintr.Vector) {
+			now := eng.Now()
+			if lasts[i] > 0 && len(intervals) < samples {
+				intervals = append(intervals, float64(now-lasts[i]))
+			}
+			lasts[i] = now
+			recv.UIRET()
+			if len(intervals) < samples {
+				deadlines[i] += target
+				slots[i].Arm(deadlines[i])
+			}
+		})
+		fd, err := recv.CreateFD(0)
+		if err != nil {
+			panic(err)
+		}
+		slots[i] = u.Register(fd)
+		deadlines[i] = target + sim.Time(i)*target/sim.Time(threads)
+		slots[i].Arm(deadlines[i])
+	}
+	for len(intervals) < samples {
+		eng.Run(eng.Now() + 10*sim.Millisecond)
+		if eng.Pending() == 0 {
+			break
+		}
+	}
+	return summarizeIntervals(intervals, target)
+}

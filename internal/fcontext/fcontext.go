@@ -1,0 +1,178 @@
+// Package fcontext models the user-level context management of
+// LibPreemptible (§IV-B): fixed-capacity global pools of context objects
+// (saved register state + stack), a global free list for reuse, and the
+// global running list that holds preempted contexts together with their
+// state.
+//
+// The real library customizes Boost's fcontext; here a Context carries
+// the simulator-level request state. Allocation and switch costs are
+// charged by the scheduler layer using hw.Costs.CtxAlloc / CtxSwitch.
+package fcontext
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DefaultStackSize is the per-context stack reservation the pool
+// accounts for (64 KiB, matching typical fcontext configurations).
+const DefaultStackSize = 64 * 1024
+
+// ErrExhausted is returned by Pool.Get when every context is in use. A
+// production deployment sizes the pool to the maximum number of in-flight
+// requests; the scheduler applies backpressure when it is hit.
+var ErrExhausted = errors.New("fcontext: context pool exhausted")
+
+// Context is one preemptible execution context. Data carries the
+// request state the scheduler attaches when launching a function on the
+// context.
+type Context struct {
+	ID        uint64
+	StackSize int
+	Data      any
+	inUse     bool
+	pool      *Pool
+}
+
+// InUse reports whether the context is currently attached to a function.
+func (c *Context) InUse() bool { return c.inUse }
+
+// Pool is the global context/stack pool. An application defines its
+// size up front (the paper: "The dispatcher allocates context objects
+// and stack space for each request from a global memory pool; an
+// application can define the size of this pool").
+type Pool struct {
+	capacity  int
+	stackSize int
+	free      []*Context
+	nextID    uint64
+
+	// Stats.
+	Gets, Puts, Failures uint64
+	peakInUse            int
+}
+
+// NewPool creates a pool of capacity contexts with the given per-context
+// stack size (DefaultStackSize if 0).
+func NewPool(capacity, stackSize int) *Pool {
+	if capacity <= 0 {
+		panic("fcontext: pool capacity must be positive")
+	}
+	if stackSize == 0 {
+		stackSize = DefaultStackSize
+	}
+	if stackSize < 0 {
+		panic("fcontext: negative stack size")
+	}
+	p := &Pool{capacity: capacity, stackSize: stackSize}
+	p.free = make([]*Context, capacity)
+	for i := range p.free {
+		p.nextID++
+		p.free[i] = &Context{ID: p.nextID, StackSize: stackSize, pool: p}
+	}
+	return p
+}
+
+// Capacity reports the configured pool size.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// FreeCount reports how many contexts are on the free list.
+func (p *Pool) FreeCount() int { return len(p.free) }
+
+// InUse reports how many contexts are checked out.
+func (p *Pool) InUse() int { return p.capacity - len(p.free) }
+
+// PeakInUse reports the high-water mark of checked-out contexts.
+func (p *Pool) PeakInUse() int { return p.peakInUse }
+
+// StackBytes reports the total stack memory the pool reserves.
+func (p *Pool) StackBytes() int { return p.capacity * p.stackSize }
+
+// Get checks a context out of the free list.
+func (p *Pool) Get() (*Context, error) {
+	if len(p.free) == 0 {
+		p.Failures++
+		return nil, ErrExhausted
+	}
+	n := len(p.free) - 1
+	c := p.free[n]
+	p.free[n] = nil
+	p.free = p.free[:n]
+	c.inUse = true
+	p.Gets++
+	if in := p.InUse(); in > p.peakInUse {
+		p.peakInUse = in
+	}
+	return c, nil
+}
+
+// Put returns a context to the free list for reuse by other requests.
+// Double-put and foreign contexts panic: both are scheduler bugs that
+// would corrupt a real free list.
+func (p *Pool) Put(c *Context) {
+	if c == nil || c.pool != p {
+		panic("fcontext: Put of foreign context")
+	}
+	if !c.inUse {
+		panic(fmt.Sprintf("fcontext: double Put of context %d", c.ID))
+	}
+	c.inUse = false
+	c.Data = nil
+	p.free = append(p.free, c)
+	p.Puts++
+}
+
+// RunningList is the global wait list of preempted contexts (Fig. 6).
+// It is FIFO: the oldest preempted function is resumed first, which
+// bounds starvation. A centralized list (rather than per-worker lists)
+// is what gives the two-level scheduler its load-balancing behaviour.
+type RunningList struct {
+	items []*Context
+	// Pushes/Pops count list traffic.
+	Pushes, Pops uint64
+}
+
+// Len reports the number of preempted contexts waiting.
+func (l *RunningList) Len() int { return len(l.items) }
+
+// Push appends a preempted context.
+func (l *RunningList) Push(c *Context) {
+	if c == nil {
+		panic("fcontext: pushing nil context")
+	}
+	l.items = append(l.items, c)
+	l.Pushes++
+}
+
+// Pop removes and returns the oldest preempted context, or nil.
+func (l *RunningList) Pop() *Context {
+	if len(l.items) == 0 {
+		return nil
+	}
+	c := l.items[0]
+	l.items[0] = nil
+	l.items = l.items[1:]
+	l.Pops++
+	return c
+}
+
+// Peek returns the oldest preempted context without removing it.
+func (l *RunningList) Peek() *Context {
+	if len(l.items) == 0 {
+		return nil
+	}
+	return l.items[0]
+}
+
+// Remove deletes a specific context from the list (used by SRPT-style
+// policies that pick non-head entries). Reports whether it was present.
+func (l *RunningList) Remove(c *Context) bool {
+	for i, x := range l.items {
+		if x == c {
+			l.items = append(l.items[:i], l.items[i+1:]...)
+			l.Pops++
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,189 @@
+package fcontext
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoolGetPut(t *testing.T) {
+	p := NewPool(2, 0)
+	if p.Capacity() != 2 || p.FreeCount() != 2 || p.InUse() != 0 {
+		t.Fatal("fresh pool counts wrong")
+	}
+	a, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.InUse() {
+		t.Fatal("context not marked in use")
+	}
+	b, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("want ErrExhausted, got %v", err)
+	}
+	if p.Failures != 1 {
+		t.Fatalf("Failures = %d", p.Failures)
+	}
+	p.Put(a)
+	p.Put(b)
+	if p.FreeCount() != 2 {
+		t.Fatal("puts not returned")
+	}
+	if p.PeakInUse() != 2 {
+		t.Fatalf("PeakInUse = %d", p.PeakInUse())
+	}
+}
+
+func TestPoolReusesContexts(t *testing.T) {
+	p := NewPool(1, 0)
+	a, _ := p.Get()
+	id := a.ID
+	a.Data = "payload"
+	p.Put(a)
+	b, _ := p.Get()
+	if b.ID != id {
+		t.Fatal("pool did not reuse the freed context")
+	}
+	if b.Data != nil {
+		t.Fatal("Put must clear Data")
+	}
+}
+
+func TestPoolDoublePutPanics(t *testing.T) {
+	p := NewPool(1, 0)
+	a, _ := p.Get()
+	p.Put(a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Put(a)
+}
+
+func TestPoolForeignPutPanics(t *testing.T) {
+	p1, p2 := NewPool(1, 0), NewPool(1, 0)
+	a, _ := p1.Get()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p2.Put(a)
+}
+
+func TestPoolStackAccounting(t *testing.T) {
+	p := NewPool(10, 4096)
+	if p.StackBytes() != 40960 {
+		t.Fatalf("StackBytes = %d", p.StackBytes())
+	}
+	d := NewPool(3, 0)
+	if d.StackBytes() != 3*DefaultStackSize {
+		t.Fatalf("default StackBytes = %d", d.StackBytes())
+	}
+}
+
+func TestPoolBadParamsPanic(t *testing.T) {
+	for _, tc := range []struct{ cap, stack int }{{0, 0}, {-1, 0}, {1, -5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPool(%d,%d) did not panic", tc.cap, tc.stack)
+				}
+			}()
+			NewPool(tc.cap, tc.stack)
+		}()
+	}
+}
+
+func TestRunningListFIFO(t *testing.T) {
+	p := NewPool(3, 0)
+	var l RunningList
+	if l.Pop() != nil || l.Peek() != nil {
+		t.Fatal("empty list should return nil")
+	}
+	a, _ := p.Get()
+	b, _ := p.Get()
+	c, _ := p.Get()
+	l.Push(a)
+	l.Push(b)
+	l.Push(c)
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if l.Peek() != a {
+		t.Fatal("Peek wrong")
+	}
+	if l.Pop() != a || l.Pop() != b || l.Pop() != c {
+		t.Fatal("not FIFO")
+	}
+}
+
+func TestRunningListRemove(t *testing.T) {
+	p := NewPool(3, 0)
+	var l RunningList
+	a, _ := p.Get()
+	b, _ := p.Get()
+	c, _ := p.Get()
+	l.Push(a)
+	l.Push(b)
+	l.Push(c)
+	if !l.Remove(b) {
+		t.Fatal("Remove failed")
+	}
+	if l.Remove(b) {
+		t.Fatal("double Remove succeeded")
+	}
+	if l.Pop() != a || l.Pop() != c {
+		t.Fatal("Remove corrupted order")
+	}
+}
+
+func TestRunningListPushNilPanics(t *testing.T) {
+	var l RunningList
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	l.Push(nil)
+}
+
+// Property: after any interleaving of Get/Put, free + in-use == capacity
+// and no context is on the free list twice.
+func TestPoolConservationProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		p := NewPool(8, 0)
+		var out []*Context
+		for _, get := range ops {
+			if get {
+				c, err := p.Get()
+				if err == nil {
+					out = append(out, c)
+				}
+			} else if len(out) > 0 {
+				p.Put(out[len(out)-1])
+				out = out[:len(out)-1]
+			}
+		}
+		if p.FreeCount()+len(out) != p.Capacity() {
+			return false
+		}
+		seen := map[uint64]bool{}
+		for i := 0; i < p.FreeCount(); i++ {
+			c, _ := p.Get()
+			if seen[c.ID] {
+				return false
+			}
+			seen[c.ID] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

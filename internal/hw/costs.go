@@ -1,0 +1,171 @@
+// Package hw models the hardware substrate of the reproduction: a
+// multi-core machine with preemptible execution segments, plus the cost
+// model for every communication and scheduling primitive the paper's
+// systems rely on (UINTR, IPIs, signals, syscalls, context switches).
+//
+// Cost constants are calibrated from the paper's own measurements on the
+// Sapphire Rapids testbed (Table IV, Fig. 11, Fig. 12) so that the
+// simulated systems reproduce the shape of the paper's results. See
+// DESIGN.md §4 for the calibration table.
+package hw
+
+import "repro/internal/sim"
+
+// Costs holds every latency/cost parameter of the machine model. A zero
+// Costs is invalid; start from DefaultCosts and override fields in
+// ablation experiments.
+type Costs struct {
+	// --- UINTR (Table IV: uintrFd rows) ---
+
+	// UINTRSend is the sender-side cost of the SENDUIPI instruction
+	// (a posted write; does not wait for delivery).
+	UINTRSend sim.Time
+	// UINTRDeliverRunningMean/Sigma parameterize the lognormal delivery
+	// latency to a running receiver: the time from SENDUIPI to the first
+	// instruction of the user handler. Paper: 0.734 µs avg, σ 0.698,
+	// min 0.512.
+	UINTRDeliverRunningMean sim.Time
+	UINTRDeliverRunningMin  sim.Time
+	// UINTRDeliverBlockedMean is the delivery latency when the receiver
+	// is blocked in the kernel: an ordinary interrupt unblocks it and
+	// the user interrupt is injected on return. Paper: 2.393 µs avg,
+	// σ 0.212, min 2.048.
+	UINTRDeliverBlockedMean sim.Time
+	UINTRDeliverBlockedMin  sim.Time
+	// UINTRHandlerEntry is the hardware cost of user-interrupt delivery
+	// (stack push + vector jump) plus UIRET, charged on the receiving
+	// core around the handler body.
+	UINTRHandlerEntry sim.Time
+
+	// --- Kernel signals & timers (Table IV signal row, Fig. 11) ---
+
+	// SignalDeliverMean/Min parameterize uncontended kernel signal
+	// delivery (timer → SIGALRM handler). Paper: 15.325 µs avg,
+	// min 3.584, σ 3.478.
+	SignalDeliverMean sim.Time
+	SignalDeliverMin  sim.Time
+	// SignalLockHold is the kernel-lock hold time per signal delivery;
+	// simultaneous deliveries serialize on it, which produces the
+	// superlinear per-thread (creation-time) curve in Fig. 11.
+	SignalLockHold sim.Time
+	// SignalConvoy is the per-waiter convoy escalation: a delivery that
+	// finds the lock booked depth-deep pays an extra depth² × convoy
+	// (cacheline storms and runqueue convoys grow superlinearly with
+	// the burst size — the Fig. 11 "creation-time" effect).
+	SignalConvoy sim.Time
+	// SignalForward is the cost of tgkill-forwarding a signal to one
+	// more thread (the "chained" design of Shiina et al.).
+	SignalForward sim.Time
+	// KernelTimerProgram is the syscall cost of (re)arming a kernel
+	// timer (timer_settime).
+	KernelTimerProgram sim.Time
+	// KernelTimerFloor is the effective minimum interval a kernel timer
+	// can deliver reliably (Fig. 12 shows the ~60 µs line).
+	KernelTimerFloor sim.Time
+	// KernelTimerJitterMean is the mean of the exponential jitter added
+	// to kernel timer expirations.
+	KernelTimerJitterMean sim.Time
+
+	// --- Other IPC mechanisms (Table IV) ---
+
+	MQDeliverMean      sim.Time // POSIX message queue: 10.468 µs
+	MQDeliverMin       sim.Time
+	PipeDeliverMean    sim.Time // pipe: 17.761 µs
+	PipeDeliverMin     sim.Time
+	EventFDDeliverMean sim.Time // eventfd: 29.688 µs
+	EventFDDeliverMin  sim.Time
+
+	// --- Shinjuku-style posted IPIs (ring 0, mapped APIC) ---
+
+	// IPISend is the dispatcher-side cost of writing the APIC ICR.
+	IPISend sim.Time
+	// IPIDeliverMean is the latency until the worker's interrupt
+	// handler runs (no kernel transition in Shinjuku's ring-0 design,
+	// but full interrupt delivery + handler prologue).
+	IPIDeliverMean sim.Time
+	// IPIHandler is the receiver-side cost of taking the interrupt and
+	// getting back to user-level scheduling code.
+	IPIHandler sim.Time
+
+	// --- Context management (§IV-B) ---
+
+	// CtxSwitch is one user-level fcontext switch (save + restore).
+	CtxSwitch sim.Time
+	// CtxAlloc is allocating a context + stack from the global pool.
+	CtxAlloc sim.Time
+	// CtxRefill is the cache/TLB warmup a preempted request pays when
+	// it resumes after other work ran on the core.
+	CtxRefill sim.Time
+	// KThreadSwitch is a kernel-level thread context switch.
+	KThreadSwitch sim.Time
+
+	// --- Misc ---
+
+	// Syscall is a minimal syscall round trip.
+	Syscall sim.Time
+	// DispatchCost is the per-request work of a dispatcher/network
+	// thread (dequeue, pick worker, enqueue).
+	DispatchCost sim.Time
+	// TimerPollGranularity is the loop period of the LibUtimer polling
+	// core; expiry detection is quantized by it.
+	TimerPollGranularity sim.Time
+	// UtimerRelErr is LibUtimer's relative timer error (paper: ~1%).
+	UtimerRelErr float64
+	// TimerCorePowerWatts is the measured cost of dedicating the first
+	// timer core (UMWAIT polling).
+	TimerCorePowerWatts float64
+}
+
+// DefaultCosts returns the calibration described in DESIGN.md §4.
+func DefaultCosts() Costs {
+	return Costs{
+		UINTRSend:               50 * sim.Nanosecond,
+		UINTRDeliverRunningMean: 734 * sim.Nanosecond,
+		UINTRDeliverRunningMin:  512 * sim.Nanosecond,
+		UINTRDeliverBlockedMean: 2393 * sim.Nanosecond,
+		UINTRDeliverBlockedMin:  2048 * sim.Nanosecond,
+		UINTRHandlerEntry:       120 * sim.Nanosecond,
+
+		SignalDeliverMean: 15325 * sim.Nanosecond,
+		SignalDeliverMin:  3584 * sim.Nanosecond,
+		SignalLockHold:    1200 * sim.Nanosecond,
+		SignalConvoy:      150 * sim.Nanosecond,
+		SignalForward:     900 * sim.Nanosecond,
+
+		KernelTimerProgram:    450 * sim.Nanosecond,
+		KernelTimerFloor:      60 * sim.Microsecond,
+		KernelTimerJitterMean: 3 * sim.Microsecond,
+
+		MQDeliverMean:      10468 * sim.Nanosecond,
+		MQDeliverMin:       8960 * sim.Nanosecond,
+		PipeDeliverMean:    17761 * sim.Nanosecond,
+		PipeDeliverMin:     10240 * sim.Nanosecond,
+		EventFDDeliverMean: 29688 * sim.Nanosecond,
+		EventFDDeliverMin:  2816 * sim.Nanosecond,
+
+		IPISend:        300 * sim.Nanosecond,
+		IPIDeliverMean: 1400 * sim.Nanosecond,
+		IPIHandler:     1600 * sim.Nanosecond,
+
+		CtxSwitch:     60 * sim.Nanosecond,
+		CtxAlloc:      90 * sim.Nanosecond,
+		CtxRefill:     300 * sim.Nanosecond,
+		KThreadSwitch: 1800 * sim.Nanosecond,
+
+		Syscall:              350 * sim.Nanosecond,
+		DispatchCost:         85 * sim.Nanosecond,
+		TimerPollGranularity: 64 * sim.Nanosecond,
+		UtimerRelErr:         0.01,
+		TimerCorePowerWatts:  1.2,
+	}
+}
+
+// SampleLatency draws a delivery latency with the given mean and floor:
+// floor plus an exponential with the residual mean. This matches the
+// long-tailed, floor-bounded distributions in Table IV.
+func SampleLatency(rng *sim.RNG, mean, min sim.Time) sim.Time {
+	if mean <= min {
+		return min
+	}
+	return min + sim.Time(rng.Exp(float64(mean-min)))
+}

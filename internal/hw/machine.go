@@ -1,0 +1,156 @@
+package hw
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Machine is an N-core server attached to a simulation engine. Systems
+// (LibPreemptible, Shinjuku, …) claim cores and run work segments on
+// them.
+type Machine struct {
+	Eng   *sim.Engine
+	Costs Costs
+	cores []*Core
+	rng   *sim.RNG
+}
+
+// NewMachine builds a machine with nCores cores.
+func NewMachine(eng *sim.Engine, nCores int, costs Costs, rng *sim.RNG) *Machine {
+	if nCores <= 0 {
+		panic("hw: machine needs at least one core")
+	}
+	m := &Machine{Eng: eng, Costs: costs, rng: rng}
+	m.cores = make([]*Core, nCores)
+	for i := range m.cores {
+		m.cores[i] = &Core{ID: i, m: m}
+	}
+	return m
+}
+
+// NumCores reports the core count.
+func (m *Machine) NumCores() int { return len(m.cores) }
+
+// Core returns core i.
+func (m *Machine) Core(i int) *Core { return m.cores[i] }
+
+// RNG returns the machine's RNG (systems derive their own streams).
+func (m *Machine) RNG() *sim.RNG { return m.rng }
+
+// TotalBusy sums busy time across cores (for utilization reporting).
+func (m *Machine) TotalBusy() sim.Time {
+	var t sim.Time
+	for _, c := range m.cores {
+		t += c.BusyTime()
+	}
+	return t
+}
+
+// Core is one hardware thread. A core executes at most one Segment at a
+// time; higher layers implement scheduling by choosing what segment to
+// start next and by aborting segments on interrupts.
+type Core struct {
+	ID   int
+	m    *Machine
+	seg  *Segment
+	busy sim.Time // accumulated busy time of finished/aborted segments
+}
+
+// Machine returns the owning machine.
+func (c *Core) Machine() *Machine { return c.m }
+
+// Busy reports whether a segment is currently executing.
+func (c *Core) Busy() bool { return c.seg != nil }
+
+// Current returns the in-flight segment, or nil.
+func (c *Core) Current() *Segment { return c.seg }
+
+// BusyTime reports the total virtual time this core has spent executing
+// segments (including the elapsed part of an in-flight segment).
+func (c *Core) BusyTime() sim.Time {
+	t := c.busy
+	if c.seg != nil {
+		t += c.seg.Elapsed()
+	}
+	return t
+}
+
+// Utilization reports BusyTime / elapsed as a fraction of the engine
+// clock (0 if the clock is at 0).
+func (c *Core) Utilization() float64 {
+	now := c.m.Eng.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(c.BusyTime()) / float64(now)
+}
+
+// Start begins executing a segment of the given length. onComplete fires
+// when the segment runs to completion (it is NOT called if the segment is
+// aborted). Starting while busy is a scheduling bug and panics.
+func (c *Core) Start(length sim.Time, onComplete func()) *Segment {
+	if c.seg != nil {
+		panic(fmt.Sprintf("hw: core %d started a segment while busy", c.ID))
+	}
+	if length < 0 {
+		panic("hw: negative segment length")
+	}
+	s := &Segment{core: c, start: c.m.Eng.Now(), length: length}
+	c.seg = s
+	s.ev = c.m.Eng.Schedule(length, func() {
+		c.seg = nil
+		c.busy += s.length
+		s.done = true
+		if onComplete != nil {
+			onComplete()
+		}
+	})
+	return s
+}
+
+// Segment is a contiguous stretch of execution on a core.
+type Segment struct {
+	core   *Core
+	start  sim.Time
+	length sim.Time
+	ev     *sim.Event
+	done   bool
+}
+
+// Elapsed reports how long the segment has been executing (= length once
+// finished).
+func (s *Segment) Elapsed() sim.Time {
+	if s.done {
+		return s.length
+	}
+	e := s.core.m.Eng.Now() - s.start
+	if e > s.length {
+		e = s.length
+	}
+	return e
+}
+
+// Remaining reports the work left in the segment.
+func (s *Segment) Remaining() sim.Time { return s.length - s.Elapsed() }
+
+// Done reports whether the segment ran to completion.
+func (s *Segment) Done() bool { return s.done }
+
+// Abort stops the segment immediately and returns the work consumed. The
+// completion callback will not fire. Aborting a finished or already
+// aborted segment returns its full/partial consumption with no effect.
+func (s *Segment) Abort() sim.Time {
+	if s.done {
+		return s.length
+	}
+	consumed := s.Elapsed()
+	if s.core.seg == s {
+		s.core.m.Eng.Cancel(s.ev)
+		s.core.seg = nil
+		s.core.busy += consumed
+		s.done = true
+		s.length = consumed
+	}
+	return consumed
+}

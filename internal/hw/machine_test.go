@@ -1,0 +1,205 @@
+package hw
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func newTestMachine(n int) *Machine {
+	return NewMachine(sim.NewEngine(), n, DefaultCosts(), sim.NewRNG(1))
+}
+
+func TestMachineConstruction(t *testing.T) {
+	m := newTestMachine(4)
+	if m.NumCores() != 4 {
+		t.Fatalf("NumCores = %d", m.NumCores())
+	}
+	for i := 0; i < 4; i++ {
+		if m.Core(i).ID != i {
+			t.Fatalf("core %d has ID %d", i, m.Core(i).ID)
+		}
+		if m.Core(i).Machine() != m {
+			t.Fatal("core not linked to machine")
+		}
+	}
+}
+
+func TestMachinePanicsOnZeroCores(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	newTestMachine(0)
+}
+
+func TestSegmentRunsToCompletion(t *testing.T) {
+	m := newTestMachine(1)
+	c := m.Core(0)
+	completed := false
+	seg := c.Start(100*sim.Microsecond, func() { completed = true })
+	if !c.Busy() || c.Current() != seg {
+		t.Fatal("core should be busy")
+	}
+	m.Eng.RunAll()
+	if !completed {
+		t.Fatal("completion callback did not fire")
+	}
+	if c.Busy() {
+		t.Fatal("core still busy after completion")
+	}
+	if !seg.Done() || seg.Elapsed() != 100*sim.Microsecond {
+		t.Fatalf("segment state wrong: done=%v elapsed=%v", seg.Done(), seg.Elapsed())
+	}
+	if c.BusyTime() != 100*sim.Microsecond {
+		t.Fatalf("BusyTime = %v", c.BusyTime())
+	}
+}
+
+func TestSegmentAbortMidway(t *testing.T) {
+	m := newTestMachine(1)
+	c := m.Core(0)
+	completed := false
+	var seg *Segment
+	seg = c.Start(100*sim.Microsecond, func() { completed = true })
+	m.Eng.Schedule(40*sim.Microsecond, func() {
+		consumed := seg.Abort()
+		if consumed != 40*sim.Microsecond {
+			t.Errorf("consumed = %v, want 40µs", consumed)
+		}
+	})
+	m.Eng.RunAll()
+	if completed {
+		t.Fatal("aborted segment's completion fired")
+	}
+	if c.Busy() {
+		t.Fatal("core busy after abort")
+	}
+	if c.BusyTime() != 40*sim.Microsecond {
+		t.Fatalf("BusyTime = %v, want 40µs", c.BusyTime())
+	}
+	if seg.Remaining() != 0 {
+		t.Fatalf("aborted segment Remaining = %v", seg.Remaining())
+	}
+}
+
+func TestSegmentAbortTwiceIsIdempotent(t *testing.T) {
+	m := newTestMachine(1)
+	c := m.Core(0)
+	seg := c.Start(10*sim.Microsecond, nil)
+	m.Eng.Schedule(5*sim.Microsecond, func() {
+		a := seg.Abort()
+		b := seg.Abort()
+		if a != b {
+			t.Errorf("double abort inconsistent: %v vs %v", a, b)
+		}
+	})
+	m.Eng.RunAll()
+}
+
+func TestStartWhileBusyPanics(t *testing.T) {
+	m := newTestMachine(1)
+	c := m.Core(0)
+	c.Start(10, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic starting while busy")
+		}
+	}()
+	c.Start(10, nil)
+}
+
+func TestElapsedTracksClock(t *testing.T) {
+	m := newTestMachine(1)
+	c := m.Core(0)
+	seg := c.Start(100, nil)
+	m.Eng.Schedule(30, func() {
+		if seg.Elapsed() != 30 {
+			t.Errorf("Elapsed = %v at t=30", seg.Elapsed())
+		}
+		if seg.Remaining() != 70 {
+			t.Errorf("Remaining = %v at t=30", seg.Remaining())
+		}
+	})
+	m.Eng.RunAll()
+}
+
+func TestUtilization(t *testing.T) {
+	m := newTestMachine(2)
+	m.Core(0).Start(50, nil)
+	m.Eng.Schedule(100, func() {}) // advance clock past completion
+	m.Eng.RunAll()
+	if u := m.Core(0).Utilization(); u != 0.5 {
+		t.Fatalf("utilization = %f, want 0.5", u)
+	}
+	if u := m.Core(1).Utilization(); u != 0 {
+		t.Fatalf("idle core utilization = %f", u)
+	}
+	if m.TotalBusy() != 50 {
+		t.Fatalf("TotalBusy = %v", m.TotalBusy())
+	}
+}
+
+// Property: for any abort offset within the segment, consumed + what the
+// core reports equals the abort offset, and the completion callback never
+// fires.
+func TestAbortConservationProperty(t *testing.T) {
+	f := func(lenRaw, abortRaw uint16) bool {
+		length := sim.Time(lenRaw) + 1
+		abortAt := sim.Time(abortRaw) % length
+		m := newTestMachine(1)
+		c := m.Core(0)
+		fired := false
+		seg := c.Start(length, func() { fired = true })
+		var consumed sim.Time
+		m.Eng.Schedule(abortAt, func() { consumed = seg.Abort() })
+		m.Eng.RunAll()
+		return !fired && consumed == abortAt && c.BusyTime() == abortAt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleLatency(t *testing.T) {
+	rng := sim.NewRNG(5)
+	const n = 100000
+	var sum sim.Time
+	min := sim.MaxTime
+	for i := 0; i < n; i++ {
+		v := SampleLatency(rng, 734, 512)
+		if v < 512 {
+			t.Fatalf("latency %v below floor", v)
+		}
+		if v < min {
+			min = v
+		}
+		sum += v
+	}
+	mean := float64(sum) / n
+	if mean < 700 || mean > 780 {
+		t.Fatalf("mean latency = %f, want ~734", mean)
+	}
+	// Degenerate case: mean <= min returns min.
+	if SampleLatency(rng, 100, 200) != 200 {
+		t.Fatal("degenerate SampleLatency wrong")
+	}
+}
+
+func TestDefaultCostsSanity(t *testing.T) {
+	c := DefaultCosts()
+	if c.UINTRDeliverRunningMean >= c.SignalDeliverMean {
+		t.Fatal("UINTR must be faster than signals (the paper's whole point)")
+	}
+	if c.UINTRDeliverRunningMean >= c.UINTRDeliverBlockedMean {
+		t.Fatal("blocked delivery must cost more than running delivery")
+	}
+	if c.KernelTimerFloor < 50*sim.Microsecond {
+		t.Fatal("kernel timer floor should be ~60µs per Fig. 12")
+	}
+	if c.UtimerRelErr <= 0 || c.UtimerRelErr > 0.05 {
+		t.Fatal("LibUtimer relative error should be ~1%")
+	}
+}

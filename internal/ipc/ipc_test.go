@@ -1,0 +1,95 @@
+package ipc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTableIVRanking(t *testing.T) {
+	// The whole point of Table IV: uintrFd is ~10x faster than the
+	// fastest kernel IPC (mq), and every kernel mechanism is far slower
+	// than either uintr path.
+	res := map[Mechanism]Result{}
+	for _, m := range Mechanisms {
+		res[m] = Measure(m, 20000, 7)
+	}
+	if res[UintrFD].AvgUs >= res[MessageQueue].AvgUs/5 {
+		t.Fatalf("uintrFd %.3fµs not ≫ faster than mq %.3fµs",
+			res[UintrFD].AvgUs, res[MessageQueue].AvgUs)
+	}
+	if res[UintrFDBlocked].AvgUs <= res[UintrFD].AvgUs {
+		t.Fatal("blocked uintr delivery should cost more than running")
+	}
+	for _, m := range []Mechanism{Signal, MessageQueue, Pipe, EventFD} {
+		if res[m].AvgUs <= res[UintrFDBlocked].AvgUs {
+			t.Fatalf("%v (%.3fµs) should be slower than blocked uintr (%.3fµs)",
+				m, res[m].AvgUs, res[UintrFDBlocked].AvgUs)
+		}
+	}
+}
+
+func TestCalibrationMatchesPaper(t *testing.T) {
+	// Means must land near the paper's Table IV values (±15%).
+	want := map[Mechanism]float64{
+		Signal:         15.325,
+		MessageQueue:   10.468,
+		Pipe:           17.761,
+		EventFD:        29.688,
+		UintrFD:        0.734,
+		UintrFDBlocked: 2.393,
+	}
+	for m, w := range want {
+		got := Measure(m, 30000, 11).AvgUs
+		if math.Abs(got-w)/w > 0.15 {
+			t.Errorf("%v avg = %.3fµs, paper %.3fµs", m, got, w)
+		}
+	}
+}
+
+func TestRateIsInverseOfMean(t *testing.T) {
+	r := Measure(MessageQueue, 10000, 3)
+	wantRate := 1e9 / (r.AvgUs * 1000)
+	if math.Abs(r.RateMsgS-wantRate)/wantRate > 0.01 {
+		t.Fatalf("rate %.0f inconsistent with mean %.3fµs", r.RateMsgS, r.AvgUs)
+	}
+}
+
+func TestMinRespectsFloor(t *testing.T) {
+	for _, m := range Mechanisms {
+		r := Measure(m, 5000, 5)
+		if r.MinUs <= 0 {
+			t.Fatalf("%v min = %f", m, r.MinUs)
+		}
+		if r.MinUs > r.AvgUs {
+			t.Fatalf("%v min %.3f > avg %.3f", m, r.MinUs, r.AvgUs)
+		}
+	}
+}
+
+func TestMechanismStrings(t *testing.T) {
+	for _, m := range Mechanisms {
+		if m.String() == "" {
+			t.Fatal("empty mechanism name")
+		}
+	}
+	if Mechanism(99).String() == "" {
+		t.Fatal("unknown mechanism should still print")
+	}
+}
+
+func TestMeasurePanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Measure(Signal, 0, 1)
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a := Measure(Pipe, 5000, 42)
+	b := Measure(Pipe, 5000, 42)
+	if a != b {
+		t.Fatal("same seed produced different results")
+	}
+}

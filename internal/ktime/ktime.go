@@ -1,0 +1,177 @@
+// Package ktime models the kernel-mediated timing and signaling paths
+// that the paper's baselines depend on and that LibPreemptible replaces:
+// POSIX timers with their effective granularity floor and jitter, and
+// signal delivery with kernel-lock contention.
+//
+// The contention model is what produces the superlinear "per-thread
+// (creation-time)" curve of Fig. 11: when many signals are raised in a
+// burst, deliveries serialize on a kernel lock (SignalLockHold each), so
+// the i-th signal of a burst waits i lock-hold times before its own
+// delivery latency even starts.
+package ktime
+
+import (
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// SignalBus is the kernel's signal delivery path. All signal deliveries
+// in a process contend on a single kernel lock; the bus serializes them.
+type SignalBus struct {
+	m      *hw.Machine
+	rng    *sim.RNG
+	freeAt sim.Time // when the kernel lock next frees
+
+	// Delivered counts completed deliveries.
+	Delivered uint64
+}
+
+// NewSignalBus returns a signal path for machine m.
+func NewSignalBus(m *hw.Machine, rng *sim.RNG) *SignalBus {
+	return &SignalBus{m: m, rng: rng}
+}
+
+// Deliver schedules a signal delivery and returns the total latency from
+// now until the handler runs: lock queueing (if deliveries are bursting)
+// plus the sampled base delivery latency.
+func (b *SignalBus) Deliver(fn func()) sim.Time {
+	now := b.m.Eng.Now()
+	costs := b.m.Costs
+	acquire := now
+	if b.freeAt > acquire {
+		acquire = b.freeAt
+	}
+	// Convoy escalation: the deeper the lock is booked, the more each
+	// additional waiter pays (superlinear in burst size).
+	depth := sim.Time(0)
+	if b.freeAt > now && costs.SignalLockHold > 0 {
+		depth = (b.freeAt - now) / costs.SignalLockHold
+	}
+	convoy := depth * depth * costs.SignalConvoy
+	b.freeAt = acquire + costs.SignalLockHold
+	latency := (acquire - now) + convoy +
+		hw.SampleLatency(b.rng, costs.SignalDeliverMean, costs.SignalDeliverMin)
+	b.m.Eng.Schedule(latency, func() {
+		b.Delivered++
+		if fn != nil {
+			fn()
+		}
+	})
+	return latency
+}
+
+// Forward schedules a warm thread-to-thread signal forward (tgkill with
+// the target already running its handler path — the "chained" design of
+// Shiina et al.). It bypasses the heavyweight timer-signal path but still
+// costs a kernel round trip per hop.
+func (b *SignalBus) Forward(fn func()) sim.Time {
+	latency := b.m.Costs.SignalForward +
+		sim.Time(b.rng.Exp(float64(b.m.Costs.SignalForward)/4))
+	b.m.Eng.Schedule(latency, func() {
+		b.Delivered++
+		if fn != nil {
+			fn()
+		}
+	})
+	return latency
+}
+
+// QueueDepth reports how far ahead of now the kernel lock is booked — a
+// proxy for current contention.
+func (b *SignalBus) QueueDepth() sim.Time {
+	now := b.m.Eng.Now()
+	if b.freeAt <= now {
+		return 0
+	}
+	return b.freeAt - now
+}
+
+// KernelTimer is a POSIX-style per-thread timer: periodic expirations
+// with the kernel's effective granularity floor and exponential jitter,
+// delivered through a SignalBus (so concurrent timers contend).
+type KernelTimer struct {
+	m        *hw.Machine
+	rng      *sim.RNG
+	bus      *SignalBus
+	interval sim.Time
+	fn       func(overhead sim.Time)
+	armed    bool
+	next     *sim.Event
+
+	// Expirations counts handler invocations.
+	Expirations uint64
+}
+
+// NewKernelTimer creates a timer delivering through bus every interval.
+// The handler receives the delivery overhead: the delay between the
+// ideal expiry instant and the handler actually running.
+func NewKernelTimer(m *hw.Machine, rng *sim.RNG, bus *SignalBus, interval sim.Time, fn func(overhead sim.Time)) *KernelTimer {
+	if interval <= 0 {
+		panic("ktime: non-positive timer interval")
+	}
+	return &KernelTimer{m: m, rng: rng, bus: bus, interval: interval, fn: fn}
+}
+
+// EffectiveInterval reports the interval after applying the kernel
+// granularity floor (Fig. 12: a 20 µs kernel timer actually fires at
+// ~60 µs).
+func (t *KernelTimer) EffectiveInterval() sim.Time {
+	if t.interval < t.m.Costs.KernelTimerFloor {
+		return t.m.Costs.KernelTimerFloor
+	}
+	return t.interval
+}
+
+// Arm starts the timer with the first expiry one (possibly offset)
+// effective interval from now. The offset supports the "aligned"
+// (staggered) design, which spreads threads' timers across the interval
+// to avoid lock bursts.
+func (t *KernelTimer) Arm(offset sim.Time) {
+	if t.armed {
+		t.Disarm()
+	}
+	t.armed = true
+	// Arming costs a syscall; modeled as deferral of the first expiry.
+	first := t.m.Costs.KernelTimerProgram + offset + t.EffectiveInterval()
+	t.next = t.m.Eng.Schedule(first, t.expire)
+}
+
+// Disarm stops the timer.
+func (t *KernelTimer) Disarm() {
+	t.armed = false
+	if t.next != nil {
+		t.m.Eng.Cancel(t.next)
+		t.next = nil
+	}
+}
+
+// Armed reports whether the timer is running.
+func (t *KernelTimer) Armed() bool { return t.armed }
+
+func (t *KernelTimer) expire() {
+	if !t.armed {
+		return
+	}
+	ideal := t.m.Eng.Now()
+	// Kernel-side expiry jitter (softirq deferral etc.).
+	jitter := sim.Time(t.rng.Exp(float64(t.m.Costs.KernelTimerJitterMean)))
+	t.m.Eng.Schedule(jitter, func() {
+		if !t.armed {
+			return
+		}
+		t.bus.Deliver(func() {
+			if !t.armed {
+				return
+			}
+			t.Expirations++
+			if t.fn != nil {
+				t.fn(t.m.Eng.Now() - ideal)
+			}
+		})
+	})
+	// Periodic re-arm happens in the kernel independent of delivery.
+	t.next = t.m.Eng.Schedule(t.EffectiveInterval(), t.expire)
+}
+
+// Interval reports the requested (pre-floor) interval.
+func (t *KernelTimer) Interval() sim.Time { return t.interval }

@@ -1,0 +1,205 @@
+package ktime
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+func newMachine() (*sim.Engine, *hw.Machine, *sim.RNG) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(17)
+	return eng, hw.NewMachine(eng, 4, hw.DefaultCosts(), rng), rng
+}
+
+func TestSignalDeliverUncontended(t *testing.T) {
+	eng, m, rng := newMachine()
+	bus := NewSignalBus(m, rng.Stream(1))
+	var total sim.Time
+	const n = 2000
+	done := 0
+	var next func()
+	next = func() {
+		if done >= n {
+			return
+		}
+		start := eng.Now()
+		bus.Deliver(func() {
+			total += eng.Now() - start
+			done++
+			// Space deliveries out so the lock never queues.
+			eng.Schedule(200*sim.Microsecond, next)
+		})
+	}
+	eng.Schedule(0, next)
+	eng.RunAll()
+	mean := float64(total) / float64(n)
+	want := float64(m.Costs.SignalDeliverMean)
+	if mean < want*0.9 || mean > want*1.1 {
+		t.Fatalf("uncontended signal latency = %.0fns, want ~%.0f", mean, want)
+	}
+	if bus.Delivered != n {
+		t.Fatalf("Delivered = %d", bus.Delivered)
+	}
+}
+
+func TestSignalBurstContention(t *testing.T) {
+	// A burst of 32 simultaneous signals must serialize on the kernel
+	// lock: the last delivery waits ~31 lock-hold times more than the
+	// first (the Fig. 11 creation-time effect).
+	eng, m, rng := newMachine()
+	bus := NewSignalBus(m, rng.Stream(2))
+	var latencies []sim.Time
+	for i := 0; i < 32; i++ {
+		start := eng.Now()
+		bus.Deliver(func() { latencies = append(latencies, eng.Now()-start) })
+	}
+	eng.RunAll()
+	if len(latencies) != 32 {
+		t.Fatalf("delivered %d", len(latencies))
+	}
+	var max, min sim.Time = 0, sim.MaxTime
+	for _, l := range latencies {
+		if l > max {
+			max = l
+		}
+		if l < min {
+			min = l
+		}
+	}
+	spread := max - min
+	wantMin := 25 * m.Costs.SignalLockHold
+	if spread < wantMin {
+		t.Fatalf("burst spread = %v, want >= %v (lock serialization)", spread, wantMin)
+	}
+	if max < 80*sim.Microsecond {
+		t.Fatalf("worst burst latency = %v, want ~100µs per Fig. 11", max)
+	}
+}
+
+func TestSignalQueueDepth(t *testing.T) {
+	eng, m, rng := newMachine()
+	bus := NewSignalBus(m, rng.Stream(3))
+	if bus.QueueDepth() != 0 {
+		t.Fatal("fresh bus should have zero queue depth")
+	}
+	for i := 0; i < 10; i++ {
+		bus.Deliver(nil)
+	}
+	if bus.QueueDepth() < 9*m.Costs.SignalLockHold {
+		t.Fatalf("queue depth = %v", bus.QueueDepth())
+	}
+	eng.RunAll()
+	_ = eng
+}
+
+func TestForwardIsCheap(t *testing.T) {
+	eng, m, rng := newMachine()
+	bus := NewSignalBus(m, rng.Stream(4))
+	var total sim.Time
+	const n = 1000
+	for i := 0; i < n; i++ {
+		start := eng.Now()
+		bus.Forward(func() { total += eng.Now() - start })
+		eng.RunAll()
+	}
+	mean := float64(total) / n
+	if mean > float64(3*m.Costs.SignalForward) {
+		t.Fatalf("forward latency = %.0fns, want ~%v", mean, m.Costs.SignalForward)
+	}
+}
+
+func TestKernelTimerFloor(t *testing.T) {
+	eng, m, rng := newMachine()
+	bus := NewSignalBus(m, rng.Stream(5))
+	tm := NewKernelTimer(m, rng.Stream(6), bus, 20*sim.Microsecond, nil)
+	if tm.EffectiveInterval() != m.Costs.KernelTimerFloor {
+		t.Fatalf("20µs timer effective interval = %v, want floor %v",
+			tm.EffectiveInterval(), m.Costs.KernelTimerFloor)
+	}
+	tm2 := NewKernelTimer(m, rng.Stream(7), bus, 200*sim.Microsecond, nil)
+	if tm2.EffectiveInterval() != 200*sim.Microsecond {
+		t.Fatalf("200µs timer floored incorrectly: %v", tm2.EffectiveInterval())
+	}
+	_ = eng
+}
+
+func TestKernelTimerPeriodicExpiry(t *testing.T) {
+	eng, m, rng := newMachine()
+	bus := NewSignalBus(m, rng.Stream(8))
+	count := 0
+	tm := NewKernelTimer(m, rng.Stream(9), bus, 100*sim.Microsecond, func(sim.Time) { count++ })
+	tm.Arm(0)
+	eng.Run(10 * sim.Millisecond)
+	tm.Disarm()
+	eng.RunAll()
+	// ~100 expirations in 10ms at 100µs (minus jitter slippage).
+	if count < 80 || count > 105 {
+		t.Fatalf("expirations = %d, want ~100", count)
+	}
+	if tm.Armed() {
+		t.Fatal("timer still armed after Disarm")
+	}
+	after := count
+	eng.Run(eng.Now() + 5*sim.Millisecond)
+	if count != after {
+		t.Fatal("disarmed timer kept firing")
+	}
+}
+
+func TestKernelTimerOverheadPositive(t *testing.T) {
+	eng, m, rng := newMachine()
+	bus := NewSignalBus(m, rng.Stream(10))
+	var overheads []sim.Time
+	tm := NewKernelTimer(m, rng.Stream(11), bus, 100*sim.Microsecond, func(o sim.Time) {
+		overheads = append(overheads, o)
+	})
+	tm.Arm(0)
+	eng.Run(20 * sim.Millisecond)
+	tm.Disarm()
+	if len(overheads) < 100 {
+		t.Fatalf("too few samples: %d", len(overheads))
+	}
+	var sum sim.Time
+	for _, o := range overheads {
+		if o <= 0 {
+			t.Fatal("non-positive delivery overhead")
+		}
+		sum += o
+	}
+	mean := float64(sum) / float64(len(overheads))
+	// base signal latency + jitter: must be well above UINTR but below the
+	// contended regime.
+	if mean < float64(m.Costs.SignalDeliverMin) || mean > float64(60*sim.Microsecond) {
+		t.Fatalf("single-timer mean overhead = %.0fns", mean)
+	}
+}
+
+func TestKernelTimerRearmAndInterval(t *testing.T) {
+	eng, m, rng := newMachine()
+	bus := NewSignalBus(m, rng.Stream(12))
+	tm := NewKernelTimer(m, rng.Stream(13), bus, 100*sim.Microsecond, nil)
+	if tm.Interval() != 100*sim.Microsecond {
+		t.Fatal("Interval accessor wrong")
+	}
+	tm.Arm(0)
+	tm.Arm(10 * sim.Microsecond) // re-arm must not double-fire
+	eng.Run(1 * sim.Millisecond)
+	tm.Disarm()
+	if tm.Expirations > 11 {
+		t.Fatalf("double-armed timer fired %d times in 1ms", tm.Expirations)
+	}
+	_ = eng
+}
+
+func TestNewKernelTimerPanicsOnBadInterval(t *testing.T) {
+	_, m, rng := newMachine()
+	bus := NewSignalBus(m, rng.Stream(14))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewKernelTimer(m, rng, bus, 0, nil)
+}

@@ -1,0 +1,69 @@
+package libinger
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestCompletesWork(t *testing.T) {
+	s := New(Config{Workers: 2, Quantum: 100 * sim.Microsecond, Seed: 1})
+	gen := workload.NewOpenLoop(s.Eng, sim.NewRNG(2), sched.ClassLC,
+		[]workload.Phase{{Service: workload.B(), Rate: workload.RateForLoad(0.5, 2, workload.B().Mean())}},
+		s.Submit)
+	gen.Start()
+	s.Eng.Run(100 * sim.Millisecond)
+	gen.Stop()
+	s.Eng.RunAll()
+	if s.InFlight() != 0 || s.Metrics.Completed < 1000 {
+		t.Fatalf("completed=%d inflight=%d", s.Metrics.Completed, s.InFlight())
+	}
+}
+
+func TestQuantumFloor(t *testing.T) {
+	s := New(Config{Workers: 1, Quantum: 5 * sim.Microsecond, Seed: 3})
+	if s.EffectiveQuantum() != s.M.Costs.KernelTimerFloor {
+		t.Fatalf("EffectiveQuantum = %v, want floor", s.EffectiveQuantum())
+	}
+	s2 := New(Config{Workers: 1, Quantum: 0, Seed: 4})
+	if s2.EffectiveQuantum() != 0 {
+		t.Fatal("no-preemption quantum should stay 0")
+	}
+	s3 := New(Config{Workers: 1, Quantum: 200 * sim.Microsecond, Seed: 5})
+	if s3.EffectiveQuantum() != 200*sim.Microsecond {
+		t.Fatal("above-floor quantum should pass through")
+	}
+}
+
+func TestNoDynamicQuantumSupport(t *testing.T) {
+	s := New(Config{Workers: 1, Quantum: 100 * sim.Microsecond, Seed: 6})
+	if s.SupportsDynamicQuantum() {
+		t.Fatal("libinger must report no dynamic quantum support (workload C is NA)")
+	}
+}
+
+func TestPreemptionGranularityIsCoarse(t *testing.T) {
+	// A request shorter than the kernel floor is never preempted even
+	// with an aggressive requested quantum.
+	s := New(Config{Workers: 1, Quantum: 5 * sim.Microsecond, Seed: 7})
+	r := sched.NewRequest(1, sched.ClassLC, 0, 40*sim.Microsecond)
+	s.Submit(r)
+	s.Eng.RunAll()
+	if r.Preemptions != 0 {
+		t.Fatalf("sub-floor request preempted %d times", r.Preemptions)
+	}
+	// A request well beyond the floor is preempted, but on floor
+	// granularity.
+	s2 := New(Config{Workers: 1, Quantum: 5 * sim.Microsecond, Seed: 8})
+	long := sched.NewRequest(1, sched.ClassLC, 0, 500*sim.Microsecond)
+	s2.Submit(long)
+	s2.Eng.RunAll()
+	if long.Preemptions == 0 {
+		t.Fatal("long request never preempted")
+	}
+	if long.Preemptions > 9 {
+		t.Fatalf("preemptions = %d: finer than the kernel floor allows", long.Preemptions)
+	}
+}

@@ -1,0 +1,268 @@
+// Package liveserver is a working TCP key-value + compression server
+// built on the public preemptible runtime — the live analog of the
+// paper's "deploy LibPreemptible under an RPC server" study (§V-B) and
+// colocation scenario (§V-C). Short KV operations and long compression
+// requests share one preemptible worker pool; the pool's quantum
+// controls how aggressively the long requests are preempted.
+//
+// Protocol (one request per line, responses newline-terminated):
+//
+//	SET <key> <value>   → OK
+//	GET <key>           → VALUE <value> | NOT_FOUND
+//	COMPRESS <n>        → COMPRESSED <in> <out>   (n kilobytes of work)
+//	PING                → PONG
+//
+// Unknown or malformed requests get "ERR <reason>".
+package liveserver
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bejob"
+	"repro/internal/mica"
+	"repro/preemptible"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Workers is the preemptible pool size (default 2).
+	Workers int
+	// Quantum is the pool's time slice (default 1ms).
+	Quantum time.Duration
+	// StoreLogBytes sizes the KV store (default 4 MiB).
+	StoreLogBytes int
+}
+
+// Server serves the protocol over TCP.
+type Server struct {
+	rt   *preemptible.Runtime
+	pool *preemptible.Pool
+
+	// mu guards store with full exclusion: mica.Store mutates its hit
+	// counters even on Get, so reads are writes.
+	mu     sync.Mutex
+	store  *mica.Store
+	engine *bejob.Engine
+
+	ln     net.Listener
+	connWG sync.WaitGroup
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed sync.Once
+	done   chan struct{}
+
+	// Requests counts protocol requests served.
+	Requests struct {
+		Get, Set, Compress, Ping, Errors uint64
+	}
+	statMu sync.Mutex
+}
+
+// New builds a server on the given runtime.
+func New(rt *preemptible.Runtime, cfg Config) *Server {
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = 2
+	}
+	quantum := cfg.Quantum
+	if quantum == 0 {
+		quantum = time.Millisecond
+	}
+	logBytes := cfg.StoreLogBytes
+	if logBytes == 0 {
+		logBytes = 4 << 20
+	}
+	return &Server{
+		rt:     rt,
+		pool:   preemptible.NewPool(rt, preemptible.PoolConfig{Workers: workers, Quantum: quantum}),
+		store:  mica.NewStore(logBytes, logBytes/256),
+		engine: bejob.NewEngine(0),
+		conns:  make(map[net.Conn]struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// Serve accepts connections on ln until Close. It returns when the
+// listener fails (net.ErrClosed after Close).
+func (s *Server) Serve(ln net.Listener) error {
+	s.ln = ln
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return nil
+			default:
+				return err
+			}
+		}
+		s.connMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
+		s.connWG.Add(1)
+		go func() {
+			defer s.connWG.Done()
+			defer func() {
+				s.connMu.Lock()
+				delete(s.conns, conn)
+				s.connMu.Unlock()
+			}()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr reports the bound address (after Serve started).
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting, waits for in-flight connections, and shuts the
+// pool down.
+func (s *Server) Close() {
+	s.closed.Do(func() {
+		close(s.done)
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		// Force open connections closed: handleConn goroutines block in
+		// Scan otherwise.
+		s.connMu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.connMu.Unlock()
+		s.connWG.Wait()
+		s.pool.Close()
+	})
+}
+
+// PoolStats exposes the pool's scheduling statistics.
+func (s *Server) PoolStats() preemptible.PoolStats { return s.pool.Stats() }
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewScanner(conn)
+	r.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	w := bufio.NewWriter(conn)
+	for r.Scan() {
+		select {
+		case <-s.done:
+			return
+		default:
+		}
+		resp := s.handleRequest(r.Text())
+		if _, err := w.WriteString(resp + "\n"); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// handleRequest runs one request through the preemptible pool and
+// returns the response line.
+func (s *Server) handleRequest(line string) string {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		s.countErr()
+		return "ERR empty request"
+	}
+	var resp string
+	run := func(task preemptible.Task) { s.pool.SubmitWait(task) }
+	switch strings.ToUpper(fields[0]) {
+	case "PING":
+		run(func(ctx *preemptible.Ctx) { resp = "PONG" })
+		s.count(&s.Requests.Ping)
+	case "GET":
+		if len(fields) != 2 {
+			s.countErr()
+			return "ERR GET <key>"
+		}
+		run(func(ctx *preemptible.Ctx) {
+			s.mu.Lock()
+			res := s.store.Get([]byte(fields[1]))
+			s.mu.Unlock()
+			if res.Hit {
+				resp = "VALUE " + string(res.Value)
+			} else {
+				resp = "NOT_FOUND"
+			}
+		})
+		s.count(&s.Requests.Get)
+	case "SET":
+		if len(fields) < 3 {
+			s.countErr()
+			return "ERR SET <key> <value>"
+		}
+		value := strings.Join(fields[2:], " ")
+		run(func(ctx *preemptible.Ctx) {
+			s.mu.Lock()
+			ok := s.store.Set([]byte(fields[1]), []byte(value))
+			s.mu.Unlock()
+			if ok {
+				resp = "OK"
+			} else {
+				resp = "ERR value too large"
+			}
+		})
+		s.count(&s.Requests.Set)
+	case "COMPRESS":
+		if len(fields) != 2 {
+			s.countErr()
+			return "ERR COMPRESS <kilobytes>"
+		}
+		kb, err := strconv.Atoi(fields[1])
+		if err != nil || kb <= 0 || kb > 1024 {
+			s.countErr()
+			return "ERR COMPRESS wants 1..1024 kilobytes"
+		}
+		run(func(ctx *preemptible.Ctx) {
+			block := bejob.MakeBlock(1024, uint64(kb))
+			var in, out int
+			for i := 0; i < kb; i++ {
+				n, err := s.engine.CompressBlock(block)
+				if err != nil {
+					resp = "ERR " + err.Error()
+					return
+				}
+				in += len(block)
+				out += n
+				ctx.Checkpoint() // safepoint between kilobytes
+			}
+			resp = fmt.Sprintf("COMPRESSED %d %d", in, out)
+		})
+		s.count(&s.Requests.Compress)
+	default:
+		s.countErr()
+		return "ERR unknown command " + fields[0]
+	}
+	return resp
+}
+
+func (s *Server) count(field *uint64) {
+	s.statMu.Lock()
+	*field++
+	s.statMu.Unlock()
+}
+
+func (s *Server) countErr() { s.count(&s.Requests.Errors) }

@@ -1,0 +1,47 @@
+package mica
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkStoreGet measures a hot-path GET against a loaded store.
+func BenchmarkStoreGet(b *testing.B) {
+	s := NewStore(1<<22, 1<<14)
+	const keys = 10000
+	val := make([]byte, 64)
+	for i := 0; i < keys; i++ {
+		s.Set(KeyForRank(i), val)
+	}
+	z := sim.NewZipf(keys, 0.99)
+	rng := sim.NewRNG(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get(KeyForRank(z.Sample(rng)))
+	}
+}
+
+// BenchmarkStoreSet measures SETs with log appends and index updates.
+func BenchmarkStoreSet(b *testing.B) {
+	s := NewStore(1<<22, 1<<14)
+	val := make([]byte, 64)
+	rng := sim.NewRNG(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Set(KeyForRank(rng.Intn(10000)), val)
+	}
+}
+
+// BenchmarkGeneratorNextRequest measures the full MICA request path
+// (zipf draw + real op + service-time model).
+func BenchmarkGeneratorNextRequest(b *testing.B) {
+	g := NewGenerator(DefaultWorkloadConfig(), sim.NewRNG(3))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.NextRequest(sim.Time(i))
+	}
+}

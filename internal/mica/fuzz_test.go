@@ -1,0 +1,37 @@
+package mica
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzStoreSetGet: for arbitrary key/value bytes, a Set followed
+// immediately by a Get must return the value (or Set must have refused),
+// and the store must never panic or return foreign bytes.
+func FuzzStoreSetGet(f *testing.F) {
+	f.Add([]byte("key"), []byte("value"))
+	f.Add([]byte{0}, []byte{})
+	f.Add(bytes.Repeat([]byte("k"), 300), bytes.Repeat([]byte("v"), 300))
+	f.Fuzz(func(t *testing.T, key, value []byte) {
+		s := NewStore(1<<16, 64)
+		ok := s.Set(key, value)
+		if !ok {
+			// Refusal is only legal for oversized items.
+			if headerBytes+len(key)+len(value) <= len(s.log) &&
+				len(key) <= 0xffff && len(value) <= 0xffff {
+				t.Fatalf("Set refused a fitting item (k=%d v=%d)", len(key), len(value))
+			}
+			return
+		}
+		res := s.Get(key)
+		if len(key) == 0 {
+			return // empty keys are degenerate; hit/miss unspecified
+		}
+		if !res.Hit {
+			t.Fatalf("Set then Get missed (k=%d v=%d)", len(key), len(value))
+		}
+		if !bytes.Equal(res.Value, value) {
+			t.Fatal("Get returned foreign bytes")
+		}
+	})
+}

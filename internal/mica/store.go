@@ -1,0 +1,206 @@
+// Package mica implements a MICA-style in-memory key-value store
+// (NSDI'14) — the latency-critical application of the paper's
+// colocation study (§V-C) — plus the request generator that reproduces
+// the paper's workload: 5/95 SET/GET with Zipfian(0.99) key popularity
+// and ~1 µs median request processing time.
+//
+// The store is functionally real: a lossy associative bucket index over
+// a circular append log, both fixed-capacity, with MICA's eviction
+// semantics (new inserts may displace colliding index entries; the log
+// overwrites its oldest entries). Request *timing* is modeled: the
+// generator derives each operation's simulated service time from what
+// the operation actually did (hit/miss/set, key rank), reproducing the
+// dispersion that key skew induces.
+package mica
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// bucketEntries is the associativity of each index bucket.
+const bucketEntries = 8
+
+// entry is one index slot: a tag for cheap comparison and the log
+// offset of the item.
+type entry struct {
+	tag    uint16
+	offset uint32
+	used   bool
+}
+
+// header layout in the log: [keyLen uint16][valLen uint16][key][value]
+const headerBytes = 4
+
+// Store is a single-partition MICA store (the paper runs one partition
+// per core; experiments size partitions accordingly).
+type Store struct {
+	buckets [][bucketEntries]entry
+	mask    uint32
+
+	log     []byte
+	logHead uint32 // next append offset (wraps)
+	logLen  uint32 // bytes written (saturates at len(log))
+
+	// Stats.
+	Sets, Gets, Hits, Misses uint64
+	IndexEvictions           uint64
+}
+
+// NewStore builds a store with the given circular-log capacity in bytes
+// and number of index buckets (rounded up to a power of two).
+func NewStore(logBytes int, buckets int) *Store {
+	if logBytes < 64 || buckets < 1 {
+		panic("mica: store too small")
+	}
+	nb := 1
+	for nb < buckets {
+		nb <<= 1
+	}
+	return &Store{
+		buckets: make([][bucketEntries]entry, nb),
+		mask:    uint32(nb - 1),
+		log:     make([]byte, logBytes),
+	}
+}
+
+// hash64 is FNV-1a over the key.
+func hash64(key []byte) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// Set inserts or updates key → value. It returns false when the item
+// cannot fit in the log at all.
+func (s *Store) Set(key, value []byte) bool {
+	need := headerBytes + len(key) + len(value)
+	if need > len(s.log) {
+		return false
+	}
+	if len(key) > 0xffff || len(value) > 0xffff {
+		return false
+	}
+	s.Sets++
+	off := s.append(key, value)
+	h := hash64(key)
+	b := &s.buckets[uint32(h)&s.mask]
+	tag := uint16(h >> 48)
+
+	// Update in place if present.
+	for i := range b {
+		if b[i].used && b[i].tag == tag && s.keyAt(b[i].offset, key) {
+			b[i].offset = off
+			return true
+		}
+	}
+	// Else take a free slot, or evict the first slot (lossy index).
+	for i := range b {
+		if !b[i].used {
+			b[i] = entry{tag: tag, offset: off, used: true}
+			return true
+		}
+	}
+	s.IndexEvictions++
+	copy(b[:], b[1:])
+	b[bucketEntries-1] = entry{tag: tag, offset: off, used: true}
+	return true
+}
+
+// Get looks up key, returning the value and whether it was found. A
+// stale index entry whose log slot has been overwritten is a miss
+// (MICA's lossy semantics).
+type GetResult struct {
+	Value []byte
+	Hit   bool
+	// Displacement is the bucket slot index the key was found at — a
+	// proxy for probe work used by the timing model.
+	Displacement int
+}
+
+// Get looks up key.
+func (s *Store) Get(key []byte) GetResult {
+	s.Gets++
+	h := hash64(key)
+	b := &s.buckets[uint32(h)&s.mask]
+	tag := uint16(h >> 48)
+	for i := range b {
+		if b[i].used && b[i].tag == tag {
+			if v, ok := s.valueAt(b[i].offset, key); ok {
+				s.Hits++
+				return GetResult{Value: v, Hit: true, Displacement: i}
+			}
+		}
+	}
+	s.Misses++
+	return GetResult{}
+}
+
+// append writes the item at the log head, wrapping circularly. Items
+// never straddle the wrap point: if the tail is too small we skip it.
+func (s *Store) append(key, value []byte) uint32 {
+	need := uint32(headerBytes + len(key) + len(value))
+	if s.logHead+need > uint32(len(s.log)) {
+		s.logHead = 0 // wrap; the skipped tail is dead space
+	}
+	off := s.logHead
+	binary.LittleEndian.PutUint16(s.log[off:], uint16(len(key)))
+	binary.LittleEndian.PutUint16(s.log[off+2:], uint16(len(value)))
+	copy(s.log[off+headerBytes:], key)
+	copy(s.log[off+headerBytes+uint32(len(key)):], value)
+	s.logHead += need
+	if s.logLen < uint32(len(s.log)) {
+		s.logLen += need
+	}
+	return off
+}
+
+// keyAt reports whether the log record at off holds key.
+func (s *Store) keyAt(off uint32, key []byte) bool {
+	if int(off)+headerBytes > len(s.log) {
+		return false
+	}
+	kl := int(binary.LittleEndian.Uint16(s.log[off:]))
+	if kl != len(key) || int(off)+headerBytes+kl > len(s.log) {
+		return false
+	}
+	rec := s.log[off+headerBytes : int(off)+headerBytes+kl]
+	for i := range key {
+		if rec[i] != key[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// valueAt returns the value of the record at off if it still holds key.
+func (s *Store) valueAt(off uint32, key []byte) ([]byte, bool) {
+	if !s.keyAt(off, key) {
+		return nil, false
+	}
+	kl := int(binary.LittleEndian.Uint16(s.log[off:]))
+	vl := int(binary.LittleEndian.Uint16(s.log[off+2:]))
+	start := int(off) + headerBytes + kl
+	if start+vl > len(s.log) {
+		return nil, false
+	}
+	out := make([]byte, vl)
+	copy(out, s.log[start:start+vl])
+	return out, true
+}
+
+// HitRate reports the GET hit fraction so far.
+func (s *Store) HitRate() float64 {
+	if s.Gets == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Gets)
+}
+
+// KeyForRank returns the canonical 16-byte key for a Zipf rank.
+func KeyForRank(rank int) []byte {
+	return []byte(fmt.Sprintf("key-%012d", rank))
+}

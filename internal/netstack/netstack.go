@@ -1,0 +1,227 @@
+// Package netstack models the network front-end of the paper's
+// deployments (§V: "the network stack is DPDK or kernel TCP"): client
+// machines, wire latency, a NIC with RSS receive queues, and the two
+// receive paths a server can use —
+//
+//   - kernel TCP: per-packet syscall + protocol processing costs,
+//     interrupt-driven wakeups of the network thread; and
+//   - kernel-bypass (DPDK-style): polled RX rings with per-batch
+//     amortized costs and no kernel transitions.
+//
+// The dispatcher (network thread) of a scheduling system sits behind a
+// Receiver; experiments use the network layer to study how much of the
+// end-to-end tail is scheduling versus network, and to check that
+// LibPreemptible's wins survive a realistic front-end.
+package netstack
+
+import (
+	"repro/internal/hw"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// PathKind selects the receive path.
+type PathKind int
+
+const (
+	// KernelTCP is the interrupt-driven kernel socket path.
+	KernelTCP PathKind = iota
+	// Bypass is the DPDK-style polled path.
+	Bypass
+)
+
+func (p PathKind) String() string {
+	switch p {
+	case KernelTCP:
+		return "kernel-tcp"
+	case Bypass:
+		return "dpdk-bypass"
+	default:
+		return "unknown"
+	}
+}
+
+// Costs parameterize the network model.
+type Costs struct {
+	// WireMean/WireMin is the one-way client→NIC latency.
+	WireMean, WireMin sim.Time
+	// TCPPerPacket is kernel protocol processing per request packet
+	// (softirq + socket + copy).
+	TCPPerPacket sim.Time
+	// TCPWakeup is the interrupt + wakeup latency when the network
+	// thread was blocked in epoll.
+	TCPWakeup sim.Time
+	// SyscallRecv is the recv syscall cost paid by the network thread
+	// per request on the kernel path.
+	SyscallRecv sim.Time
+	// PollBatch is the DPDK rx_burst poll period: arrivals wait for the
+	// next poll; per-request cost on the bypass path is PollPerPacket.
+	PollBatch     sim.Time
+	PollPerPacket sim.Time
+}
+
+// DefaultCosts returns a calibration consistent with the µs-scale
+// literature (kernel receive path ~5 µs per small request; bypass
+// ~0.3 µs with sub-µs poll batching).
+func DefaultCosts() Costs {
+	return Costs{
+		WireMean:      5 * sim.Microsecond,
+		WireMin:       2 * sim.Microsecond,
+		TCPPerPacket:  2200 * sim.Nanosecond,
+		TCPWakeup:     1800 * sim.Nanosecond,
+		SyscallRecv:   900 * sim.Nanosecond,
+		PollBatch:     500 * sim.Nanosecond,
+		PollPerPacket: 120 * sim.Nanosecond,
+	}
+}
+
+// NIC is a receive NIC with RSS queues. Requests entering the NIC are
+// hashed to a queue (by request ID, standing in for the 5-tuple), then
+// delivered to the server through the configured path.
+type NIC struct {
+	eng   *sim.Engine
+	rng   *sim.RNG
+	costs Costs
+	path  PathKind
+	rings []rxRing
+	sink  func(*sched.Request)
+
+	// Delivered counts requests handed to the server; Dropped counts
+	// ring overflows.
+	Delivered, Dropped uint64
+	// ringCap bounds each RX ring.
+	ringCap int
+}
+
+type rxRing struct {
+	q       []*sched.Request
+	head    int
+	polling bool
+}
+
+// NewNIC builds a NIC with nQueues RSS rings feeding sink.
+func NewNIC(eng *sim.Engine, rng *sim.RNG, costs Costs, path PathKind, nQueues, ringCap int, sink func(*sched.Request)) *NIC {
+	if nQueues <= 0 || ringCap <= 0 {
+		panic("netstack: need positive queue count and ring capacity")
+	}
+	if sink == nil {
+		panic("netstack: nil sink")
+	}
+	return &NIC{
+		eng:     eng,
+		rng:     rng,
+		costs:   costs,
+		path:    path,
+		rings:   make([]rxRing, nQueues),
+		sink:    sink,
+		ringCap: ringCap,
+	}
+}
+
+// Path reports the receive path in use.
+func (n *NIC) Path() PathKind { return n.path }
+
+// Inject delivers a request from the wire into the NIC (already past
+// client + wire latency — see Client).
+func (n *NIC) Inject(r *sched.Request) {
+	ring := &n.rings[int(rssHash(r.ID)%uint64(len(n.rings)))]
+	if len(ring.q)-ring.head >= n.ringCap {
+		n.Dropped++
+		return
+	}
+	ring.q = append(ring.q, r)
+	switch n.path {
+	case KernelTCP:
+		// Interrupt-driven: protocol processing, then wakeup + recv.
+		delay := n.costs.TCPPerPacket + n.costs.TCPWakeup + n.costs.SyscallRecv
+		n.eng.Schedule(delay, func() { n.drainOne(ring) })
+	case Bypass:
+		// Polled: the request is picked up by the next rx_burst.
+		if !ring.polling {
+			ring.polling = true
+			n.eng.Schedule(n.costs.PollBatch, func() { n.pollBurst(ring) })
+		}
+	}
+}
+
+func (n *NIC) drainOne(ring *rxRing) {
+	if ring.head >= len(ring.q) {
+		return
+	}
+	r := ring.q[ring.head]
+	ring.q[ring.head] = nil
+	ring.head++
+	n.compact(ring)
+	n.Delivered++
+	n.sink(r)
+}
+
+func (n *NIC) pollBurst(ring *rxRing) {
+	ring.polling = false
+	// One burst drains the ring, charging PollPerPacket serially.
+	burst := len(ring.q) - ring.head
+	if burst == 0 {
+		return
+	}
+	var deliver func(i int)
+	deliver = func(i int) {
+		if i >= burst || ring.head >= len(ring.q) {
+			// New arrivals during the burst get the next poll.
+			if len(ring.q)-ring.head > 0 && !ring.polling {
+				ring.polling = true
+				n.eng.Schedule(n.costs.PollBatch, func() { n.pollBurst(ring) })
+			}
+			return
+		}
+		r := ring.q[ring.head]
+		ring.q[ring.head] = nil
+		ring.head++
+		n.compact(ring)
+		n.Delivered++
+		n.sink(r)
+		n.eng.Schedule(n.costs.PollPerPacket, func() { deliver(i + 1) })
+	}
+	deliver(0)
+}
+
+func (n *NIC) compact(ring *rxRing) {
+	if ring.head > 256 && ring.head*2 >= len(ring.q) {
+		ring.q = append([]*sched.Request(nil), ring.q[ring.head:]...)
+		ring.head = 0
+	}
+}
+
+// rssHash mixes the id (splitmix64 finalizer) as the RSS hash.
+func rssHash(id uint64) uint64 {
+	id ^= id >> 30
+	id *= 0xbf58476d1ce4e5b9
+	id ^= id >> 27
+	id *= 0x94d049bb133111eb
+	return id ^ (id >> 31)
+}
+
+// Client sends requests over the wire to a NIC, adding sampled wire
+// latency. The request's Arrival timestamp is stamped at send time (the
+// client-observed sojourn starts then), matching open-loop measurement
+// practice.
+type Client struct {
+	eng   *sim.Engine
+	rng   *sim.RNG
+	costs Costs
+	nic   *NIC
+
+	// Sent counts transmitted requests.
+	Sent uint64
+}
+
+// NewClient builds a client attached to nic.
+func NewClient(eng *sim.Engine, rng *sim.RNG, costs Costs, nic *NIC) *Client {
+	return &Client{eng: eng, rng: rng, costs: costs, nic: nic}
+}
+
+// Send transmits r: it arrives at the NIC after wire latency.
+func (c *Client) Send(r *sched.Request) {
+	c.Sent++
+	lat := hw.SampleLatency(c.rng, c.costs.WireMean, c.costs.WireMin)
+	c.eng.Schedule(lat, func() { c.nic.Inject(r) })
+}

@@ -1,0 +1,195 @@
+// Package persephone models a Persephone-style baseline (SOSP'21, from
+// the paper's related work): instead of preempting, it uses
+// application-specific knowledge of request types to *reserve* worker
+// cores for short requests, so shorts never queue behind longs. The
+// paper positions LibPreemptible against this approach: reservation
+// needs a priori service-time knowledge and strands reserved capacity,
+// where preemption adapts to whatever arrives.
+package persephone
+
+import (
+	"repro/internal/hw"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Config parameterizes a Persephone instance.
+type Config struct {
+	// Workers is the total worker-core count.
+	Workers int
+	// ReservedForShort is the number of cores only short requests may
+	// use (the DARC reservation). Must be < Workers.
+	ReservedForShort int
+	// ShortThreshold classifies a request as short when its service
+	// demand is below it — the application-specific knowledge the
+	// design requires. The simulator grants the oracle demand; a real
+	// deployment classifies by request type.
+	ShortThreshold sim.Time
+	// Costs overrides machine costs.
+	Costs *hw.Costs
+	// Seed fixes the run.
+	Seed uint64
+	// OnComplete observes completions.
+	OnComplete func(r *sched.Request)
+}
+
+// Metrics aggregates measurements.
+type Metrics struct {
+	Submitted   uint64
+	Completed   uint64
+	ShortCount  uint64
+	LongCount   uint64
+	Latency     *stats.Histogram
+	LatencyShrt *stats.Histogram
+	LatencyLong *stats.Histogram
+}
+
+// System is a running Persephone instance.
+type System struct {
+	Eng *sim.Engine
+	M   *hw.Machine
+
+	cfg      Config
+	shortQ   fifo
+	longQ    fifo
+	workers  []*worker
+	inflight uint64
+
+	Metrics Metrics
+}
+
+type worker struct {
+	id       int
+	core     *hw.Core
+	reserved bool // shorts-only
+	busy     bool
+}
+
+type fifo struct {
+	items []*sched.Request
+	head  int
+}
+
+func (f *fifo) push(r *sched.Request) { f.items = append(f.items, r) }
+
+func (f *fifo) pop() *sched.Request {
+	if f.head >= len(f.items) {
+		return nil
+	}
+	r := f.items[f.head]
+	f.items[f.head] = nil
+	f.head++
+	if f.head > 64 && f.head*2 >= len(f.items) {
+		f.items = append([]*sched.Request(nil), f.items[f.head:]...)
+		f.head = 0
+	}
+	return r
+}
+
+func (f *fifo) len() int { return len(f.items) - f.head }
+
+// New builds a Persephone system.
+func New(cfg Config) *System {
+	if cfg.Workers <= 0 {
+		panic("persephone: need at least one worker")
+	}
+	if cfg.ReservedForShort < 0 || cfg.ReservedForShort >= cfg.Workers {
+		panic("persephone: reservation must be in [0, Workers)")
+	}
+	if cfg.ShortThreshold <= 0 {
+		panic("persephone: need a positive short threshold")
+	}
+	costs := hw.DefaultCosts()
+	if cfg.Costs != nil {
+		costs = *cfg.Costs
+	}
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(cfg.Seed ^ 0x70657273)
+	m := hw.NewMachine(eng, cfg.Workers, costs, rng)
+	s := &System{
+		Eng: eng, M: m, cfg: cfg,
+		Metrics: Metrics{
+			Latency:     stats.NewHistogram(),
+			LatencyShrt: stats.NewHistogram(),
+			LatencyLong: stats.NewHistogram(),
+		},
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers = append(s.workers, &worker{
+			id: i, core: m.Core(i), reserved: i < cfg.ReservedForShort,
+		})
+	}
+	return s
+}
+
+// Workers reports the worker count.
+func (s *System) Workers() int { return len(s.workers) }
+
+// InFlight reports submitted-but-incomplete requests.
+func (s *System) InFlight() uint64 { return s.inflight }
+
+// Throughput reports completions per second of virtual time.
+func (s *System) Throughput() float64 {
+	now := s.Eng.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(s.Metrics.Completed) / now.Seconds()
+}
+
+// Submit classifies the request and queues it.
+func (s *System) Submit(r *sched.Request) {
+	if r == nil {
+		panic("persephone: Submit(nil)")
+	}
+	s.Metrics.Submitted++
+	s.inflight++
+	if r.Service < s.cfg.ShortThreshold {
+		s.Metrics.ShortCount++
+		s.shortQ.push(r)
+	} else {
+		s.Metrics.LongCount++
+		s.longQ.push(r)
+	}
+	for _, w := range s.workers {
+		if !w.busy {
+			s.runNext(w)
+		}
+	}
+}
+
+// runNext assigns work respecting the reservation: reserved cores take
+// shorts only; general cores prefer shorts (work conservation) then
+// longs.
+func (s *System) runNext(w *worker) {
+	r := s.shortQ.pop()
+	if r == nil && !w.reserved {
+		r = s.longQ.pop()
+	}
+	if r == nil {
+		w.busy = false
+		return
+	}
+	w.busy = true
+	if !r.Started() {
+		r.Start = s.Eng.Now()
+	}
+	w.core.Start(s.M.Costs.CtxAlloc+r.Remaining, func() {
+		r.Remaining = 0
+		r.Finish = s.Eng.Now()
+		s.inflight--
+		s.Metrics.Completed++
+		lat := int64(r.Latency())
+		s.Metrics.Latency.Record(lat)
+		if r.Service < s.cfg.ShortThreshold {
+			s.Metrics.LatencyShrt.Record(lat)
+		} else {
+			s.Metrics.LatencyLong.Record(lat)
+		}
+		if s.cfg.OnComplete != nil {
+			s.cfg.OnComplete(r)
+		}
+		s.runNext(w)
+	})
+}

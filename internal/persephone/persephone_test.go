@@ -1,0 +1,128 @@
+package persephone
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func drive(s *System, dist sim.Dist, load float64, dur sim.Time, seed uint64) {
+	gen := workload.NewOpenLoop(s.Eng, sim.NewRNG(seed), sched.ClassLC,
+		[]workload.Phase{{Service: dist,
+			Rate: workload.RateForLoad(load, s.Workers(), dist.Mean())}}, s.Submit)
+	gen.Start()
+	s.Eng.Run(dur)
+	gen.Stop()
+	s.Eng.RunAll()
+}
+
+func newA2System(reserved int, seed uint64) *System {
+	return New(Config{
+		Workers:          4,
+		ReservedForShort: reserved,
+		ShortThreshold:   50 * sim.Microsecond, // A2: 5µs shorts vs 500µs longs
+		Seed:             seed,
+	})
+}
+
+func TestCompletesAndClassifies(t *testing.T) {
+	s := newA2System(1, 1)
+	drive(s, workload.A2(), 0.6, 100*sim.Millisecond, 2)
+	if s.InFlight() != 0 {
+		t.Fatalf("in flight %d", s.InFlight())
+	}
+	total := s.Metrics.ShortCount + s.Metrics.LongCount
+	if total != s.Metrics.Submitted || s.Metrics.Completed != total {
+		t.Fatalf("classification/conservation broken: %+v", s.Metrics)
+	}
+	// ~0.5% longs.
+	frac := float64(s.Metrics.LongCount) / float64(total)
+	if frac < 0.002 || frac > 0.012 {
+		t.Fatalf("long fraction %f", frac)
+	}
+}
+
+func TestReservationProtectsShortTail(t *testing.T) {
+	// Reserved cores keep shorts from queueing behind longs: the short
+	// p99 with a reservation must beat the unreserved configuration.
+	unres := newA2System(0, 3)
+	drive(unres, workload.A2(), 0.75, 300*sim.Millisecond, 4)
+	res := newA2System(1, 3)
+	drive(res, workload.A2(), 0.75, 300*sim.Millisecond, 4)
+	if res.Metrics.LatencyShrt.P99() >= unres.Metrics.LatencyShrt.P99() {
+		t.Fatalf("reservation did not protect shorts: %d vs %d",
+			res.Metrics.LatencyShrt.P99(), unres.Metrics.LatencyShrt.P99())
+	}
+}
+
+func TestReservationStrandsCapacityOnLightTails(t *testing.T) {
+	// The design's weakness the paper points at: on a light-tailed
+	// workload where nothing is "long", a reservation strands capacity
+	// that preemptive LibPreemptible would use. Exponential(5µs) with a
+	// 4µs threshold: ~55% of requests are "long" but can only use 2 of
+	// 4 cores.
+	s := New(Config{Workers: 4, ReservedForShort: 2, ShortThreshold: 4 * sim.Microsecond, Seed: 5})
+	drive(s, workload.B(), 0.7, 200*sim.Millisecond, 6)
+
+	lp := core.New(core.Config{Workers: 4, Quantum: 50 * sim.Microsecond,
+		Mech: core.MechUINTR, Seed: 5})
+	gen := workload.NewOpenLoop(lp.Eng, sim.NewRNG(6), sched.ClassLC,
+		[]workload.Phase{{Service: workload.B(),
+			Rate: workload.RateForLoad(0.7, 4, workload.B().Mean())}}, lp.Submit)
+	gen.Start()
+	lp.Eng.Run(200 * sim.Millisecond)
+	gen.Stop()
+	lp.Eng.RunAll()
+
+	if s.Metrics.Latency.P99() <= lp.Metrics.Latency.P99() {
+		t.Fatalf("misconfigured reservation should lose to preemption: %d vs %d",
+			s.Metrics.Latency.P99(), lp.Metrics.Latency.P99())
+	}
+}
+
+func TestGeneralCoresPreferShorts(t *testing.T) {
+	// Work conservation: with an empty short queue, general cores take
+	// longs; reserved cores never do.
+	s := New(Config{Workers: 2, ReservedForShort: 1, ShortThreshold: 10 * sim.Microsecond, Seed: 7})
+	long := sched.NewRequest(1, sched.ClassLC, 0, 100*sim.Microsecond)
+	s.Submit(long)
+	s.Eng.RunAll()
+	if !long.Done() {
+		t.Fatal("long request starved")
+	}
+	// Reserved core (worker 0) must have stayed idle.
+	if s.M.Core(0).BusyTime() != 0 {
+		t.Fatal("reserved core ran a long request")
+	}
+	if s.M.Core(1).BusyTime() == 0 {
+		t.Fatal("general core did not run the long request")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{Workers: 0, ShortThreshold: 1},
+		{Workers: 2, ReservedForShort: 2, ShortThreshold: 1},
+		{Workers: 2, ReservedForShort: -1, ShortThreshold: 1},
+		{Workers: 2, ReservedForShort: 1, ShortThreshold: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+	s := New(Config{Workers: 2, ReservedForShort: 1, ShortThreshold: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("Submit(nil) did not panic")
+		}
+	}()
+	s.Submit(nil)
+}

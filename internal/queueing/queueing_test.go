@@ -1,0 +1,133 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestErlangCKnownValues(t *testing.T) {
+	// Classic tabulated values.
+	cases := []struct {
+		c    int
+		rho  float64
+		want float64
+	}{
+		{1, 0.5, 0.5},       // M/M/1: P(wait) = rho
+		{1, 0.9, 0.9},       // M/M/1
+		{2, 0.5, 1.0 / 3.0}, // M/M/2 at rho=.5: 1/3
+		{4, 0.5, 0.1739},    // M/M/4
+	}
+	for _, tc := range cases {
+		got := ErlangC(tc.c, tc.rho)
+		if math.Abs(got-tc.want) > 0.001 {
+			t.Errorf("ErlangC(%d, %.2f) = %.4f, want %.4f", tc.c, tc.rho, got, tc.want)
+		}
+	}
+	if ErlangC(4, 0) != 0 {
+		t.Error("zero load should never wait")
+	}
+}
+
+func TestErlangCPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { ErlangC(0, 0.5) },
+		func() { ErlangC(2, 1.0) },
+		func() { ErlangC(2, -0.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestErlangCMonotoneInLoad(t *testing.T) {
+	prev := -1.0
+	for rho := 0.05; rho < 0.99; rho += 0.05 {
+		v := ErlangC(8, rho)
+		if v <= prev {
+			t.Fatalf("ErlangC not increasing at rho=%.2f", rho)
+		}
+		prev = v
+	}
+}
+
+func TestMMcReducesToMM1(t *testing.T) {
+	for _, rho := range []float64{0.3, 0.6, 0.9} {
+		a := MMcMeanSojourn(1, rho, 5)
+		b := MM1MeanSojourn(rho, 5)
+		if math.Abs(a-b) > 1e-9 {
+			t.Fatalf("M/M/1 mismatch at rho=%.1f: %f vs %f", rho, a, b)
+		}
+	}
+}
+
+func TestMG1ReducesToMM1ForExponential(t *testing.T) {
+	// For exponential service, P-K gives the M/M/1 result.
+	s := 5.0
+	lambda := 0.7 / s
+	es, es2 := ExpMoments(s)
+	got := MG1MeanSojourn(lambda, es, es2)
+	want := MM1MeanSojourn(0.7, s)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("P-K exponential = %f, want %f", got, want)
+	}
+}
+
+func TestMG1HeavyTailBlowsUpWait(t *testing.T) {
+	// Same mean, wildly different second moment: the bimodal A1-like
+	// distribution must have a far worse FCFS mean wait.
+	esB, es2B := BimodalMoments(0.995, 0.5, 500)
+	esE, es2E := ExpMoments(esB)
+	lambda := 0.7 / esB
+	wb := MG1MeanWait(lambda, esB, es2B)
+	we := MG1MeanWait(lambda, esE, es2E)
+	if wb < 10*we {
+		t.Fatalf("bimodal wait %f not ≫ exponential wait %f", wb, we)
+	}
+}
+
+func TestMomentsHelpers(t *testing.T) {
+	es, es2 := BimodalMoments(0.5, 1, 3)
+	if es != 2 || es2 != 5 {
+		t.Fatalf("bimodal moments %f %f", es, es2)
+	}
+	es, es2 = ExpMoments(4)
+	if es != 4 || es2 != 32 {
+		t.Fatalf("exp moments %f %f", es, es2)
+	}
+}
+
+func TestMM1SojournQuantile(t *testing.T) {
+	// Median of an exponential = mean·ln2.
+	med := MM1SojournQuantile(0.5, 1, 0.5)
+	if math.Abs(med-2*math.Ln2) > 1e-9 {
+		t.Fatalf("median = %f", med)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MM1SojournQuantile(0.5, 1, 1)
+}
+
+func TestUnstablePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { MM1MeanSojourn(1.0, 1) },
+		func() { MG1MeanWait(1, 1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,39 @@
+package replay
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV: arbitrary input must either parse into a valid trace or
+// return an error — never panic, and never yield a trace that fails its
+// own Validate.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("arrival_ns,service_ns,class\n1,2,0\n5,3,1\n")
+	f.Add("1,2,0\n")
+	f.Add("")
+	f.Add("arrival_ns,service_ns,class\n-1,2,0\n")
+	f.Add("a,b,c\n")
+	f.Add("arrival_ns,service_ns,class\n9999999999999,1,0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("ReadCSV accepted an invalid trace: %v", err)
+		}
+		// Round-trip stability for accepted traces.
+		var sb strings.Builder
+		if err := tr.WriteCSV(&sb); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadCSV(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.Len() != tr.Len() {
+			t.Fatalf("round trip lost entries: %d vs %d", back.Len(), tr.Len())
+		}
+	})
+}

@@ -1,0 +1,181 @@
+// Package replay records request traces (arrival time, service demand,
+// class) and replays them into any scheduling system. Trace-driven
+// replay is how production schedulers are evaluated against captured
+// workloads, and it gives experiments variance-free A/B comparisons:
+// two systems replaying the same trace see byte-identical arrival
+// sequences (common random numbers taken to the limit).
+//
+// The on-disk format is CSV: one request per line,
+// "arrival_ns,service_ns,class".
+package replay
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Entry is one recorded request.
+type Entry struct {
+	Arrival sim.Time
+	Service sim.Time
+	Class   int
+}
+
+// Trace is an arrival-ordered request sequence.
+type Trace struct {
+	Entries []Entry
+}
+
+// Record captures a synthetic workload into a trace: phases are drawn
+// once with the given seed and frozen.
+func Record(phases []workload.Phase, duration sim.Time, class int, seed uint64) *Trace {
+	eng := sim.NewEngine()
+	tr := &Trace{}
+	gen := workload.NewOpenLoop(eng, sim.NewRNG(seed), class, phases, func(r *sched.Request) {
+		tr.Entries = append(tr.Entries, Entry{Arrival: r.Arrival, Service: r.Service, Class: r.Class})
+	})
+	gen.Start()
+	eng.Run(duration)
+	gen.Stop()
+	return tr
+}
+
+// Len reports the number of requests.
+func (t *Trace) Len() int { return len(t.Entries) }
+
+// Duration reports the last arrival time (0 for an empty trace).
+func (t *Trace) Duration() sim.Time {
+	if len(t.Entries) == 0 {
+		return 0
+	}
+	return t.Entries[len(t.Entries)-1].Arrival
+}
+
+// TotalDemand sums the service demand of all requests.
+func (t *Trace) TotalDemand() sim.Time {
+	var d sim.Time
+	for _, e := range t.Entries {
+		d += e.Service
+	}
+	return d
+}
+
+// Validate checks arrival monotonicity and positive service demands.
+func (t *Trace) Validate() error {
+	var prev sim.Time
+	for i, e := range t.Entries {
+		if e.Arrival < prev {
+			return fmt.Errorf("replay: entry %d arrival %v before previous %v", i, e.Arrival, prev)
+		}
+		if e.Service <= 0 {
+			return fmt.Errorf("replay: entry %d has non-positive service %v", i, e.Service)
+		}
+		prev = e.Arrival
+	}
+	return nil
+}
+
+// Sort orders entries by arrival (stable), repairing traces assembled
+// from multiple sources.
+func (t *Trace) Sort() {
+	sort.SliceStable(t.Entries, func(i, j int) bool {
+		return t.Entries[i].Arrival < t.Entries[j].Arrival
+	})
+}
+
+// Replay schedules every entry onto eng, delivering fresh
+// sched.Requests to submit at their recorded arrival times. IDs are
+// assigned sequentially from 1. The caller then runs the engine.
+func (t *Trace) Replay(eng *sim.Engine, submit func(*sched.Request)) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if submit == nil {
+		return fmt.Errorf("replay: nil submit")
+	}
+	base := eng.Now()
+	for i, e := range t.Entries {
+		e := e
+		id := uint64(i + 1)
+		eng.At(base+e.Arrival, func() {
+			submit(sched.NewRequest(id, e.Class, eng.Now(), e.Service))
+		})
+	}
+	return nil
+}
+
+// WriteCSV streams the trace.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "arrival_ns,service_ns,class"); err != nil {
+		return err
+	}
+	for _, e := range t.Entries {
+		if _, err := fmt.Fprintf(bw, "%d,%d,%d\n", int64(e.Arrival), int64(e.Service), e.Class); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a trace written by WriteCSV.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
+	tr := &Trace{}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if line == 1 && strings.HasPrefix(text, "arrival_ns") {
+			continue // header
+		}
+		if text == "" {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("replay: line %d: want 3 fields, got %d", line, len(parts))
+		}
+		arrival, err := strconv.ParseInt(parts[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("replay: line %d arrival: %v", line, err)
+		}
+		service, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("replay: line %d service: %v", line, err)
+		}
+		class, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("replay: line %d class: %v", line, err)
+		}
+		tr.Entries = append(tr.Entries, Entry{
+			Arrival: sim.Time(arrival),
+			Service: sim.Time(service),
+			Class:   class,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return tr, tr.Validate()
+}
+
+// Merge combines traces into one arrival-ordered trace (for colocation
+// studies assembled from per-class recordings).
+func Merge(traces ...*Trace) *Trace {
+	out := &Trace{}
+	for _, t := range traces {
+		out.Entries = append(out.Entries, t.Entries...)
+	}
+	out.Sort()
+	return out
+}

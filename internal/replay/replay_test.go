@@ -1,0 +1,142 @@
+package replay
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func recordedTrace(t *testing.T) *Trace {
+	t.Helper()
+	tr := Record([]workload.Phase{{Service: workload.B(), Rate: 100000}},
+		50*sim.Millisecond, sched.ClassLC, 7)
+	if tr.Len() < 4000 {
+		t.Fatalf("recorded only %d requests", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestRecordIsDeterministic(t *testing.T) {
+	a := recordedTrace(t)
+	b := recordedTrace(t)
+	if a.Len() != b.Len() {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Entries {
+		if a.Entries[i] != b.Entries[i] {
+			t.Fatal("entries differ")
+		}
+	}
+	if a.Duration() == 0 || a.TotalDemand() == 0 {
+		t.Fatal("empty accessors")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := recordedTrace(t)
+	var sb strings.Builder
+	if err := tr.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() {
+		t.Fatalf("round trip lost entries: %d vs %d", back.Len(), tr.Len())
+	}
+	for i := range tr.Entries {
+		if tr.Entries[i] != back.Entries[i] {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"arrival_ns,service_ns,class\n1,2\n",          // field count
+		"arrival_ns,service_ns,class\nx,2,0\n",        // bad arrival
+		"arrival_ns,service_ns,class\n1,x,0\n",        // bad service
+		"arrival_ns,service_ns,class\n1,2,x\n",        // bad class
+		"arrival_ns,service_ns,class\n5,2,0\n1,2,0\n", // non-monotone
+		"arrival_ns,service_ns,class\n1,0,0\n",        // zero service
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestReplayIntoSystemIsIdenticalAcrossRuns(t *testing.T) {
+	tr := recordedTrace(t)
+	run := func(quantum sim.Time) (uint64, int64) {
+		s := core.New(core.Config{Workers: 2, Quantum: quantum, Mech: core.MechUINTR, Seed: 9})
+		if err := tr.Replay(s.Eng, s.Submit); err != nil {
+			t.Fatal(err)
+		}
+		s.Eng.RunAll()
+		return s.Metrics.Completed, s.Metrics.Latency.P99()
+	}
+	c1, p1 := run(20 * sim.Microsecond)
+	c2, p2 := run(20 * sim.Microsecond)
+	if c1 != c2 || p1 != p2 {
+		t.Fatal("replay not deterministic")
+	}
+	if c1 != uint64(tr.Len()) {
+		t.Fatalf("completed %d of %d", c1, tr.Len())
+	}
+	// A/B on the same trace: different quantum, same arrivals.
+	c3, _ := run(100 * sim.Microsecond)
+	if c3 != c1 {
+		t.Fatal("A/B runs saw different request sets")
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	bad := &Trace{Entries: []Entry{{Arrival: 5, Service: 1}, {Arrival: 1, Service: 1}}}
+	if err := bad.Replay(sim.NewEngine(), func(*sched.Request) {}); err == nil {
+		t.Fatal("expected monotonicity error")
+	}
+	good := &Trace{Entries: []Entry{{Arrival: 1, Service: 1}}}
+	if err := good.Replay(sim.NewEngine(), nil); err == nil {
+		t.Fatal("expected nil-submit error")
+	}
+}
+
+func TestMergeAndSort(t *testing.T) {
+	a := &Trace{Entries: []Entry{{Arrival: 10, Service: 1, Class: 0}, {Arrival: 30, Service: 1, Class: 0}}}
+	b := &Trace{Entries: []Entry{{Arrival: 20, Service: 5, Class: 1}}}
+	m := Merge(a, b)
+	if m.Len() != 3 {
+		t.Fatalf("merged %d", m.Len())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Entries[1].Class != 1 {
+		t.Fatalf("merge order wrong: %+v", m.Entries)
+	}
+}
+
+func TestReplayOffsetsFromEngineNow(t *testing.T) {
+	tr := &Trace{Entries: []Entry{{Arrival: 10, Service: 1}}}
+	eng := sim.NewEngine()
+	eng.Schedule(100, func() {})
+	eng.RunAll() // now = 100
+	var arrivedAt sim.Time
+	if err := tr.Replay(eng, func(r *sched.Request) { arrivedAt = r.Arrival }); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunAll()
+	if arrivedAt != 110 {
+		t.Fatalf("arrival at %v, want 110 (base + trace offset)", arrivedAt)
+	}
+}

@@ -1,0 +1,34 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func benchPolicy(b *testing.B, p Policy) {
+	b.Helper()
+	b.ReportAllocs()
+	// Steady-state churn: keep ~64 requests queued.
+	for i := 0; i < 64; i++ {
+		p.Enqueue(NewRequest(uint64(i), ClassLC, 0, sim.Time(i+1)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := p.Next()
+		r.Remaining = sim.Time(i%100 + 1)
+		p.Requeue(r)
+	}
+}
+
+// BenchmarkFCFSPreempt measures the default c-FCFS discipline.
+func BenchmarkFCFSPreempt(b *testing.B) { benchPolicy(b, NewFCFSPreempt()) }
+
+// BenchmarkRoundRobin measures the PS-like discipline.
+func BenchmarkRoundRobin(b *testing.B) { benchPolicy(b, NewRoundRobin()) }
+
+// BenchmarkSRPT measures the heap-ordered clairvoyant discipline.
+func BenchmarkSRPT(b *testing.B) { benchPolicy(b, NewSRPT()) }
+
+// BenchmarkEDF measures the deadline-ordered discipline.
+func BenchmarkEDF(b *testing.B) { benchPolicy(b, NewEDF()) }

@@ -1,0 +1,212 @@
+package sched
+
+import "container/heap"
+
+// FCFSPreempt is centralized first-come-first-serve with preemption
+// (c-FCFS in the paper): new arrivals run in FIFO order and take
+// priority over preempted requests, which wait on a FIFO long-queue and
+// resume only when no fresh arrival is waiting. This is scheduling
+// policy #1 of §V-C and the tail-optimal choice for heavy-tailed
+// workloads.
+type FCFSPreempt struct {
+	arrivals  fifo
+	preempted fifo
+}
+
+// NewFCFSPreempt returns an empty c-FCFS policy.
+func NewFCFSPreempt() *FCFSPreempt { return &FCFSPreempt{} }
+
+// Name implements Policy.
+func (p *FCFSPreempt) Name() string { return "cFCFS" }
+
+// Enqueue implements Policy.
+func (p *FCFSPreempt) Enqueue(r *Request) { p.arrivals.push(r) }
+
+// Requeue implements Policy.
+func (p *FCFSPreempt) Requeue(r *Request) { p.preempted.push(r) }
+
+// Next implements Policy: fresh arrivals first (short requests get
+// preemptive priority over long ones), then the long-queue.
+func (p *FCFSPreempt) Next() *Request {
+	if r := p.arrivals.pop(); r != nil {
+		return r
+	}
+	return p.preempted.pop()
+}
+
+// Len implements Policy.
+func (p *FCFSPreempt) Len() int { return p.arrivals.len() + p.preempted.len() }
+
+// PreemptedLen reports only the long-queue length (used by adaptive
+// controllers as the Q_len signal).
+func (p *FCFSPreempt) PreemptedLen() int { return p.preempted.len() }
+
+// RoundRobin is a single FIFO where preempted requests go to the back:
+// with a small quantum it approximates processor sharing (PS).
+type RoundRobin struct{ q fifo }
+
+// NewRoundRobin returns an empty round-robin policy.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Policy.
+func (p *RoundRobin) Name() string { return "RR" }
+
+// Enqueue implements Policy.
+func (p *RoundRobin) Enqueue(r *Request) { p.q.push(r) }
+
+// Requeue implements Policy.
+func (p *RoundRobin) Requeue(r *Request) { p.q.push(r) }
+
+// Next implements Policy.
+func (p *RoundRobin) Next() *Request { return p.q.pop() }
+
+// Len implements Policy.
+func (p *RoundRobin) Len() int { return p.q.len() }
+
+// SRPT orders by shortest remaining processing time. It is the
+// clairvoyant baseline the paper discusses (§I): optimal mean latency
+// but requires knowing service times, which µs-scale systems usually
+// cannot.
+type SRPT struct{ h srptHeap }
+
+// NewSRPT returns an empty SRPT policy.
+func NewSRPT() *SRPT { return &SRPT{} }
+
+// Name implements Policy.
+func (p *SRPT) Name() string { return "SRPT" }
+
+// Enqueue implements Policy.
+func (p *SRPT) Enqueue(r *Request) { heap.Push(&p.h, r) }
+
+// Requeue implements Policy.
+func (p *SRPT) Requeue(r *Request) { heap.Push(&p.h, r) }
+
+// Next implements Policy.
+func (p *SRPT) Next() *Request {
+	if p.h.Len() == 0 {
+		return nil
+	}
+	return heap.Pop(&p.h).(*Request)
+}
+
+// Len implements Policy.
+func (p *SRPT) Len() int { return p.h.Len() }
+
+// EDF orders by request deadline (earliest first); requests without a
+// deadline sort last in FIFO order. It demonstrates the deadline
+// abstraction of §III-B.
+type EDF struct {
+	h   edfHeap
+	seq uint64
+}
+
+// NewEDF returns an empty EDF policy.
+func NewEDF() *EDF { return &EDF{} }
+
+// Name implements Policy.
+func (p *EDF) Name() string { return "EDF" }
+
+// Enqueue implements Policy.
+func (p *EDF) Enqueue(r *Request) {
+	p.seq++
+	heap.Push(&p.h, edfItem{r, p.seq})
+}
+
+// Requeue implements Policy.
+func (p *EDF) Requeue(r *Request) { p.Enqueue(r) }
+
+// Next implements Policy.
+func (p *EDF) Next() *Request {
+	if p.h.Len() == 0 {
+		return nil
+	}
+	return heap.Pop(&p.h).(edfItem).r
+}
+
+// Len implements Policy.
+func (p *EDF) Len() int { return p.h.Len() }
+
+// fifo is an amortized-O(1) queue of requests.
+type fifo struct {
+	items []*Request
+	head  int
+}
+
+func (f *fifo) push(r *Request) {
+	if r == nil {
+		panic("sched: enqueue of nil request")
+	}
+	f.items = append(f.items, r)
+}
+
+func (f *fifo) pop() *Request {
+	if f.head >= len(f.items) {
+		return nil
+	}
+	r := f.items[f.head]
+	f.items[f.head] = nil
+	f.head++
+	if f.head > 64 && f.head*2 >= len(f.items) {
+		f.items = append([]*Request(nil), f.items[f.head:]...)
+		f.head = 0
+	}
+	return r
+}
+
+func (f *fifo) len() int { return len(f.items) - f.head }
+
+// srptHeap orders by Remaining, breaking ties by arrival.
+type srptHeap []*Request
+
+func (h srptHeap) Len() int { return len(h) }
+func (h srptHeap) Less(i, j int) bool {
+	if h[i].Remaining != h[j].Remaining {
+		return h[i].Remaining < h[j].Remaining
+	}
+	return h[i].Arrival < h[j].Arrival
+}
+func (h srptHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *srptHeap) Push(x any)   { *h = append(*h, x.(*Request)) }
+func (h *srptHeap) Pop() any {
+	old := *h
+	n := len(old)
+	r := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return r
+}
+
+type edfItem struct {
+	r   *Request
+	seq uint64
+}
+
+// edfHeap orders by Deadline (0 = none, sorts last), ties by seq.
+type edfHeap []edfItem
+
+func (h edfHeap) Len() int { return len(h) }
+func (h edfHeap) Less(i, j int) bool {
+	di, dj := h[i].r.Deadline, h[j].r.Deadline
+	switch {
+	case di == 0 && dj == 0:
+		return h[i].seq < h[j].seq
+	case di == 0:
+		return false
+	case dj == 0:
+		return true
+	case di != dj:
+		return di < dj
+	default:
+		return h[i].seq < h[j].seq
+	}
+}
+func (h edfHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *edfHeap) Push(x any)   { *h = append(*h, x.(edfItem)) }
+func (h *edfHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = edfItem{}
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,223 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func mkReq(id uint64, service sim.Time) *Request {
+	return NewRequest(id, ClassLC, 0, service)
+}
+
+func TestRequestLifecycle(t *testing.T) {
+	r := NewRequest(1, ClassLC, 100, 50)
+	if r.Started() || r.Done() {
+		t.Fatal("fresh request should be unstarted")
+	}
+	if r.Remaining != r.Service {
+		t.Fatal("Remaining not initialized")
+	}
+	r.Start = 120
+	r.Finish = 200
+	if !r.Started() || !r.Done() {
+		t.Fatal("state predicates wrong")
+	}
+	if r.Latency() != 100 {
+		t.Fatalf("Latency = %v", r.Latency())
+	}
+}
+
+func TestLatencyPanicsUnfinished(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRequest(1, 0, 0, 1).Latency()
+}
+
+func TestFCFSPreemptOrdering(t *testing.T) {
+	p := NewFCFSPreempt()
+	if p.Next() != nil {
+		t.Fatal("empty Next should be nil")
+	}
+	a, b, c := mkReq(1, 10), mkReq(2, 10), mkReq(3, 10)
+	p.Enqueue(a)
+	p.Enqueue(b)
+	p.Requeue(c) // preempted request waits behind fresh arrivals
+	if p.Len() != 3 || p.PreemptedLen() != 1 {
+		t.Fatalf("Len=%d PreemptedLen=%d", p.Len(), p.PreemptedLen())
+	}
+	if p.Next() != a || p.Next() != b || p.Next() != c {
+		t.Fatal("cFCFS ordering wrong")
+	}
+	if p.Name() != "cFCFS" {
+		t.Fatal("name")
+	}
+}
+
+func TestFCFSPreemptArrivalsBeatPreempted(t *testing.T) {
+	p := NewFCFSPreempt()
+	long := mkReq(1, 1000)
+	p.Requeue(long)
+	short := mkReq(2, 1)
+	p.Enqueue(short)
+	if p.Next() != short {
+		t.Fatal("fresh arrival must preempt-priority over long-queue")
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	p := NewRoundRobin()
+	a, b := mkReq(1, 10), mkReq(2, 10)
+	p.Enqueue(a)
+	p.Enqueue(b)
+	x := p.Next()
+	p.Requeue(x)
+	if p.Next() != b {
+		t.Fatal("RR should cycle")
+	}
+	if p.Name() != "RR" {
+		t.Fatal("name")
+	}
+}
+
+func TestSRPTPicksShortestRemaining(t *testing.T) {
+	p := NewSRPT()
+	long := mkReq(1, 500)
+	short := mkReq(2, 5)
+	mid := mkReq(3, 50)
+	p.Enqueue(long)
+	p.Enqueue(short)
+	p.Enqueue(mid)
+	if p.Next() != short || p.Next() != mid || p.Next() != long {
+		t.Fatal("SRPT ordering wrong")
+	}
+	// Requeue with updated remaining re-sorts.
+	long.Remaining = 1
+	p.Requeue(long)
+	p.Enqueue(mkReq(4, 100))
+	if p.Next() != long {
+		t.Fatal("SRPT must use updated Remaining")
+	}
+	if p.Name() != "SRPT" {
+		t.Fatal("name")
+	}
+}
+
+func TestEDFOrdering(t *testing.T) {
+	p := NewEDF()
+	a := mkReq(1, 10)
+	a.Deadline = 300
+	b := mkReq(2, 10)
+	b.Deadline = 100
+	c := mkReq(3, 10) // no deadline: sorts last
+	p.Enqueue(c)
+	p.Enqueue(a)
+	p.Enqueue(b)
+	if p.Next() != b || p.Next() != a || p.Next() != c {
+		t.Fatal("EDF ordering wrong")
+	}
+	// FIFO among no-deadline requests.
+	d, e := mkReq(4, 1), mkReq(5, 1)
+	p.Enqueue(d)
+	p.Enqueue(e)
+	if p.Next() != d || p.Next() != e {
+		t.Fatal("EDF FIFO tie-break wrong")
+	}
+	if p.Name() != "EDF" {
+		t.Fatal("name")
+	}
+}
+
+func TestFifoCompaction(t *testing.T) {
+	var f fifo
+	// Force the compaction path (head > 64).
+	for i := 0; i < 200; i++ {
+		f.push(mkReq(uint64(i), 1))
+	}
+	for i := 0; i < 150; i++ {
+		if f.pop().ID != uint64(i) {
+			t.Fatal("fifo order broken")
+		}
+	}
+	for i := 200; i < 300; i++ {
+		f.push(mkReq(uint64(i), 1))
+	}
+	for i := 150; i < 300; i++ {
+		r := f.pop()
+		if r == nil || r.ID != uint64(i) {
+			t.Fatalf("fifo order broken after compaction at %d", i)
+		}
+	}
+	if f.pop() != nil || f.len() != 0 {
+		t.Fatal("fifo not empty at end")
+	}
+}
+
+func TestEnqueueNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewFCFSPreempt().Enqueue(nil)
+}
+
+// Property: every policy returns exactly the set of requests put in, and
+// Len always matches inserted - removed.
+func TestPoliciesConserveRequests(t *testing.T) {
+	mk := []func() Policy{
+		func() Policy { return NewFCFSPreempt() },
+		func() Policy { return NewRoundRobin() },
+		func() Policy { return NewSRPT() },
+		func() Policy { return NewEDF() },
+	}
+	for _, factory := range mk {
+		factory := factory
+		f := func(ops []uint8) bool {
+			p := factory()
+			inserted := map[uint64]bool{}
+			removed := map[uint64]bool{}
+			var id uint64
+			n := 0
+			for _, op := range ops {
+				switch op % 3 {
+				case 0:
+					id++
+					r := mkReq(id, sim.Time(op)+1)
+					p.Enqueue(r)
+					inserted[id] = true
+					n++
+				case 1:
+					id++
+					r := mkReq(id, sim.Time(op)+1)
+					r.Deadline = sim.Time(op)
+					p.Requeue(r)
+					inserted[id] = true
+					n++
+				case 2:
+					if r := p.Next(); r != nil {
+						if removed[r.ID] || !inserted[r.ID] {
+							return false
+						}
+						removed[r.ID] = true
+						n--
+					}
+				}
+				if p.Len() != n {
+					return false
+				}
+			}
+			for p.Next() != nil {
+				n--
+			}
+			return n == 0
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Fatalf("%s: %v", factory().Name(), err)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Package schedtrace records and analyzes per-request scheduling events
+// from a LibPreemptible simulation: when each request was submitted,
+// dispatched, started, preempted, resumed and completed, and on which
+// worker. The analyzer decomposes every request's sojourn into queue
+// wait, service, and preempted wait — the observability layer a
+// production deployment of the library would ship with, and the
+// substrate of cmd/preemtrace.
+package schedtrace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Kind enumerates scheduling event types.
+type Kind int
+
+const (
+	// Submit: the request reached the system (network arrival).
+	Submit Kind = iota
+	// Dispatch: the dispatcher enqueued it to the scheduler.
+	Dispatch
+	// Start: a worker began (or resumed) executing it.
+	Start
+	// Preempt: its quantum expired and it was descheduled.
+	Preempt
+	// Complete: it finished.
+	Complete
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Submit:
+		return "submit"
+	case Dispatch:
+		return "dispatch"
+	case Start:
+		return "start"
+	case Preempt:
+		return "preempt"
+	case Complete:
+		return "complete"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one scheduling occurrence.
+type Event struct {
+	Time   sim.Time
+	Kind   Kind
+	ReqID  uint64
+	Class  int
+	Worker int // -1 when not worker-attributed
+}
+
+// Recorder accumulates events (implements core.Tracer).
+type Recorder struct {
+	Events []Event
+}
+
+// Trace implements the core.Tracer hook.
+func (r *Recorder) Trace(ev Event) { r.Events = append(r.Events, ev) }
+
+// RequestBreakdown is the per-request sojourn decomposition.
+type RequestBreakdown struct {
+	ReqID       uint64
+	Class       int
+	Sojourn     sim.Time
+	FirstWait   sim.Time // submit → first start
+	Service     sim.Time // total on-CPU time
+	WaitResume  sim.Time // time parked on the preempted list
+	Preemptions int
+	Workers     map[int]bool // workers it ran on
+}
+
+// Analysis summarizes a trace.
+type Analysis struct {
+	Requests []RequestBreakdown
+	// Histograms over completed requests (ns).
+	Sojourn, FirstWait, Service, WaitResume *stats.Histogram
+	// PerWorkerBusy is the total on-CPU time attributed to each worker.
+	PerWorkerBusy map[int]sim.Time
+	// Migrations counts requests that ran on more than one worker.
+	Migrations int
+}
+
+// Analyze reconstructs per-request breakdowns from an event stream.
+// Incomplete requests (no Complete event) are skipped.
+func Analyze(events []Event) *Analysis {
+	a := &Analysis{
+		Sojourn:       stats.NewHistogram(),
+		FirstWait:     stats.NewHistogram(),
+		Service:       stats.NewHistogram(),
+		WaitResume:    stats.NewHistogram(),
+		PerWorkerBusy: map[int]sim.Time{},
+	}
+	type state struct {
+		br        RequestBreakdown
+		submit    sim.Time
+		started   bool
+		runningAt sim.Time // last Start time, -1 if not running
+		parkedAt  sim.Time // last Preempt time, -1 if not parked
+		complete  bool
+	}
+	reqs := map[uint64]*state{}
+	get := func(ev Event) *state {
+		st := reqs[ev.ReqID]
+		if st == nil {
+			st = &state{runningAt: -1, parkedAt: -1}
+			st.br.ReqID = ev.ReqID
+			st.br.Class = ev.Class
+			st.br.Workers = map[int]bool{}
+			reqs[ev.ReqID] = st
+		}
+		return st
+	}
+	for _, ev := range events {
+		st := get(ev)
+		switch ev.Kind {
+		case Submit:
+			st.submit = ev.Time
+		case Start:
+			if !st.started {
+				st.started = true
+				st.br.FirstWait = ev.Time - st.submit
+			}
+			if st.parkedAt >= 0 {
+				st.br.WaitResume += ev.Time - st.parkedAt
+				st.parkedAt = -1
+			}
+			st.runningAt = ev.Time
+			st.br.Workers[ev.Worker] = true
+		case Preempt:
+			if st.runningAt >= 0 {
+				run := ev.Time - st.runningAt
+				st.br.Service += run
+				a.PerWorkerBusy[ev.Worker] += run
+				st.runningAt = -1
+			}
+			st.parkedAt = ev.Time
+			st.br.Preemptions++
+		case Complete:
+			if st.runningAt >= 0 {
+				run := ev.Time - st.runningAt
+				st.br.Service += run
+				a.PerWorkerBusy[ev.Worker] += run
+				st.runningAt = -1
+			}
+			st.br.Sojourn = ev.Time - st.submit
+			st.complete = true
+		}
+	}
+	ids := make([]uint64, 0, len(reqs))
+	for id, st := range reqs {
+		if st.complete {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		st := reqs[id]
+		a.Requests = append(a.Requests, st.br)
+		a.Sojourn.Record(int64(st.br.Sojourn))
+		a.FirstWait.Record(int64(st.br.FirstWait))
+		a.Service.Record(int64(st.br.Service))
+		a.WaitResume.Record(int64(st.br.WaitResume))
+		if len(st.br.Workers) > 1 {
+			a.Migrations++
+		}
+	}
+	return a
+}
+
+// SummaryTable renders the analysis as a result table.
+func (a *Analysis) SummaryTable() *stats.Table {
+	t := &stats.Table{
+		Title:   "scheduling trace summary",
+		Columns: []string{"metric", "mean_us", "p50_us", "p99_us"},
+	}
+	row := func(name string, h *stats.Histogram) {
+		t.AddRow(name, h.Mean()/1000, float64(h.Median())/1000, float64(h.P99())/1000)
+	}
+	row("sojourn", a.Sojourn)
+	row("first_wait", a.FirstWait)
+	row("service", a.Service)
+	row("preempted_wait", a.WaitResume)
+	return t
+}
+
+// WriteCSV streams the raw events as CSV.
+func WriteCSV(w io.Writer, events []Event) error {
+	if _, err := fmt.Fprintln(w, "time_ns,kind,req_id,class,worker"); err != nil {
+		return err
+	}
+	for _, ev := range events {
+		if _, err := fmt.Fprintf(w, "%d,%s,%d,%d,%d\n",
+			int64(ev.Time), ev.Kind, ev.ReqID, ev.Class, ev.Worker); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package schedtrace_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/schedtrace"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func traceRun(t *testing.T, quantum sim.Time) (*schedtrace.Recorder, *core.System) {
+	t.Helper()
+	rec := &schedtrace.Recorder{}
+	s := core.New(core.Config{
+		Workers: 2,
+		Quantum: quantum,
+		Mech:    core.MechUINTR,
+		Seed:    71,
+		Tracer:  rec,
+	})
+	gen := workload.NewOpenLoop(s.Eng, sim.NewRNG(72), sched.ClassLC,
+		[]workload.Phase{{Service: workload.A2(),
+			Rate: workload.RateForLoad(0.6, 2, workload.A2().Mean())}}, s.Submit)
+	gen.Start()
+	s.Eng.Run(50 * sim.Millisecond)
+	gen.Stop()
+	s.Eng.RunAll()
+	return rec, s
+}
+
+func TestRecorderCapturesLifecycle(t *testing.T) {
+	rec, s := traceRun(t, 20*sim.Microsecond)
+	counts := map[schedtrace.Kind]int{}
+	for _, ev := range rec.Events {
+		counts[ev.Kind]++
+	}
+	n := int(s.Metrics.Completed)
+	if counts[schedtrace.Submit] < n || counts[schedtrace.Dispatch] < n || counts[schedtrace.Complete] != n {
+		t.Fatalf("event counts %v vs completed %d", counts, n)
+	}
+	if counts[schedtrace.Start] < counts[schedtrace.Complete] {
+		t.Fatal("every completion needs at least one start")
+	}
+	if counts[schedtrace.Preempt] != int(s.Metrics.Preemptions) {
+		t.Fatalf("preempt events %d vs metric %d", counts[schedtrace.Preempt], s.Metrics.Preemptions)
+	}
+}
+
+func TestAnalyzeDecomposesSojourn(t *testing.T) {
+	rec, s := traceRun(t, 20*sim.Microsecond)
+	a := schedtrace.Analyze(rec.Events)
+	if len(a.Requests) != int(s.Metrics.Completed) {
+		t.Fatalf("analyzed %d of %d", len(a.Requests), s.Metrics.Completed)
+	}
+	// The decomposition must account for the sojourn: first wait +
+	// service + preempted wait <= sojourn (scheduling overheads fill
+	// the gap).
+	for _, br := range a.Requests {
+		sum := br.FirstWait + br.Service + br.WaitResume
+		if sum > br.Sojourn {
+			t.Fatalf("request %d: decomposition %v exceeds sojourn %v", br.ReqID, sum, br.Sojourn)
+		}
+		if br.Service <= 0 {
+			t.Fatalf("request %d has zero service", br.ReqID)
+		}
+	}
+	// Mean sojourn from the trace must match the system's histogram.
+	gotMean := a.Sojourn.Mean()
+	sysMean := s.Metrics.Latency.Mean()
+	if gotMean < sysMean*0.98 || gotMean > sysMean*1.02 {
+		t.Fatalf("trace mean %.0f vs system mean %.0f", gotMean, sysMean)
+	}
+	// Per-worker busy accounting covers both workers.
+	if len(a.PerWorkerBusy) != 2 {
+		t.Fatalf("busy accounting for %d workers", len(a.PerWorkerBusy))
+	}
+}
+
+func TestPreemptedRequestsHaveResumeWait(t *testing.T) {
+	rec, _ := traceRun(t, 10*sim.Microsecond)
+	a := schedtrace.Analyze(rec.Events)
+	found := false
+	for _, br := range a.Requests {
+		if br.Preemptions > 0 {
+			found = true
+			if br.WaitResume < 0 {
+				t.Fatal("negative resume wait")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no preempted requests in a heavy-tailed run with 10µs quanta")
+	}
+}
+
+func TestMigrationsCounted(t *testing.T) {
+	rec, _ := traceRun(t, 10*sim.Microsecond)
+	a := schedtrace.Analyze(rec.Events)
+	// With 2 workers and a centralized queue, preempted long requests
+	// should sometimes resume on the other worker.
+	if a.Migrations == 0 {
+		t.Fatal("no cross-worker migrations observed")
+	}
+}
+
+func TestAnalyzeSkipsIncomplete(t *testing.T) {
+	events := []schedtrace.Event{
+		{Time: 0, Kind: schedtrace.Submit, ReqID: 1},
+		{Time: 1, Kind: schedtrace.Dispatch, ReqID: 1},
+		{Time: 2, Kind: schedtrace.Start, ReqID: 1, Worker: 0},
+		// no Complete event
+	}
+	a := schedtrace.Analyze(events)
+	if len(a.Requests) != 0 {
+		t.Fatal("incomplete request analyzed")
+	}
+}
+
+func TestSummaryTable(t *testing.T) {
+	rec, _ := traceRun(t, 20*sim.Microsecond)
+	tb := schedtrace.Analyze(rec.Events).SummaryTable()
+	if len(tb.Rows) != 4 {
+		t.Fatalf("summary rows = %d", len(tb.Rows))
+	}
+	if tb.String() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	events := []schedtrace.Event{
+		{Time: 5, Kind: schedtrace.Submit, ReqID: 1, Class: 0, Worker: -1},
+		{Time: 9, Kind: schedtrace.Start, ReqID: 1, Class: 0, Worker: 2},
+	}
+	if err := schedtrace.WriteCSV(&sb, events); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "time_ns,kind,req_id,class,worker") ||
+		!strings.Contains(out, "5,submit,1,0,-1") ||
+		!strings.Contains(out, "9,start,1,0,2") {
+		t.Fatalf("csv output:\n%s", out)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range []schedtrace.Kind{
+		schedtrace.Submit, schedtrace.Dispatch, schedtrace.Start,
+		schedtrace.Preempt, schedtrace.Complete, schedtrace.Kind(99),
+	} {
+		if k.String() == "" {
+			t.Fatal("empty kind name")
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package shaping implements the traffic-shaping use case of §VII-C:
+// precisely timed packet pacing built on LibUtimer's fine-grained user
+// timers, compared against kernel-timer pacing. The accuracy of these
+// timed actions is what the paper argues hardware-assisted user timers
+// unlock for shaping, 5G scheduling, and real-time serving.
+//
+// Two pieces:
+//
+//   - TokenBucket: the classic shaping primitive (rate + burst), a pure
+//     data structure used by the pacer and directly by applications;
+//   - Pacer: emits transmissions at a target rate, driven either by
+//     LibUtimer deadlines or by a kernel timer, so experiments can
+//     quantify the conformance gap.
+package shaping
+
+import (
+	"math"
+
+	"repro/internal/hw"
+	"repro/internal/ktime"
+	"repro/internal/sim"
+	"repro/internal/uintr"
+	"repro/internal/utimer"
+)
+
+// TokenBucket is a token-bucket shaper: tokens accrue at Rate per
+// second up to Burst; each transmission takes one token.
+type TokenBucket struct {
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   sim.Time
+}
+
+// NewTokenBucket builds a bucket that starts full.
+func NewTokenBucket(rate, burst float64) *TokenBucket {
+	if rate <= 0 || burst <= 0 {
+		panic("shaping: rate and burst must be positive")
+	}
+	return &TokenBucket{rate: rate, burst: burst, tokens: burst}
+}
+
+// refill accrues tokens to now.
+func (b *TokenBucket) refill(now sim.Time) {
+	if now > b.last {
+		b.tokens += b.rate * (now - b.last).Seconds()
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+}
+
+// Take consumes one token if available, reporting success.
+func (b *TokenBucket) Take(now sim.Time) bool {
+	b.refill(now)
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}
+
+// NextAvailable reports when the next token will be available (now if
+// one already is).
+func (b *TokenBucket) NextAvailable(now sim.Time) sim.Time {
+	b.refill(now)
+	if b.tokens >= 1 {
+		return now
+	}
+	need := 1 - b.tokens
+	return now + sim.Time(need/b.rate*float64(sim.Second))
+}
+
+// Tokens reports the current token count (after refill to now).
+func (b *TokenBucket) Tokens(now sim.Time) float64 {
+	b.refill(now)
+	return b.tokens
+}
+
+// TimerKind selects the pacing timer mechanism.
+type TimerKind int
+
+const (
+	// UserTimer paces with LibUtimer deadline slots + UINTR.
+	UserTimer TimerKind = iota
+	// KernelTimer paces with a periodic kernel timer (floor + jitter +
+	// signal delivery).
+	KernelTimer
+)
+
+func (k TimerKind) String() string {
+	if k == UserTimer {
+		return "LibUtimer"
+	}
+	return "kernel"
+}
+
+// PacingResult summarizes a pacing run.
+type PacingResult struct {
+	Timer        TimerKind
+	TargetGapUs  float64
+	MeanGapUs    float64
+	StdUs        float64
+	MeanRelErr   float64
+	AchievedRate float64 // emissions per second
+}
+
+// RunPacing emits n transmissions at the target rate using the given
+// timer mechanism and reports conformance. Deterministic per seed.
+func RunPacing(kind TimerKind, rate float64, n int, seed uint64) PacingResult {
+	if rate <= 0 || n <= 1 {
+		panic("shaping: need positive rate and n > 1")
+	}
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(seed)
+	m := hw.NewMachine(eng, 2, hw.DefaultCosts(), rng)
+	gap := sim.Time(float64(sim.Second) / rate)
+
+	var emissions []sim.Time
+	record := func() { emissions = append(emissions, eng.Now()) }
+
+	switch kind {
+	case UserTimer:
+		u := utimer.New(m, rng.Stream(1), utimer.Config{})
+		var recv *uintr.Receiver
+		var slot *utimer.Slot
+		next := gap
+		recv = uintr.NewReceiver(m, rng.Stream(2), func(v uintr.Vector) {
+			record()
+			recv.UIRET()
+			if len(emissions) < n {
+				next += gap
+				slot.Arm(next)
+			}
+		})
+		fd, err := recv.CreateFD(0)
+		if err != nil {
+			panic(err)
+		}
+		slot = u.Register(fd)
+		slot.Arm(next)
+	case KernelTimer:
+		bus := ktime.NewSignalBus(m, rng.Stream(1))
+		var tm *ktime.KernelTimer
+		tm = ktime.NewKernelTimer(m, rng.Stream(2), bus, gap, func(sim.Time) {
+			record()
+			if len(emissions) >= n {
+				tm.Disarm()
+			}
+		})
+		tm.Arm(0)
+	default:
+		panic("shaping: unknown timer kind")
+	}
+
+	for len(emissions) < n {
+		eng.Run(eng.Now() + 50*sim.Millisecond)
+		if eng.Pending() == 0 {
+			break
+		}
+	}
+
+	var sum, sumSq, rel float64
+	count := 0
+	for i := 1; i < len(emissions); i++ {
+		g := float64(emissions[i] - emissions[i-1])
+		sum += g
+		sumSq += g * g
+		rel += math.Abs(g-float64(gap)) / float64(gap)
+		count++
+	}
+	if count == 0 {
+		return PacingResult{Timer: kind, TargetGapUs: gap.Micros()}
+	}
+	mean := sum / float64(count)
+	variance := sumSq/float64(count) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return PacingResult{
+		Timer:        kind,
+		TargetGapUs:  gap.Micros(),
+		MeanGapUs:    mean / 1000,
+		StdUs:        math.Sqrt(variance) / 1000,
+		MeanRelErr:   rel / float64(count),
+		AchievedRate: 1e9 / mean,
+	}
+}

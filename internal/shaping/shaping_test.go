@@ -1,0 +1,149 @@
+package shaping
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestTokenBucketBasics(t *testing.T) {
+	b := NewTokenBucket(1000, 10) // 1k tokens/s, burst 10
+	// Starts full: 10 takes succeed immediately.
+	for i := 0; i < 10; i++ {
+		if !b.Take(0) {
+			t.Fatalf("take %d failed on full bucket", i)
+		}
+	}
+	if b.Take(0) {
+		t.Fatal("take succeeded on empty bucket")
+	}
+	// After 1ms, one token has accrued.
+	if !b.Take(sim.Millisecond) {
+		t.Fatal("token did not accrue")
+	}
+	if b.Take(sim.Millisecond) {
+		t.Fatal("second take should fail")
+	}
+}
+
+func TestTokenBucketCapsAtBurst(t *testing.T) {
+	b := NewTokenBucket(1e6, 5)
+	b.Take(0)
+	// A long idle period must not accumulate beyond burst.
+	if got := b.Tokens(10 * sim.Second); got != 5 {
+		t.Fatalf("tokens = %f, want cap 5", got)
+	}
+}
+
+func TestTokenBucketNextAvailable(t *testing.T) {
+	b := NewTokenBucket(1000, 1)
+	if !b.Take(0) {
+		t.Fatal("initial take failed")
+	}
+	next := b.NextAvailable(0)
+	if next != sim.Millisecond {
+		t.Fatalf("NextAvailable = %v, want 1ms", next)
+	}
+	if !b.Take(next) {
+		t.Fatal("take at NextAvailable failed")
+	}
+	if b.NextAvailable(next) == next {
+		t.Fatal("bucket should be empty again")
+	}
+}
+
+// Property: over any take sequence, the number of successful takes in
+// [0, T] never exceeds burst + rate·T (the shaping guarantee).
+func TestTokenBucketConformanceProperty(t *testing.T) {
+	f := func(times []uint32) bool {
+		const rate, burst = 10000.0, 8.0
+		b := NewTokenBucket(rate, burst)
+		var last sim.Time
+		taken := 0
+		var maxT sim.Time
+		for _, raw := range times {
+			now := last + sim.Time(raw%100000)
+			last = now
+			if b.Take(now) {
+				taken++
+			}
+			if now > maxT {
+				maxT = now
+			}
+		}
+		bound := burst + rate*maxT.Seconds() + 1e-6
+		return float64(taken) <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTokenBucketValidation(t *testing.T) {
+	for _, tc := range []struct{ r, b float64 }{{0, 1}, {1, 0}, {-1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTokenBucket(%f,%f) did not panic", tc.r, tc.b)
+				}
+			}()
+			NewTokenBucket(tc.r, tc.b)
+		}()
+	}
+}
+
+func TestPacingUserTimerPrecision(t *testing.T) {
+	// 50k pps pacing = 20µs gaps: LibUtimer must hold ~1-3% error.
+	res := RunPacing(UserTimer, 50000, 2000, 1)
+	if math.Abs(res.MeanGapUs-20) > 1 {
+		t.Fatalf("mean gap = %.2fµs, want ~20", res.MeanGapUs)
+	}
+	if res.MeanRelErr > 0.06 {
+		t.Fatalf("rel err = %.3f", res.MeanRelErr)
+	}
+	if math.Abs(res.AchievedRate-50000)/50000 > 0.02 {
+		t.Fatalf("achieved rate = %.0f", res.AchievedRate)
+	}
+}
+
+func TestPacingKernelTimerCannotShape20us(t *testing.T) {
+	// The kernel timer floors at ~60µs: a 50k pps target collapses to
+	// ~16k pps (the Fig. 12 phenomenon applied to shaping).
+	res := RunPacing(KernelTimer, 50000, 500, 2)
+	if res.AchievedRate > 25000 {
+		t.Fatalf("kernel pacing achieved %.0f pps at a 50k target — should be floored", res.AchievedRate)
+	}
+	if res.MeanGapUs < 50 {
+		t.Fatalf("mean gap = %.1fµs, want >= kernel floor", res.MeanGapUs)
+	}
+}
+
+func TestPacingKernelOKAtCoarseRates(t *testing.T) {
+	// At 5k pps (200µs gaps) the kernel timer works but jitters more
+	// than LibUtimer.
+	k := RunPacing(KernelTimer, 5000, 800, 3)
+	u := RunPacing(UserTimer, 5000, 800, 3)
+	if math.Abs(k.MeanGapUs-200) > 20 {
+		t.Fatalf("kernel mean gap = %.1f", k.MeanGapUs)
+	}
+	if u.MeanRelErr >= k.MeanRelErr {
+		t.Fatalf("LibUtimer rel err %.4f not better than kernel %.4f", u.MeanRelErr, k.MeanRelErr)
+	}
+}
+
+func TestPacingValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RunPacing(UserTimer, 0, 10, 1)
+}
+
+func TestTimerKindString(t *testing.T) {
+	if UserTimer.String() == "" || KernelTimer.String() == "" {
+		t.Fatal("names broken")
+	}
+}

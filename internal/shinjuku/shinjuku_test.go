@@ -1,0 +1,128 @@
+package shinjuku
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func runOpenLoop(s *System, service sim.Dist, rate float64, dur sim.Time, seed uint64) {
+	gen := workload.NewOpenLoop(s.Eng, sim.NewRNG(seed), sched.ClassLC,
+		[]workload.Phase{{Service: service, Rate: rate}}, s.Submit)
+	gen.Start()
+	s.Eng.Run(dur)
+	gen.Stop()
+	s.Eng.RunAll()
+}
+
+func TestBasicCompletion(t *testing.T) {
+	s := New(Config{Workers: 2, Quantum: 0, Seed: 1})
+	r := sched.NewRequest(1, sched.ClassLC, 0, 10*sim.Microsecond)
+	s.Submit(r)
+	s.Eng.RunAll()
+	if !r.Done() || s.Metrics.Completed != 1 {
+		t.Fatal("request did not complete")
+	}
+	if s.InFlight() != 0 {
+		t.Fatal("in-flight count wrong")
+	}
+}
+
+func TestPreemptionViaIPI(t *testing.T) {
+	s := New(Config{Workers: 1, Quantum: 10 * sim.Microsecond, Seed: 2})
+	long := sched.NewRequest(1, sched.ClassLC, 0, 100*sim.Microsecond)
+	s.Submit(long)
+	s.Eng.RunAll()
+	if long.Preemptions < 4 {
+		t.Fatalf("preemptions = %d", long.Preemptions)
+	}
+	if s.Metrics.IPISends < 4 {
+		t.Fatalf("IPI sends = %d", s.Metrics.IPISends)
+	}
+}
+
+func TestAPICLimitEnforced(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic above the APIC limit")
+		}
+	}()
+	New(Config{Workers: MaxAPICTargets + 1, Seed: 3})
+}
+
+func TestShinjukuPreemptionCostsMoreThanUINTRWould(t *testing.T) {
+	// A single preempted-once request pays IPIHandler + CtxSwitch of
+	// worker-side overhead per preemption (the IPI delivery latency is
+	// not lost time — the request keeps executing until the handler
+	// runs). This is several times LibPreemptible's UINTR handler cost,
+	// the per-preemption gap Fig. 1 (right) highlights.
+	s := New(Config{Workers: 1, Quantum: 50 * sim.Microsecond, Seed: 4})
+	r := sched.NewRequest(1, sched.ClassLC, 0, 80*sim.Microsecond)
+	s.Submit(r)
+	s.Eng.RunAll()
+	overhead := r.Latency() - 80*sim.Microsecond
+	wantMin := s.M.Costs.IPIHandler + s.M.Costs.CtxSwitch
+	if overhead < wantMin {
+		t.Fatalf("preemption overhead %v below handler+ctx cost %v", overhead, wantMin)
+	}
+	if overhead > 10*sim.Microsecond {
+		t.Fatalf("preemption overhead %v suspiciously high", overhead)
+	}
+}
+
+func TestAllCompleteUnderLoad(t *testing.T) {
+	s := New(Config{Workers: 5, Quantum: 10 * sim.Microsecond, Seed: 5})
+	rate := workload.RateForLoad(0.6, 5, workload.A2().Mean())
+	runOpenLoop(s, workload.A2(), rate, 200*sim.Millisecond, 55)
+	if s.InFlight() != 0 {
+		t.Fatalf("%d stuck requests", s.InFlight())
+	}
+	if s.Metrics.Completed < 1000 {
+		t.Fatalf("completed %d", s.Metrics.Completed)
+	}
+	if s.Throughput() == 0 || s.QueueLen() != 0 {
+		t.Fatal("metrics inconsistent")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (uint64, int64) {
+		s := New(Config{Workers: 5, Quantum: 5 * sim.Microsecond, Seed: 7})
+		rate := workload.RateForLoad(0.7, 5, workload.A1().Mean())
+		runOpenLoop(s, workload.A1(), rate, 100*sim.Millisecond, 77)
+		return s.Metrics.Completed, s.Metrics.Latency.P99()
+	}
+	c1, p1 := run()
+	c2, p2 := run()
+	if c1 != c2 || p1 != p2 {
+		t.Fatalf("nondeterministic: (%d,%d) vs (%d,%d)", c1, p1, c2, p2)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{Workers: 0})
+}
+
+func TestSubmitNilPanics(t *testing.T) {
+	s := New(Config{Workers: 1, Seed: 8})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Submit(nil)
+}
+
+func TestAccessors(t *testing.T) {
+	s := New(Config{Workers: 3, Quantum: 7 * sim.Microsecond, Seed: 9})
+	if s.Workers() != 3 || s.Quantum() != 7*sim.Microsecond {
+		t.Fatal("accessors wrong")
+	}
+}

@@ -1,0 +1,79 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineScheduleRun measures raw event throughput: the cost of
+// scheduling and firing one event (the simulator's unit of work).
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.Schedule(1, tick)
+		}
+	}
+	e.Schedule(1, tick)
+	b.ResetTimer()
+	e.RunAll()
+}
+
+// BenchmarkEngineCancel measures the cancel-before-fire path used by
+// every preemption.
+func BenchmarkEngineCancel(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev := e.Schedule(1000, func() {})
+		e.Cancel(ev)
+		if i%1024 == 0 {
+			e.Run(e.Now()) // drain cancelled events
+		}
+	}
+}
+
+// BenchmarkRNGUint64 measures the base generator.
+func BenchmarkRNGUint64(b *testing.B) {
+	rng := NewRNG(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= rng.Uint64()
+	}
+	_ = sink
+}
+
+// BenchmarkRNGExp measures exponential sampling (every arrival draws
+// one).
+func BenchmarkRNGExp(b *testing.B) {
+	rng := NewRNG(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += rng.Exp(5000)
+	}
+	_ = sink
+}
+
+// BenchmarkZipfSample measures key-popularity sampling (every MICA
+// request draws one).
+func BenchmarkZipfSample(b *testing.B) {
+	z := NewZipf(100000, 0.99)
+	rng := NewRNG(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink ^= z.Sample(rng)
+	}
+	_ = sink
+}
+
+// BenchmarkBimodalSample measures the A1/A2 service-time draw.
+func BenchmarkBimodalSample(b *testing.B) {
+	d := Bimodal{PShort: 0.995, Short: 500, Long: 500000}
+	rng := NewRNG(1)
+	var sink Time
+	for i := 0; i < b.N; i++ {
+		sink ^= d.Sample(rng)
+	}
+	_ = sink
+}

@@ -1,0 +1,76 @@
+package sim
+
+import "testing"
+
+func TestDaemonEventsDoNotBlockDrain(t *testing.T) {
+	e := NewEngine()
+	ticks := 0
+	var tick func()
+	tick = func() {
+		ticks++
+		e.ScheduleDaemon(100, tick) // self-perpetuating daemon
+	}
+	e.ScheduleDaemon(100, tick)
+	done := false
+	e.Schedule(450, func() { done = true })
+	e.RunAll()
+	if !done {
+		t.Fatal("work event did not run")
+	}
+	// Daemons fired while work was pending, then the drain stopped.
+	if ticks != 4 {
+		t.Fatalf("daemon ticked %d times, want 4 (at 100..400)", ticks)
+	}
+	if e.Now() != 450 {
+		t.Fatalf("clock = %v", e.Now())
+	}
+}
+
+func TestDaemonEventsRunUnderFiniteBound(t *testing.T) {
+	e := NewEngine()
+	ticks := 0
+	var tick func()
+	tick = func() {
+		ticks++
+		e.ScheduleDaemon(100, tick)
+	}
+	e.ScheduleDaemon(100, tick)
+	e.Run(1000)
+	if ticks != 10 {
+		t.Fatalf("daemon ticked %d times under finite Run, want 10", ticks)
+	}
+}
+
+func TestCancelDaemonEvent(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.ScheduleDaemon(10, func() { fired = true })
+	e.Cancel(ev)
+	e.Schedule(20, func() {})
+	e.RunAll()
+	if fired {
+		t.Fatal("cancelled daemon fired")
+	}
+}
+
+func TestCancelIsIdempotentForWorkAccounting(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(10, func() {})
+	e.Cancel(ev)
+	e.Cancel(ev) // double cancel must not corrupt the work counter
+	done := false
+	e.Schedule(5, func() { done = true })
+	e.RunAll()
+	if !done {
+		t.Fatal("work counter corrupted by double cancel")
+	}
+}
+
+func TestDaemonNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewEngine().ScheduleDaemon(-1, func() {})
+}

@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dist is a distribution of virtual durations. Implementations must be
+// deterministic given the RNG stream they draw from.
+type Dist interface {
+	// Sample draws one value using rng.
+	Sample(rng *RNG) Time
+	// Mean returns the distribution's analytic mean.
+	Mean() Time
+	// String describes the distribution for experiment labels.
+	String() string
+}
+
+// Fixed is a degenerate distribution: every sample equals V.
+type Fixed struct{ V Time }
+
+func (f Fixed) Sample(*RNG) Time { return f.V }
+func (f Fixed) Mean() Time       { return f.V }
+func (f Fixed) String() string   { return fmt.Sprintf("fixed(%v)", f.V) }
+
+// Exponential samples Exp(MeanV).
+type Exponential struct{ MeanV Time }
+
+func (e Exponential) Sample(rng *RNG) Time {
+	return Time(math.Max(1, rng.Exp(float64(e.MeanV))))
+}
+func (e Exponential) Mean() Time     { return e.MeanV }
+func (e Exponential) String() string { return fmt.Sprintf("exp(mean=%v)", e.MeanV) }
+
+// Bimodal samples Short with probability PShort, else Long. The paper's
+// workload A1 is Bimodal{0.995, 500ns, 500µs}; A2 is
+// Bimodal{0.995, 5µs, 500µs}.
+type Bimodal struct {
+	PShort      float64
+	Short, Long Time
+}
+
+func (b Bimodal) Sample(rng *RNG) Time {
+	if rng.Bernoulli(b.PShort) {
+		return b.Short
+	}
+	return b.Long
+}
+
+func (b Bimodal) Mean() Time {
+	return Time(b.PShort*float64(b.Short) + (1-b.PShort)*float64(b.Long))
+}
+
+func (b Bimodal) String() string {
+	return fmt.Sprintf("bimodal(%.1f%% %v, %.1f%% %v)",
+		100*b.PShort, b.Short, 100*(1-b.PShort), b.Long)
+}
+
+// ParetoDist samples a (bounded) Pareto with tail index Alpha and scale
+// XMin. Cap truncates extreme draws; Cap == 0 means unbounded.
+type ParetoDist struct {
+	Alpha float64
+	XMin  Time
+	Cap   Time
+}
+
+func (p ParetoDist) Sample(rng *RNG) Time {
+	v := Time(rng.Pareto(p.Alpha, float64(p.XMin)))
+	if p.Cap > 0 && v > p.Cap {
+		v = p.Cap
+	}
+	return v
+}
+
+func (p ParetoDist) Mean() Time {
+	if p.Alpha <= 1 {
+		if p.Cap > 0 {
+			// Mean of a Pareto truncated at Cap.
+			a, xm, c := p.Alpha, float64(p.XMin), float64(p.Cap)
+			if a == 1 {
+				return Time(xm * (1 + math.Log(c/xm)))
+			}
+			return Time(xm * a / (a - 1) * (1 - math.Pow(xm/c, a-1)) / (1 - math.Pow(xm/c, a)))
+		}
+		return MaxTime
+	}
+	return Time(p.Alpha * float64(p.XMin) / (p.Alpha - 1))
+}
+
+func (p ParetoDist) String() string {
+	return fmt.Sprintf("pareto(α=%.2f, xmin=%v)", p.Alpha, p.XMin)
+}
+
+// LognormalDist samples a lognormal with the given median and sigma
+// (shape). Used to model request dispersion in application substrates.
+type LognormalDist struct {
+	Median Time
+	Sigma  float64
+}
+
+func (l LognormalDist) Sample(rng *RNG) Time {
+	v := rng.Lognormal(math.Log(float64(l.Median)), l.Sigma)
+	if v < 1 {
+		v = 1
+	}
+	return Time(v)
+}
+
+func (l LognormalDist) Mean() Time {
+	return Time(float64(l.Median) * math.Exp(l.Sigma*l.Sigma/2))
+}
+
+func (l LognormalDist) String() string {
+	return fmt.Sprintf("lognormal(median=%v, σ=%.2f)", l.Median, l.Sigma)
+}
+
+// Zipf generates integer ranks in [0, N) with P(k) ∝ 1/(k+1)^S, using
+// rejection-inversion (Hörmann). It is the key-popularity distribution
+// for the MICA workload (S = 0.99 in the paper's setup).
+type Zipf struct {
+	n           int
+	s           float64
+	oneMinusS   float64
+	hIntegralX1 float64
+	hIntegralN  float64
+	sDiv        float64
+}
+
+// NewZipf returns a Zipf sampler over [0, n) with exponent s. It panics
+// for n <= 0 or s < 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("sim: Zipf with n <= 0")
+	}
+	if s < 0 {
+		panic("sim: Zipf with s < 0")
+	}
+	z := &Zipf{n: n, s: s, oneMinusS: 1 - s}
+	z.hIntegralX1 = z.hIntegral(1.5) - 1
+	z.hIntegralN = z.hIntegral(float64(n) + 0.5)
+	z.sDiv = 2 - z.hIntegralInv(z.hIntegral(2.5)-z.h(2))
+	return z
+}
+
+// helper: H(x) = integral of h(x) = x^(1-s)/(1-s) (or log x when s == 1).
+func (z *Zipf) hIntegral(x float64) float64 {
+	logX := math.Log(x)
+	return helper2(z.oneMinusS*logX) * logX
+}
+
+func (z *Zipf) h(x float64) float64 { return math.Exp(-z.s * math.Log(x)) }
+
+func (z *Zipf) hIntegralInv(x float64) float64 {
+	t := x * z.oneMinusS
+	if t < -1 {
+		t = -1
+	}
+	return math.Exp(helper1(t) * x)
+}
+
+// helper1(x) = log1p(x)/x, stable near zero.
+func helper1(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Log1p(x) / x
+	}
+	return 1 - x*(0.5-x*(1/3.0-x*0.25))
+}
+
+// helper2(x) = expm1(x)/x, stable near zero.
+func helper2(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Expm1(x) / x
+	}
+	return 1 + x*0.5*(1+x/3.0*(1+x*0.25))
+}
+
+// Sample draws a rank in [0, n).
+func (z *Zipf) Sample(rng *RNG) int {
+	for {
+		u := z.hIntegralN + rng.Float64()*(z.hIntegralX1-z.hIntegralN)
+		x := z.hIntegralInv(u)
+		k := math.Floor(x + 0.5)
+		if k < 1 {
+			k = 1
+		} else if k > float64(z.n) {
+			k = float64(z.n)
+		}
+		if k-x <= z.sDiv || u >= z.hIntegral(k+0.5)-z.h(k) {
+			return int(k) - 1
+		}
+	}
+}
+
+// N reports the support size.
+func (z *Zipf) N() int { return z.n }
+
+// S reports the exponent.
+func (z *Zipf) S() float64 { return z.s }

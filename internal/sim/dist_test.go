@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sampleMean(d Dist, rng *RNG, n int) float64 {
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(d.Sample(rng))
+	}
+	return sum / float64(n)
+}
+
+func TestFixedDist(t *testing.T) {
+	d := Fixed{V: 42}
+	rng := NewRNG(1)
+	for i := 0; i < 10; i++ {
+		if v := d.Sample(rng); v != 42 {
+			t.Fatalf("Fixed sample = %v, want 42", v)
+		}
+	}
+	if d.Mean() != 42 {
+		t.Fatalf("Fixed mean = %v", d.Mean())
+	}
+}
+
+func TestExponentialDistMean(t *testing.T) {
+	d := Exponential{MeanV: 5 * Microsecond}
+	got := sampleMean(d, NewRNG(2), 100000)
+	want := float64(5 * Microsecond)
+	if math.Abs(got-want)/want > 0.02 {
+		t.Fatalf("exp sample mean = %.0f, want ~%.0f", got, want)
+	}
+}
+
+func TestBimodalDistMeanAndProportion(t *testing.T) {
+	d := Bimodal{PShort: 0.995, Short: 500 * Nanosecond, Long: 500 * Microsecond}
+	rng := NewRNG(3)
+	const n = 200000
+	short := 0
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := d.Sample(rng)
+		if v == d.Short {
+			short++
+		}
+		sum += float64(v)
+	}
+	frac := float64(short) / n
+	if math.Abs(frac-0.995) > 0.002 {
+		t.Fatalf("short fraction = %f, want ~0.995", frac)
+	}
+	want := float64(d.Mean())
+	if math.Abs(sum/n-want)/want > 0.05 {
+		t.Fatalf("bimodal sample mean = %.0f, want ~%.0f", sum/n, want)
+	}
+}
+
+func TestParetoDistTailIsHeavy(t *testing.T) {
+	d := ParetoDist{Alpha: 1.2, XMin: Microsecond}
+	rng := NewRNG(4)
+	const n = 100000
+	over10x := 0
+	for i := 0; i < n; i++ {
+		if d.Sample(rng) > 10*Microsecond {
+			over10x++
+		}
+	}
+	// P(X > 10 xmin) = 10^-1.2 ≈ 0.063.
+	frac := float64(over10x) / n
+	if math.Abs(frac-math.Pow(10, -1.2)) > 0.01 {
+		t.Fatalf("P(X>10xmin) = %f, want ~%f", frac, math.Pow(10, -1.2))
+	}
+}
+
+func TestParetoDistCap(t *testing.T) {
+	d := ParetoDist{Alpha: 0.9, XMin: Microsecond, Cap: Millisecond}
+	rng := NewRNG(5)
+	for i := 0; i < 100000; i++ {
+		if v := d.Sample(rng); v > Millisecond {
+			t.Fatalf("capped Pareto exceeded cap: %v", v)
+		}
+	}
+}
+
+func TestLognormalMedian(t *testing.T) {
+	d := LognormalDist{Median: 10 * Microsecond, Sigma: 1.0}
+	rng := NewRNG(6)
+	const n = 100000
+	below := 0
+	for i := 0; i < n; i++ {
+		if d.Sample(rng) < d.Median {
+			below++
+		}
+	}
+	if frac := float64(below) / n; math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("P(X < median) = %f, want ~0.5", frac)
+	}
+}
+
+func TestZipfRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		z := NewZipf(1000, 0.99)
+		rng := NewRNG(seed)
+		for i := 0; i < 500; i++ {
+			k := z.Sample(rng)
+			if k < 0 || k >= 1000 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(10000, 0.99)
+	rng := NewRNG(8)
+	const n = 200000
+	counts := make([]int, 10000)
+	for i := 0; i < n; i++ {
+		counts[z.Sample(rng)]++
+	}
+	// Rank 0 must be the most popular and far above the median rank.
+	if counts[0] <= counts[5000]*10 {
+		t.Fatalf("zipf not skewed: rank0=%d rank5000=%d", counts[0], counts[5000])
+	}
+	// Frequency ratio rank0/rank1 should approximate 2^0.99 ≈ 1.99.
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 1.5 || ratio > 2.6 {
+		t.Fatalf("zipf rank0/rank1 ratio = %f, want ~2", ratio)
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	z := NewZipf(100, 0)
+	rng := NewRNG(9)
+	counts := make([]int, 100)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Sample(rng)]++
+	}
+	for k, c := range counts {
+		if math.Abs(float64(c)-n/100.0) > n/100.0*0.25 {
+			t.Fatalf("s=0 zipf not uniform at rank %d: %d", k, c)
+		}
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		s float64
+	}{{0, 1}, {-1, 1}, {10, -0.5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(%d, %f) did not panic", tc.n, tc.s)
+				}
+			}()
+			NewZipf(tc.n, tc.s)
+		}()
+	}
+}
+
+func TestDistStringsNonEmpty(t *testing.T) {
+	for _, d := range []Dist{
+		Fixed{1}, Exponential{Microsecond},
+		Bimodal{0.9, 1, 2}, ParetoDist{1.5, 1, 0},
+		LognormalDist{Microsecond, 1},
+	} {
+		if d.String() == "" {
+			t.Fatalf("%T has empty String()", d)
+		}
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	if (5 * Microsecond).Micros() != 5 {
+		t.Fatal("Micros conversion wrong")
+	}
+	if (2 * Second).Seconds() != 2 {
+		t.Fatal("Seconds conversion wrong")
+	}
+	if (1500 * Nanosecond).Duration().Nanoseconds() != 1500 {
+		t.Fatal("Duration conversion wrong")
+	}
+}

@@ -1,0 +1,227 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine advances a virtual clock measured in integer nanoseconds and
+// executes scheduled events in (time, sequence) order. Events may be
+// cancelled before they fire, which is how the machine model implements
+// preemption: a task's completion event is cancelled when a quantum
+// deadline interrupt arrives first.
+//
+// Determinism: for a fixed seed and identical sequences of Schedule calls,
+// a run produces byte-identical results. Ties in event time are broken by
+// the monotonically increasing sequence number assigned at scheduling
+// time, never by map iteration or goroutine interleaving. The engine is
+// single-threaded by design.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. It is deliberately a distinct type from time.Duration to
+// prevent accidentally mixing virtual and wall-clock quantities.
+type Time int64
+
+// Common durations expressed in virtual-time units.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable virtual time. Run(MaxTime) drains
+// the event queue completely.
+const MaxTime = Time(math.MaxInt64)
+
+// Duration converts a virtual duration to a time.Duration for printing.
+func (t Time) Duration() time.Duration { return time.Duration(int64(t)) }
+
+// Micros reports t in (possibly fractional) microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Seconds reports t in (possibly fractional) seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+func (t Time) String() string {
+	return t.Duration().String()
+}
+
+// Event is a scheduled callback. The zero Event is invalid; events are
+// created only through Engine.Schedule/At.
+type Event struct {
+	when      Time
+	seq       uint64
+	index     int // heap index, -1 when not queued
+	cancelled bool
+	daemon    bool
+	fn        func()
+}
+
+// When reports the virtual time at which the event fires (or would have
+// fired, if cancelled).
+func (e *Event) When() Time { return e.when }
+
+// Cancelled reports whether Cancel was called before the event fired.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// call NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	fired   uint64
+	work    int // pending non-daemon, non-cancelled events
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at zero and an empty queue.
+func NewEngine() *Engine {
+	return &Engine{queue: make(eventHeap, 0, 1024)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are queued (including cancelled events
+// not yet removed).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule queues fn to run after delay. A negative delay is an error in
+// the caller; Schedule panics to surface the bug immediately.
+func (e *Engine) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At queues fn to run at absolute virtual time t, which must not be in
+// the past.
+func (e *Engine) At(t Time, fn func()) *Event {
+	ev := e.at(t, fn)
+	e.work++
+	return ev
+}
+
+// ScheduleDaemon queues fn to run after delay as a daemon event: it
+// fires like any other event, but pending daemon events do not keep Run
+// alive — Run(MaxTime) returns once only daemons remain. Use for
+// periodic background services (controllers, monitors) that would
+// otherwise make drain loops run forever.
+func (e *Engine) ScheduleDaemon(delay Time, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	ev := e.at(e.now+delay, fn)
+	ev.daemon = true
+	return ev
+}
+
+func (e *Engine) at(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %d before now %d", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	ev := &Event{when: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Cancel marks ev so it will not fire. Cancelling an already-fired or
+// already-cancelled event is a no-op. The event stays in the queue and is
+// discarded lazily when popped, which keeps Cancel O(1).
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancelled || ev.fn == nil {
+		return
+	}
+	if !ev.daemon {
+		e.work--
+	}
+	ev.cancelled = true
+	ev.fn = nil
+}
+
+// Stop makes the current Run return after the in-flight event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in order until the queue is empty or the next event
+// is later than until. The clock is left at the time of the last executed
+// event (or at until if that is earlier than the next pending event, so
+// that repeated Run calls advance monotonically). When until is MaxTime,
+// Run returns once only daemon events remain (see ScheduleDaemon).
+func (e *Engine) Run(until Time) {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		if until == MaxTime && e.work == 0 {
+			break
+		}
+		next := e.queue[0]
+		if next.cancelled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.when > until {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = next.when
+		fn := next.fn
+		next.fn = nil
+		if !next.daemon {
+			e.work--
+		}
+		e.fired++
+		fn()
+	}
+	if e.now < until && until != MaxTime {
+		e.now = until
+	}
+}
+
+// RunAll drains the queue completely.
+func (e *Engine) RunAll() { e.Run(MaxTime) }
+
+// eventHeap orders events by (when, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

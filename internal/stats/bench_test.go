@@ -1,0 +1,57 @@
+package stats
+
+import "testing"
+
+// BenchmarkHistogramRecord measures the per-completion accounting cost.
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i%1000000 + 1))
+	}
+}
+
+// BenchmarkHistogramQuantile measures percentile queries over a loaded
+// histogram.
+func BenchmarkHistogramQuantile(b *testing.B) {
+	h := NewHistogram()
+	for i := int64(0); i < 1000000; i++ {
+		h.Record(i % 777777)
+	}
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink ^= h.Quantile(0.99)
+	}
+	_ = sink
+}
+
+// BenchmarkHillTailIndex measures the controller's tail fit on a
+// typical window.
+func BenchmarkHillTailIndex(b *testing.B) {
+	samples := make([]float64, 5000)
+	for i := range samples {
+		samples[i] = float64(i%997 + 1)
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += HillTailIndex(samples, 250)
+	}
+	_ = sink
+}
+
+// BenchmarkQuantileTailIndex measures the robust classifier used by
+// Algorithm 1 on large windows.
+func BenchmarkQuantileTailIndex(b *testing.B) {
+	samples := make([]float64, 5000)
+	for i := range samples {
+		samples[i] = float64(i%997 + 1)
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += QuantileTailIndex(samples)
+	}
+	_ = sink
+}

@@ -1,0 +1,288 @@
+// Package stats provides the measurement substrate for the
+// reproduction: high-dynamic-range latency histograms, percentile
+// queries, time-series recorders, and the Hill tail-index estimator used
+// by the adaptive quantum controller (Algorithm 1 in the paper).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// Histogram records int64 values (virtual nanoseconds in this repo) with
+// bounded relative error, in the style of HDR histograms: values are
+// bucketed logarithmically by magnitude and linearly within a magnitude,
+// giving a worst-case relative quantization error of 1/2^subBits.
+//
+// The zero value is not usable; call NewHistogram. Histograms are not
+// safe for concurrent use: the simulator is single-threaded, and the
+// live library keeps one per worker and merges.
+type Histogram struct {
+	subBits  uint
+	subCount int
+	buckets  []uint64
+	count    uint64
+	sum      int64
+	min, max int64
+}
+
+const defaultSubBits = 7 // <1% relative error
+
+// NewHistogram returns an empty histogram with default precision
+// (relative error below 1%).
+func NewHistogram() *Histogram { return NewHistogramPrecision(defaultSubBits) }
+
+// NewHistogramPrecision returns an empty histogram whose relative
+// quantization error is bounded by 1/2^subBits. subBits must be in
+// [1, 20].
+func NewHistogramPrecision(subBits uint) *Histogram {
+	if subBits < 1 || subBits > 20 {
+		panic(fmt.Sprintf("stats: subBits %d out of range [1,20]", subBits))
+	}
+	return &Histogram{
+		subBits:  subBits,
+		subCount: 1 << subBits,
+		buckets:  make([]uint64, (64-int(subBits))*(1<<subBits)),
+		min:      math.MaxInt64,
+		max:      math.MinInt64,
+	}
+}
+
+// bucketIndex maps v >= 0 to a bucket.
+func (h *Histogram) bucketIndex(v int64) int {
+	u := uint64(v)
+	if u < uint64(h.subCount) {
+		return int(u)
+	}
+	// magnitude = index of highest set bit above subBits
+	mag := bits.Len64(u) - int(h.subBits) - 1
+	sub := int(u >> uint(mag) & uint64(h.subCount-1))
+	return (mag+1)*h.subCount + sub
+}
+
+// bucketLow returns the lowest value mapping to bucket i; bucketMid the
+// representative value reported for percentiles.
+func (h *Histogram) bucketMid(i int) int64 {
+	if i < h.subCount {
+		return int64(i)
+	}
+	mag := i/h.subCount - 1
+	sub := i % h.subCount
+	low := (uint64(h.subCount) | uint64(sub)) << uint(mag)
+	width := uint64(1) << uint(mag)
+	return int64(low + width/2)
+}
+
+// Record adds one observation. Negative values are clamped to zero (they
+// indicate a measurement bug elsewhere, but must not corrupt the
+// histogram).
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[h.bucketIndex(v)]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count reports the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum reports the sum of recorded observations.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Mean reports the arithmetic mean, or 0 for an empty histogram.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Min reports the smallest recorded value (0 for empty).
+func (h *Histogram) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max reports the largest recorded value (0 for empty).
+func (h *Histogram) Max() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns the value at quantile q in [0, 1]. For q outside the
+// range it is clamped. Empty histograms return 0.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum >= target {
+			v := h.bucketMid(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Median is Quantile(0.5).
+func (h *Histogram) Median() int64 { return h.Quantile(0.5) }
+
+// P99 is Quantile(0.99).
+func (h *Histogram) P99() int64 { return h.Quantile(0.99) }
+
+// P999 is Quantile(0.999).
+func (h *Histogram) P999() int64 { return h.Quantile(0.999) }
+
+// Merge adds all of other's observations into h. Both histograms must
+// have the same precision.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	if h.subBits != other.subBits {
+		panic("stats: merging histograms with different precision")
+	}
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Reset clears all observations, retaining precision.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+	h.count = 0
+	h.sum = 0
+	h.min = math.MaxInt64
+	h.max = math.MinInt64
+}
+
+// Snapshot summarizes a histogram at a point in time.
+type Snapshot struct {
+	Count            uint64
+	Mean             float64
+	Min, Median, P99 int64
+	P999, Max        int64
+}
+
+// Snapshot captures the current summary statistics.
+func (h *Histogram) Snapshot() Snapshot {
+	return Snapshot{
+		Count:  h.count,
+		Mean:   h.Mean(),
+		Min:    h.Min(),
+		Median: h.Median(),
+		P99:    h.P99(),
+		P999:   h.P999(),
+		Max:    h.Max(),
+	}
+}
+
+func (s Snapshot) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50=%d p99=%d p999=%d max=%d",
+		s.Count, s.Mean, s.Median, s.P99, s.P999, s.Max)
+}
+
+// ExactQuantile computes a quantile from raw samples (used by tests to
+// validate the histogram against ground truth, and by small experiments
+// where exactness matters more than memory).
+func ExactQuantile(samples []int64, q float64) int64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := make([]int64, len(samples))
+	copy(s, samples)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s[idx]
+}
+
+// CDFPoint is one point of a cumulative distribution export.
+type CDFPoint struct {
+	Value    int64
+	Fraction float64
+}
+
+// CDF exports the distribution at the given quantiles (sorted ascending
+// recommended), for plotting latency curves outside the harness.
+func (h *Histogram) CDF(quantiles []float64) []CDFPoint {
+	out := make([]CDFPoint, 0, len(quantiles))
+	for _, q := range quantiles {
+		out = append(out, CDFPoint{Value: h.Quantile(q), Fraction: q})
+	}
+	return out
+}
+
+// StdDev reports the standard deviation of recorded values (0 when
+// fewer than two observations). It is computed from the bucket
+// midpoints, so it carries the same ~1% relative quantization error as
+// quantiles.
+func (h *Histogram) StdDev() float64 {
+	if h.count < 2 {
+		return 0
+	}
+	mean := h.Mean()
+	var sumSq float64
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		d := float64(h.bucketMid(i)) - mean
+		sumSq += d * d * float64(c)
+	}
+	v := sumSq / float64(h.count)
+	return math.Sqrt(v)
+}

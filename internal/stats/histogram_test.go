@@ -1,0 +1,212 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	for i := int64(1); i <= 100; i++ {
+		h.Record(i)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("Min/Max = %d/%d", h.Min(), h.Max())
+	}
+	if h.Mean() != 50.5 {
+		t.Fatalf("Mean = %f", h.Mean())
+	}
+	if med := h.Median(); med < 49 || med > 51 {
+		t.Fatalf("Median = %d, want ~50", med)
+	}
+	if p99 := h.P99(); p99 < 98 || p99 > 100 {
+		t.Fatalf("P99 = %d, want ~99", p99)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-5)
+	if h.Min() != 0 {
+		t.Fatalf("negative record should clamp to 0, got min %d", h.Min())
+	}
+}
+
+// Property: histogram quantiles agree with exact quantiles within the
+// advertised relative error (1/2^7 < 1%) plus one representable step.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	f := func(raw []uint32, qSel uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		samples := make([]int64, len(raw))
+		for i, v := range raw {
+			samples[i] = int64(v)
+			h.Record(int64(v))
+		}
+		q := []float64{0.5, 0.9, 0.99, 0.999, 1.0}[int(qSel)%5]
+		exact := ExactQuantile(samples, q)
+		got := h.Quantile(q)
+		if exact == 0 {
+			return got <= 1
+		}
+		relErr := math.Abs(float64(got-exact)) / float64(exact)
+		return relErr < 0.01+2.0/float64(exact)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	h := NewHistogram()
+	rngVals := []int64{3, 1400, 27, 88, 9000000, 12, 500, 500, 77, 123456789}
+	for _, v := range rngVals {
+		h.Record(v)
+	}
+	prev := int64(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%.2f: %d < %d", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramLargeValues(t *testing.T) {
+	h := NewHistogram()
+	big := int64(1) << 55
+	h.Record(big)
+	got := h.Quantile(1)
+	if relErr := math.Abs(float64(got-big)) / float64(big); relErr > 0.01 {
+		t.Fatalf("large value quantization error %f", relErr)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := int64(0); i < 1000; i++ {
+		a.Record(i)
+		b.Record(i + 1000)
+	}
+	a.Merge(b)
+	if a.Count() != 2000 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Max() < 1990 {
+		t.Fatalf("merged max = %d", a.Max())
+	}
+	if med := a.Median(); med < 980 || med > 1020 {
+		t.Fatalf("merged median = %d, want ~1000", med)
+	}
+	a.Merge(nil) // no-op
+}
+
+func TestHistogramMergePrecisionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a := NewHistogramPrecision(5)
+	b := NewHistogramPrecision(7)
+	b.Record(1)
+	a.Merge(b)
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Record(5)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 || h.Sum() != 0 {
+		t.Fatal("reset did not clear histogram")
+	}
+	h.Record(7)
+	if h.Min() != 7 || h.Max() != 7 {
+		t.Fatal("histogram broken after reset")
+	}
+}
+
+func TestHistogramSnapshotString(t *testing.T) {
+	h := NewHistogram()
+	h.Record(10)
+	s := h.Snapshot()
+	if s.Count != 1 || s.String() == "" {
+		t.Fatal("bad snapshot")
+	}
+}
+
+func TestNewHistogramPrecisionPanics(t *testing.T) {
+	for _, bits := range []uint{0, 21} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("subBits=%d did not panic", bits)
+				}
+			}()
+			NewHistogramPrecision(bits)
+		}()
+	}
+}
+
+func TestExactQuantile(t *testing.T) {
+	s := []int64{5, 1, 9, 3, 7}
+	if ExactQuantile(s, 0) != 1 || ExactQuantile(s, 1) != 9 {
+		t.Fatal("extremes wrong")
+	}
+	if ExactQuantile(s, 0.5) != 5 {
+		t.Fatalf("median = %d", ExactQuantile(s, 0.5))
+	}
+	if ExactQuantile(nil, 0.5) != 0 {
+		t.Fatal("empty should be 0")
+	}
+	// input must not be mutated
+	if s[0] != 5 {
+		t.Fatal("ExactQuantile mutated input")
+	}
+}
+
+func TestHistogramCDF(t *testing.T) {
+	h := NewHistogram()
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i)
+	}
+	cdf := h.CDF([]float64{0.1, 0.5, 0.9, 0.99})
+	if len(cdf) != 4 {
+		t.Fatalf("%d points", len(cdf))
+	}
+	prev := int64(-1)
+	for _, p := range cdf {
+		if p.Value < prev {
+			t.Fatal("CDF not monotone")
+		}
+		prev = p.Value
+	}
+	if mid := cdf[1].Value; mid < 480 || mid > 520 {
+		t.Fatalf("p50 = %d", mid)
+	}
+}
+
+func TestHistogramStdDev(t *testing.T) {
+	h := NewHistogram()
+	if h.StdDev() != 0 {
+		t.Fatal("empty stddev should be 0")
+	}
+	// Uniform 1..1000: stddev ≈ 288.7.
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i)
+	}
+	sd := h.StdDev()
+	if math.Abs(sd-288.7) > 6 {
+		t.Fatalf("stddev = %f, want ~288.7", sd)
+	}
+}

@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// HillTailIndex estimates the tail index α of the distribution that
+// produced samples, using the Hill estimator over the largest k order
+// statistics. Small α (the paper uses 0 ≤ α < 2) indicates a heavy tail;
+// the adaptive quantum controller lowers the time quantum when the
+// estimate falls in that range.
+//
+// Returns +Inf when there are too few samples or no tail spread (a
+// degenerate light tail), which callers treat as "not heavy-tailed".
+func HillTailIndex(samples []float64, k int) float64 {
+	n := len(samples)
+	if k < 2 || n < k+1 {
+		return math.Inf(1)
+	}
+	s := make([]float64, 0, n)
+	for _, v := range samples {
+		if v > 0 {
+			s = append(s, v)
+		}
+	}
+	n = len(s)
+	if n < k+1 {
+		return math.Inf(1)
+	}
+	sort.Float64s(s)
+	// Hill estimator: 1/alpha = (1/k) Σ_{i=1..k} ln(X_{(n-i+1)} / X_{(n-k)})
+	ref := s[n-k-1]
+	if ref <= 0 {
+		return math.Inf(1)
+	}
+	var sum float64
+	for i := 0; i < k; i++ {
+		sum += math.Log(s[n-1-i] / ref)
+	}
+	if sum <= 0 {
+		return math.Inf(1)
+	}
+	return float64(k) / sum
+}
+
+// QuantileTailIndex estimates the tail index by fitting a Pareto
+// through the p50 and p99.9 order statistics:
+//
+//	P(X > x) ∝ x^−α  ⇒  α = ln(0.5/0.001) / ln(x_p999 / x_p50)
+//
+// Unlike the Hill estimator it is stable on atomically-bimodal data
+// (e.g. the paper's workloads A1/A2, where 99.5% of samples sit at one
+// value), because it only needs the p99.9 order statistic to land in
+// the long mode. It needs enough samples for p99.9 to be meaningful.
+func QuantileTailIndex(samples []float64) float64 {
+	n := len(samples)
+	if n < 100 {
+		return math.Inf(1)
+	}
+	s := make([]float64, n)
+	copy(s, samples)
+	sort.Float64s(s)
+	p50 := s[n/2]
+	p999 := s[n-1-n/1000]
+	if p50 <= 0 || p999 <= p50 {
+		return math.Inf(1)
+	}
+	return math.Log(0.5/0.001) / math.Log(p999/p50)
+}
+
+// TailIndexFromLatencies is the classifier used by Algorithm 1: it
+// estimates the tail index of a statistics window. Large windows use
+// the quantile fit (robust on bimodal service distributions); small
+// windows fall back to the Hill estimator over the top 5% (at least
+// 10) order statistics.
+func TailIndexFromLatencies(latencies []float64) float64 {
+	if len(latencies) >= 2000 {
+		return QuantileTailIndex(latencies)
+	}
+	k := len(latencies) / 20
+	if k < 10 {
+		k = 10
+	}
+	return HillTailIndex(latencies, k)
+}
+
+// DispersionRatio reports p99.9/median — the workload-dispersion
+// measure used to rank workloads in Fig. 1 (right). The p99.9 (rather
+// than p99) captures bimodal distributions whose long mode is rarer
+// than 1%, like the paper's A1/A2.
+func DispersionRatio(h *Histogram) float64 {
+	med := h.Median()
+	if med == 0 {
+		return 0
+	}
+	return float64(h.P999()) / float64(med)
+}

@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestHillEstimatorOnPareto(t *testing.T) {
+	// Samples from Pareto(α) should recover α within ~15%.
+	for _, alpha := range []float64{0.8, 1.2, 1.8} {
+		rng := sim.NewRNG(uint64(alpha * 1000))
+		samples := make([]float64, 20000)
+		for i := range samples {
+			samples[i] = rng.Pareto(alpha, 1.0)
+		}
+		got := HillTailIndex(samples, 1000)
+		if math.Abs(got-alpha)/alpha > 0.15 {
+			t.Errorf("Hill(α=%.1f) = %.3f", alpha, got)
+		}
+	}
+}
+
+func TestHillEstimatorLightTail(t *testing.T) {
+	// Exponential data is light-tailed: the Hill estimate over the top 5%
+	// should be well above the heavy-tail threshold of 2.
+	rng := sim.NewRNG(11)
+	samples := make([]float64, 20000)
+	for i := range samples {
+		samples[i] = rng.Exp(5.0)
+	}
+	got := TailIndexFromLatencies(samples)
+	if got < 2 {
+		t.Fatalf("exponential data classified heavy-tailed: α = %.3f", got)
+	}
+}
+
+func TestHillEstimatorDegenerateInputs(t *testing.T) {
+	if !math.IsInf(HillTailIndex(nil, 10), 1) {
+		t.Fatal("nil input should be +Inf")
+	}
+	if !math.IsInf(HillTailIndex([]float64{1, 2}, 10), 1) {
+		t.Fatal("tiny input should be +Inf")
+	}
+	same := make([]float64, 100)
+	for i := range same {
+		same[i] = 7
+	}
+	if !math.IsInf(HillTailIndex(same, 10), 1) {
+		t.Fatal("constant input should be +Inf (no tail)")
+	}
+	withZeros := make([]float64, 100)
+	if !math.IsInf(HillTailIndex(withZeros, 10), 1) {
+		t.Fatal("all-zero input should be +Inf")
+	}
+}
+
+func TestDispersionRatio(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 98; i++ {
+		h.Record(10)
+	}
+	h.Record(1000)
+	h.Record(1000)
+	r := DispersionRatio(h)
+	if r < 50 {
+		t.Fatalf("dispersion ratio = %f, want large", r)
+	}
+	if DispersionRatio(NewHistogram()) != 0 {
+		t.Fatal("empty histogram dispersion should be 0")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := &Table{Title: "demo", Columns: []string{"a", "b"}}
+	tb.AddRow(1, 2.5)
+	tb.AddRow("x", 3.0)
+	s := tb.String()
+	if s == "" || len(tb.Rows) != 2 {
+		t.Fatal("table formatting broken")
+	}
+	if tb.Rows[0][1] != "2.5" || tb.Rows[1][1] != "3" {
+		t.Fatalf("float trimming wrong: %v", tb.Rows)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := &Series{Name: "lat"}
+	if s.Mean() != 0 || s.Max() != 0 {
+		t.Fatal("empty series should report zeros")
+	}
+	s.Add(0, 1)
+	s.Add(1, 3)
+	if s.Mean() != 2 || s.Max() != 3 {
+		t.Fatalf("series mean/max = %f/%f", s.Mean(), s.Max())
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	if c.Reset() != 5 || c.Value() != 0 {
+		t.Fatal("reset broken")
+	}
+}

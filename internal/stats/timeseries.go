@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Point is one (time, value) observation in a Series.
+type Point struct {
+	T float64 // seconds since experiment start
+	V float64
+}
+
+// Series is a named sequence of time-ordered observations, used to
+// regenerate the paper's "metric over time" figures (Fig. 9, Fig. 14).
+type Series struct {
+	Name   string
+	Unit   string
+	Points []Point
+}
+
+// Add appends an observation.
+func (s *Series) Add(t, v float64) { s.Points = append(s.Points, Point{t, v}) }
+
+// Mean reports the average of the values (0 if empty).
+func (s *Series) Mean() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range s.Points {
+		sum += p.V
+	}
+	return sum / float64(len(s.Points))
+}
+
+// Max reports the largest value (0 if empty).
+func (s *Series) Max() float64 {
+	var max float64
+	for i, p := range s.Points {
+		if i == 0 || p.V > max {
+			max = p.V
+		}
+	}
+	return max
+}
+
+// Table is a simple column-oriented result table that formats itself the
+// way the experiment harness prints rows — one row per line, tab
+// separated, with a header. Every figure/table regenerator returns one
+// or more Tables.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row formatted with %v per cell.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// String renders the table with an underlined title and tab-separated
+// columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "## %s\n", t.Title)
+	}
+	b.WriteString(strings.Join(t.Columns, "\t"))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(strings.Join(r, "\t"))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Counter is a monotonically increasing event counter with a helper for
+// rates over a window.
+type Counter struct {
+	n uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds delta.
+func (c *Counter) Add(delta uint64) { c.n += delta }
+
+// Value reports the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset zeroes the counter and returns the previous value.
+func (c *Counter) Reset() uint64 {
+	v := c.n
+	c.n = 0
+	return v
+}

@@ -1,0 +1,121 @@
+// Package trace regenerates Table I — datacenter thread oversubscription
+// — from a synthetic cluster trace in the style of the Google traces the
+// paper analyzes [58]. A generator emits scheduling samples (thread t of
+// app a observed on core c); an analyzer reconstructs per-app thread and
+// core counts and the threads-per-core ratio.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// AppSpec describes one application's footprint in the synthetic
+// cluster: how many threads it runs and how many cores its cgroup is
+// entitled to. The four specs below reproduce the paper's Table I.
+type AppSpec struct {
+	Name    string
+	Threads int
+	Cores   int
+}
+
+// PaperApps are the four Google applications of Table I.
+func PaperApps() []AppSpec {
+	return []AppSpec{
+		{Name: "charlie", Threads: 4842, Cores: 10},
+		{Name: "delta", Threads: 300, Cores: 4},
+		{Name: "merced", Threads: 5470, Cores: 110},
+		{Name: "whiskey", Threads: 1352, Cores: 8},
+	}
+}
+
+// Sample is one scheduling observation in the trace.
+type Sample struct {
+	Time   sim.Time
+	App    string
+	Thread int
+	Core   int
+}
+
+// Generate produces a synthetic trace: over the duration, each app's
+// threads are sampled onto its cores (many threads per core — the
+// oversubscription being measured), at the given sampling period.
+func Generate(specs []AppSpec, duration, period sim.Time, seed uint64) []Sample {
+	if period <= 0 {
+		panic("trace: non-positive sampling period")
+	}
+	rng := sim.NewRNG(seed)
+	var out []Sample
+	for t := sim.Time(0); t < duration; t += period {
+		for _, spec := range specs {
+			// Each period, a subset of threads is observed running or
+			// runnable on the app's cores.
+			observed := spec.Cores * 4
+			if observed > spec.Threads {
+				observed = spec.Threads
+			}
+			for i := 0; i < observed; i++ {
+				out = append(out, Sample{
+					Time:   t,
+					App:    spec.Name,
+					Thread: rng.Intn(spec.Threads),
+					Core:   rng.Intn(spec.Cores),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// AppStats is one Table I row.
+type AppStats struct {
+	App            string
+	Threads, Cores int
+	ThreadsPerCore float64
+}
+
+// Analyze reconstructs per-app thread/core counts from a trace. Thread
+// and core identities are counted as distinct observed IDs; with enough
+// samples this recovers the true footprint.
+func Analyze(samples []Sample) []AppStats {
+	type set struct {
+		threads map[int]bool
+		cores   map[int]bool
+	}
+	apps := map[string]*set{}
+	for _, s := range samples {
+		a := apps[s.App]
+		if a == nil {
+			a = &set{threads: map[int]bool{}, cores: map[int]bool{}}
+			apps[s.App] = a
+		}
+		a.threads[s.Thread] = true
+		a.cores[s.Core] = true
+	}
+	names := make([]string, 0, len(apps))
+	for name := range apps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]AppStats, 0, len(names))
+	for _, name := range names {
+		a := apps[name]
+		st := AppStats{
+			App:     name,
+			Threads: len(a.threads),
+			Cores:   len(a.cores),
+		}
+		if st.Cores > 0 {
+			st.ThreadsPerCore = float64(st.Threads) / float64(st.Cores)
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+func (s AppStats) String() string {
+	return fmt.Sprintf("%s: %d threads / %d cores = %.0f threads/core",
+		s.App, s.Threads, s.Cores, s.ThreadsPerCore)
+}

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestAnalyzeRecoversTableI(t *testing.T) {
+	specs := PaperApps()
+	samples := Generate(specs, 10*sim.Second, 10*sim.Millisecond, 1)
+	stats := Analyze(samples)
+	if len(stats) != 4 {
+		t.Fatalf("got %d apps", len(stats))
+	}
+	want := map[string]float64{"charlie": 484, "delta": 75, "merced": 50, "whiskey": 169}
+	for _, st := range stats {
+		w, ok := want[st.App]
+		if !ok {
+			t.Fatalf("unexpected app %q", st.App)
+		}
+		// Sampling should recover the ratio within 10%.
+		if math.Abs(st.ThreadsPerCore-w)/w > 0.10 {
+			t.Errorf("%s threads/core = %.1f, want ~%.0f", st.App, st.ThreadsPerCore, w)
+		}
+		if st.String() == "" {
+			t.Error("empty formatting")
+		}
+	}
+}
+
+func TestAnalyzeEmptyTrace(t *testing.T) {
+	if len(Analyze(nil)) != 0 {
+		t.Fatal("empty trace should yield no rows")
+	}
+}
+
+func TestAnalyzeSortsAppsByName(t *testing.T) {
+	samples := []Sample{
+		{App: "zeta", Thread: 1, Core: 1},
+		{App: "alpha", Thread: 1, Core: 1},
+	}
+	stats := Analyze(samples)
+	if stats[0].App != "alpha" || stats[1].App != "zeta" {
+		t.Fatalf("not sorted: %v", stats)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(PaperApps()[:1], sim.Second, 100*sim.Millisecond, 5)
+	b := Generate(PaperApps()[:1], sim.Second, 100*sim.Millisecond, 5)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic generation")
+		}
+	}
+}
+
+func TestGeneratePanicsOnBadPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Generate(PaperApps(), sim.Second, 0, 1)
+}
+
+func TestSmallAppFullyObserved(t *testing.T) {
+	// delta has only 300 threads on 4 cores: with 16 observations per
+	// period over many periods, all threads should eventually appear.
+	specs := []AppSpec{{Name: "delta", Threads: 300, Cores: 4}}
+	samples := Generate(specs, 30*sim.Second, 10*sim.Millisecond, 2)
+	st := Analyze(samples)[0]
+	if st.Threads != 300 || st.Cores != 4 {
+		t.Fatalf("recovered %d/%d, want 300/4", st.Threads, st.Cores)
+	}
+}

@@ -1,0 +1,258 @@
+// Package uintr models the Intel user-interrupt (UINTR) architecture on
+// the simulator: UPIDs, per-sender UITTs, uintr_fd registration, and the
+// SENDUIPI delivery state machine described in §III-A of the paper.
+//
+// The model covers the behaviours the paper's systems depend on:
+//
+//   - 64 interrupt vectors per receiver thread;
+//   - delivery to a running receiver without kernel mediation
+//     (fast path, ~0.7 µs);
+//   - delivery to a blocked receiver via an ordinary kernel interrupt
+//     that unblocks it and injects the user interrupt (~2.4 µs);
+//   - suppression: while a handler executes (UIF clear), further
+//     interrupts are posted to the UPID's PIR and flushed at UIRET;
+//   - the eventfd-like trust model: anyone holding a FD may send, which
+//     is why LibPreemptible restricts registered senders to its own
+//     timer threads (§VII-A).
+//
+// Latency and cost constants come from hw.Costs (calibrated from the
+// paper's Table IV).
+package uintr
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// Vector identifies one of the 64 user-interrupt vectors of a receiver.
+type Vector uint8
+
+// NumVectors is the architectural per-thread vector count.
+const NumVectors = 64
+
+// Handler is invoked when a user interrupt is delivered. It runs with
+// user interrupts disabled (UIF clear); the receiver must call UIRET
+// when handler processing completes to re-enable delivery and flush any
+// pending vectors.
+type Handler func(v Vector)
+
+// DeliveryStats counts deliveries by path, for Table IV style reporting.
+type DeliveryStats struct {
+	SentCount        uint64
+	DeliveredRunning uint64
+	DeliveredBlocked uint64
+	Posted           uint64 // suppressed → PIR, flushed later
+}
+
+// Receiver is a thread that registered a user-interrupt handler with the
+// kernel (uintr_register_handler). Its UPID state is embedded.
+type Receiver struct {
+	m       *hw.Machine
+	rng     *sim.RNG
+	handler Handler
+
+	// UPID state.
+	pir       uint64 // posted-interrupt requests (one bit per vector)
+	inHandler bool   // UIF clear: suppress notification
+	blocked   bool   // receiver blocked in kernel
+	allocated uint64 // vectors with an FD created
+	onUnblock func() // system hook: blocked receiver got woken
+	Stats     DeliveryStats
+}
+
+// NewReceiver registers a handler for a thread on machine m. rng must be
+// a dedicated stream (delivery latencies are sampled from it).
+func NewReceiver(m *hw.Machine, rng *sim.RNG, handler Handler) *Receiver {
+	if handler == nil {
+		panic("uintr: nil handler")
+	}
+	return &Receiver{m: m, rng: rng, handler: handler}
+}
+
+// SetOnUnblock installs a hook called when a delivery to a blocked
+// receiver unblocks it (the ordinary-interrupt wakeup path).
+func (r *Receiver) SetOnUnblock(fn func()) { r.onUnblock = fn }
+
+// SetBlocked marks the receiver blocked (true) or runnable (false).
+// Systems call this when the owning thread parks/unparks in the kernel.
+func (r *Receiver) SetBlocked(b bool) { r.blocked = b }
+
+// Blocked reports the kernel-blocked state.
+func (r *Receiver) Blocked() bool { return r.blocked }
+
+// InHandler reports whether a handler is currently executing (UIF clear).
+func (r *Receiver) InHandler() bool { return r.inHandler }
+
+// Pending reports the PIR bitmask of posted-but-undelivered vectors.
+func (r *Receiver) Pending() uint64 { return r.pir }
+
+// FD is the uintr_fd returned by uintr_create_fd: a capability to send
+// vector V to the receiver. Anyone holding it can send — the security
+// property discussed in §VII-A.
+type FD struct {
+	recv   *Receiver
+	vector Vector
+}
+
+// Vector reports the vector this FD targets.
+func (f *FD) Vector() Vector { return f.vector }
+
+// Receiver returns the FD's receiver.
+func (f *FD) Receiver() *Receiver { return f.recv }
+
+// ErrVectorInUse is returned when creating an FD for an already
+// allocated vector.
+var ErrVectorInUse = errors.New("uintr: vector already allocated")
+
+// ErrBadVector is returned for vectors outside [0, 64).
+var ErrBadVector = errors.New("uintr: vector out of range")
+
+// CreateFD allocates vector v and returns the sending capability.
+func (r *Receiver) CreateFD(v Vector) (*FD, error) {
+	if int(v) >= NumVectors {
+		return nil, ErrBadVector
+	}
+	bit := uint64(1) << v
+	if r.allocated&bit != 0 {
+		return nil, ErrVectorInUse
+	}
+	r.allocated |= bit
+	return &FD{recv: r, vector: v}, nil
+}
+
+// UIRET signals completion of the current handler: user interrupts are
+// re-enabled and the lowest pending vector (if any) is delivered
+// immediately, matching the hardware's behaviour of re-evaluating the
+// PIR at UIRET.
+func (r *Receiver) UIRET() {
+	if !r.inHandler {
+		panic("uintr: UIRET outside a handler")
+	}
+	r.inHandler = false
+	r.flushPending()
+}
+
+func (r *Receiver) flushPending() {
+	if r.pir == 0 || r.inHandler {
+		return
+	}
+	// Deliver the lowest set vector.
+	var v Vector
+	for v = 0; v < NumVectors; v++ {
+		if r.pir&(1<<v) != 0 {
+			break
+		}
+	}
+	r.pir &^= 1 << v
+	r.deliver(v)
+}
+
+func (r *Receiver) deliver(v Vector) {
+	r.inHandler = true
+	r.handler(v)
+}
+
+// uittEntry is one User Interrupt Target Table entry.
+type uittEntry struct {
+	fd *FD
+}
+
+// Sender is a thread with a UITT: it can send user interrupts to any
+// receiver it has registered against (uintr_register_sender).
+type Sender struct {
+	m    *hw.Machine
+	rng  *sim.RNG
+	uitt []uittEntry
+}
+
+// NewSender returns a sender on machine m with an empty UITT.
+func NewSender(m *hw.Machine, rng *sim.RNG) *Sender {
+	return &Sender{m: m, rng: rng}
+}
+
+// Register allocates a UITT entry for fd and returns its UIPI index.
+func (s *Sender) Register(fd *FD) int {
+	if fd == nil {
+		panic("uintr: registering nil fd")
+	}
+	s.uitt = append(s.uitt, uittEntry{fd: fd})
+	return len(s.uitt) - 1
+}
+
+// SendUIPI posts a user interrupt through UITT entry idx. It returns the
+// sender-side instruction cost, which the caller charges to the sending
+// core (SENDUIPI is a posted write: the sender does not wait for
+// delivery). Delivery is scheduled on the engine:
+//
+//   - receiver running, UIF set → handler invoked after the running
+//     delivery latency;
+//   - receiver in a handler (UIF clear) → vector recorded in the PIR,
+//     delivered at UIRET;
+//   - receiver blocked → ordinary interrupt unblocks it (onUnblock
+//     hook) and the user interrupt is injected after the blocked
+//     delivery latency.
+func (s *Sender) SendUIPI(idx int) sim.Time {
+	if idx < 0 || idx >= len(s.uitt) {
+		panic(fmt.Sprintf("uintr: SENDUIPI with bad UITT index %d", idx))
+	}
+	fd := s.uitt[idx].fd
+	r := fd.recv
+	r.Stats.SentCount++
+	costs := s.m.Costs
+
+	if r.blocked {
+		lat := hw.SampleLatency(s.rng, costs.UINTRDeliverBlockedMean, costs.UINTRDeliverBlockedMin)
+		s.m.Eng.Schedule(lat, func() {
+			r.Stats.DeliveredBlocked++
+			r.blocked = false
+			if r.onUnblock != nil {
+				r.onUnblock()
+			}
+			if r.inHandler {
+				r.pir |= 1 << fd.vector
+				r.Stats.Posted++
+				return
+			}
+			r.deliver(fd.vector)
+		})
+		return costs.UINTRSend
+	}
+
+	lat := hw.SampleLatency(s.rng, costs.UINTRDeliverRunningMean, costs.UINTRDeliverRunningMin)
+	s.m.Eng.Schedule(lat, func() {
+		if r.inHandler {
+			// Notification suppressed; posted to PIR.
+			r.pir |= 1 << fd.vector
+			r.Stats.Posted++
+			return
+		}
+		if r.blocked {
+			// Receiver blocked between send and delivery: the posted
+			// interrupt falls back to the kernel wakeup path.
+			extra := hw.SampleLatency(s.rng, costs.UINTRDeliverBlockedMean, costs.UINTRDeliverBlockedMin)
+			s.m.Eng.Schedule(extra, func() {
+				r.Stats.DeliveredBlocked++
+				r.blocked = false
+				if r.onUnblock != nil {
+					r.onUnblock()
+				}
+				if !r.inHandler {
+					r.deliver(fd.vector)
+				} else {
+					r.pir |= 1 << fd.vector
+					r.Stats.Posted++
+				}
+			})
+			return
+		}
+		r.Stats.DeliveredRunning++
+		r.deliver(fd.vector)
+	})
+	return costs.UINTRSend
+}
+
+// UITTSize reports the number of registered targets.
+func (s *Sender) UITTSize() int { return len(s.uitt) }

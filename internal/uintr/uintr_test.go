@@ -1,0 +1,256 @@
+package uintr
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+type fixture struct {
+	eng  *sim.Engine
+	m    *hw.Machine
+	recv *Receiver
+	send *Sender
+	got  []Vector
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	f := &fixture{eng: sim.NewEngine()}
+	rng := sim.NewRNG(3)
+	f.m = hw.NewMachine(f.eng, 2, hw.DefaultCosts(), rng)
+	f.recv = NewReceiver(f.m, rng.Stream(1), func(v Vector) {
+		f.got = append(f.got, v)
+		f.recv.UIRET()
+	})
+	f.send = NewSender(f.m, rng.Stream(2))
+	return f
+}
+
+func (f *fixture) register(t *testing.T, v Vector) int {
+	t.Helper()
+	fd, err := f.recv.CreateFD(v)
+	if err != nil {
+		t.Fatalf("CreateFD(%d): %v", v, err)
+	}
+	return f.send.Register(fd)
+}
+
+func TestDeliveryToRunningReceiver(t *testing.T) {
+	f := newFixture(t)
+	idx := f.register(t, 0)
+	cost := f.send.SendUIPI(idx)
+	if cost != f.m.Costs.UINTRSend {
+		t.Fatalf("sender cost = %v", cost)
+	}
+	f.eng.RunAll()
+	if len(f.got) != 1 || f.got[0] != 0 {
+		t.Fatalf("delivered = %v", f.got)
+	}
+	if f.recv.Stats.DeliveredRunning != 1 {
+		t.Fatalf("stats: %+v", f.recv.Stats)
+	}
+	// Delivery latency must respect the floor.
+	if f.eng.Now() < f.m.Costs.UINTRDeliverRunningMin {
+		t.Fatalf("delivered before min latency: %v", f.eng.Now())
+	}
+}
+
+func TestDeliveryToBlockedReceiverUnblocks(t *testing.T) {
+	f := newFixture(t)
+	idx := f.register(t, 5)
+	unblocked := false
+	f.recv.SetOnUnblock(func() { unblocked = true })
+	f.recv.SetBlocked(true)
+	f.send.SendUIPI(idx)
+	f.eng.RunAll()
+	if !unblocked {
+		t.Fatal("onUnblock did not fire")
+	}
+	if f.recv.Blocked() {
+		t.Fatal("receiver still blocked")
+	}
+	if len(f.got) != 1 || f.got[0] != 5 {
+		t.Fatalf("delivered = %v", f.got)
+	}
+	if f.recv.Stats.DeliveredBlocked != 1 {
+		t.Fatalf("stats: %+v", f.recv.Stats)
+	}
+	if f.eng.Now() < f.m.Costs.UINTRDeliverBlockedMin {
+		t.Fatalf("blocked delivery too fast: %v", f.eng.Now())
+	}
+}
+
+func TestSuppressionDuringHandler(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(9)
+	m := hw.NewMachine(eng, 1, hw.DefaultCosts(), rng)
+	var recv *Receiver
+	var got []Vector
+	uiretAt := []sim.Time{}
+	recv = NewReceiver(m, rng.Stream(1), func(v Vector) {
+		got = append(got, v)
+		// Simulate a handler that takes 10µs before UIRET.
+		eng.Schedule(10*sim.Microsecond, func() {
+			uiretAt = append(uiretAt, eng.Now())
+			recv.UIRET()
+		})
+	})
+	send := NewSender(m, rng.Stream(2))
+	fd0, _ := recv.CreateFD(0)
+	fd1, _ := recv.CreateFD(1)
+	i0, i1 := send.Register(fd0), send.Register(fd1)
+
+	send.SendUIPI(i0)
+	// Send the second interrupt while the first handler will be running.
+	eng.Schedule(2*sim.Microsecond, func() { send.SendUIPI(i1) })
+	eng.RunAll()
+
+	if len(got) != 2 {
+		t.Fatalf("delivered %d interrupts, want 2: %v", len(got), got)
+	}
+	if got[0] != 0 || got[1] != 1 {
+		t.Fatalf("vectors = %v", got)
+	}
+	if recv.Stats.Posted != 1 {
+		t.Fatalf("expected 1 posted (suppressed) delivery, got %+v", recv.Stats)
+	}
+	if recv.Pending() != 0 {
+		t.Fatalf("PIR not drained: %b", recv.Pending())
+	}
+}
+
+func TestPendingFlushOrderIsLowestVectorFirst(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(10)
+	m := hw.NewMachine(eng, 1, hw.DefaultCosts(), rng)
+	var recv *Receiver
+	var got []Vector
+	recv = NewReceiver(m, rng.Stream(1), func(v Vector) {
+		got = append(got, v)
+		eng.Schedule(20*sim.Microsecond, func() { recv.UIRET() })
+	})
+	send := NewSender(m, rng.Stream(2))
+	var idx [3]int
+	for i, v := range []Vector{0, 7, 3} {
+		fd, _ := recv.CreateFD(v)
+		idx[i] = send.Register(fd)
+	}
+	send.SendUIPI(idx[0])                                             // vector 0 delivered, handler runs 20µs
+	eng.Schedule(2*sim.Microsecond, func() { send.SendUIPI(idx[1]) }) // 7 posted
+	eng.Schedule(3*sim.Microsecond, func() { send.SendUIPI(idx[2]) }) // 3 posted
+	eng.RunAll()
+	if len(got) != 3 || got[0] != 0 || got[1] != 3 || got[2] != 7 {
+		t.Fatalf("delivery order = %v, want [0 3 7]", got)
+	}
+}
+
+func TestCreateFDErrors(t *testing.T) {
+	f := newFixture(t)
+	if _, err := f.recv.CreateFD(64); !errors.Is(err, ErrBadVector) {
+		t.Fatalf("want ErrBadVector, got %v", err)
+	}
+	if _, err := f.recv.CreateFD(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.recv.CreateFD(3); !errors.Is(err, ErrVectorInUse) {
+		t.Fatalf("want ErrVectorInUse, got %v", err)
+	}
+}
+
+func TestSendBadIndexPanics(t *testing.T) {
+	f := newFixture(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f.send.SendUIPI(0)
+}
+
+func TestUIRETOutsideHandlerPanics(t *testing.T) {
+	f := newFixture(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f.recv.UIRET()
+}
+
+func TestBlockedBetweenSendAndDelivery(t *testing.T) {
+	// Receiver blocks after SENDUIPI is posted but before delivery: the
+	// model falls back to the kernel wakeup path.
+	f := newFixture(t)
+	idx := f.register(t, 2)
+	f.send.SendUIPI(idx)
+	f.recv.SetBlocked(true) // immediately after send, before delivery event
+	unblocked := false
+	f.recv.SetOnUnblock(func() { unblocked = true })
+	f.eng.RunAll()
+	if !unblocked || len(f.got) != 1 {
+		t.Fatalf("unblocked=%v got=%v", unblocked, f.got)
+	}
+}
+
+func TestManyVectorsAllDeliver(t *testing.T) {
+	f := newFixture(t)
+	var idxs []int
+	for v := Vector(0); v < NumVectors; v++ {
+		idxs = append(idxs, f.register(t, v))
+	}
+	if f.send.UITTSize() != NumVectors {
+		t.Fatalf("UITT size = %d", f.send.UITTSize())
+	}
+	for _, i := range idxs {
+		f.send.SendUIPI(i)
+	}
+	f.eng.RunAll()
+	if len(f.got) != NumVectors {
+		t.Fatalf("delivered %d, want %d", len(f.got), NumVectors)
+	}
+	seen := map[Vector]bool{}
+	for _, v := range f.got {
+		if seen[v] {
+			t.Fatalf("vector %d delivered twice", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestDeliveryLatencyDistribution(t *testing.T) {
+	// Average running-path delivery latency across many sends should be
+	// near the calibrated 734ns (Table IV).
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(21)
+	m := hw.NewMachine(eng, 1, hw.DefaultCosts(), rng)
+	var recv *Receiver
+	var sendT sim.Time
+	var total sim.Time
+	n := 0
+	recv = NewReceiver(m, rng.Stream(1), func(v Vector) {
+		total += eng.Now() - sendT
+		n++
+		recv.UIRET()
+	})
+	send := NewSender(m, rng.Stream(2))
+	fd, _ := recv.CreateFD(0)
+	idx := send.Register(fd)
+	var loop func()
+	loop = func() {
+		if n >= 5000 {
+			return
+		}
+		sendT = eng.Now()
+		send.SendUIPI(idx)
+		eng.Schedule(20*sim.Microsecond, loop)
+	}
+	eng.Schedule(0, loop)
+	eng.RunAll()
+	mean := float64(total) / float64(n)
+	if mean < 650 || mean > 850 {
+		t.Fatalf("mean delivery latency = %.0fns, want ~734ns", mean)
+	}
+}

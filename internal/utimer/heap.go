@@ -1,0 +1,39 @@
+package utimer
+
+import "container/heap"
+
+// slotHeap is a min-heap of armed slots ordered by deadline.
+type slotHeap []*Slot
+
+func (h slotHeap) Len() int           { return len(h) }
+func (h slotHeap) Less(i, j int) bool { return h[i].deadline < h[j].deadline }
+func (h slotHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].hIndex = i
+	h[j].hIndex = j
+}
+
+func (h *slotHeap) Push(x any) {
+	s := x.(*Slot)
+	s.hIndex = len(*h)
+	*h = append(*h, s)
+}
+
+func (h *slotHeap) Pop() any {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	old[n-1] = nil
+	s.hIndex = -1
+	*h = old[:n-1]
+	return s
+}
+
+// remove deletes s from the heap by index.
+func (h *slotHeap) remove(s *Slot) {
+	if s.hIndex < 0 || s.hIndex >= len(*h) || (*h)[s.hIndex] != s {
+		return
+	}
+	heap.Remove(h, s.hIndex)
+	s.hIndex = -1
+}

@@ -1,0 +1,222 @@
+// Package utimer implements LibUtimer (§IV-A of the paper) on the
+// simulator: a user-space preemption-timer service built on UINTR.
+//
+// A dedicated timer core polls the TSC and compares it against deadline
+// slots registered by worker threads. Each slot is a 64-byte-aligned
+// memory word holding the TSC value of the thread's next preemption
+// interrupt; arming a deadline is a single memory write
+// (utimer_arm_deadline), and when the TSC passes a deadline the timer
+// core issues SENDUIPI to the worker.
+//
+// The package exposes the three interfaces of the paper —
+// New (utimer_init), Register (utimer_register) and Slot.Arm
+// (utimer_arm_deadline) — plus the timing-wheel alternative index the
+// paper suggests for large thread counts.
+package utimer
+
+import (
+	"container/heap"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/uintr"
+)
+
+// Slot is one registered deadline address. The zero value is invalid;
+// slots are created by Utimer.Register.
+type Slot struct {
+	u        *Utimer
+	uipiIdx  int
+	deadline sim.Time    // 0 = disarmed
+	hIndex   int         // heap position, -1 when not queued
+	wt       *WheelTimer // wheel entry when the wheel index is in use
+}
+
+// Armed reports whether the slot has a pending deadline.
+func (s *Slot) Armed() bool { return s.deadline != 0 }
+
+// Deadline reports the armed deadline (0 when disarmed).
+func (s *Slot) Deadline() sim.Time { return s.deadline }
+
+// Arm sets the slot's next preemption deadline. It models the
+// utimer_arm_deadline memory write: effectively free for the worker, and
+// observed by the timer core at its polling granularity. Re-arming an
+// armed slot replaces the previous deadline. Deadlines in the past fire
+// at the next poll.
+func (s *Slot) Arm(deadline sim.Time) {
+	if deadline <= 0 {
+		panic("utimer: Arm with non-positive deadline")
+	}
+	s.u.arm(s, deadline)
+}
+
+// Disarm clears the slot.
+func (s *Slot) Disarm() { s.u.disarm(s) }
+
+// Config controls optional Utimer behaviour.
+type Config struct {
+	// ContentionProb injects background-activity spikes (IRQs, TLB
+	// shootdowns — the stress-ng experiment of Fig. 12): each firing is
+	// delayed by an extra exponential spike with this probability.
+	ContentionProb float64
+	// ContentionMean is the mean of the injected spike.
+	ContentionMean sim.Time
+	// UseWheel switches the deadline index from the exact min-heap to a
+	// hashed timing wheel — the §IV-A option for "applications with
+	// large thread counts and request for higher number of timers".
+	// O(1) arm/disarm at the cost of WheelGranularity quantization.
+	UseWheel bool
+	// WheelGranularity is the wheel bucket width (default 1 µs).
+	WheelGranularity sim.Time
+}
+
+// Utimer is the timer service: one dedicated polling core serving many
+// deadline slots.
+type Utimer struct {
+	m      *hw.Machine
+	rng    *sim.RNG
+	sender *uintr.Sender
+	cfg    Config
+
+	slots []*Slot
+	armed slotHeap
+	wheel *TimingWheel
+	wake  *sim.Event
+	// Fired counts deadline expirations delivered.
+	Fired uint64
+}
+
+// New creates the timer service (utimer_init: a pool of timer threads,
+// normally a single thread) on machine m. The timer core is dedicated:
+// it never runs application work.
+func New(m *hw.Machine, rng *sim.RNG, cfg Config) *Utimer {
+	u := &Utimer{
+		m:      m,
+		rng:    rng,
+		sender: uintr.NewSender(m, rng.Stream(0x75746d72)),
+		cfg:    cfg,
+	}
+	if cfg.UseWheel {
+		gran := cfg.WheelGranularity
+		if gran == 0 {
+			gran = sim.Microsecond
+		}
+		u.wheel = NewTimingWheel(gran, 4096)
+	}
+	return u
+}
+
+// Register attaches a worker's uintr FD and returns its deadline slot
+// (utimer_register: hides handler registration, fd creation and UITT
+// setup).
+func (u *Utimer) Register(fd *uintr.FD) *Slot {
+	s := &Slot{u: u, uipiIdx: u.sender.Register(fd), hIndex: -1}
+	u.slots = append(u.slots, s)
+	return s
+}
+
+// NumSlots reports how many workers are registered.
+func (u *Utimer) NumSlots() int { return len(u.slots) }
+
+// PowerWatts reports the power cost of the timer service: ~1.2 W for the
+// first polling core (UMWAIT-assisted polling), marginal for additional
+// cores (§V-B).
+func (u *Utimer) PowerWatts() float64 {
+	return u.m.Costs.TimerCorePowerWatts
+}
+
+func (u *Utimer) arm(s *Slot, deadline sim.Time) {
+	if u.wheel != nil {
+		if s.wt != nil {
+			u.wheel.Cancel(s.wt)
+		}
+		s.deadline = deadline
+		s.wt = u.wheel.Insert(deadline, func() {
+			s.wt = nil
+			s.deadline = 0
+			u.fire(s)
+		})
+		u.reschedule()
+		return
+	}
+	if s.hIndex >= 0 {
+		u.armed.remove(s)
+	}
+	s.deadline = deadline
+	heap.Push(&u.armed, s)
+	u.reschedule()
+}
+
+func (u *Utimer) disarm(s *Slot) {
+	if u.wheel != nil {
+		if s.wt != nil {
+			u.wheel.Cancel(s.wt)
+			s.wt = nil
+		}
+		s.deadline = 0
+		return
+	}
+	if s.hIndex >= 0 {
+		u.armed.remove(s)
+	}
+	s.deadline = 0
+}
+
+// reschedule points the poll wakeup at the earliest armed deadline.
+func (u *Utimer) reschedule() {
+	if u.wake != nil {
+		u.m.Eng.Cancel(u.wake)
+		u.wake = nil
+	}
+	var next sim.Time
+	if u.wheel != nil {
+		d, ok := u.wheel.NextDeadline()
+		if !ok {
+			return
+		}
+		// The wheel fires on bucket boundaries: wake at the end of the
+		// deadline's bucket.
+		next = d + u.wheel.Granularity()
+	} else {
+		if len(u.armed) == 0 {
+			return
+		}
+		next = u.armed[0].deadline
+	}
+	now := u.m.Eng.Now()
+	if next < now {
+		next = now
+	}
+	// The polling loop observes expiry within one poll-granularity
+	// window; model the quantization as a uniform draw.
+	gran := u.m.Costs.TimerPollGranularity
+	delay := next - now + sim.Time(u.rng.Float64()*float64(gran))
+	u.wake = u.m.Eng.Schedule(delay, u.poll)
+}
+
+// poll fires every expired slot and re-schedules.
+func (u *Utimer) poll() {
+	u.wake = nil
+	now := u.m.Eng.Now()
+	if u.wheel != nil {
+		u.wheel.Advance(now)
+	} else {
+		for len(u.armed) > 0 && u.armed[0].deadline <= now {
+			s := heap.Pop(&u.armed).(*Slot)
+			s.deadline = 0
+			u.fire(s)
+		}
+	}
+	u.reschedule()
+}
+
+func (u *Utimer) fire(s *Slot) {
+	u.Fired++
+	send := func() { u.sender.SendUIPI(s.uipiIdx) }
+	if u.cfg.ContentionProb > 0 && u.rng.Bernoulli(u.cfg.ContentionProb) {
+		spike := sim.Time(u.rng.Exp(float64(u.cfg.ContentionMean)))
+		u.m.Eng.Schedule(spike, send)
+		return
+	}
+	send()
+}

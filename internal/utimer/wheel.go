@@ -1,0 +1,164 @@
+package utimer
+
+import "repro/internal/sim"
+
+// TimingWheel is the hashed timing wheel (Varghese & Lauck) the paper
+// suggests for applications with large thread counts and many timers
+// (§IV-A). Timers are hashed into buckets of fixed granularity; expiry
+// processing advances a cursor bucket by bucket. Insert and cancel are
+// O(1); Advance is O(buckets crossed + timers expired).
+//
+// The wheel trades precision for scalability: a timer fires within one
+// bucket granularity after its deadline, which is why LibUtimer uses the
+// exact heap index by default and offers the wheel as an opt-in.
+type TimingWheel struct {
+	gran    sim.Time
+	buckets []wheelBucket
+	cursor  int      // bucket index of current time
+	curTime sim.Time // wheel-time of the cursor bucket start
+	size    int
+}
+
+type wheelBucket struct {
+	items []*WheelTimer
+}
+
+// WheelTimer is one entry in a TimingWheel.
+type WheelTimer struct {
+	Deadline sim.Time
+	Fn       func()
+	bucket   int // -1 when not inserted
+	rounds   int // full wheel revolutions remaining
+	slotIdx  int
+}
+
+// NewTimingWheel builds a wheel with the given bucket granularity and
+// bucket count. Granularity and count must be positive.
+func NewTimingWheel(granularity sim.Time, buckets int) *TimingWheel {
+	if granularity <= 0 || buckets <= 0 {
+		panic("utimer: invalid timing wheel parameters")
+	}
+	return &TimingWheel{
+		gran:    granularity,
+		buckets: make([]wheelBucket, buckets),
+	}
+}
+
+// Len reports the number of pending timers.
+func (w *TimingWheel) Len() int { return w.size }
+
+// Granularity reports the bucket width.
+func (w *TimingWheel) Granularity() sim.Time { return w.gran }
+
+// Insert adds a timer firing at deadline (in wheel time). Deadlines at
+// or before the cursor fire on the next Advance. Returns the timer for
+// cancellation.
+func (w *TimingWheel) Insert(deadline sim.Time, fn func()) *WheelTimer {
+	t := &WheelTimer{Deadline: deadline, Fn: fn}
+	w.place(t)
+	w.size++
+	return t
+}
+
+func (w *TimingWheel) place(t *WheelTimer) {
+	delta := t.Deadline - w.curTime
+	if delta < 0 {
+		delta = 0
+	}
+	ticks := int(delta / w.gran)
+	t.rounds = ticks / len(w.buckets)
+	b := (w.cursor + ticks) % len(w.buckets)
+	t.bucket = b
+	t.slotIdx = len(w.buckets[b].items)
+	w.buckets[b].items = append(w.buckets[b].items, t)
+}
+
+// Cancel removes a pending timer. Cancelling a fired or already
+// cancelled timer is a no-op and reports false.
+func (w *TimingWheel) Cancel(t *WheelTimer) bool {
+	if t == nil || t.bucket < 0 {
+		return false
+	}
+	b := &w.buckets[t.bucket]
+	items := b.items
+	idx := t.slotIdx
+	if idx >= len(items) || items[idx] != t {
+		return false
+	}
+	last := len(items) - 1
+	items[idx] = items[last]
+	items[idx].slotIdx = idx
+	items[last] = nil
+	b.items = items[:last]
+	t.bucket = -1
+	w.size--
+	return true
+}
+
+// Advance moves wheel time to now, invoking Fn for every expired timer
+// in bucket order. Within a bucket, timers fire in insertion order of
+// their final placement. Returns the number fired.
+func (w *TimingWheel) Advance(now sim.Time) int {
+	fired := 0
+	for w.curTime+w.gran <= now {
+		// Process the cursor bucket before moving past it.
+		fired += w.expireBucket(w.cursor, w.curTime+w.gran)
+		w.cursor = (w.cursor + 1) % len(w.buckets)
+		w.curTime += w.gran
+	}
+	// Timers in the current bucket whose deadline has passed also fire.
+	fired += w.expireBucket(w.cursor, now+1)
+	return fired
+}
+
+func (w *TimingWheel) expireBucket(idx int, before sim.Time) int {
+	b := &w.buckets[idx]
+	fired := 0
+	for i := 0; i < len(b.items); {
+		t := b.items[i]
+		if t.rounds > 0 {
+			t.rounds--
+			i++
+			continue
+		}
+		if t.Deadline >= before {
+			i++
+			continue
+		}
+		// Remove (swap with last) and fire.
+		last := len(b.items) - 1
+		b.items[i] = b.items[last]
+		b.items[i].slotIdx = i
+		b.items[last] = nil
+		b.items = b.items[:last]
+		t.bucket = -1
+		w.size--
+		fired++
+		if t.Fn != nil {
+			t.Fn()
+		}
+	}
+	return fired
+}
+
+// NextDeadline reports the earliest pending deadline, scanning from the
+// cursor (O(buckets) worst case), or ok=false when empty.
+func (w *TimingWheel) NextDeadline() (sim.Time, bool) {
+	if w.size == 0 {
+		return 0, false
+	}
+	best := sim.MaxTime
+	found := false
+	for i := 0; i < len(w.buckets); i++ {
+		for _, t := range w.buckets[(w.cursor+i)%len(w.buckets)].items {
+			if t.Deadline < best {
+				best = t.Deadline
+				found = true
+			}
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	return best, true
+}

@@ -1,0 +1,144 @@
+package utimer
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestWheelBasicExpiry(t *testing.T) {
+	w := NewTimingWheel(sim.Microsecond, 64)
+	var fired []int
+	w.Insert(5*sim.Microsecond, func() { fired = append(fired, 5) })
+	w.Insert(2*sim.Microsecond, func() { fired = append(fired, 2) })
+	w.Insert(100*sim.Microsecond, func() { fired = append(fired, 100) })
+	if w.Len() != 3 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	n := w.Advance(10 * sim.Microsecond)
+	if n != 2 {
+		t.Fatalf("fired %d, want 2", n)
+	}
+	if len(fired) != 2 || fired[0] != 2 || fired[1] != 5 {
+		t.Fatalf("fired = %v", fired)
+	}
+	w.Advance(200 * sim.Microsecond)
+	if len(fired) != 3 || w.Len() != 0 {
+		t.Fatalf("fired = %v, len = %d", fired, w.Len())
+	}
+}
+
+func TestWheelCancel(t *testing.T) {
+	w := NewTimingWheel(sim.Microsecond, 16)
+	hit := false
+	tm := w.Insert(5*sim.Microsecond, func() { hit = true })
+	if !w.Cancel(tm) {
+		t.Fatal("cancel failed")
+	}
+	if w.Cancel(tm) {
+		t.Fatal("double cancel succeeded")
+	}
+	if w.Cancel(nil) {
+		t.Fatal("nil cancel succeeded")
+	}
+	w.Advance(100 * sim.Microsecond)
+	if hit {
+		t.Fatal("cancelled timer fired")
+	}
+	if w.Len() != 0 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+}
+
+func TestWheelMultipleRevolutions(t *testing.T) {
+	// Deadline far beyond one wheel revolution must survive the
+	// intermediate passes.
+	w := NewTimingWheel(sim.Microsecond, 8)
+	hit := sim.Time(0)
+	w.Insert(100*sim.Microsecond, func() { hit = 100 })
+	for now := sim.Time(0); now <= 99*sim.Microsecond; now += 3 * sim.Microsecond {
+		w.Advance(now)
+		if hit != 0 {
+			t.Fatalf("fired early at %v", now)
+		}
+	}
+	w.Advance(101 * sim.Microsecond)
+	if hit != 100 {
+		t.Fatal("long timer never fired")
+	}
+}
+
+func TestWheelNextDeadline(t *testing.T) {
+	w := NewTimingWheel(sim.Microsecond, 32)
+	if _, ok := w.NextDeadline(); ok {
+		t.Fatal("empty wheel reported a deadline")
+	}
+	w.Insert(40*sim.Microsecond, nil)
+	w.Insert(7*sim.Microsecond, nil)
+	d, ok := w.NextDeadline()
+	if !ok || d != 7*sim.Microsecond {
+		t.Fatalf("NextDeadline = %v, %v", d, ok)
+	}
+}
+
+func TestWheelPanicsOnBadParams(t *testing.T) {
+	for _, tc := range []struct {
+		g sim.Time
+		b int
+	}{{0, 8}, {1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTimingWheel(%v,%d) did not panic", tc.g, tc.b)
+				}
+			}()
+			NewTimingWheel(tc.g, tc.b)
+		}()
+	}
+}
+
+// Property: every inserted timer fires exactly once after its deadline
+// and never more than one granularity + one advance-step late relative
+// to the Advance calls made.
+func TestWheelFiresAllExactlyOnce(t *testing.T) {
+	f := func(raw []uint16) bool {
+		w := NewTimingWheel(sim.Microsecond, 16)
+		fireCount := map[int]int{}
+		deadlines := make([]sim.Time, len(raw))
+		for i, r := range raw {
+			d := sim.Time(r%2000) * 100 * sim.Nanosecond
+			deadlines[i] = d
+			i := i
+			w.Insert(d, func() { fireCount[i]++ })
+		}
+		w.Advance(300 * sim.Microsecond)
+		for i := range raw {
+			if fireCount[i] != 1 {
+				return false
+			}
+		}
+		return w.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: firing order across buckets respects deadline order at
+// bucket granularity: a timer in an earlier bucket fires before one in a
+// later bucket.
+func TestWheelOrderAcrossBuckets(t *testing.T) {
+	w := NewTimingWheel(sim.Microsecond, 128)
+	var fired []sim.Time
+	deadlines := []sim.Time{90, 10, 50, 70, 30}
+	for _, d := range deadlines {
+		d := d * sim.Microsecond
+		w.Insert(d, func() { fired = append(fired, d) })
+	}
+	w.Advance(200 * sim.Microsecond)
+	if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+		t.Fatalf("cross-bucket firing out of order: %v", fired)
+	}
+}

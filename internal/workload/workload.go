@@ -1,0 +1,228 @@
+// Package workload provides the open-loop load generators and the
+// paper's service-time distributions (§V-A):
+//
+//	A1: bimodal, 99.5% 0.5 µs + 0.5% 500 µs   (heavy-tailed)
+//	A2: bimodal, 99.5% 5 µs + 0.5% 500 µs     (heavy-tailed)
+//	B:  exponential, mean 5 µs                 (light-tailed)
+//	C:  first half A1, second half B           (distribution shift)
+//
+// Arrivals are Poisson (the paper's setup) or rate-modulated Poisson
+// for the bursty colocation experiments of §V-C.
+package workload
+
+import (
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// A1 is the paper's first heavy-tailed bimodal workload.
+func A1() sim.Dist {
+	return sim.Bimodal{PShort: 0.995, Short: 500 * sim.Nanosecond, Long: 500 * sim.Microsecond}
+}
+
+// A2 is the paper's second heavy-tailed bimodal workload.
+func A2() sim.Dist {
+	return sim.Bimodal{PShort: 0.995, Short: 5 * sim.Microsecond, Long: 500 * sim.Microsecond}
+}
+
+// B is the paper's light-tailed exponential workload.
+func B() sim.Dist {
+	return sim.Exponential{MeanV: 5 * sim.Microsecond}
+}
+
+// RateForLoad converts a load fraction (of the workers' aggregate
+// service capacity) into an arrival rate in requests/second.
+func RateForLoad(load float64, workers int, meanService sim.Time) float64 {
+	if meanService <= 0 {
+		panic("workload: non-positive mean service time")
+	}
+	capacity := float64(workers) / meanService.Seconds()
+	return load * capacity
+}
+
+// Phase is one segment of an open-loop run.
+type Phase struct {
+	// Duration of the phase; the last phase may be 0 (runs until the
+	// generator stops).
+	Duration sim.Time
+	// Service is the service-time distribution during the phase.
+	Service sim.Dist
+	// Rate is the Poisson arrival rate (requests/second).
+	Rate float64
+}
+
+// OpenLoop generates Poisson arrivals through a sequence of phases and
+// submits them to a sink (typically System.Submit). Open-loop means
+// arrivals do not wait for completions — the generator models
+// independent clients, as wrk2 does.
+type OpenLoop struct {
+	eng    *sim.Engine
+	rng    *sim.RNG
+	phases []Phase
+	sink   func(*sched.Request)
+	class  int
+
+	nextID   uint64
+	phaseIdx int
+	phaseEnd sim.Time
+	stopped  bool
+	// Generated counts submitted requests.
+	Generated uint64
+}
+
+// NewOpenLoop builds a generator. phases must be non-empty with
+// positive rates; class labels the generated requests.
+func NewOpenLoop(eng *sim.Engine, rng *sim.RNG, class int, phases []Phase, sink func(*sched.Request)) *OpenLoop {
+	if len(phases) == 0 {
+		panic("workload: no phases")
+	}
+	for _, p := range phases {
+		if p.Rate <= 0 || p.Service == nil {
+			panic("workload: phase needs positive rate and a service distribution")
+		}
+	}
+	return &OpenLoop{eng: eng, rng: rng, phases: phases, sink: sink, class: class}
+}
+
+// Start begins generation at the current virtual time.
+func (g *OpenLoop) Start() {
+	g.phaseIdx = 0
+	g.phaseEnd = g.eng.Now() + g.phases[0].Duration
+	g.scheduleNext()
+}
+
+// Stop halts generation (already-submitted requests still complete).
+func (g *OpenLoop) Stop() { g.stopped = true }
+
+func (g *OpenLoop) currentPhase() *Phase {
+	now := g.eng.Now()
+	for g.phaseIdx < len(g.phases)-1 && g.phases[g.phaseIdx].Duration > 0 && now >= g.phaseEnd {
+		g.phaseIdx++
+		g.phaseEnd += g.phases[g.phaseIdx].Duration
+	}
+	return &g.phases[g.phaseIdx]
+}
+
+func (g *OpenLoop) scheduleNext() {
+	if g.stopped {
+		return
+	}
+	p := g.currentPhase()
+	gap := sim.Time(g.rng.Exp(1 / p.Rate * float64(sim.Second)))
+	if gap < 1 {
+		gap = 1
+	}
+	g.eng.Schedule(gap, func() {
+		if g.stopped {
+			return
+		}
+		p := g.currentPhase()
+		g.nextID++
+		r := sched.NewRequest(g.nextID, g.class, g.eng.Now(), p.Service.Sample(g.rng))
+		g.Generated++
+		g.sink(r)
+		g.scheduleNext()
+	})
+}
+
+// RateFn maps virtual time to an instantaneous arrival rate
+// (requests/second) for modulated generators.
+type RateFn func(t sim.Time) float64
+
+// SquareWave returns a RateFn alternating between low and high rates
+// with the given period and duty cycle of the high phase — the spiky
+// load generator of Fig. 14 (QPS switching between 40 and 110 kRPS).
+func SquareWave(low, high float64, period sim.Time, highFrac float64) RateFn {
+	return func(t sim.Time) float64 {
+		if period <= 0 {
+			return low
+		}
+		pos := float64(t%period) / float64(period)
+		if pos < highFrac {
+			return high
+		}
+		return low
+	}
+}
+
+// Modulated generates a non-homogeneous Poisson process by thinning: it
+// draws candidate arrivals at maxRate and accepts each with
+// rate(t)/maxRate.
+type Modulated struct {
+	eng     *sim.Engine
+	rng     *sim.RNG
+	service sim.Dist
+	rate    RateFn
+	maxRate float64
+	sink    func(*sched.Request)
+	class   int
+
+	nextID  uint64
+	stopped bool
+	// Generated counts submitted requests.
+	Generated uint64
+}
+
+// NewModulated builds a thinned-Poisson generator. maxRate must bound
+// rate(t) everywhere.
+func NewModulated(eng *sim.Engine, rng *sim.RNG, class int, service sim.Dist, rate RateFn, maxRate float64, sink func(*sched.Request)) *Modulated {
+	if maxRate <= 0 || service == nil || rate == nil {
+		panic("workload: invalid modulated generator parameters")
+	}
+	return &Modulated{eng: eng, rng: rng, service: service, rate: rate, maxRate: maxRate, sink: sink, class: class}
+}
+
+// Start begins generation.
+func (g *Modulated) Start() { g.scheduleNext() }
+
+// Stop halts generation.
+func (g *Modulated) Stop() { g.stopped = true }
+
+func (g *Modulated) scheduleNext() {
+	if g.stopped {
+		return
+	}
+	gap := sim.Time(g.rng.Exp(1 / g.maxRate * float64(sim.Second)))
+	if gap < 1 {
+		gap = 1
+	}
+	g.eng.Schedule(gap, func() {
+		if g.stopped {
+			return
+		}
+		r := g.rate(g.eng.Now())
+		if r > g.maxRate {
+			panic("workload: rate function exceeded maxRate")
+		}
+		if g.rng.Float64() < r/g.maxRate {
+			g.nextID++
+			req := sched.NewRequest(g.nextID, g.class, g.eng.Now(), g.service.Sample(g.rng))
+			g.Generated++
+			g.sink(req)
+		}
+		g.scheduleNext()
+	})
+}
+
+// FindMaxLoad bisects for the largest load in (lo, hi] for which ok
+// reports true — the §V-A max-throughput measurement (ok typically runs
+// the system at the load and checks the p99 SLO). It assumes ok is
+// monotone (true below some threshold, false above); iters bisection
+// steps give a resolution of (hi-lo)/2^iters. Returns 0 if even lo
+// fails.
+func FindMaxLoad(lo, hi float64, iters int, ok func(load float64) bool) float64 {
+	if lo <= 0 || hi <= lo || iters <= 0 {
+		panic("workload: need 0 < lo < hi and positive iters")
+	}
+	best := 0.0
+	for i := 0; i < iters; i++ {
+		mid := (lo + hi) / 2
+		if ok(mid) {
+			best = mid
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return best
+}

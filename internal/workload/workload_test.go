@@ -1,0 +1,207 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func TestPaperDistributions(t *testing.T) {
+	if m := A1().Mean(); m != 2997 { // 0.995·500ns + 0.005·500µs
+		t.Fatalf("A1 mean = %v", m)
+	}
+	if m := A2().Mean(); m != 7475 { // 0.995·5µs + 0.005·500µs
+		t.Fatalf("A2 mean = %v", m)
+	}
+	if m := B().Mean(); m != 5*sim.Microsecond {
+		t.Fatalf("B mean = %v", m)
+	}
+}
+
+func TestRateForLoad(t *testing.T) {
+	// 4 workers, 5µs mean: capacity = 800k req/s; 50% load = 400k.
+	got := RateForLoad(0.5, 4, 5*sim.Microsecond)
+	if math.Abs(got-400000) > 1 {
+		t.Fatalf("RateForLoad = %f", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on zero mean")
+		}
+	}()
+	RateForLoad(0.5, 4, 0)
+}
+
+func TestOpenLoopPoissonRate(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(5)
+	var got []*sched.Request
+	g := NewOpenLoop(eng, rng, sched.ClassLC, []Phase{
+		{Service: sim.Fixed{V: sim.Microsecond}, Rate: 100000},
+	}, func(r *sched.Request) { got = append(got, r) })
+	g.Start()
+	eng.Run(1 * sim.Second)
+	g.Stop()
+	// 100k/s over 1s: expect ~100000 ± 4σ (σ=√100000≈316).
+	if len(got) < 98500 || len(got) > 101500 {
+		t.Fatalf("generated %d arrivals, want ~100000", len(got))
+	}
+	if g.Generated != uint64(len(got)) {
+		t.Fatal("Generated counter wrong")
+	}
+	// IDs unique, arrivals monotone.
+	for i := 1; i < len(got); i++ {
+		if got[i].Arrival < got[i-1].Arrival {
+			t.Fatal("arrivals not monotone")
+		}
+		if got[i].ID == got[i-1].ID {
+			t.Fatal("duplicate IDs")
+		}
+	}
+}
+
+func TestOpenLoopPhaseSwitch(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(6)
+	shortService := sim.Fixed{V: sim.Microsecond}
+	longService := sim.Fixed{V: 10 * sim.Microsecond}
+	var phase1, phase2 int
+	g := NewOpenLoop(eng, rng, sched.ClassLC, []Phase{
+		{Duration: 100 * sim.Millisecond, Service: shortService, Rate: 50000},
+		{Service: longService, Rate: 50000},
+	}, func(r *sched.Request) {
+		if r.Service == sim.Microsecond {
+			phase1++
+		} else {
+			phase2++
+		}
+	})
+	g.Start()
+	eng.Run(200 * sim.Millisecond)
+	g.Stop()
+	if phase1 < 4000 || phase2 < 4000 {
+		t.Fatalf("phase counts: %d / %d", phase1, phase2)
+	}
+	// Phase 1 only in the first 100ms → roughly equal counts.
+	ratio := float64(phase1) / float64(phase2)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("phase ratio = %f, want ~1", ratio)
+	}
+}
+
+func TestOpenLoopStop(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(7)
+	count := 0
+	g := NewOpenLoop(eng, rng, 0, []Phase{{Service: sim.Fixed{V: 1}, Rate: 1e6}},
+		func(*sched.Request) { count++ })
+	g.Start()
+	eng.Run(1 * sim.Millisecond)
+	g.Stop()
+	before := count
+	eng.Run(2 * sim.Millisecond)
+	if count != before {
+		t.Fatal("generator kept producing after Stop")
+	}
+}
+
+func TestOpenLoopValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(8)
+	for _, phases := range [][]Phase{
+		nil,
+		{{Service: nil, Rate: 1}},
+		{{Service: sim.Fixed{V: 1}, Rate: 0}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("phases %v did not panic", phases)
+				}
+			}()
+			NewOpenLoop(eng, rng, 0, phases, func(*sched.Request) {})
+		}()
+	}
+}
+
+func TestSquareWave(t *testing.T) {
+	f := SquareWave(40000, 110000, 10*sim.Second, 0.3)
+	if f(0) != 110000 {
+		t.Fatal("start of period should be high")
+	}
+	if f(5*sim.Second) != 40000 {
+		t.Fatal("after duty cycle should be low")
+	}
+	if f(12*sim.Second) != 110000 {
+		t.Fatal("second period should repeat")
+	}
+	if SquareWave(1, 2, 0, 0.5)(100) != 1 {
+		t.Fatal("zero period should return low")
+	}
+}
+
+func TestModulatedRateTracksFunction(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(9)
+	rate := SquareWave(20000, 100000, 100*sim.Millisecond, 0.5)
+	var inHigh, inLow int
+	g := NewModulated(eng, rng, 0, sim.Fixed{V: 1}, rate, 100000, func(r *sched.Request) {
+		if rate(r.Arrival) == 100000 {
+			inHigh++
+		} else {
+			inLow++
+		}
+	})
+	g.Start()
+	eng.Run(1 * sim.Second)
+	g.Stop()
+	// High phase should see ~5x the low phase (equal durations).
+	ratio := float64(inHigh) / float64(inLow)
+	if ratio < 4 || ratio > 6.5 {
+		t.Fatalf("high/low arrival ratio = %f, want ~5", ratio)
+	}
+}
+
+func TestModulatedPanicsWhenRateExceedsMax(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(10)
+	g := NewModulated(eng, rng, 0, sim.Fixed{V: 1},
+		func(sim.Time) float64 { return 2000 }, 1000, func(*sched.Request) {})
+	g.Start()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	eng.Run(1 * sim.Second)
+}
+
+func TestModulatedValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(11)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewModulated(eng, rng, 0, nil, nil, 0, nil)
+}
+
+func TestFindMaxLoad(t *testing.T) {
+	// Threshold at 0.73: bisection must land within resolution.
+	got := FindMaxLoad(0.2, 1.4, 12, func(l float64) bool { return l <= 0.73 })
+	if math.Abs(got-0.73) > (1.4-0.2)/4096*2 {
+		t.Fatalf("found %f, want ~0.73", got)
+	}
+	if FindMaxLoad(0.2, 1.4, 8, func(float64) bool { return false }) != 0 {
+		t.Fatal("all-fail should return 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FindMaxLoad(0, 1, 4, func(float64) bool { return true })
+}

@@ -1,0 +1,119 @@
+package zygos
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func drive(s *System, dist sim.Dist, load float64, dur sim.Time, seed uint64) {
+	gen := workload.NewOpenLoop(s.Eng, sim.NewRNG(seed), sched.ClassLC,
+		[]workload.Phase{{Service: dist,
+			Rate: workload.RateForLoad(load, s.Workers(), dist.Mean())}}, s.Submit)
+	gen.Start()
+	s.Eng.Run(dur)
+	gen.Stop()
+	s.Eng.RunAll()
+}
+
+func TestCompletesAllWork(t *testing.T) {
+	s := New(Config{Workers: 4, Seed: 1})
+	drive(s, workload.B(), 0.6, 100*sim.Millisecond, 2)
+	if s.InFlight() != 0 {
+		t.Fatalf("in flight %d", s.InFlight())
+	}
+	if s.Metrics.Completed < 10000 {
+		t.Fatalf("completed %d", s.Metrics.Completed)
+	}
+	if s.Throughput() == 0 {
+		t.Fatal("zero throughput")
+	}
+}
+
+func TestStealingBalancesRSSImbalance(t *testing.T) {
+	// All requests hash where they hash; with stealing enabled, worker
+	// busy-times stay balanced even though the RSS hash is uneven over a
+	// short ID range.
+	s := New(Config{Workers: 4, Seed: 3})
+	drive(s, workload.B(), 0.7, 100*sim.Millisecond, 4)
+	if s.Metrics.Steals == 0 {
+		t.Fatal("no steals despite Poisson imbalance")
+	}
+	var min, max sim.Time = sim.MaxTime, 0
+	for i := 0; i < 4; i++ {
+		b := s.M.Core(i).BusyTime()
+		if b < min {
+			min = b
+		}
+		if b > max {
+			max = b
+		}
+	}
+	if float64(min) < float64(max)*0.75 {
+		t.Fatalf("stealing failed to balance: %v vs %v", min, max)
+	}
+}
+
+func TestZygosBeatsNothingButLosesToPreemption(t *testing.T) {
+	// On the heavy-tailed A2: ZygOS (stealing, no preemption) must beat
+	// plain run-to-completion cFCFS... actually centralized FCFS is
+	// already work-conserving; the meaningful comparison is against
+	// preemptive LibPreemptible, which must win on tail latency.
+	zy := New(Config{Workers: 4, Seed: 5})
+	drive(zy, workload.A2(), 0.7, 300*sim.Millisecond, 6)
+
+	lp := core.New(core.Config{Workers: 4, Quantum: 10 * sim.Microsecond,
+		Mech: core.MechUINTR, Seed: 5})
+	gen := workload.NewOpenLoop(lp.Eng, sim.NewRNG(6), sched.ClassLC,
+		[]workload.Phase{{Service: workload.A2(),
+			Rate: workload.RateForLoad(0.7, 4, workload.A2().Mean())}}, lp.Submit)
+	gen.Start()
+	lp.Eng.Run(300 * sim.Millisecond)
+	gen.Stop()
+	lp.Eng.RunAll()
+
+	if lp.Metrics.Latency.P99() >= zy.Metrics.Latency.P99() {
+		t.Fatalf("LibPreemptible p99 %d not better than ZygOS %d (HoL blocking should bite)",
+			lp.Metrics.Latency.P99(), zy.Metrics.Latency.P99())
+	}
+	// And the gap must be substantial: ZygOS long requests block shorts.
+	if zy.Metrics.Latency.P99() < 3*lp.Metrics.Latency.P99() {
+		t.Fatalf("ZygOS p99 %d vs LP %d: expected ≫ gap on heavy tails",
+			zy.Metrics.Latency.P99(), lp.Metrics.Latency.P99())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (uint64, int64, uint64) {
+		s := New(Config{Workers: 4, Seed: 9})
+		drive(s, workload.A1(), 0.8, 50*sim.Millisecond, 10)
+		return s.Metrics.Completed, s.Metrics.Latency.P99(), s.Metrics.Steals
+	}
+	a1, b1, c1 := run()
+	a2, b2, c2 := run()
+	if a1 != a2 || b1 != b2 || c1 != c2 {
+		t.Fatal("nondeterministic")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{Workers: 0})
+}
+
+func TestSubmitNilPanics(t *testing.T) {
+	s := New(Config{Workers: 1, Seed: 11})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Submit(nil)
+}

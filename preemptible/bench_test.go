@@ -1,0 +1,67 @@
+package preemptible
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkCheckpointUncontended measures the safepoint fast path: the
+// per-iteration tax a task pays for being preemptible.
+func BenchmarkCheckpointUncontended(b *testing.B) {
+	rt, err := New(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	fn, err := rt.Launch(func(ctx *Ctx) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx.Checkpoint()
+		}
+	}, time.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !fn.Completed() {
+		b.Fatal("benchmark task preempted")
+	}
+}
+
+// BenchmarkLaunchCompleteRoundTrip measures fn_launch for a trivial
+// task: goroutine handoff out and back.
+func BenchmarkLaunchCompleteRoundTrip(b *testing.B) {
+	rt, err := New(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	task := func(ctx *Ctx) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Launch(task, time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkYieldResume measures one preempt/resume cycle (fn_resume).
+func BenchmarkYieldResume(b *testing.B) {
+	rt, err := New(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	fn, err := rt.Launch(func(ctx *Ctx) {
+		for {
+			ctx.Yield()
+		}
+	}, time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn.Resume(time.Second)
+	}
+}

@@ -1,0 +1,54 @@
+// Package preemptible is a Go implementation of the LibPreemptible API
+// (HPCA 2024): a preemptive user-level task runtime with fine-grained,
+// dynamically adjustable time quanta and user-defined scheduling
+// policies.
+//
+// # Substitution for UINTR
+//
+// The original library preempts worker threads asynchronously with
+// Intel user interrupts (UINTR) at 3 µs granularity. A Go library
+// cannot interrupt a goroutine asynchronously — the Go runtime owns
+// scheduling — so this implementation substitutes the delivery
+// mechanism while keeping the architecture: a dedicated timer goroutine
+// (the LibUtimer analog) polls a monotonic clock against per-task
+// deadline words and raises a preemption flag; tasks observe the flag
+// at safepoints (Ctx.Checkpoint calls, the analog of the compiler
+// preemption points) and yield back to their scheduler with state
+// saved. Granularity is bounded by safepoint density and Go timer
+// resolution (tens of microseconds) instead of 3 µs; every other part
+// of the paper's design — deadline arming, two-level scheduling,
+// preempted-task lists, the adaptive quantum controller — carries over
+// unchanged. The simulation packages in this repository reproduce the
+// µs-scale results; this package is the adoptable library.
+//
+// # Core API
+//
+// Runtime hosts tasks and the timer service. Fn is a preemptible
+// function: Launch starts it and returns when it completes or its time
+// slice expires (fn_launch); Resume continues a preempted Fn
+// (fn_resume); Completed reports whether a reschedule is needed
+// (fn_completed). A round-robin scheduler over N tasks — the paper's
+// Fig. 7 example — is:
+//
+//	rt, _ := preemptible.New(preemptible.Config{})
+//	defer rt.Close()
+//	fns := make([]*preemptible.Fn, 0, len(tasks))
+//	for _, t := range tasks {
+//		fns = append(fns, rt.Launch(t, quantum))
+//	}
+//	for live := len(fns); live > 0; {
+//		for _, fn := range fns {
+//			if !fn.Completed() {
+//				fn.Resume(quantum)
+//				if fn.Completed() {
+//					live--
+//				}
+//			}
+//		}
+//	}
+//
+// Pool layers the paper's two-level scheduler on top: a dispatcher
+// queue feeding worker goroutines, a global preempted list, per-class
+// latency statistics, and optionally the Algorithm 1 adaptive quantum
+// controller.
+package preemptible

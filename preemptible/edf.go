@@ -1,0 +1,105 @@
+package preemptible
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Discipline selects the Pool's queue ordering.
+type Discipline int
+
+const (
+	// FIFO is the paper's default two-level discipline: fresh arrivals
+	// first (in order), then the preempted list (in order).
+	FIFO Discipline = iota
+	// EDF orders all runnable work — fresh and preempted alike — by
+	// deadline (earliest first; deadline-free work last). Use with
+	// SubmitDeadline to express per-request SLOs (§III-B).
+	EDF
+)
+
+// edfItem is one unit of EDF-ordered work: either a fresh task or a
+// preempted Fn.
+type edfItem struct {
+	task     Task
+	fn       *Fn
+	arrival  time.Time
+	deadline time.Time // zero = none
+	done     func(time.Duration)
+	seq      uint64
+}
+
+// edfQueue is a deadline-ordered heap.
+type edfQueue []*edfItem
+
+func (q edfQueue) Len() int { return len(q) }
+
+func (q edfQueue) Less(i, j int) bool {
+	di, dj := q[i].deadline, q[j].deadline
+	switch {
+	case di.IsZero() && dj.IsZero():
+		return q[i].seq < q[j].seq
+	case di.IsZero():
+		return false
+	case dj.IsZero():
+		return true
+	case !di.Equal(dj):
+		return di.Before(dj)
+	default:
+		return q[i].seq < q[j].seq
+	}
+}
+
+func (q edfQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *edfQueue) Push(x any) { *q = append(*q, x.(*edfItem)) }
+
+func (q *edfQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// SubmitDeadline enqueues a task carrying an SLO deadline. Under the
+// EDF discipline the deadline orders execution; under FIFO it is
+// carried but ignored. done (optional) receives the sojourn latency.
+func (p *Pool) SubmitDeadline(task Task, deadline time.Time, done func(latency time.Duration)) {
+	if task == nil {
+		panic("preemptible: SubmitDeadline(nil)")
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		panic("preemptible: Submit on closed pool")
+	}
+	p.submitted++
+	p.winArr++
+	if p.discipline == EDF {
+		p.pushEDFLocked(&edfItem{task: task, arrival: time.Now(), deadline: deadline, done: done})
+	} else {
+		// FIFO carries the deadline only as metadata; ordering is
+		// arrival-based.
+		p.arrivals = append(p.arrivals, poolArrival{task: task, arrival: time.Now(), done: done})
+	}
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// pushEDF enqueues an item under the EDF discipline (caller holds mu or
+// is in a context where locking is handled by the caller).
+func (p *Pool) pushEDFLocked(it *edfItem) {
+	p.seq++
+	it.seq = p.seq
+	heap.Push(&p.edf, it)
+}
+
+// popEDFLocked removes the earliest-deadline item, or nil.
+func (p *Pool) popEDFLocked() *edfItem {
+	if len(p.edf) == 0 {
+		return nil
+	}
+	return heap.Pop(&p.edf).(*edfItem)
+}

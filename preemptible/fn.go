@@ -1,0 +1,194 @@
+package preemptible
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Task is the body of a preemptible function. It must call
+// ctx.Checkpoint() inside long-running loops; checkpoints are the
+// safepoints at which preemption is observed (the substitution for
+// asynchronous UINTR delivery — see the package comment).
+type Task func(ctx *Ctx)
+
+// Ctx is the execution context handed to a Task. It carries the
+// deadline word the timer service polls (the paper's 64-byte-aligned
+// deadline address) and the preemption flag.
+type Ctx struct {
+	rt       *Runtime
+	deadline atomic.Int64  // unixnano of next preemption; 0 = disarmed
+	preempt  atomic.Uint32 // raised by the timer goroutine
+
+	runCh   chan struct{}
+	yieldCh chan bool // true = task finished
+
+	checkpoints atomic.Uint64
+	yields      atomic.Uint64
+}
+
+// Checkpoint is the safepoint: on a raised preemption flag it saves
+// control state and returns to the scheduler that called Launch/Resume,
+// blocking until resumed. It also compares the armed deadline word
+// against the clock itself (~one vDSO clock read): the timer goroutine
+// is the designed delivery mechanism — the LibUtimer analog — but on
+// GOMAXPROCS=1 a spinning task can starve it indefinitely (the Go
+// analog of the paper's observation that software timer delivery is
+// unreliable under load), so deadline enforcement cannot rely on the
+// timer alone. The clock read keeps quanta honored regardless; tasks
+// whose safepoints are extremely hot can rely on the flag being set by
+// the timer goroutine arriving first on multi-core schedulers.
+func (c *Ctx) Checkpoint() {
+	c.checkpoints.Add(1)
+	if c.preempt.Load() == 1 {
+		c.yieldNow()
+		return
+	}
+	if d := c.deadline.Load(); d != 0 && time.Now().UnixNano() >= d {
+		if c.preempt.CompareAndSwap(0, 1) && c.rt != nil {
+			c.rt.preemptions.Add(1)
+		}
+		c.yieldNow()
+	}
+}
+
+// Yield voluntarily returns control to the scheduler regardless of the
+// deadline (cooperative yield).
+func (c *Ctx) Yield() { c.yieldNow() }
+
+// Preempted reports whether a preemption is pending (without yielding).
+func (c *Ctx) Preempted() bool { return c.preempt.Load() == 1 }
+
+// Deadline reports the armed preemption deadline (zero Time if none).
+func (c *Ctx) Deadline() time.Time {
+	d := c.deadline.Load()
+	if d == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, d)
+}
+
+// Checkpoints reports how many safepoints the task has passed.
+func (c *Ctx) Checkpoints() uint64 { return c.checkpoints.Load() }
+
+func (c *Ctx) yieldNow() {
+	c.yields.Add(1)
+	c.deadline.Store(0)
+	c.preempt.Store(0)
+	c.yieldCh <- false
+	<-c.runCh
+}
+
+// FnState is a Fn's lifecycle state.
+type FnState int32
+
+const (
+	// StatePreempted: the Fn is stopped at a safepoint, resumable.
+	StatePreempted FnState = iota
+	// StateRunning: the Fn is executing (its scheduler is blocked in
+	// Launch/Resume).
+	StateRunning
+	// StateCompleted: the task returned; Resume is an error.
+	StateCompleted
+)
+
+func (s FnState) String() string {
+	switch s {
+	case StatePreempted:
+		return "preempted"
+	case StateRunning:
+		return "running"
+	case StateCompleted:
+		return "completed"
+	default:
+		return "invalid"
+	}
+}
+
+// Fn is a preemptible function: a Task bound to a context and a
+// deadline (the paper's Fn = {Context, Deadline}).
+type Fn struct {
+	rt    *Runtime
+	ctx   *Ctx
+	state atomic.Int32
+
+	// Preemptions counts times this Fn was preempted.
+	Preemptions int
+}
+
+// Launch creates a preemptible function and runs it immediately
+// (fn_launch): control returns to the caller when the task completes or
+// its time slice (quantum; DefaultQuantum if 0) expires at a
+// checkpoint. The returned Fn is resumable if not completed.
+func (r *Runtime) Launch(task Task, quantum time.Duration) (*Fn, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrClosed
+	}
+	r.mu.Unlock()
+	if task == nil {
+		panic("preemptible: nil task")
+	}
+	r.launched.Add(1)
+	fn := &Fn{
+		rt: r,
+		ctx: &Ctx{
+			rt:      r,
+			runCh:   make(chan struct{}),
+			yieldCh: make(chan bool),
+		},
+	}
+	r.register(fn.ctx)
+	go func() {
+		<-fn.ctx.runCh
+		task(fn.ctx)
+		fn.ctx.deadline.Store(0)
+		fn.ctx.preempt.Store(0)
+		fn.ctx.yieldCh <- true
+	}()
+	fn.resume(quantum)
+	return fn, nil
+}
+
+// Resume continues a preempted function (fn_resume) until the next
+// quantum expiry or completion. Resuming a completed or running Fn
+// panics: both indicate a scheduler bug.
+func (fn *Fn) Resume(quantum time.Duration) {
+	switch FnState(fn.state.Load()) {
+	case StateCompleted:
+		panic("preemptible: Resume of completed Fn")
+	case StateRunning:
+		panic("preemptible: concurrent Resume")
+	}
+	fn.resume(quantum)
+}
+
+func (fn *Fn) resume(quantum time.Duration) {
+	if quantum <= 0 {
+		quantum = DefaultQuantum
+	}
+	fn.state.Store(int32(StateRunning))
+	// Arm the deadline word (utimer_arm_deadline: one memory write).
+	fn.ctx.deadline.Store(time.Now().Add(quantum).UnixNano())
+	fn.ctx.runCh <- struct{}{}
+	done := <-fn.ctx.yieldCh
+	if done {
+		fn.state.Store(int32(StateCompleted))
+		fn.rt.unregister(fn.ctx)
+		return
+	}
+	fn.Preemptions++
+	fn.state.Store(int32(StatePreempted))
+}
+
+// Completed reports whether the task finished (fn_completed), so that
+// no reschedule is necessary.
+func (fn *Fn) Completed() bool {
+	return FnState(fn.state.Load()) == StateCompleted
+}
+
+// State reports the Fn's lifecycle state.
+func (fn *Fn) State() FnState { return FnState(fn.state.Load()) }
+
+// Ctx exposes the Fn's context (for inspection in tests/policies).
+func (fn *Fn) Ctx() *Ctx { return fn.ctx }

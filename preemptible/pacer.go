@@ -1,0 +1,76 @@
+package preemptible
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Pacer executes actions at a fixed rate with precise timing — the live
+// analog of the §VII-C traffic-shaping use case. It sleeps for the bulk
+// of each gap and spin-waits the final stretch, trading a little CPU
+// for pacing precision far below timer-wheel granularity (the same
+// trade LibUtimer makes with its dedicated polling core).
+type Pacer struct {
+	gap time.Duration
+	// SpinThreshold is how much of the tail of each gap is spin-waited
+	// (default 100 µs).
+	SpinThreshold time.Duration
+
+	next    time.Time
+	started atomic.Bool
+	// Emitted counts Wait returns.
+	emitted atomic.Uint64
+}
+
+// NewPacer builds a pacer emitting at the given rate (events/second).
+func NewPacer(rate float64) (*Pacer, error) {
+	if rate <= 0 {
+		return nil, errors.New("preemptible: pacer rate must be positive")
+	}
+	return &Pacer{
+		gap:           time.Duration(float64(time.Second) / rate),
+		SpinThreshold: 100 * time.Microsecond,
+	}, nil
+}
+
+// Gap reports the inter-event interval.
+func (p *Pacer) Gap() time.Duration { return p.gap }
+
+// Emitted reports how many events have been released.
+func (p *Pacer) Emitted() uint64 { return p.emitted.Load() }
+
+// Wait blocks until the next emission instant and returns it. The
+// schedule is absolute (next = previous + gap), so per-wait errors do
+// not accumulate; a caller that falls behind catches up without
+// bunching more than one interval.
+func (p *Pacer) Wait() time.Time {
+	if !p.started.Load() {
+		p.started.Store(true)
+		p.next = time.Now()
+	}
+	target := p.next
+	for {
+		d := time.Until(target)
+		if d <= 0 {
+			break
+		}
+		if d > p.SpinThreshold {
+			time.Sleep(d - p.SpinThreshold)
+			continue
+		}
+		// Spin the final stretch for precision.
+		for time.Now().Before(target) {
+		}
+		break
+	}
+	p.next = target.Add(p.gap)
+	// Absolute scheduling lets a slightly-late caller catch up by
+	// emitting promptly; only a severe stall (many gaps) restarts the
+	// schedule instead of releasing a burst.
+	if time.Until(p.next) < -10*p.gap {
+		p.next = time.Now().Add(p.gap)
+	}
+	p.emitted.Add(1)
+	return time.Now()
+}

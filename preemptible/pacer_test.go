@@ -1,0 +1,82 @@
+package preemptible
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestPacerRateConformance(t *testing.T) {
+	// 2 kHz pacing (500µs gaps): achievable with sleep+spin even on a
+	// loaded CI box.
+	p, err := NewPacer(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Gap() != 500*time.Microsecond {
+		t.Fatalf("gap = %v", p.Gap())
+	}
+	const n = 200
+	start := p.Wait()
+	var last time.Time = start
+	var sumAbsErr float64
+	for i := 1; i < n; i++ {
+		now := p.Wait()
+		gap := now.Sub(last)
+		sumAbsErr += math.Abs(float64(gap - 500*time.Microsecond))
+		last = now
+	}
+	if p.Emitted() != n {
+		t.Fatalf("emitted %d", p.Emitted())
+	}
+	elapsed := last.Sub(start)
+	want := time.Duration(n-1) * 500 * time.Microsecond
+	// Absolute schedule: total duration within 5% even if single gaps
+	// jitter.
+	if elapsed < want*95/100 || elapsed > want*110/100 {
+		t.Fatalf("elapsed %v for %d gaps, want ~%v", elapsed, n-1, want)
+	}
+}
+
+func TestPacerShortStallCatchesUp(t *testing.T) {
+	// A stall of a few gaps is absorbed by the absolute schedule: late
+	// emissions release promptly (catch-up), keeping the average rate.
+	p, err := NewPacer(1000) // 1ms gaps
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := p.Wait()
+	time.Sleep(3 * time.Millisecond)
+	for i := 0; i < 5; i++ {
+		p.Wait()
+	}
+	elapsed := time.Since(start)
+	// 6 emissions over a 5ms nominal schedule: catch-up keeps us near it.
+	if elapsed > 9*time.Millisecond {
+		t.Fatalf("no catch-up after short stall: %v", elapsed)
+	}
+}
+
+func TestPacerSevereStallRestartsSchedule(t *testing.T) {
+	p, err := NewPacer(1000) // 1ms gaps
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Wait()
+	// Fall behind by far more than the 10-gap restart threshold.
+	time.Sleep(30 * time.Millisecond)
+	a := p.Wait() // immediate (late)
+	b := p.Wait() // schedule restarted: must NOT burst
+	if gap := b.Sub(a); gap < 500*time.Microsecond {
+		t.Fatalf("post-stall burst: consecutive waits %v apart", gap)
+	}
+}
+
+func TestPacerValidation(t *testing.T) {
+	if _, err := NewPacer(0); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := NewPacer(-5); err == nil {
+		t.Fatal("expected error")
+	}
+}

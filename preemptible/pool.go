@@ -1,0 +1,350 @@
+package preemptible
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/adaptive"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// PoolConfig parameterizes a Pool.
+type PoolConfig struct {
+	// Workers is the number of worker goroutines (the worker threads of
+	// the two-level scheduler).
+	Workers int
+	// Quantum is the initial time slice (DefaultQuantum if 0).
+	Quantum time.Duration
+	// Adaptive, when non-nil, runs the Algorithm 1 quantum controller.
+	Adaptive *AdaptiveConfig
+	// Discipline selects FIFO (default, arrivals-first) or EDF
+	// (deadline-ordered, with SubmitDeadline).
+	Discipline Discipline
+}
+
+// AdaptiveConfig is the public mirror of the paper's Algorithm 1
+// hyperparameters (see internal/adaptive for the semantics).
+type AdaptiveConfig struct {
+	// LHigh/LLow are arrival-rate thresholds in requests/second
+	// (typically 90% and 10% of max load).
+	LHigh, LLow float64
+	// K1, K2, K3 are quantum adjustment steps.
+	K1, K2, K3 time.Duration
+	// TMin/TMax bound the quantum.
+	TMin, TMax time.Duration
+	// QThreshold is the preempted-queue-length trigger.
+	QThreshold int
+	// Period is the controller cadence.
+	Period time.Duration
+}
+
+// PoolStats is a snapshot of a Pool's counters and latency summary.
+type PoolStats struct {
+	Submitted, Completed uint64
+	Preemptions          uint64
+	QuantumNow           time.Duration
+	Mean, P50, P99       time.Duration
+}
+
+type poolArrival struct {
+	task    Task
+	arrival time.Time
+	done    func(latency time.Duration)
+}
+
+type poolPreempted struct {
+	fn      *Fn
+	arrival time.Time
+	done    func(latency time.Duration)
+}
+
+// Pool is the paper's two-level scheduler on the live runtime: a
+// dispatcher queue of fresh arrivals (served first, giving preemptive
+// priority to new — typically short — requests, the c-FCFS policy), a
+// global list of preempted functions, worker goroutines running
+// fn_launch/fn_resume, and an optional adaptive quantum controller.
+type Pool struct {
+	rt *Runtime
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	discipline Discipline
+	arrivals   []poolArrival
+	arrHead    int
+	preempted  []poolPreempted
+	preHead    int
+	edf        edfQueue
+	seq        uint64
+	closed     bool
+
+	quantum   time.Duration
+	hist      *stats.Histogram
+	submitted uint64
+	completed uint64
+	preempts  uint64
+	winLats   []float64
+	winArr    uint64
+
+	workersWG sync.WaitGroup
+	ctlStop   chan struct{}
+	ctlWG     sync.WaitGroup
+}
+
+// NewPool starts the workers (and controller, if configured).
+func NewPool(rt *Runtime, cfg PoolConfig) *Pool {
+	if cfg.Workers <= 0 {
+		panic("preemptible: pool needs at least one worker")
+	}
+	q := cfg.Quantum
+	if q == 0 {
+		q = DefaultQuantum
+	}
+	p := &Pool{
+		rt:         rt,
+		quantum:    q,
+		discipline: cfg.Discipline,
+		hist:       stats.NewHistogram(),
+		ctlStop:    make(chan struct{}),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	for i := 0; i < cfg.Workers; i++ {
+		p.workersWG.Add(1)
+		go p.worker()
+	}
+	if cfg.Adaptive != nil {
+		p.ctlWG.Add(1)
+		go p.controller(*cfg.Adaptive)
+	}
+	return p
+}
+
+// Submit enqueues a task; done (optional) is called with the task's
+// sojourn latency when it completes.
+func (p *Pool) Submit(task Task, done func(latency time.Duration)) {
+	if task == nil {
+		panic("preemptible: Submit(nil)")
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		panic("preemptible: Submit on closed pool")
+	}
+	p.submitted++
+	p.winArr++
+	if p.discipline == EDF {
+		p.pushEDFLocked(&edfItem{task: task, arrival: time.Now(), done: done})
+	} else {
+		p.arrivals = append(p.arrivals, poolArrival{task: task, arrival: time.Now(), done: done})
+	}
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// SubmitWait runs the task and blocks until it completes, returning its
+// sojourn latency.
+func (p *Pool) SubmitWait(task Task) time.Duration {
+	ch := make(chan time.Duration, 1)
+	p.Submit(task, func(l time.Duration) { ch <- l })
+	return <-ch
+}
+
+// SetQuantum updates the time slice used for subsequent launches and
+// resumes.
+func (p *Pool) SetQuantum(q time.Duration) {
+	if q <= 0 {
+		panic("preemptible: non-positive quantum")
+	}
+	p.mu.Lock()
+	p.quantum = q
+	p.mu.Unlock()
+}
+
+// Quantum reports the current time slice.
+func (p *Pool) Quantum() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.quantum
+}
+
+// Stats snapshots the pool's counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{
+		Submitted:   p.submitted,
+		Completed:   p.completed,
+		Preemptions: p.preempts,
+		QuantumNow:  p.quantum,
+		Mean:        time.Duration(p.hist.Mean()),
+		P50:         time.Duration(p.hist.Median()),
+		P99:         time.Duration(p.hist.P99()),
+	}
+}
+
+// Close waits for queued work to drain, then stops the workers and the
+// controller. Submitting after Close panics.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.workersWG.Wait()
+	close(p.ctlStop)
+	p.ctlWG.Wait()
+}
+
+// next pops work: under FIFO, fresh arrivals first, then the preempted
+// list; under EDF, the earliest deadline across both. Returns with
+// ok=false when the pool is closed and drained.
+func (p *Pool) next() (arr *poolArrival, pre *poolPreempted, ed *edfItem, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.discipline == EDF {
+		for {
+			if it := p.popEDFLocked(); it != nil {
+				return nil, nil, it, true
+			}
+			if p.closed {
+				return nil, nil, nil, false
+			}
+			p.cond.Wait()
+		}
+	}
+	for {
+		if p.arrHead < len(p.arrivals) {
+			a := p.arrivals[p.arrHead]
+			p.arrivals[p.arrHead] = poolArrival{}
+			p.arrHead++
+			if p.arrHead > 256 && p.arrHead*2 >= len(p.arrivals) {
+				p.arrivals = append([]poolArrival(nil), p.arrivals[p.arrHead:]...)
+				p.arrHead = 0
+			}
+			return &a, nil, nil, true
+		}
+		if p.preHead < len(p.preempted) {
+			pr := p.preempted[p.preHead]
+			p.preempted[p.preHead] = poolPreempted{}
+			p.preHead++
+			if p.preHead > 256 && p.preHead*2 >= len(p.preempted) {
+				p.preempted = append([]poolPreempted(nil), p.preempted[p.preHead:]...)
+				p.preHead = 0
+			}
+			return nil, &pr, nil, true
+		}
+		if p.closed {
+			return nil, nil, nil, false
+		}
+		p.cond.Wait()
+	}
+}
+
+func (p *Pool) worker() {
+	defer p.workersWG.Done()
+	for {
+		arr, pre, ed, ok := p.next()
+		if !ok {
+			return
+		}
+		q := p.Quantum()
+		switch {
+		case arr != nil:
+			fn, err := p.rt.Launch(arr.task, q)
+			if err != nil {
+				// Runtime closed under us: drop the task.
+				return
+			}
+			p.afterRun(fn, arr.arrival, time.Time{}, arr.done)
+		case pre != nil:
+			// Let producer goroutines run before resuming preempted
+			// work: the worker↔task channel handoff otherwise starves
+			// submitters on saturated single-core schedulers, defeating
+			// the arrivals-first discipline.
+			runtime.Gosched()
+			pre.fn.Resume(q)
+			p.afterRun(pre.fn, pre.arrival, time.Time{}, pre.done)
+		case ed != nil:
+			if ed.task != nil {
+				fn, err := p.rt.Launch(ed.task, q)
+				if err != nil {
+					return
+				}
+				p.afterRun(fn, ed.arrival, ed.deadline, ed.done)
+			} else {
+				runtime.Gosched()
+				ed.fn.Resume(q)
+				p.afterRun(ed.fn, ed.arrival, ed.deadline, ed.done)
+			}
+		}
+	}
+}
+
+func (p *Pool) afterRun(fn *Fn, arrival time.Time, deadline time.Time, done func(time.Duration)) {
+	if fn.Completed() {
+		lat := time.Since(arrival)
+		p.mu.Lock()
+		p.completed++
+		p.hist.Record(int64(lat))
+		p.winLats = append(p.winLats, float64(lat))
+		p.mu.Unlock()
+		if done != nil {
+			done(lat)
+		}
+		return
+	}
+	p.mu.Lock()
+	p.preempts++
+	if p.discipline == EDF {
+		p.pushEDFLocked(&edfItem{fn: fn, arrival: arrival, deadline: deadline, done: done})
+	} else {
+		p.preempted = append(p.preempted, poolPreempted{fn: fn, arrival: arrival, done: done})
+	}
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// controller runs Algorithm 1 against the pool's live statistics.
+func (p *Pool) controller(cfg AdaptiveConfig) {
+	defer p.ctlWG.Done()
+	period := cfg.Period
+	if period <= 0 {
+		period = time.Second
+	}
+	acfg := adaptive.Config{
+		LHigh:          cfg.LHigh,
+		LLow:           cfg.LLow,
+		K1:             sim.Time(cfg.K1),
+		K2:             sim.Time(cfg.K2),
+		K3:             sim.Time(cfg.K3),
+		TMin:           sim.Time(cfg.TMin),
+		TMax:           sim.Time(cfg.TMax),
+		QThreshold:     cfg.QThreshold,
+		HeavyTailAlpha: 2.0,
+		Period:         sim.Time(period),
+	}
+	ctl := adaptive.NewController(acfg, sim.Time(p.Quantum()))
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.ctlStop:
+			return
+		case <-ticker.C:
+		}
+		p.mu.Lock()
+		lats := p.winLats
+		p.winLats = nil
+		arr := p.winArr
+		p.winArr = 0
+		qlen := len(p.preempted) - p.preHead + len(p.edf)
+		p.mu.Unlock()
+		obs := adaptive.Observation{
+			Rate:      float64(arr) / period.Seconds(),
+			QueueLen:  qlen,
+			Latencies: lats,
+		}
+		newQ := time.Duration(ctl.Step(obs))
+		p.SetQuantum(newQ)
+	}
+}

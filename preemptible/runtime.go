@@ -1,0 +1,129 @@
+package preemptible
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultResolution is the timer goroutine's polling period. The real
+// LibUtimer polls the TSC continuously from a dedicated core and
+// reaches 3 µs quanta; a Go timer goroutine is bounded by runtime timer
+// resolution, so the default is conservative.
+const DefaultResolution = 50 * time.Microsecond
+
+// DefaultQuantum is the time slice used when a caller passes 0.
+const DefaultQuantum = 500 * time.Microsecond
+
+// Config parameterizes a Runtime.
+type Config struct {
+	// Resolution is the deadline-polling period of the timer goroutine
+	// (DefaultResolution if 0).
+	Resolution time.Duration
+}
+
+// Runtime hosts preemptible functions and the timer service (the
+// LibUtimer analog: one goroutine polling registered deadlines and
+// raising preemption flags).
+type Runtime struct {
+	resolution time.Duration
+
+	mu     sync.Mutex
+	ctxs   map[*Ctx]struct{}
+	closed bool
+	stop   chan struct{}
+	stopWG sync.WaitGroup
+
+	// Preemptions counts deadline-expiry preemption flags raised.
+	preemptions atomic.Uint64
+	// launched counts Fns created.
+	launched atomic.Uint64
+}
+
+// ErrClosed is returned by Launch after Close.
+var ErrClosed = errors.New("preemptible: runtime closed")
+
+// New starts a runtime and its timer goroutine.
+func New(cfg Config) (*Runtime, error) {
+	res := cfg.Resolution
+	if res == 0 {
+		res = DefaultResolution
+	}
+	if res < 0 {
+		return nil, errors.New("preemptible: negative resolution")
+	}
+	r := &Runtime{
+		resolution: res,
+		ctxs:       make(map[*Ctx]struct{}),
+		stop:       make(chan struct{}),
+	}
+	r.stopWG.Add(1)
+	go r.utimerLoop()
+	return r, nil
+}
+
+// Close stops the timer goroutine. Fns still running keep working but
+// will no longer be preempted by deadline expiry. Close is idempotent.
+func (r *Runtime) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	close(r.stop)
+	r.mu.Unlock()
+	r.stopWG.Wait()
+}
+
+// Preemptions reports how many deadline expirations the timer service
+// has delivered.
+func (r *Runtime) Preemptions() uint64 { return r.preemptions.Load() }
+
+// Launched reports how many Fns were created.
+func (r *Runtime) Launched() uint64 { return r.launched.Load() }
+
+// Resolution reports the timer polling period.
+func (r *Runtime) Resolution() time.Duration { return r.resolution }
+
+// utimerLoop is the LibUtimer analog: poll the clock, compare against
+// registered deadline words, raise preemption flags.
+func (r *Runtime) utimerLoop() {
+	defer r.stopWG.Done()
+	ticker := time.NewTicker(r.resolution)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now().UnixNano()
+		r.mu.Lock()
+		for c := range r.ctxs {
+			d := c.deadline.Load()
+			if d != 0 && now >= d {
+				if c.preempt.CompareAndSwap(0, 1) {
+					r.preemptions.Add(1)
+				}
+			}
+		}
+		r.mu.Unlock()
+	}
+}
+
+// register adds a ctx's deadline word to the timer service
+// (utimer_register).
+func (r *Runtime) register(c *Ctx) {
+	r.mu.Lock()
+	r.ctxs[c] = struct{}{}
+	r.mu.Unlock()
+}
+
+// unregister removes a finished ctx.
+func (r *Runtime) unregister(c *Ctx) {
+	r.mu.Lock()
+	delete(r.ctxs, c)
+	r.mu.Unlock()
+}

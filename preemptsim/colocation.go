@@ -1,0 +1,138 @@
+package preemptsim
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/adaptive"
+	"repro/internal/bejob"
+	"repro/internal/core"
+	"repro/internal/mica"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// ColocationConfig describes a §V-C style colocation study: a
+// latency-critical MICA-like KV job sharing workers with a best-effort
+// compression job under FCFS-with-preemption.
+type ColocationConfig struct {
+	// Workers is the worker-core count (default 1, the paper's setup).
+	Workers int
+	// QPS is the total arrival rate across both jobs.
+	QPS float64
+	// BEFraction is the best-effort share of arrivals (default 0.02).
+	BEFraction float64
+	// Quantum is the static preemption interval (0 = run to
+	// completion, the LC-Base configuration).
+	Quantum time.Duration
+	// Dynamic, when non-nil, replaces the static quantum with the
+	// QPS-driven interval controller of §V-C policy #2.
+	Dynamic *DynamicInterval
+	// Seed fixes the run (default 1).
+	Seed uint64
+}
+
+// DynamicInterval mirrors adaptive.QPSInterval for the public API.
+type DynamicInterval struct {
+	MinInterval, MaxInterval time.Duration
+	LowQPS, HighQPS          float64
+	// MonitorPeriod is the QPS sampling cadence (default duration/50).
+	MonitorPeriod time.Duration
+}
+
+// ColocationResult reports per-class latency summaries.
+type ColocationResult struct {
+	LCCompleted, BECompleted uint64
+	LCMean, LCP50, LCP99     time.Duration
+	BEMean, BEP50, BEP99     time.Duration
+	Preemptions              uint64
+}
+
+// SimulateColocation runs the colocation scenario for a virtual
+// duration and reports per-class latency statistics.
+func SimulateColocation(cfg ColocationConfig, duration time.Duration) (ColocationResult, error) {
+	if cfg.QPS <= 0 {
+		return ColocationResult{}, errors.New("preemptsim: QPS must be positive")
+	}
+	if duration <= 0 {
+		return ColocationResult{}, errors.New("preemptsim: duration must be positive")
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = 1
+	}
+	beFrac := cfg.BEFraction
+	if beFrac == 0 {
+		beFrac = 0.02
+	}
+	if beFrac < 0 || beFrac >= 1 {
+		return ColocationResult{}, errors.New("preemptsim: BEFraction must be in [0, 1)")
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	dur := sim.Time(duration)
+
+	mech := core.MechUINTR
+	if cfg.Quantum == 0 && cfg.Dynamic == nil {
+		mech = core.MechNone
+	}
+	s := core.New(core.Config{
+		Workers: workers,
+		Quantum: sim.Time(cfg.Quantum),
+		Policy:  sched.NewFCFSPreempt(),
+		Mech:    mech,
+		Seed:    seed,
+	})
+	if d := cfg.Dynamic; d != nil {
+		period := sim.Time(d.MonitorPeriod)
+		if period == 0 {
+			period = dur / 50
+		}
+		adaptive.AttachQPS(s, adaptive.QPSInterval{
+			MinInterval: sim.Time(d.MinInterval),
+			MaxInterval: sim.Time(d.MaxInterval),
+			LowQPS:      d.LowQPS,
+			HighQPS:     d.HighQPS,
+		}, period)
+	}
+
+	lcGen := mica.NewGenerator(mica.DefaultWorkloadConfig(), sim.NewRNG(seed+1))
+	beGen := bejob.NewGenerator(bejob.DefaultConfig(), sim.NewRNG(seed+2))
+	rng := sim.NewRNG(seed + 3)
+	var loop func()
+	loop = func() {
+		gap := sim.Time(rng.Exp(float64(sim.Second) / cfg.QPS))
+		if gap < 1 {
+			gap = 1
+		}
+		s.Eng.Schedule(gap, func() {
+			now := s.Eng.Now()
+			if now >= dur {
+				return
+			}
+			if rng.Bernoulli(beFrac) {
+				s.Submit(beGen.NextRequest(now))
+			} else {
+				s.Submit(lcGen.NextRequest(now))
+			}
+			loop()
+		})
+	}
+	loop()
+	s.Eng.Run(dur)
+	s.Eng.RunAll()
+
+	return ColocationResult{
+		LCCompleted: s.Metrics.LatencyLC.Count(),
+		BECompleted: s.Metrics.LatencyBE.Count(),
+		LCMean:      time.Duration(s.Metrics.LatencyLC.Mean()),
+		LCP50:       time.Duration(s.Metrics.LatencyLC.Median()),
+		LCP99:       time.Duration(s.Metrics.LatencyLC.P99()),
+		BEMean:      time.Duration(s.Metrics.LatencyBE.Mean()),
+		BEP50:       time.Duration(s.Metrics.LatencyBE.Median()),
+		BEP99:       time.Duration(s.Metrics.LatencyBE.P99()),
+		Preemptions: s.Metrics.Preemptions,
+	}, nil
+}

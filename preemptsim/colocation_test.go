@@ -1,0 +1,82 @@
+package preemptsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestColocationPreemptionProtectsLC(t *testing.T) {
+	base, err := SimulateColocation(ColocationConfig{QPS: 55000}, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := SimulateColocation(ColocationConfig{QPS: 55000, Quantum: 30 * time.Microsecond},
+		500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Preemptions != 0 || lib.Preemptions == 0 {
+		t.Fatalf("preemption counters wrong: %d / %d", base.Preemptions, lib.Preemptions)
+	}
+	if lib.LCP99 >= base.LCP99 {
+		t.Fatalf("LC p99 with preemption %v >= baseline %v", lib.LCP99, base.LCP99)
+	}
+	if float64(base.LCP99)/float64(lib.LCP99) < 2 {
+		t.Fatalf("LC improvement only %.1fx, want several (paper: 3.2-4.4x)",
+			float64(base.LCP99)/float64(lib.LCP99))
+	}
+	if lib.BECompleted == 0 || lib.LCCompleted == 0 {
+		t.Fatal("class counters empty")
+	}
+	// BE pays for LC protection, but bounded.
+	if float64(lib.BEMean) > float64(base.BEMean)*2 {
+		t.Fatalf("BE mean penalty too large: %v vs %v", lib.BEMean, base.BEMean)
+	}
+}
+
+func TestColocationDynamicInterval(t *testing.T) {
+	res, err := SimulateColocation(ColocationConfig{
+		QPS: 55000,
+		Dynamic: &DynamicInterval{
+			MinInterval: 10 * time.Microsecond,
+			MaxInterval: 50 * time.Microsecond,
+			LowQPS:      40000,
+			HighQPS:     110000,
+		},
+	}, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Preemptions == 0 {
+		t.Fatal("dynamic policy never preempted")
+	}
+	if res.LCP99 <= 0 || res.BEP99 <= 0 {
+		t.Fatalf("empty stats: %+v", res)
+	}
+}
+
+func TestColocationValidation(t *testing.T) {
+	if _, err := SimulateColocation(ColocationConfig{QPS: 0}, time.Second); err == nil {
+		t.Fatal("expected QPS error")
+	}
+	if _, err := SimulateColocation(ColocationConfig{QPS: 1000}, 0); err == nil {
+		t.Fatal("expected duration error")
+	}
+	if _, err := SimulateColocation(ColocationConfig{QPS: 1000, BEFraction: 1.5}, time.Second); err == nil {
+		t.Fatal("expected fraction error")
+	}
+}
+
+func TestColocationDeterministic(t *testing.T) {
+	run := func() ColocationResult {
+		r, err := SimulateColocation(ColocationConfig{QPS: 40000, Quantum: 20 * time.Microsecond, Seed: 9},
+			100*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	if run() != run() {
+		t.Fatal("nondeterministic")
+	}
+}

@@ -1,0 +1,141 @@
+package preemptsim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExperimentsListed(t *testing.T) {
+	names := Experiments()
+	if len(names) != 21 {
+		t.Fatalf("%d experiments registered", len(names))
+	}
+}
+
+func TestRunExperimentByID(t *testing.T) {
+	tables, err := Run("table4", Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) == 0 || len(tables[0].Rows) != 6 {
+		t.Fatalf("unexpected table shape: %+v", tables)
+	}
+	s := tables[0].String()
+	if !strings.Contains(s, "uintrFd") {
+		t.Fatal("rendered table missing expected row")
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("bogus", Options{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSimulateLibPreemptible(t *testing.T) {
+	res, err := Simulate(Config{System: LibPreemptible, Quantum: 10 * time.Microsecond},
+		Workload{Kind: A1}, 0.7, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 || res.ThroughputRPS == 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+	if res.Preemptions == 0 {
+		t.Fatal("heavy-tailed run with 10µs quantum had no preemptions")
+	}
+	if res.P99 <= res.P50 {
+		t.Fatalf("percentiles inconsistent: %+v", res)
+	}
+}
+
+func TestSimulateSystemsComparable(t *testing.T) {
+	wl := Workload{Kind: A1}
+	lp, err := Simulate(Config{System: LibPreemptible, Quantum: 5 * time.Microsecond},
+		wl, 0.8, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, err := Simulate(Config{System: Shinjuku, Workers: 5, Quantum: 5 * time.Microsecond},
+		wl, 0.8, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := Simulate(Config{System: Libinger, Workers: 5, Quantum: 60 * time.Microsecond},
+		wl, 0.8, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.P99 >= sj.P99 || sj.P99 >= lib.P99 {
+		t.Fatalf("p99 ordering wrong: lp=%v sj=%v lib=%v", lp.P99, sj.P99, lib.P99)
+	}
+}
+
+func TestSimulateAdaptive(t *testing.T) {
+	res, err := Simulate(Config{System: LibPreemptible, Adaptive: true},
+		Workload{Kind: C}, 0.8, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Preemptions == 0 {
+		t.Fatal("adaptive run never preempted")
+	}
+}
+
+func TestSimulateCustomWorkloads(t *testing.T) {
+	if _, err := Simulate(Config{}, Workload{Kind: Exponential, Mean: 10 * time.Microsecond},
+		0.5, 50*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Simulate(Config{}, Workload{Kind: BimodalKind, PShort: 0.99,
+		Short: time.Microsecond, Long: 100 * time.Microsecond},
+		0.5, 50*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulatePolicies(t *testing.T) {
+	for _, pol := range []string{"cfcfs", "rr", "srpt", "edf"} {
+		if _, err := Simulate(Config{Policy: pol, Quantum: 20 * time.Microsecond},
+			Workload{Kind: B}, 0.5, 30*time.Millisecond); err != nil {
+			t.Fatalf("policy %s: %v", pol, err)
+		}
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	cases := []struct {
+		cfg Config
+		wl  Workload
+		ld  float64
+		dur time.Duration
+	}{
+		{Config{}, Workload{Kind: A1}, 0, time.Second},
+		{Config{}, Workload{Kind: A1}, 0.5, 0},
+		{Config{}, Workload{Kind: "??"}, 0.5, time.Second},
+		{Config{}, Workload{Kind: Exponential}, 0.5, time.Second},
+		{Config{}, Workload{Kind: BimodalKind}, 0.5, time.Second},
+		{Config{System: "??"}, Workload{Kind: A1}, 0.5, time.Second},
+		{Config{Policy: "??"}, Workload{Kind: A1}, 0.5, time.Second},
+	}
+	for i, c := range cases {
+		if _, err := Simulate(c.cfg, c.wl, c.ld, c.dur); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	run := func() Result {
+		r, err := Simulate(Config{Quantum: 10 * time.Microsecond, Seed: 7},
+			Workload{Kind: A2}, 0.7, 50*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	if run() != run() {
+		t.Fatal("nondeterministic")
+	}
+}

@@ -1,0 +1,84 @@
+package preemptsim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func recordA1(t *testing.T) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := RecordTrace(&sb, Workload{Kind: A1}, 0.7, 4, 100*time.Millisecond, 5); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestRecordAndReplayTrace(t *testing.T) {
+	csv := recordA1(t)
+	res, err := SimulateTrace(Config{Quantum: 10 * time.Microsecond}, strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 || res.Preemptions == 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+}
+
+func TestTraceABComparison(t *testing.T) {
+	csv := recordA1(t)
+	preempt, err := SimulateTrace(Config{Quantum: 10 * time.Microsecond}, strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtc, err := SimulateTrace(Config{Quantum: 0}, strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical arrivals: completion counts match exactly; preemption
+	// wins on the heavy-tailed tail.
+	if preempt.Completed != rtc.Completed {
+		t.Fatalf("A/B saw different request sets: %d vs %d", preempt.Completed, rtc.Completed)
+	}
+	if preempt.P99 >= rtc.P99 {
+		t.Fatalf("preemption p99 %v >= run-to-completion %v", preempt.P99, rtc.P99)
+	}
+}
+
+func TestTraceAdaptive(t *testing.T) {
+	csv := recordA1(t)
+	res, err := SimulateTrace(Config{Adaptive: true}, strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Preemptions == 0 {
+		t.Fatal("adaptive trace run never preempted")
+	}
+}
+
+func TestSimulateTraceErrors(t *testing.T) {
+	if _, err := SimulateTrace(Config{}, strings.NewReader("garbage,x\n")); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := SimulateTrace(Config{}, strings.NewReader("arrival_ns,service_ns,class\n")); err == nil {
+		t.Fatal("expected empty-trace error")
+	}
+	csv := "arrival_ns,service_ns,class\n1,1000,0\n"
+	if _, err := SimulateTrace(Config{System: Shinjuku}, strings.NewReader(csv)); err == nil {
+		t.Fatal("expected unsupported-system error")
+	}
+	if _, err := SimulateTrace(Config{Policy: "??"}, strings.NewReader(csv)); err == nil {
+		t.Fatal("expected policy error")
+	}
+}
+
+func TestRecordTraceValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := RecordTrace(&sb, Workload{Kind: A1}, 0, 4, time.Second, 1); err == nil {
+		t.Fatal("expected load error")
+	}
+	if err := RecordTrace(&sb, Workload{Kind: "??"}, 0.5, 4, time.Second, 1); err == nil {
+		t.Fatal("expected workload error")
+	}
+}
