@@ -34,6 +34,10 @@ func main() {
 		benchAddr = flag.String("bench", "", "server address to benchmark")
 		workers   = flag.Int("workers", 2, "pool workers (serve mode)")
 		quantum   = flag.Duration("quantum", 500*time.Microsecond, "pool quantum (serve mode)")
+		maxConns  = flag.Int("maxconns", 0, "connection cap, shed beyond (serve mode; 0 = default 1024, -1 = unlimited)")
+		maxInfl   = flag.Int("maxinflight", 0, "in-flight request cap (serve mode; 0 = default 64×workers, -1 = unlimited)")
+		reqTO     = flag.Duration("reqtimeout", 0, "queue-wait timeout before a request is shed (serve mode; 0 = none)")
+		maxLine   = flag.Int("maxline", 0, "request line byte cap (serve mode; 0 = default 1 MiB)")
 		clients   = flag.Int("clients", 4, "client connections (bench mode)")
 		ops       = flag.Int("ops", 2000, "KV ops per client (bench mode)")
 		compress  = flag.Bool("compress", true, "run a background COMPRESS stream during bench")
@@ -42,7 +46,14 @@ func main() {
 
 	switch {
 	case *serveAddr != "":
-		serve(*serveAddr, *workers, *quantum)
+		serve(*serveAddr, liveserver.Config{
+			Workers:        *workers,
+			Quantum:        *quantum,
+			MaxConns:       *maxConns,
+			MaxInflight:    *maxInfl,
+			RequestTimeout: *reqTO,
+			MaxLineBytes:   *maxLine,
+		})
 	case *benchAddr != "":
 		bench(*benchAddr, *clients, *ops, *compress)
 	default:
@@ -52,13 +63,13 @@ func main() {
 	}
 }
 
-func serve(addr string, workers int, quantum time.Duration) {
+func serve(addr string, cfg liveserver.Config) {
 	rt, err := preemptible.New(preemptible.Config{})
 	if err != nil {
 		fatal(err)
 	}
 	defer rt.Close()
-	s := liveserver.New(rt, liveserver.Config{Workers: workers, Quantum: quantum})
+	s := liveserver.New(rt, cfg)
 	defer s.Close()
 
 	ln, err := net.Listen("tcp", addr)
@@ -66,7 +77,7 @@ func serve(addr string, workers int, quantum time.Duration) {
 		fatal(err)
 	}
 	fmt.Printf("preemkv serving on %s (%d workers, %v quantum); Ctrl-C to stop\n",
-		ln.Addr(), workers, quantum)
+		ln.Addr(), cfg.Workers, cfg.Quantum)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)
@@ -78,8 +89,11 @@ func serve(addr string, workers int, quantum time.Duration) {
 		fatal(err)
 	}
 	st := s.PoolStats()
-	fmt.Printf("served: %d requests, %d preemptions, p99 %v\n",
-		st.Completed, st.Preemptions, st.P99)
+	fmt.Printf("served: %d requests, %d preemptions, %d shed, %d degraded-runs, p99 %v\n",
+		st.Completed, st.Preemptions, st.Shed, st.DegradedRuns, st.P99)
+	ov := s.Overload
+	fmt.Printf("overload: %d conns shed, %d requests shed, %d timeouts, %d over-long lines; timer restarts %d\n",
+		ov.ShedConns, ov.ShedRequests, ov.Timeouts, ov.LineTooLong, rt.TimerRestarts())
 }
 
 func bench(addr string, clients, ops int, withCompress bool) {

@@ -1,0 +1,122 @@
+package chaos
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Clock implements the preemptible.Clock interface (structurally — no
+// import, to keep this package usable from the simulator side without
+// a cycle) over the real clock, with one fault: its tickers can be
+// stalled. While stalled, ticks are swallowed instead of delivered, so
+// the runtime's utimer loop blocks on a silent channel — the
+// live-runtime analog of a wedged timer service — while wall time
+// (Now) keeps advancing. The runtime's watchdog, which runs on the
+// real clock, detects the stale heartbeat and restarts the loop; the
+// restarted loop's fresh ticker is subject to the same stall state, so
+// recovery happens when the stall is lifted.
+type Clock struct {
+	mu          sync.Mutex
+	stalled     bool
+	stallUntil  time.Time
+	ticksOut    atomic.Uint64
+	ticksEaten  atomic.Uint64
+	tickerCount atomic.Uint64
+}
+
+// NewClock returns a healthy Clock.
+func NewClock() *Clock { return &Clock{} }
+
+// Now reports real wall-clock time; deadline words stay meaningful
+// under injected ticker faults.
+func (c *Clock) Now() time.Time { return time.Now() }
+
+// NewTicker returns a real ticker filtered through the clock's stall
+// state.
+func (c *Clock) NewTicker(d time.Duration) (<-chan time.Time, func()) {
+	c.tickerCount.Add(1)
+	ft := &faultyTicker{
+		c:    c,
+		t:    time.NewTicker(d),
+		out:  make(chan time.Time, 1),
+		stop: make(chan struct{}),
+	}
+	go ft.run()
+	return ft.out, ft.Stop
+}
+
+// Stall wedges every ticker (current and future) until Resume.
+func (c *Clock) Stall() {
+	c.mu.Lock()
+	c.stalled = true
+	c.stallUntil = time.Time{}
+	c.mu.Unlock()
+}
+
+// StallFor wedges every ticker for the next d of wall time.
+func (c *Clock) StallFor(d time.Duration) {
+	c.mu.Lock()
+	c.stalled = false
+	c.stallUntil = time.Now().Add(d)
+	c.mu.Unlock()
+}
+
+// Resume lifts a stall.
+func (c *Clock) Resume() {
+	c.mu.Lock()
+	c.stalled = false
+	c.stallUntil = time.Time{}
+	c.mu.Unlock()
+}
+
+// Stalled reports whether ticks are currently being swallowed.
+func (c *Clock) Stalled() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stalled || time.Now().Before(c.stallUntil)
+}
+
+// TicksDelivered reports ticks passed through to consumers.
+func (c *Clock) TicksDelivered() uint64 { return c.ticksOut.Load() }
+
+// TicksSwallowed reports ticks eaten by stalls.
+func (c *Clock) TicksSwallowed() uint64 { return c.ticksEaten.Load() }
+
+// Tickers reports how many tickers were created (the runtime's watchdog
+// creates a fresh one per timer-loop restart).
+func (c *Clock) Tickers() uint64 { return c.tickerCount.Load() }
+
+type faultyTicker struct {
+	c        *Clock
+	t        *time.Ticker
+	out      chan time.Time
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+func (ft *faultyTicker) Stop() {
+	ft.stopOnce.Do(func() {
+		ft.t.Stop()
+		close(ft.stop)
+	})
+}
+
+func (ft *faultyTicker) run() {
+	for {
+		select {
+		case <-ft.stop:
+			return
+		case tm := <-ft.t.C:
+			if ft.c.Stalled() {
+				ft.c.ticksEaten.Add(1)
+				continue
+			}
+			ft.c.ticksOut.Add(1)
+			select {
+			case ft.out <- tm:
+			default: // consumer behind: drop, like time.Ticker
+			}
+		}
+	}
+}

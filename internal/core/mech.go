@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/chaos"
 	"repro/internal/hw"
 	"repro/internal/sim"
 	"repro/internal/uintr"
@@ -15,6 +16,23 @@ type mech interface {
 	// handlerCost is the receiver-side cost of taking the preemption
 	// (interrupt/signal entry + return), charged on the worker core.
 	handlerCost() sim.Time
+}
+
+// deliver is the single delivery point both mechanisms route through:
+// the chaos injector (when configured) may drop the delivery (a lost
+// interrupt), delay it (a contended bus), or defer it to the end of a
+// timer-stall window. A delayed delivery carries the generation it was
+// armed for, so if the worker has moved on it lands as a spurious
+// delivery — exactly like late hardware interrupts.
+func (s *System) deliver(w *worker, gen uint64) {
+	switch act, delay := s.cfg.Chaos.OnDelivery(s.Eng.Now()); act {
+	case chaos.Drop:
+		return
+	case chaos.Delay:
+		s.Eng.Schedule(delay, func() { s.preempt(w, gen) })
+		return
+	}
+	s.preempt(w, gen)
 }
 
 // uintrMech delivers preemptions with LibUtimer + SENDUIPI: the paper's
@@ -40,7 +58,7 @@ func (m *uintrMech) init(rng *sim.RNG) {
 		recv := uintr.NewReceiver(m.s.M, rng.Stream(uint64(0x1000+i)), func(v uintr.Vector) {
 			// The handler body is charged by System.preempt; here we
 			// only return from the interrupt context.
-			m.s.preempt(w, w.armGen)
+			m.s.deliver(w, w.armGen)
 			m.recvs[w.id].UIRET()
 		})
 		m.recvs = append(m.recvs, recv)
@@ -90,7 +108,7 @@ func (m *signalMech) arm(w *worker, deadline sim.Time, gen uint64) {
 		sim.Time(m.rng.Exp(float64(costs.KernelTimerJitterMean)))
 	m.events[w.id] = m.s.Eng.At(deadline, func() {
 		m.events[w.id] = nil
-		m.s.sigBus.Deliver(func() { m.s.preempt(w, w.armGen) })
+		m.s.sigBus.Deliver(func() { m.s.deliver(w, w.armGen) })
 	})
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/chaos"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -119,6 +120,16 @@ func (s *System) WorkerUtilization() float64 {
 // InFlight reports requests submitted but not completed. It is tracked
 // independently of the resettable counters.
 func (s *System) InFlight() uint64 { return s.inflight }
+
+// ChaosCounters reports the fault injector's tally (zero value when no
+// injector is configured). Deterministic for a fixed Config and
+// workload, so tests can assert exact fault counts.
+func (s *System) ChaosCounters() chaos.Counters {
+	if s.cfg.Chaos == nil {
+		return chaos.Counters{}
+	}
+	return s.cfg.Chaos.Counters
+}
 
 // LatencySnapshot summarizes overall request latency so far.
 func (s *System) LatencySnapshot() stats.Snapshot { return s.Metrics.Latency.Snapshot() }

@@ -20,6 +20,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/fcontext"
 	"repro/internal/hw"
 	"repro/internal/ktime"
@@ -95,6 +96,11 @@ type Config struct {
 	// internal/schedtrace). Adds per-event overhead; leave nil in
 	// large-scale experiments.
 	Tracer Tracer
+	// Chaos, when set, routes every preemption delivery and worker
+	// assignment through a seeded fault injector (drops, delays, timer
+	// stalls, worker jitter). Deterministic: the same injector Config
+	// and workload reproduce the same fault sequence.
+	Chaos *chaos.Injector
 }
 
 // Tracer observes scheduling events.
@@ -424,7 +430,8 @@ func (s *System) assign(w *worker, r *sched.Request) {
 	gen := w.gen
 	w.cur = r
 
-	var overhead sim.Time
+	// A chaos-injected slow core inflates this assignment's overhead.
+	var overhead sim.Time = s.cfg.Chaos.WorkerOverhead()
 	if r.Ctx == nil {
 		ctx, err := s.pool.Get()
 		if err != nil {
@@ -432,11 +439,11 @@ func (s *System) assign(w *worker, r *sched.Request) {
 		}
 		ctx.Data = r
 		r.Ctx = ctx
-		overhead = s.M.Costs.CtxAlloc
+		overhead += s.M.Costs.CtxAlloc
 	} else {
 		// Resuming a preempted function: context switch plus the cache
 		// refill of returning to a core other work has run on.
-		overhead = s.M.Costs.CtxSwitch + s.M.Costs.CtxRefill
+		overhead += s.M.Costs.CtxSwitch + s.M.Costs.CtxRefill
 	}
 	w.starting = true
 	w.core.Start(overhead, func() {

@@ -1,0 +1,68 @@
+package liveserver
+
+import (
+	"strings"
+	"testing"
+
+	"repro/preemptible"
+)
+
+// FuzzHandleLine throws arbitrary request lines at the protocol parser.
+// Invariants: handleRequest never panics, always returns a non-empty
+// single-line response, and answers malformed input with "ERR ...".
+func FuzzHandleLine(f *testing.F) {
+	for _, seed := range []string{
+		"PING",
+		"ping",
+		"GET k",
+		"GET",
+		"GET a b c",
+		"SET k v",
+		"SET k multi word value",
+		"SET k",
+		"COMPRESS 2",
+		"COMPRESS 0",
+		"COMPRESS -3",
+		"COMPRESS 99999",
+		"COMPRESS x",
+		"COMPRESS",
+		"NOPE",
+		"  ",
+		"\tGET\tk\t",
+		"GET \x00\xff",
+		strings.Repeat("SET k ", 100),
+	} {
+		f.Add(seed)
+	}
+
+	rt, err := preemptible.New(preemptible.Config{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer rt.Close()
+	s := New(rt, Config{Workers: 1})
+	defer s.pool.Close()
+
+	f.Fuzz(func(t *testing.T, line string) {
+		resp := s.handleRequest(line)
+		if resp == "" {
+			t.Fatalf("empty response to %q", line)
+		}
+		if strings.ContainsAny(resp, "\n\r") {
+			t.Fatalf("multi-line response to %q: %q", line, resp)
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 && resp != "ERR empty request" {
+			t.Fatalf("blank line → %q", resp)
+		}
+		if len(fields) > 0 {
+			switch strings.ToUpper(fields[0]) {
+			case "PING", "GET", "SET", "COMPRESS":
+			default:
+				if !strings.HasPrefix(resp, "ERR") {
+					t.Fatalf("unknown command %q → %q, want ERR", line, resp)
+				}
+			}
+		}
+	})
+}

@@ -12,16 +12,23 @@
 //	COMPRESS <n>        → COMPRESSED <in> <out>   (n kilobytes of work)
 //	PING                → PONG
 //
-// Unknown or malformed requests get "ERR <reason>".
+// Unknown or malformed requests get "ERR <reason>". Under overload the
+// server sheds rather than queues: connections beyond MaxConns and
+// requests beyond MaxInflight (or older than RequestTimeout) answer
+// "ERR overloaded", and lines longer than MaxLineBytes answer
+// "ERR line too long" before the connection closes.
 package liveserver
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bejob"
@@ -37,12 +44,37 @@ type Config struct {
 	Quantum time.Duration
 	// StoreLogBytes sizes the KV store (default 4 MiB).
 	StoreLogBytes int
+
+	// MaxConns bounds concurrently open connections (default 1024;
+	// negative = unlimited). Excess connections are shed: they get one
+	// "ERR overloaded" line and are closed instead of queuing
+	// unboundedly.
+	MaxConns int
+	// MaxInflight bounds requests admitted to the pool at once, queued
+	// plus executing (default 64 × Workers; negative = unlimited).
+	// Excess requests fast-reject with "ERR overloaded" without ever
+	// touching the pool.
+	MaxInflight int
+	// RequestTimeout bounds a request's queue wait: a request not
+	// picked up by a worker within it is shed — never executed — and
+	// answers "ERR overloaded" (0 = no timeout).
+	RequestTimeout time.Duration
+	// MaxLineBytes bounds one request line (default 1 MiB). A longer
+	// line answers "ERR line too long" and the connection is closed:
+	// a single huge line must not grow server buffers without limit.
+	MaxLineBytes int
 }
 
 // Server serves the protocol over TCP.
 type Server struct {
 	rt   *preemptible.Runtime
 	pool *preemptible.Pool
+
+	maxConns     int
+	maxInflight  int
+	reqTimeout   time.Duration
+	maxLineBytes int
+	inflight     atomic.Int64
 
 	// mu guards store with full exclusion: mica.Store mutates its hit
 	// counters even on Get, so reads are writes.
@@ -61,6 +93,12 @@ type Server struct {
 	Requests struct {
 		Get, Set, Compress, Ping, Errors uint64
 	}
+	// Overload counts protection events: connections shed at accept,
+	// requests fast-rejected at admission, requests shed after timing
+	// out in the queue, and over-long lines rejected.
+	Overload struct {
+		ShedConns, ShedRequests, Timeouts, LineTooLong uint64
+	}
 	statMu sync.Mutex
 }
 
@@ -78,13 +116,29 @@ func New(rt *preemptible.Runtime, cfg Config) *Server {
 	if logBytes == 0 {
 		logBytes = 4 << 20
 	}
+	maxConns := cfg.MaxConns
+	if maxConns == 0 {
+		maxConns = 1024
+	}
+	maxInflight := cfg.MaxInflight
+	if maxInflight == 0 {
+		maxInflight = 64 * workers
+	}
+	maxLine := cfg.MaxLineBytes
+	if maxLine <= 0 {
+		maxLine = 1 << 20
+	}
 	return &Server{
-		rt:     rt,
-		pool:   preemptible.NewPool(rt, preemptible.PoolConfig{Workers: workers, Quantum: quantum}),
-		store:  mica.NewStore(logBytes, logBytes/256),
-		engine: bejob.NewEngine(0),
-		conns:  make(map[net.Conn]struct{}),
-		done:   make(chan struct{}),
+		rt:           rt,
+		pool:         preemptible.NewPool(rt, preemptible.PoolConfig{Workers: workers, Quantum: quantum}),
+		maxConns:     maxConns,
+		maxInflight:  maxInflight,
+		reqTimeout:   cfg.RequestTimeout,
+		maxLineBytes: maxLine,
+		store:        mica.NewStore(logBytes, logBytes/256),
+		engine:       bejob.NewEngine(0),
+		conns:        make(map[net.Conn]struct{}),
+		done:         make(chan struct{}),
 	}
 }
 
@@ -103,6 +157,11 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 		}
 		s.connMu.Lock()
+		if s.maxConns > 0 && len(s.conns) >= s.maxConns {
+			s.connMu.Unlock()
+			s.shedConn(conn)
+			continue
+		}
 		s.conns[conn] = struct{}{}
 		s.connMu.Unlock()
 		s.connWG.Add(1)
@@ -158,10 +217,24 @@ func (s *Server) Close() {
 // PoolStats exposes the pool's scheduling statistics.
 func (s *Server) PoolStats() preemptible.PoolStats { return s.pool.Stats() }
 
+// shedConn is the accept-side load shedder: the connection gets one
+// fast "ERR overloaded" line and is closed, so clients see an explicit
+// rejection instead of an unbounded accept queue.
+func (s *Server) shedConn(conn net.Conn) {
+	s.count(&s.Overload.ShedConns)
+	conn.SetWriteDeadline(time.Now().Add(100 * time.Millisecond)) //nolint:errcheck
+	io.WriteString(conn, "ERR overloaded\n")                      //nolint:errcheck
+	conn.Close()
+}
+
 func (s *Server) handleConn(conn net.Conn) {
 	defer conn.Close()
 	r := bufio.NewScanner(conn)
-	r.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	initial := 64 * 1024
+	if initial > s.maxLineBytes {
+		initial = s.maxLineBytes
+	}
+	r.Buffer(make([]byte, 0, initial), s.maxLineBytes)
 	w := bufio.NewWriter(conn)
 	for r.Scan() {
 		select {
@@ -177,6 +250,20 @@ func (s *Server) handleConn(conn net.Conn) {
 			return
 		}
 	}
+	// Read ended: a too-long line is a protocol violation the client
+	// should hear about before the close; other read errors (reset,
+	// EOF) just close cleanly via the deferred Close.
+	if err := r.Err(); err != nil && errors.Is(err, bufio.ErrTooLong) {
+		s.count(&s.Overload.LineTooLong)
+		s.countErr()
+		w.WriteString("ERR line too long\n") //nolint:errcheck
+		w.Flush()                            //nolint:errcheck
+		// Drain the unread remainder of the over-long line so the close
+		// sends FIN, not RST — otherwise the error line may never reach
+		// the client.
+		conn.SetReadDeadline(time.Now().Add(20 * time.Millisecond)) //nolint:errcheck
+		io.Copy(io.Discard, conn)                                   //nolint:errcheck
+	}
 }
 
 // handleRequest runs one request through the preemptible pool and
@@ -188,7 +275,11 @@ func (s *Server) handleRequest(line string) string {
 		return "ERR empty request"
 	}
 	var resp string
-	run := func(task preemptible.Task) { s.pool.SubmitWait(task) }
+	run := func(task preemptible.Task) {
+		if msg := s.runTask(task); msg != "" {
+			resp = msg
+		}
+	}
 	switch strings.ToUpper(fields[0]) {
 	case "PING":
 		run(func(ctx *preemptible.Ctx) { resp = "PONG" })
@@ -257,6 +348,34 @@ func (s *Server) handleRequest(line string) string {
 		return "ERR unknown command " + fields[0]
 	}
 	return resp
+}
+
+// runTask pushes one request task through the overload-protected pool
+// path. It returns "" when the task ran, or the protocol error line
+// when it was shed: fast-rejected at admission (inflight bound) or
+// timed out waiting in the queue (RequestTimeout). Shed tasks are
+// never executed.
+func (s *Server) runTask(task preemptible.Task) string {
+	if n := s.inflight.Add(1); s.maxInflight > 0 && n > int64(s.maxInflight) {
+		s.inflight.Add(-1)
+		s.count(&s.Overload.ShedRequests)
+		return "ERR overloaded"
+	}
+	ch := make(chan time.Duration, 1)
+	done := func(lat time.Duration) {
+		s.inflight.Add(-1)
+		ch <- lat
+	}
+	if s.reqTimeout > 0 {
+		s.pool.SubmitTimeout(task, s.reqTimeout, done)
+	} else {
+		s.pool.Submit(task, done)
+	}
+	if lat := <-ch; lat < 0 {
+		s.count(&s.Overload.Timeouts)
+		return "ERR overloaded"
+	}
+	return ""
 }
 
 func (s *Server) count(field *uint64) {

@@ -56,6 +56,16 @@ type Config struct {
 	ServiceMean sim.Time
 	// Seed fixes the run.
 	Seed uint64
+
+	// MaxBacklog bounds the accept backlog (0 = unbounded, the
+	// historical behavior). When all pool slots are busy and the
+	// backlog is full, new submissions are shed at arrival instead of
+	// queuing without bound.
+	MaxBacklog int
+	// QueueTimeout sheds backlogged requests whose wait has exceeded
+	// it when a slot frees up (0 = none): the fast-reject path for
+	// work that is already too stale to meet any SLO.
+	QueueTimeout sim.Time
 }
 
 // spedEventCost is the extra per-request event-loop work of the SPED
@@ -74,6 +84,11 @@ type Server struct {
 	// Admitted counts requests that entered the pool; Backlogged counts
 	// requests that had to wait for a slot.
 	Admitted, Backlogged uint64
+	// Shed counts requests rejected at arrival by the MaxBacklog
+	// bound; Expired counts backlogged requests dropped because their
+	// wait exceeded QueueTimeout. Both are deterministic for a fixed
+	// seed and load.
+	Shed, Expired uint64
 }
 
 // New builds a server. Quantum 0 gives the no-preemption baseline.
@@ -118,8 +133,16 @@ func (s *Server) System() *core.System { return s.sys }
 // Engine exposes the simulation engine.
 func (s *Server) Engine() *sim.Engine { return s.sys.Eng }
 
-// Submit delivers one RPC to the server.
+// Submit delivers one RPC to the server. With MaxBacklog set, an
+// arrival that finds every slot busy and the backlog full is shed
+// immediately — overload produces explicit rejections, not an
+// unbounded queue.
 func (s *Server) Submit(r *sched.Request) {
+	if s.cfg.MaxBacklog > 0 && s.inFlight >= s.slots &&
+		len(s.backlog)-s.backHead >= s.cfg.MaxBacklog {
+		s.Shed++
+		return
+	}
 	s.backlog = append(s.backlog, r)
 	s.admit()
 }
@@ -132,6 +155,13 @@ func (s *Server) admit() {
 		if s.backHead > 256 && s.backHead*2 >= len(s.backlog) {
 			s.backlog = append([]*sched.Request(nil), s.backlog[s.backHead:]...)
 			s.backHead = 0
+		}
+		// Queue-timeout shedding: a request that has already waited
+		// past its deadline is dropped at the last responsible moment
+		// instead of occupying a slot.
+		if s.cfg.QueueTimeout > 0 && s.sys.Eng.Now()-r.Arrival > s.cfg.QueueTimeout {
+			s.Expired++
+			continue
 		}
 		s.inFlight++
 		s.Admitted++

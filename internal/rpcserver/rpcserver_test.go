@@ -149,3 +149,52 @@ func TestModelString(t *testing.T) {
 		t.Fatal("model names broken")
 	}
 }
+
+func runOverloaded(cfg Config) (shed, expired, completed uint64) {
+	s := New(cfg)
+	// 2× overload so the backlog grows without bound unless shed.
+	res := s.RunLoad(2*float64(cfg.KernelThreads)/cfg.ServiceMean.Seconds(),
+		50*sim.Millisecond, 77)
+	return s.Shed, s.Expired, res.Completed
+}
+
+func TestMaxBacklogShedsUnderOverload(t *testing.T) {
+	cfg := Config{KernelThreads: 2, UserThreadsPerKT: 2,
+		ServiceMean: 50 * sim.Microsecond, Seed: 30, MaxBacklog: 16}
+	shed, _, completed := runOverloaded(cfg)
+	if shed == 0 {
+		t.Fatal("2x overload with a 16-deep backlog never shed")
+	}
+	if completed == 0 {
+		t.Fatal("shedding server completed nothing")
+	}
+	// Determinism: the same seed reproduces the shed count exactly.
+	shed2, _, completed2 := runOverloaded(cfg)
+	if shed != shed2 || completed != completed2 {
+		t.Fatalf("not deterministic: shed %d vs %d, completed %d vs %d",
+			shed, shed2, completed, completed2)
+	}
+	// Unbounded baseline sheds nothing.
+	cfg.MaxBacklog = 0
+	if shed0, _, _ := runOverloaded(cfg); shed0 != 0 {
+		t.Fatalf("unbounded backlog shed %d", shed0)
+	}
+}
+
+func TestQueueTimeoutExpiresStaleRequests(t *testing.T) {
+	cfg := Config{KernelThreads: 2, UserThreadsPerKT: 2,
+		ServiceMean: 50 * sim.Microsecond, Seed: 31,
+		QueueTimeout: 200 * sim.Microsecond}
+	_, expired, completed := runOverloaded(cfg)
+	if expired == 0 {
+		t.Fatal("2x overload with a 200us queue timeout expired nothing")
+	}
+	if completed == 0 {
+		t.Fatal("expiring server completed nothing")
+	}
+	_, expired2, completed2 := runOverloaded(cfg)
+	if expired != expired2 || completed != completed2 {
+		t.Fatalf("not deterministic: expired %d vs %d, completed %d vs %d",
+			expired, expired2, completed, completed2)
+	}
+}

@@ -19,6 +19,11 @@ type Ctx struct {
 	deadline atomic.Int64  // unixnano of next preemption; 0 = disarmed
 	preempt  atomic.Uint32 // raised by the timer goroutine
 
+	// coop marks a degraded-mode context: the task runs inline with no
+	// scheduler to yield to, so Yield and Checkpoint-triggered yields
+	// are no-ops (see Pool's graceful degradation).
+	coop bool
+
 	runCh   chan struct{}
 	yieldCh chan bool // true = task finished
 
@@ -74,6 +79,11 @@ func (c *Ctx) yieldNow() {
 	c.yields.Add(1)
 	c.deadline.Store(0)
 	c.preempt.Store(0)
+	if c.coop {
+		// Degraded mode: no scheduler is blocked on yieldCh; keep
+		// running cooperatively.
+		return
+	}
 	c.yieldCh <- false
 	<-c.runCh
 }
@@ -120,16 +130,9 @@ type Fn struct {
 // its time slice (quantum; DefaultQuantum if 0) expires at a
 // checkpoint. The returned Fn is resumable if not completed.
 func (r *Runtime) Launch(task Task, quantum time.Duration) (*Fn, error) {
-	r.mu.Lock()
-	if r.closed {
-		r.mu.Unlock()
-		return nil, ErrClosed
-	}
-	r.mu.Unlock()
 	if task == nil {
 		panic("preemptible: nil task")
 	}
-	r.launched.Add(1)
 	fn := &Fn{
 		rt: r,
 		ctx: &Ctx{
@@ -138,7 +141,14 @@ func (r *Runtime) Launch(task Task, quantum time.Duration) (*Fn, error) {
 			yieldCh: make(chan bool),
 		},
 	}
-	r.register(fn.ctx)
+	// Registration and the closed check are one critical section: a
+	// Launch racing Close either loses cleanly (ErrClosed, nothing
+	// registered) or wins and is fully registered before Close's timer
+	// shutdown completes.
+	if err := r.register(fn.ctx); err != nil {
+		return nil, err
+	}
+	r.launched.Add(1)
 	go func() {
 		<-fn.ctx.runCh
 		task(fn.ctx)
@@ -148,6 +158,18 @@ func (r *Runtime) Launch(task Task, quantum time.Duration) (*Fn, error) {
 	}()
 	fn.resume(quantum)
 	return fn, nil
+}
+
+// LaunchWithDeadline is Launch with admission control: if deadline is
+// non-zero and already past, the task is rejected with
+// ErrDeadlineExpired instead of running work whose result is already
+// late. This is the fast-reject path overloaded schedulers use to shed
+// queued work at the last responsible moment.
+func (r *Runtime) LaunchWithDeadline(task Task, quantum time.Duration, deadline time.Time) (*Fn, error) {
+	if !deadline.IsZero() && !r.clock.Now().Before(deadline) {
+		return nil, ErrDeadlineExpired
+	}
+	return r.Launch(task, quantum)
 }
 
 // Resume continues a preempted function (fn_resume) until the next
@@ -169,7 +191,7 @@ func (fn *Fn) resume(quantum time.Duration) {
 	}
 	fn.state.Store(int32(StateRunning))
 	// Arm the deadline word (utimer_arm_deadline: one memory write).
-	fn.ctx.deadline.Store(time.Now().Add(quantum).UnixNano())
+	fn.ctx.deadline.Store(fn.rt.clock.Now().Add(quantum).UnixNano())
 	fn.ctx.runCh <- struct{}{}
 	done := <-fn.ctx.yieldCh
 	if done {

@@ -44,14 +44,24 @@ type AdaptiveConfig struct {
 type PoolStats struct {
 	Submitted, Completed uint64
 	Preemptions          uint64
-	QuantumNow           time.Duration
-	Mean, P50, P99       time.Duration
+	// Shed counts tasks dropped because their pickup deadline
+	// (SubmitTimeout) had passed when a worker reached them.
+	Shed uint64
+	// DegradedRuns counts tasks executed cooperatively (inline, no
+	// preemption) because the runtime refused Launch — the graceful
+	// degradation path, which never loses a task.
+	DegradedRuns   uint64
+	QuantumNow     time.Duration
+	Mean, P50, P99 time.Duration
 }
 
 type poolArrival struct {
 	task    Task
 	arrival time.Time
-	done    func(latency time.Duration)
+	// deadline, when non-zero, is the pickup deadline: a worker
+	// reaching the task after it sheds instead of running it.
+	deadline time.Time
+	done     func(latency time.Duration)
 }
 
 type poolPreempted struct {
@@ -79,13 +89,15 @@ type Pool struct {
 	seq        uint64
 	closed     bool
 
-	quantum   time.Duration
-	hist      *stats.Histogram
-	submitted uint64
-	completed uint64
-	preempts  uint64
-	winLats   []float64
-	winArr    uint64
+	quantum      time.Duration
+	hist         *stats.Histogram
+	submitted    uint64
+	completed    uint64
+	preempts     uint64
+	shed         uint64
+	degradedRuns uint64
+	winLats      []float64
+	winArr       uint64
 
 	workersWG sync.WaitGroup
 	ctlStop   chan struct{}
@@ -123,6 +135,23 @@ func NewPool(rt *Runtime, cfg PoolConfig) *Pool {
 // Submit enqueues a task; done (optional) is called with the task's
 // sojourn latency when it completes.
 func (p *Pool) Submit(task Task, done func(latency time.Duration)) {
+	p.submit(task, time.Time{}, done)
+}
+
+// SubmitTimeout enqueues a task with a pickup deadline of now+timeout:
+// if no worker reaches it before the deadline it is shed — never
+// executed — and done is called with latency -1. This is the pool's
+// overload fast-reject path: under sustained overload the queue sheds
+// stale work instead of growing without bound in useful-work terms.
+// FIFO discipline only (EDF orders by its own deadlines).
+func (p *Pool) SubmitTimeout(task Task, timeout time.Duration, done func(latency time.Duration)) {
+	if timeout <= 0 {
+		panic("preemptible: non-positive timeout")
+	}
+	p.submit(task, time.Now().Add(timeout), done)
+}
+
+func (p *Pool) submit(task Task, deadline time.Time, done func(latency time.Duration)) {
 	if task == nil {
 		panic("preemptible: Submit(nil)")
 	}
@@ -136,7 +165,7 @@ func (p *Pool) Submit(task Task, done func(latency time.Duration)) {
 	if p.discipline == EDF {
 		p.pushEDFLocked(&edfItem{task: task, arrival: time.Now(), done: done})
 	} else {
-		p.arrivals = append(p.arrivals, poolArrival{task: task, arrival: time.Now(), done: done})
+		p.arrivals = append(p.arrivals, poolArrival{task: task, arrival: time.Now(), deadline: deadline, done: done})
 	}
 	p.mu.Unlock()
 	p.cond.Signal()
@@ -168,18 +197,29 @@ func (p *Pool) Quantum() time.Duration {
 	return p.quantum
 }
 
+// QueueLen reports queued work (fresh arrivals + preempted functions)
+// not yet picked up by a worker. Admission controllers use it to
+// fast-reject under overload.
+func (p *Pool) QueueLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return (len(p.arrivals) - p.arrHead) + (len(p.preempted) - p.preHead) + len(p.edf)
+}
+
 // Stats snapshots the pool's counters.
 func (p *Pool) Stats() PoolStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return PoolStats{
-		Submitted:   p.submitted,
-		Completed:   p.completed,
-		Preemptions: p.preempts,
-		QuantumNow:  p.quantum,
-		Mean:        time.Duration(p.hist.Mean()),
-		P50:         time.Duration(p.hist.Median()),
-		P99:         time.Duration(p.hist.P99()),
+		Submitted:    p.submitted,
+		Completed:    p.completed,
+		Preemptions:  p.preempts,
+		Shed:         p.shed,
+		DegradedRuns: p.degradedRuns,
+		QuantumNow:   p.quantum,
+		Mean:         time.Duration(p.hist.Mean()),
+		P50:          time.Duration(p.hist.Median()),
+		P99:          time.Duration(p.hist.P99()),
 	}
 }
 
@@ -250,10 +290,16 @@ func (p *Pool) worker() {
 		q := p.Quantum()
 		switch {
 		case arr != nil:
+			if !arr.deadline.IsZero() && time.Now().After(arr.deadline) {
+				p.shedTask(arr.done)
+				continue
+			}
 			fn, err := p.rt.Launch(arr.task, q)
 			if err != nil {
-				// Runtime closed under us: drop the task.
-				return
+				// Runtime closed under us: run the task cooperatively
+				// rather than losing it.
+				p.runCooperative(arr.task, arr.arrival, arr.done)
+				continue
 			}
 			p.afterRun(fn, arr.arrival, time.Time{}, arr.done)
 		case pre != nil:
@@ -268,7 +314,8 @@ func (p *Pool) worker() {
 			if ed.task != nil {
 				fn, err := p.rt.Launch(ed.task, q)
 				if err != nil {
-					return
+					p.runCooperative(ed.task, ed.arrival, ed.done)
+					continue
 				}
 				p.afterRun(fn, ed.arrival, ed.deadline, ed.done)
 			} else {
@@ -277,6 +324,36 @@ func (p *Pool) worker() {
 				p.afterRun(ed.fn, ed.arrival, ed.deadline, ed.done)
 			}
 		}
+	}
+}
+
+// shedTask drops a task whose pickup deadline passed before any worker
+// reached it; done observes latency -1.
+func (p *Pool) shedTask(done func(time.Duration)) {
+	p.mu.Lock()
+	p.shed++
+	p.mu.Unlock()
+	if done != nil {
+		done(-1)
+	}
+}
+
+// runCooperative is the graceful-degradation path: the runtime refused
+// Launch (closed mid-shutdown), so the task runs inline on the worker
+// goroutine with a coop context — Checkpoint and Yield are no-ops, no
+// preemption — and still completes and reports its latency. No task
+// accepted by Submit is ever lost.
+func (p *Pool) runCooperative(task Task, arrival time.Time, done func(time.Duration)) {
+	task(&Ctx{coop: true})
+	lat := time.Since(arrival)
+	p.mu.Lock()
+	p.completed++
+	p.degradedRuns++
+	p.hist.Record(int64(lat))
+	p.winLats = append(p.winLats, float64(lat))
+	p.mu.Unlock()
+	if done != nil {
+		done(lat)
 	}
 }
 

@@ -16,24 +16,86 @@ const DefaultResolution = 50 * time.Microsecond
 // DefaultQuantum is the time slice used when a caller passes 0.
 const DefaultQuantum = 500 * time.Microsecond
 
+// DefaultWatchdogInterval is the supervisor's heartbeat-check period.
+const DefaultWatchdogInterval = 2 * time.Millisecond
+
+// Clock abstracts the runtime's time source: Now for deadline words and
+// NewTicker for the timer loop's poll cadence. NewTicker returns the
+// tick channel and a stop function (deliberately structural — no named
+// ticker type — so fault injectors like internal/chaos can implement
+// it without importing this package). The zero Config uses the real
+// clock; a fault-injecting clock can starve tickers to simulate a
+// wedged timer service.
+type Clock interface {
+	Now() time.Time
+	NewTicker(d time.Duration) (ticks <-chan time.Time, stop func())
+}
+
+// realClock is the default Clock: time.Now and time.NewTicker.
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) NewTicker(d time.Duration) (<-chan time.Time, func()) {
+	t := time.NewTicker(d)
+	return t.C, t.Stop
+}
+
 // Config parameterizes a Runtime.
 type Config struct {
 	// Resolution is the deadline-polling period of the timer goroutine
 	// (DefaultResolution if 0).
 	Resolution time.Duration
+
+	// Clock is the time source (real clock if nil). Injectable for
+	// tests and chaos scenarios.
+	Clock Clock
+
+	// WatchdogInterval is how often the supervisor checks the timer
+	// loop's heartbeat (DefaultWatchdogInterval if 0; negative disables
+	// the watchdog). The watchdog always runs on the real clock, so it
+	// keeps supervising even when an injected Clock misbehaves.
+	WatchdogInterval time.Duration
+
+	// StallThreshold is how stale the heartbeat may grow before the
+	// watchdog declares the timer loop wedged, marks the runtime
+	// Degraded, and restarts the loop. Default: 4× the effective
+	// watchdog interval (but at least 8× Resolution).
+	StallThreshold time.Duration
 }
 
 // Runtime hosts preemptible functions and the timer service (the
 // LibUtimer analog: one goroutine polling registered deadlines and
-// raising preemption flags).
+// raising preemption flags). A supervisor goroutine — the watchdog —
+// monitors the timer loop's heartbeat and restarts it if it wedges;
+// while the timer service is down the runtime reports Degraded and Fns
+// keep running cooperatively (Checkpoint enforces deadlines with its
+// own clock reads).
 type Runtime struct {
-	resolution time.Duration
+	resolution     time.Duration
+	clock          Clock
+	watchdogPeriod time.Duration
+	stallThreshold time.Duration
 
-	mu     sync.Mutex
-	ctxs   map[*Ctx]struct{}
-	closed bool
-	stop   chan struct{}
-	stopWG sync.WaitGroup
+	mu       sync.Mutex
+	ctxs     map[*Ctx]struct{}
+	closed   bool
+	stop     chan struct{}
+	loopQuit chan struct{} // closed by the watchdog to kill a wedged loop
+	stopWG   sync.WaitGroup
+
+	// heartbeat is the real-time unixnano of the timer loop's last
+	// iteration, stamped on every tick and read by the watchdog.
+	heartbeat atomic.Int64
+	// degraded is set by the watchdog on a detected stall and cleared
+	// by the timer loop's next successful tick.
+	degraded atomic.Bool
+	// timerRestarts counts watchdog-initiated timer-loop restarts.
+	timerRestarts atomic.Uint64
+	// timerFlags counts preemption flags raised by the timer loop
+	// specifically (preemptions also counts Checkpoint's self-raised
+	// flags).
+	timerFlags atomic.Uint64
 
 	// Preemptions counts deadline-expiry preemption flags raised.
 	preemptions atomic.Uint64
@@ -44,7 +106,12 @@ type Runtime struct {
 // ErrClosed is returned by Launch after Close.
 var ErrClosed = errors.New("preemptible: runtime closed")
 
-// New starts a runtime and its timer goroutine.
+// ErrDeadlineExpired is returned by LaunchWithDeadline when the task's
+// deadline has already passed at launch time (admission control).
+var ErrDeadlineExpired = errors.New("preemptible: deadline expired before launch")
+
+// New starts a runtime, its timer goroutine, and (unless disabled) the
+// watchdog supervising it.
 func New(cfg Config) (*Runtime, error) {
 	res := cfg.Resolution
 	if res == 0 {
@@ -53,18 +120,43 @@ func New(cfg Config) (*Runtime, error) {
 	if res < 0 {
 		return nil, errors.New("preemptible: negative resolution")
 	}
-	r := &Runtime{
-		resolution: res,
-		ctxs:       make(map[*Ctx]struct{}),
-		stop:       make(chan struct{}),
+	clk := cfg.Clock
+	if clk == nil {
+		clk = realClock{}
 	}
+	wd := cfg.WatchdogInterval
+	if wd == 0 {
+		wd = DefaultWatchdogInterval
+	}
+	stall := cfg.StallThreshold
+	if stall <= 0 {
+		stall = 4 * wd
+		if m := 8 * res; stall < m {
+			stall = m
+		}
+	}
+	r := &Runtime{
+		resolution:     res,
+		clock:          clk,
+		watchdogPeriod: wd,
+		stallThreshold: stall,
+		ctxs:           make(map[*Ctx]struct{}),
+		stop:           make(chan struct{}),
+		loopQuit:       make(chan struct{}),
+	}
+	r.heartbeat.Store(time.Now().UnixNano())
 	r.stopWG.Add(1)
-	go r.utimerLoop()
+	go r.utimerLoop(r.loopQuit)
+	if wd > 0 {
+		r.stopWG.Add(1)
+		go r.watchdog()
+	}
 	return r, nil
 }
 
-// Close stops the timer goroutine. Fns still running keep working but
-// will no longer be preempted by deadline expiry. Close is idempotent.
+// Close stops the timer goroutine and the watchdog. Fns still running
+// keep working but will no longer be preempted by deadline expiry.
+// Close is idempotent.
 func (r *Runtime) Close() {
 	r.mu.Lock()
 	if r.closed {
@@ -77,9 +169,14 @@ func (r *Runtime) Close() {
 	r.stopWG.Wait()
 }
 
-// Preemptions reports how many deadline expirations the timer service
-// has delivered.
+// Preemptions reports how many deadline expirations have been
+// delivered (by the timer service or by Checkpoint's own clock read).
 func (r *Runtime) Preemptions() uint64 { return r.preemptions.Load() }
+
+// TimerPreemptions reports how many preemption flags the timer loop
+// itself raised — the subset of Preemptions delivered by the timer
+// service rather than self-enforced at a safepoint.
+func (r *Runtime) TimerPreemptions() uint64 { return r.timerFlags.Load() }
 
 // Launched reports how many Fns were created.
 func (r *Runtime) Launched() uint64 { return r.launched.Load() }
@@ -87,25 +184,42 @@ func (r *Runtime) Launched() uint64 { return r.launched.Load() }
 // Resolution reports the timer polling period.
 func (r *Runtime) Resolution() time.Duration { return r.resolution }
 
+// Degraded reports whether the timer service is currently considered
+// down (watchdog detected a stalled loop that has not ticked again
+// yet). Fns keep running cooperatively while degraded: Checkpoint
+// enforces deadlines with its own clock reads, so quanta are honored —
+// only asynchronous flag delivery is lost.
+func (r *Runtime) Degraded() bool { return r.degraded.Load() }
+
+// TimerRestarts reports how many times the watchdog restarted a wedged
+// timer loop.
+func (r *Runtime) TimerRestarts() uint64 { return r.timerRestarts.Load() }
+
 // utimerLoop is the LibUtimer analog: poll the clock, compare against
-// registered deadline words, raise preemption flags.
-func (r *Runtime) utimerLoop() {
+// registered deadline words, raise preemption flags. quit is this
+// loop generation's kill switch, closed by the watchdog on restart.
+func (r *Runtime) utimerLoop(quit chan struct{}) {
 	defer r.stopWG.Done()
-	ticker := time.NewTicker(r.resolution)
-	defer ticker.Stop()
+	ticks, stopTicker := r.clock.NewTicker(r.resolution)
+	defer stopTicker()
 	for {
 		select {
 		case <-r.stop:
 			return
-		case <-ticker.C:
+		case <-quit:
+			return
+		case <-ticks:
 		}
-		now := time.Now().UnixNano()
+		r.heartbeat.Store(time.Now().UnixNano())
+		r.degraded.Store(false)
+		now := r.clock.Now().UnixNano()
 		r.mu.Lock()
 		for c := range r.ctxs {
 			d := c.deadline.Load()
 			if d != 0 && now >= d {
 				if c.preempt.CompareAndSwap(0, 1) {
 					r.preemptions.Add(1)
+					r.timerFlags.Add(1)
 				}
 			}
 		}
@@ -113,12 +227,55 @@ func (r *Runtime) utimerLoop() {
 	}
 }
 
+// watchdog supervises the timer loop: if the heartbeat goes stale past
+// the stall threshold the loop is declared wedged (blocked on a dead
+// tick source, starved, or crashed), the runtime is marked Degraded,
+// and a fresh loop generation is started with a fresh ticker. The
+// watchdog deliberately uses the real clock, not the injectable one:
+// it must outlive the fault it supervises.
+func (r *Runtime) watchdog() {
+	defer r.stopWG.Done()
+	ticker := time.NewTicker(r.watchdogPeriod)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-ticker.C:
+		}
+		stale := time.Since(time.Unix(0, r.heartbeat.Load()))
+		if stale < r.stallThreshold {
+			continue
+		}
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return
+		}
+		r.degraded.Store(true)
+		r.timerRestarts.Add(1)
+		close(r.loopQuit)
+		r.loopQuit = make(chan struct{})
+		// Grace period: give the new loop a full threshold to produce
+		// its first heartbeat before the next stall verdict.
+		r.heartbeat.Store(time.Now().UnixNano())
+		r.stopWG.Add(1)
+		go r.utimerLoop(r.loopQuit)
+		r.mu.Unlock()
+	}
+}
+
 // register adds a ctx's deadline word to the timer service
-// (utimer_register).
-func (r *Runtime) register(c *Ctx) {
+// (utimer_register). It fails with ErrClosed after Close so that a
+// Launch racing Close can never leave a ctx registered forever.
+func (r *Runtime) register(c *Ctx) error {
 	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
 	r.ctxs[c] = struct{}{}
-	r.mu.Unlock()
+	return nil
 }
 
 // unregister removes a finished ctx.
@@ -126,4 +283,11 @@ func (r *Runtime) unregister(c *Ctx) {
 	r.mu.Lock()
 	delete(r.ctxs, c)
 	r.mu.Unlock()
+}
+
+// registered reports the number of live deadline words (for tests).
+func (r *Runtime) registered() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ctxs)
 }
