@@ -17,6 +17,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net"
 	"os"
 	"os/signal"
@@ -94,7 +95,19 @@ func serve(addr string, cfg liveserver.Config) {
 	ov := s.Overload
 	fmt.Printf("overload: %d conns shed, %d requests shed, %d timeouts, %d over-long lines; timer restarts %d\n",
 		ov.ShedConns, ov.ShedRequests, ov.Timeouts, ov.LineTooLong, rt.TimerRestarts())
+	fmt.Printf("cancelled on disconnect: %d queued (evicted), %d executing (unwound at safepoint)\n",
+		ov.CancelledQueued, ov.CancelledExecuting)
 }
+
+// Retry policy for "ERR overloaded" responses: exponential backoff with
+// full jitter — each wait is uniform in [0, backoff), and backoff
+// doubles from retryBase up to retryCap. Jitter decorrelates the
+// clients, so a shed burst does not re-arrive as a synchronized burst.
+const (
+	retryBase = 200 * time.Microsecond
+	retryCap  = 50 * time.Millisecond
+	retryMax  = 6
+)
 
 func bench(addr string, clients, ops int, withCompress bool) {
 	stopCompress := make(chan struct{})
@@ -126,8 +139,14 @@ func bench(addr string, clients, ops int, withCompress bool) {
 		}()
 	}
 
-	var mu sync.Mutex
-	var lats []time.Duration
+	var (
+		mu         sync.Mutex
+		lats       []time.Duration
+		overloaded uint64 // "ERR overloaded" responses (shed or timed out)
+		retries    uint64 // backed-off re-sends
+		gaveUp     uint64 // ops abandoned after retryMax attempts
+		cancelled  uint64 // "ERR cancelled" responses
+	)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for c := 0; c < clients; c++ {
@@ -140,25 +159,51 @@ func bench(addr string, clients, ops int, withCompress bool) {
 				return
 			}
 			defer conn.Close()
+			rng := rand.New(rand.NewSource(int64(c) + 1))
 			sc := bufio.NewScanner(conn)
 			for i := 0; i < ops; i++ {
 				req := fmt.Sprintf("SET k%d-%d v%d\n", c, i%100, i)
 				if i%2 == 1 {
 					req = fmt.Sprintf("GET k%d-%d\n", c, i%100)
 				}
-				t0 := time.Now()
-				if _, err := conn.Write([]byte(req)); err != nil {
-					fmt.Fprintf(os.Stderr, "client %d: %v\n", c, err)
-					return
+				backoff := retryBase
+				for attempt := 0; ; attempt++ {
+					t0 := time.Now()
+					if _, err := conn.Write([]byte(req)); err != nil {
+						fmt.Fprintf(os.Stderr, "client %d: %v\n", c, err)
+						return
+					}
+					if !sc.Scan() {
+						fmt.Fprintf(os.Stderr, "client %d: connection closed\n", c)
+						return
+					}
+					resp := sc.Text()
+					if resp == "ERR overloaded" {
+						mu.Lock()
+						overloaded++
+						if attempt >= retryMax {
+							gaveUp++
+							mu.Unlock()
+							break
+						}
+						retries++
+						mu.Unlock()
+						time.Sleep(time.Duration(rng.Int63n(int64(backoff))))
+						if backoff < retryCap {
+							backoff *= 2
+						}
+						continue
+					}
+					lat := time.Since(t0)
+					mu.Lock()
+					if resp == "ERR cancelled" {
+						cancelled++
+					} else {
+						lats = append(lats, lat)
+					}
+					mu.Unlock()
+					break
 				}
-				if !sc.Scan() {
-					fmt.Fprintf(os.Stderr, "client %d: connection closed\n", c)
-					return
-				}
-				lat := time.Since(t0)
-				mu.Lock()
-				lats = append(lats, lat)
-				mu.Unlock()
 			}
 		}(c)
 	}
@@ -172,12 +217,16 @@ func bench(addr string, clients, ops int, withCompress bool) {
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	q := func(p float64) time.Duration { return lats[int(p*float64(len(lats)-1))] }
+	attempts := uint64(len(lats)) + overloaded + cancelled
 	fmt.Printf("%d KV ops over %d clients in %v (%.0f ops/s)\n",
 		len(lats), clients, elapsed.Round(time.Millisecond),
 		float64(len(lats))/elapsed.Seconds())
 	fmt.Printf("latency p50 %v  p90 %v  p99 %v  max %v\n",
 		q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
 		q(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+	fmt.Printf("overload: %d shed/timeout responses (%.2f%% of %d attempts), %d retries, %d ops abandoned, %d cancelled\n",
+		overloaded, 100*float64(overloaded)/float64(attempts), attempts,
+		retries, gaveUp, cancelled)
 }
 
 func fatal(err error) {

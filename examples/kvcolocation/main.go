@@ -124,7 +124,7 @@ func run(rt *preemptible.Runtime, quantum time.Duration) (lcP99 time.Duration, b
 	for i, l := range lcLats {
 		lats[i] = int64(l)
 	}
-	return time.Duration(exactQuantile(lats, 0.99)), engine.BlocksDone
+	return time.Duration(exactQuantile(lats, 0.99)), engine.BlocksDone.Load()
 }
 
 func exactQuantile(s []int64, q float64) int64 {

@@ -15,6 +15,7 @@ import (
 	"bytes"
 	"compress/flate"
 	"io"
+	"sync/atomic"
 
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -65,12 +66,13 @@ func (g *Generator) NextRequest(arrival sim.Time) *sched.Request {
 }
 
 // Engine is the real compression engine for live examples: it
-// compresses blocks with DEFLATE and reports byte counts.
+// compresses blocks with DEFLATE and reports byte counts. It is safe
+// for concurrent use — pool workers share one engine.
 type Engine struct {
 	level int
 	// BlocksDone and BytesIn/BytesOut count work performed.
-	BlocksDone        uint64
-	BytesIn, BytesOut uint64
+	BlocksDone        atomic.Uint64
+	BytesIn, BytesOut atomic.Uint64
 }
 
 // NewEngine returns an engine at the given flate compression level
@@ -95,9 +97,9 @@ func (e *Engine) CompressBlock(block []byte) (int, error) {
 	if err := w.Close(); err != nil {
 		return 0, err
 	}
-	e.BlocksDone++
-	e.BytesIn += uint64(len(block))
-	e.BytesOut += uint64(buf.Len())
+	e.BlocksDone.Add(1)
+	e.BytesIn.Add(uint64(len(block)))
+	e.BytesOut.Add(uint64(buf.Len()))
 	return buf.Len(), nil
 }
 

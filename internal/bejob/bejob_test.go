@@ -53,8 +53,8 @@ func TestEngineRoundTrip(t *testing.T) {
 	if n <= 0 || n >= len(block) {
 		t.Fatalf("compressed %d bytes from %d: block should compress", n, len(block))
 	}
-	if e.BlocksDone != 1 || e.BytesIn != uint64(len(block)) || e.BytesOut != uint64(n) {
-		t.Fatalf("engine stats: %+v", *e)
+	if e.BlocksDone.Load() != 1 || e.BytesIn.Load() != uint64(len(block)) || e.BytesOut.Load() != uint64(n) {
+		t.Fatalf("engine stats: blocks=%d in=%d out=%d", e.BlocksDone.Load(), e.BytesIn.Load(), e.BytesOut.Load())
 	}
 }
 

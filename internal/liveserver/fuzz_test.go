@@ -7,10 +7,10 @@ import (
 	"repro/preemptible"
 )
 
-// FuzzHandleLine throws arbitrary request lines at the protocol parser.
+// FuzzParse throws arbitrary request lines at the protocol parser.
 // Invariants: handleRequest never panics, always returns a non-empty
 // single-line response, and answers malformed input with "ERR ...".
-func FuzzHandleLine(f *testing.F) {
+func FuzzParse(f *testing.F) {
 	for _, seed := range []string{
 		"PING",
 		"ping",
@@ -44,7 +44,7 @@ func FuzzHandleLine(f *testing.F) {
 	defer s.pool.Close()
 
 	f.Fuzz(func(t *testing.T, line string) {
-		resp := s.handleRequest(line)
+		resp := s.handleRequest(line, nil)
 		if resp == "" {
 			t.Fatalf("empty response to %q", line)
 		}

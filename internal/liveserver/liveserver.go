@@ -95,9 +95,13 @@ type Server struct {
 	}
 	// Overload counts protection events: connections shed at accept,
 	// requests fast-rejected at admission, requests shed after timing
-	// out in the queue, and over-long lines rejected.
+	// out in the queue, over-long lines rejected, and work cancelled on
+	// client disconnect — split by whether the request was still queued
+	// (never occupied a worker) or already executing (unwound at its
+	// next safepoint).
 	Overload struct {
 		ShedConns, ShedRequests, Timeouts, LineTooLong uint64
+		CancelledQueued, CancelledExecuting            uint64
 	}
 	statMu sync.Mutex
 }
@@ -227,22 +231,51 @@ func (s *Server) shedConn(conn net.Conn) {
 	conn.Close()
 }
 
+// handleConn serves one connection. Reading runs in its own goroutine
+// so the socket is being watched even while a request executes in the
+// pool: when the read side ends (disconnect, reset, shutdown) the
+// reader closes gone, and the in-flight request — queued or executing —
+// is cancelled instead of burning worker time for a client that will
+// never see the response. Detection is best-effort under pipelining:
+// a reader blocked handing over the next line is not in Scan and only
+// observes the disconnect after that line is consumed.
 func (s *Server) handleConn(conn net.Conn) {
 	defer conn.Close()
-	r := bufio.NewScanner(conn)
-	initial := 64 * 1024
-	if initial > s.maxLineBytes {
-		initial = s.maxLineBytes
-	}
-	r.Buffer(make([]byte, 0, initial), s.maxLineBytes)
+	gone := make(chan struct{})  // closed when the client's read side ends
+	lines := make(chan string)   // request lines, reader → handler
+	scanErr := make(chan error, 1)
+	go func() {
+		defer close(gone)
+		defer close(lines)
+		r := bufio.NewScanner(conn)
+		initial := 64 * 1024
+		if initial > s.maxLineBytes {
+			initial = s.maxLineBytes
+		}
+		r.Buffer(make([]byte, 0, initial), s.maxLineBytes)
+		for r.Scan() {
+			select {
+			case lines <- r.Text():
+			case <-s.done:
+				scanErr <- nil
+				return
+			}
+		}
+		scanErr <- r.Err()
+	}()
 	w := bufio.NewWriter(conn)
-	for r.Scan() {
+	for {
+		var line string
+		var ok bool
 		select {
 		case <-s.done:
 			return
-		default:
+		case line, ok = <-lines:
 		}
-		resp := s.handleRequest(r.Text())
+		if !ok {
+			break
+		}
+		resp := s.handleRequest(line, gone)
 		if _, err := w.WriteString(resp + "\n"); err != nil {
 			return
 		}
@@ -253,7 +286,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	// Read ended: a too-long line is a protocol violation the client
 	// should hear about before the close; other read errors (reset,
 	// EOF) just close cleanly via the deferred Close.
-	if err := r.Err(); err != nil && errors.Is(err, bufio.ErrTooLong) {
+	if err := <-scanErr; err != nil && errors.Is(err, bufio.ErrTooLong) {
 		s.count(&s.Overload.LineTooLong)
 		s.countErr()
 		w.WriteString("ERR line too long\n") //nolint:errcheck
@@ -267,8 +300,10 @@ func (s *Server) handleConn(conn net.Conn) {
 }
 
 // handleRequest runs one request through the preemptible pool and
-// returns the response line.
-func (s *Server) handleRequest(line string) string {
+// returns the response line. gone, when closed, marks the client as
+// disconnected: in-flight pool work for the request is cancelled (nil
+// means no disconnect tracking).
+func (s *Server) handleRequest(line string, gone <-chan struct{}) string {
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
 		s.countErr()
@@ -276,7 +311,7 @@ func (s *Server) handleRequest(line string) string {
 	}
 	var resp string
 	run := func(task preemptible.Task) {
-		if msg := s.runTask(task); msg != "" {
+		if msg := s.runTask(task, gone); msg != "" {
 			resp = msg
 		}
 	}
@@ -352,10 +387,11 @@ func (s *Server) handleRequest(line string) string {
 
 // runTask pushes one request task through the overload-protected pool
 // path. It returns "" when the task ran, or the protocol error line
-// when it was shed: fast-rejected at admission (inflight bound) or
-// timed out waiting in the queue (RequestTimeout). Shed tasks are
-// never executed.
-func (s *Server) runTask(task preemptible.Task) string {
+// when it was shed: fast-rejected at admission (inflight bound), timed
+// out waiting in the queue (RequestTimeout), or cancelled because the
+// client disconnected (gone closed). Shed and queue-cancelled tasks are
+// never executed; an executing task cancels at its next safepoint.
+func (s *Server) runTask(task preemptible.Task, gone <-chan struct{}) string {
 	if n := s.inflight.Add(1); s.maxInflight > 0 && n > int64(s.maxInflight) {
 		s.inflight.Add(-1)
 		s.count(&s.Overload.ShedRequests)
@@ -366,12 +402,33 @@ func (s *Server) runTask(task preemptible.Task) string {
 		s.inflight.Add(-1)
 		ch <- lat
 	}
+	var h *preemptible.TaskHandle
 	if s.reqTimeout > 0 {
-		s.pool.SubmitTimeout(task, s.reqTimeout, done)
+		h = s.pool.SubmitTimeout(task, s.reqTimeout, done)
 	} else {
-		s.pool.Submit(task, done)
+		h = s.pool.Submit(task, done)
 	}
-	if lat := <-ch; lat < 0 {
+	var lat time.Duration
+	select {
+	case lat = <-ch:
+	case <-gone:
+		// Client disconnected mid-request: evict it from the queue or
+		// unwind it at its next safepoint, then wait for the done that
+		// always eventually fires. If the task slipped past every
+		// safepoint to completion, lat is the real latency and the
+		// normal path below applies.
+		h.Cancel()
+		lat = <-ch
+	}
+	switch {
+	case lat == preemptible.CancelledLatency:
+		if h.State() == preemptible.TaskCancelledQueued {
+			s.count(&s.Overload.CancelledQueued)
+		} else {
+			s.count(&s.Overload.CancelledExecuting)
+		}
+		return "ERR cancelled"
+	case lat < 0:
 		s.count(&s.Overload.Timeouts)
 		return "ERR overloaded"
 	}

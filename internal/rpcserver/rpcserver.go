@@ -89,6 +89,10 @@ type Server struct {
 	// wait exceeded QueueTimeout. Both are deterministic for a fixed
 	// seed and load.
 	Shed, Expired uint64
+	// Cancelled counts backlogged requests evicted by Cancel before a
+	// slot ever admitted them (the RPC analog of a client hanging up
+	// while still queued).
+	Cancelled uint64
 }
 
 // New builds a server. Quantum 0 gives the no-preemption baseline.
@@ -147,6 +151,26 @@ func (s *Server) Submit(r *sched.Request) {
 	s.admit()
 }
 
+// Cancel evicts a still-backlogged request: the RPC-side disconnect
+// hook. The entry is lazily deleted — marked Cancelled in place and
+// skipped by the next admit pass, so the backlog ring's compaction
+// arithmetic is untouched. Returns true if the request was waiting and
+// is now evicted (counted in Cancelled), false if it was never here or
+// a slot already admitted it.
+func (s *Server) Cancel(r *sched.Request) bool {
+	for i := s.backHead; i < len(s.backlog); i++ {
+		if s.backlog[i] == r {
+			if r.Cancelled {
+				return false // double cancel
+			}
+			r.Cancelled = true
+			s.Cancelled++
+			return true
+		}
+	}
+	return false
+}
+
 func (s *Server) admit() {
 	for s.inFlight < s.slots && s.backHead < len(s.backlog) {
 		r := s.backlog[s.backHead]
@@ -155,6 +179,10 @@ func (s *Server) admit() {
 		if s.backHead > 256 && s.backHead*2 >= len(s.backlog) {
 			s.backlog = append([]*sched.Request(nil), s.backlog[s.backHead:]...)
 			s.backHead = 0
+		}
+		// Cancel-evicted tombstone: already counted at Cancel time.
+		if r.Cancelled {
+			continue
 		}
 		// Queue-timeout shedding: a request that has already waited
 		// past its deadline is dropped at the last responsible moment

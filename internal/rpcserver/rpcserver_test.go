@@ -198,3 +198,54 @@ func TestQueueTimeoutExpiresStaleRequests(t *testing.T) {
 			expired, expired2, completed, completed2)
 	}
 }
+
+func TestCancelEvictsBacklogged(t *testing.T) {
+	// One slot: the first request admits immediately, later ones wait
+	// in the backlog. Cancelling a backlogged request evicts it — it
+	// never admits, never runs — while cancelling an admitted request
+	// is refused (it already holds a slot).
+	s := New(Config{KernelThreads: 1, UserThreadsPerKT: 1,
+		ServiceMean: 50 * sim.Microsecond, Seed: 9})
+
+	running := sched.NewRequest(1, sched.ClassLC, 0, 50*sim.Microsecond)
+	waiting := sched.NewRequest(2, sched.ClassLC, 0, 50*sim.Microsecond)
+	third := sched.NewRequest(3, sched.ClassLC, 0, 50*sim.Microsecond)
+	s.Submit(running)
+	s.Submit(waiting)
+	s.Submit(third)
+	if s.Admitted != 1 {
+		t.Fatalf("admitted %d with one slot", s.Admitted)
+	}
+
+	if s.Cancel(running) {
+		t.Fatal("Cancel of an admitted request returned true")
+	}
+	if !s.Cancel(waiting) {
+		t.Fatal("Cancel of a backlogged request returned false")
+	}
+	if s.Cancel(waiting) {
+		t.Fatal("double Cancel returned true")
+	}
+	if s.Cancelled != 1 {
+		t.Fatalf("Cancelled = %d, want 1", s.Cancelled)
+	}
+
+	s.Engine().RunAll()
+	// The evicted request never ran; the other two completed.
+	if waiting.Done() {
+		t.Fatal("cancelled request completed")
+	}
+	if s.Admitted != 2 {
+		t.Fatalf("admitted %d, want 2 (the eviction freed no extra work)", s.Admitted)
+	}
+	if got := s.System().Metrics.Completed; got != 2 {
+		t.Fatalf("completed %d, want 2", got)
+	}
+	if s.Cancel(sched.NewRequest(4, sched.ClassLC, 0, sim.Microsecond)) {
+		t.Fatal("Cancel of a never-submitted request returned true")
+	}
+	// Conservation: every submission is admitted or cancelled.
+	if s.Admitted+s.Cancelled != 3 {
+		t.Fatalf("conservation broken: admitted=%d cancelled=%d", s.Admitted, s.Cancelled)
+	}
+}

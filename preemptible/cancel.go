@@ -1,0 +1,157 @@
+package preemptible
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrCancelled is the outcome of a task killed by TaskHandle.Cancel:
+// either evicted from the queue before execution or unwound at a
+// safepoint mid-run. It is reported through TaskHandle.Err; the done
+// callback observes CancelledLatency.
+var ErrCancelled = errors.New("preemptible: task cancelled")
+
+// Latency sentinels passed to a submission's done callback when the
+// task did not complete. Any negative latency means "not executed to
+// completion"; the exact value says why.
+const (
+	// ShedLatency reports a task dropped because its pickup deadline
+	// (SubmitTimeout) passed before a worker reached it.
+	ShedLatency = -1 * time.Nanosecond
+	// CancelledLatency reports a task killed by TaskHandle.Cancel:
+	// evicted from the queue, or unwound at its next safepoint.
+	CancelledLatency = -2 * time.Nanosecond
+)
+
+// TaskState is a submitted task's lifecycle state, observable through
+// TaskHandle.State.
+type TaskState int32
+
+const (
+	// TaskQueued: waiting in the arrival queue or EDF heap, never run.
+	TaskQueued TaskState = iota
+	// TaskRunning: a worker is executing the task right now.
+	TaskRunning
+	// TaskPreempted: the task ran, was preempted at a safepoint, and
+	// waits in the preempted list / EDF heap for a worker.
+	TaskPreempted
+	// TaskCompleted: the task finished normally.
+	TaskCompleted
+	// TaskShed: the pickup deadline passed; the task never executed.
+	TaskShed
+	// TaskCancelledQueued: Cancel evicted the task before it ever ran.
+	TaskCancelledQueued
+	// TaskCancelledExecuting: Cancel unwound the task at a safepoint
+	// after it had started executing.
+	TaskCancelledExecuting
+)
+
+func (s TaskState) String() string {
+	switch s {
+	case TaskQueued:
+		return "queued"
+	case TaskRunning:
+		return "running"
+	case TaskPreempted:
+		return "preempted"
+	case TaskCompleted:
+		return "completed"
+	case TaskShed:
+		return "shed"
+	case TaskCancelledQueued:
+		return "cancelled-queued"
+	case TaskCancelledExecuting:
+		return "cancelled-executing"
+	default:
+		return "invalid"
+	}
+}
+
+// Cancelled reports whether the state is one of the two cancelled
+// outcomes.
+func (s TaskState) Cancelled() bool {
+	return s == TaskCancelledQueued || s == TaskCancelledExecuting
+}
+
+// taskState is the shared record between a queue entry, the executing
+// Ctx, and the TaskHandle. status transitions are serialized by the
+// pool's mutex; cancelReq is the lock-free flag the task's safepoints
+// poll (the cancellation analog of the preemption flag).
+type taskState struct {
+	status    TaskState // guarded by Pool.mu
+	cancelReq atomic.Uint32
+	done      func(time.Duration)
+}
+
+// TaskHandle identifies one submission for cancellation and outcome
+// inspection. The zero value is invalid; handles come from
+// Submit/SubmitDeadline/SubmitTimeout.
+type TaskHandle struct {
+	p  *Pool
+	st *taskState
+}
+
+// State snapshots the task's lifecycle state.
+func (h *TaskHandle) State() TaskState {
+	h.p.mu.Lock()
+	defer h.p.mu.Unlock()
+	return h.st.status
+}
+
+// Err reports the task's terminal outcome: ErrCancelled after a cancel
+// took effect, nil otherwise (including while still pending — pair with
+// State for liveness).
+func (h *TaskHandle) Err() error {
+	if h.State().Cancelled() {
+		return ErrCancelled
+	}
+	return nil
+}
+
+// Cancel stops the task wherever it is in its lifecycle:
+//
+//   - Queued (never run): the task is evicted — it will never occupy a
+//     worker. The queue entry is lazily deleted (a tombstone the next
+//     pop skips, so EDF heap invariants hold) and done is invoked
+//     immediately with CancelledLatency.
+//   - Preempted (in queue mid-run): the cancel flag is raised; the next
+//     worker to pick the task resumes it just far enough to unwind at
+//     its safepoint, then reports done(CancelledLatency).
+//   - Running: the cancel flag is raised; the task unwinds at its next
+//     Checkpoint or Yield through the normal save/return path and
+//     reports done(CancelledLatency). A task that reaches no further
+//     safepoint completes normally — cancellation of executing work is
+//     cooperative, exactly like preemption.
+//
+// Cancel returns true if the request was accepted (the task was still
+// queued, preempted, or running), false if the task had already
+// finished, been shed, or been cancelled. Cancel never blocks on task
+// execution and is safe to call from any goroutine, once or many times.
+func (h *TaskHandle) Cancel() bool {
+	p, st := h.p, h.st
+	p.mu.Lock()
+	switch st.status {
+	case TaskQueued:
+		st.status = TaskCancelledQueued
+		st.cancelReq.Store(1)
+		p.cancelledQueued++
+		p.tombstones++
+		done := st.done
+		p.mu.Unlock()
+		if done != nil {
+			done(CancelledLatency)
+		}
+		return true
+	case TaskRunning, TaskPreempted:
+		if st.cancelReq.Swap(1) == 1 {
+			p.mu.Unlock()
+			return false // already requested by an earlier Cancel
+		}
+		p.mu.Unlock()
+		return true
+	default:
+		p.mu.Unlock()
+		return false
+	}
+}

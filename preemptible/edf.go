@@ -19,10 +19,13 @@ const (
 )
 
 // edfItem is one unit of EDF-ordered work: either a fresh task or a
-// preempted Fn.
+// preempted Fn. st links the item to its submission record so
+// TaskHandle.Cancel can tombstone it in place (lazy delete — the heap
+// is never spliced, so its invariants hold).
 type edfItem struct {
 	task     Task
 	fn       *Fn
+	st       *taskState
 	arrival  time.Time
 	deadline time.Time // zero = none
 	done     func(time.Duration)
@@ -66,10 +69,13 @@ func (q *edfQueue) Pop() any {
 // SubmitDeadline enqueues a task carrying an SLO deadline. Under the
 // EDF discipline the deadline orders execution; under FIFO it is
 // carried but ignored. done (optional) receives the sojourn latency.
-func (p *Pool) SubmitDeadline(task Task, deadline time.Time, done func(latency time.Duration)) {
+// The returned handle cancels the task at any point in its lifecycle.
+func (p *Pool) SubmitDeadline(task Task, deadline time.Time, done func(latency time.Duration)) *TaskHandle {
 	if task == nil {
 		panic("preemptible: SubmitDeadline(nil)")
 	}
+	st := &taskState{done: done}
+	wrapped := p.bindCancel(task, st)
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -78,14 +84,15 @@ func (p *Pool) SubmitDeadline(task Task, deadline time.Time, done func(latency t
 	p.submitted++
 	p.winArr++
 	if p.discipline == EDF {
-		p.pushEDFLocked(&edfItem{task: task, arrival: time.Now(), deadline: deadline, done: done})
+		p.pushEDFLocked(&edfItem{task: wrapped, st: st, arrival: time.Now(), deadline: deadline, done: done})
 	} else {
 		// FIFO carries the deadline only as metadata; ordering is
 		// arrival-based.
-		p.arrivals = append(p.arrivals, poolArrival{task: task, arrival: time.Now(), done: done})
+		p.arrivals = append(p.arrivals, poolArrival{task: wrapped, st: st, arrival: time.Now(), done: done})
 	}
 	p.mu.Unlock()
 	p.cond.Signal()
+	return &TaskHandle{p: p, st: st}
 }
 
 // pushEDF enqueues an item under the EDF discipline (caller holds mu or
@@ -96,10 +103,17 @@ func (p *Pool) pushEDFLocked(it *edfItem) {
 	heap.Push(&p.edf, it)
 }
 
-// popEDFLocked removes the earliest-deadline item, or nil.
+// popEDFLocked removes the earliest-deadline live item, discarding
+// cancel-evicted tombstones on the way (their done already fired at
+// Cancel time). Returns nil when no live work remains.
 func (p *Pool) popEDFLocked() *edfItem {
-	if len(p.edf) == 0 {
-		return nil
+	for len(p.edf) > 0 {
+		it := heap.Pop(&p.edf).(*edfItem)
+		if it.st != nil && it.st.status == TaskCancelledQueued {
+			p.tombstones--
+			continue
+		}
+		return it
 	}
-	return heap.Pop(&p.edf).(*edfItem)
+	return nil
 }

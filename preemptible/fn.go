@@ -19,6 +19,15 @@ type Ctx struct {
 	deadline atomic.Int64  // unixnano of next preemption; 0 = disarmed
 	preempt  atomic.Uint32 // raised by the timer goroutine
 
+	// cancelReq, when non-nil, points at the submission's shared cancel
+	// flag (raised by TaskHandle.Cancel). Checkpoint and Yield observe
+	// it and unwind the task; it is bound by the Pool before any user
+	// code runs, so only the task goroutine ever touches the pointer.
+	cancelReq *atomic.Uint32
+	// unwound records that the task exited via cancel-unwind rather
+	// than a normal return (fn_completed(cancelled)).
+	unwound atomic.Bool
+
 	// coop marks a degraded-mode context: the task runs inline with no
 	// scheduler to yield to, so Yield and Checkpoint-triggered yields
 	// are no-ops (see Pool's graceful degradation).
@@ -30,6 +39,11 @@ type Ctx struct {
 	checkpoints atomic.Uint64
 	yields      atomic.Uint64
 }
+
+// cancelPanic is the sentinel thrown by a safepoint to unwind a
+// cancelled task; the launch wrapper recovers it and completes the Fn
+// through the normal yield path. Any other panic still crashes.
+type cancelPanic struct{}
 
 // Checkpoint is the safepoint: on a raised preemption flag it saves
 // control state and returns to the scheduler that called Launch/Resume,
@@ -44,6 +58,9 @@ type Ctx struct {
 // the timer goroutine arriving first on multi-core schedulers.
 func (c *Ctx) Checkpoint() {
 	c.checkpoints.Add(1)
+	if c.Cancelled() {
+		c.unwind()
+	}
 	if c.preempt.Load() == 1 {
 		c.yieldNow()
 		return
@@ -57,11 +74,43 @@ func (c *Ctx) Checkpoint() {
 }
 
 // Yield voluntarily returns control to the scheduler regardless of the
-// deadline (cooperative yield).
-func (c *Ctx) Yield() { c.yieldNow() }
+// deadline (cooperative yield). Like Checkpoint, it is a safepoint: a
+// pending cancel unwinds the task here.
+func (c *Ctx) Yield() {
+	if c.Cancelled() {
+		c.unwind()
+	}
+	c.yieldNow()
+}
 
 // Preempted reports whether a preemption is pending (without yielding).
 func (c *Ctx) Preempted() bool { return c.preempt.Load() == 1 }
+
+// Cancelled reports whether a cancel is pending (without unwinding).
+// Tasks with expensive sections between safepoints can poll it and
+// return early voluntarily; a normal return after a cancel request
+// still counts as completion.
+func (c *Ctx) Cancelled() bool {
+	return c.cancelReq != nil && c.cancelReq.Load() == 1
+}
+
+// unwind aborts the task at the current safepoint: it marks the context
+// cancel-unwound and panics with the sentinel the launch wrapper (or
+// the degraded-mode runner) recovers, so the task's own defers run and
+// control returns to the scheduler exactly as on completion. The
+// unwinding panic passes through user frames; a task body that recovers
+// all panics indiscriminately defeats cancellation and must rethrow
+// values it does not own.
+func (c *Ctx) unwind() {
+	c.unwound.Store(true)
+	c.deadline.Store(0)
+	c.preempt.Store(0)
+	panic(cancelPanic{})
+}
+
+// CancelUnwound reports whether the task exited via cancel-unwind
+// (fn_completed(cancelled)) rather than a normal return.
+func (c *Ctx) CancelUnwound() bool { return c.unwound.Load() }
 
 // Deadline reports the armed preemption deadline (zero Time if none).
 func (c *Ctx) Deadline() time.Time {
@@ -86,6 +135,12 @@ func (c *Ctx) yieldNow() {
 	}
 	c.yieldCh <- false
 	<-c.runCh
+	// Re-check on wake: a task cancelled while preempted-in-queue must
+	// unwind on its resume without running another inter-safepoint
+	// segment of user code.
+	if c.Cancelled() {
+		c.unwind()
+	}
 }
 
 // FnState is a Fn's lifecycle state.
@@ -151,13 +206,28 @@ func (r *Runtime) Launch(task Task, quantum time.Duration) (*Fn, error) {
 	r.launched.Add(1)
 	go func() {
 		<-fn.ctx.runCh
-		task(fn.ctx)
+		runTaskBody(task, fn.ctx)
 		fn.ctx.deadline.Store(0)
 		fn.ctx.preempt.Store(0)
 		fn.ctx.yieldCh <- true
 	}()
 	fn.resume(quantum)
 	return fn, nil
+}
+
+// runTaskBody executes the task, absorbing only the cancel-unwind
+// sentinel: a cancelled task's stack unwinds (its defers run) and the
+// Fn then completes through the ordinary yield path, state Completed
+// with ctx.CancelUnwound() set. Every other panic propagates.
+func runTaskBody(task Task, ctx *Ctx) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(cancelPanic); !ok {
+				panic(r)
+			}
+		}
+	}()
+	task(ctx)
 }
 
 // LaunchWithDeadline is Launch with admission control: if deadline is
@@ -208,6 +278,11 @@ func (fn *Fn) resume(quantum time.Duration) {
 func (fn *Fn) Completed() bool {
 	return FnState(fn.state.Load()) == StateCompleted
 }
+
+// Cancelled reports fn_completed(cancelled): the task completed by
+// unwinding at a safepoint after a cancel rather than returning
+// normally. Only meaningful once Completed is true.
+func (fn *Fn) Cancelled() bool { return fn.ctx.unwound.Load() }
 
 // State reports the Fn's lifecycle state.
 func (fn *Fn) State() FnState { return FnState(fn.state.Load()) }

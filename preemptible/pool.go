@@ -41,12 +41,19 @@ type AdaptiveConfig struct {
 }
 
 // PoolStats is a snapshot of a Pool's counters and latency summary.
+// Every submitted task lands in exactly one terminal bucket:
+// Submitted = Completed + Shed + CancelledQueued + CancelledExecuting
+// + work still in flight.
 type PoolStats struct {
 	Submitted, Completed uint64
 	Preemptions          uint64
 	// Shed counts tasks dropped because their pickup deadline
 	// (SubmitTimeout) had passed when a worker reached them.
 	Shed uint64
+	// CancelledQueued counts tasks evicted by TaskHandle.Cancel before
+	// they ever ran; CancelledExecuting counts tasks that had started
+	// and unwound at a safepoint (including while preempted-in-queue).
+	CancelledQueued, CancelledExecuting uint64
 	// DegradedRuns counts tasks executed cooperatively (inline, no
 	// preemption) because the runtime refused Launch — the graceful
 	// degradation path, which never loses a task.
@@ -55,8 +62,12 @@ type PoolStats struct {
 	Mean, P50, P99 time.Duration
 }
 
+// Cancelled is the total of both cancellation buckets.
+func (s PoolStats) Cancelled() uint64 { return s.CancelledQueued + s.CancelledExecuting }
+
 type poolArrival struct {
 	task    Task
+	st      *taskState
 	arrival time.Time
 	// deadline, when non-zero, is the pickup deadline: a worker
 	// reaching the task after it sheds instead of running it.
@@ -66,6 +77,7 @@ type poolArrival struct {
 
 type poolPreempted struct {
 	fn      *Fn
+	st      *taskState
 	arrival time.Time
 	done    func(latency time.Duration)
 }
@@ -89,12 +101,17 @@ type Pool struct {
 	seq        uint64
 	closed     bool
 
-	quantum      time.Duration
-	hist         *stats.Histogram
-	submitted    uint64
-	completed    uint64
-	preempts     uint64
-	shed         uint64
+	quantum         time.Duration
+	hist            *stats.Histogram
+	submitted       uint64
+	completed       uint64
+	preempts        uint64
+	shed            uint64
+	cancelledQueued uint64
+	cancelledExec   uint64
+	// tombstones counts queue entries whose task was cancel-evicted but
+	// not yet skipped by a pop (lazy delete keeps the EDF heap intact).
+	tombstones   int
 	degradedRuns uint64
 	winLats      []float64
 	winArr       uint64
@@ -133,28 +150,32 @@ func NewPool(rt *Runtime, cfg PoolConfig) *Pool {
 }
 
 // Submit enqueues a task; done (optional) is called with the task's
-// sojourn latency when it completes.
-func (p *Pool) Submit(task Task, done func(latency time.Duration)) {
-	p.submit(task, time.Time{}, done)
+// sojourn latency when it completes (or a negative sentinel — see
+// ShedLatency/CancelledLatency — when it does not). The returned
+// handle cancels the task at any point in its lifecycle.
+func (p *Pool) Submit(task Task, done func(latency time.Duration)) *TaskHandle {
+	return p.submit(task, time.Time{}, done)
 }
 
 // SubmitTimeout enqueues a task with a pickup deadline of now+timeout:
 // if no worker reaches it before the deadline it is shed — never
-// executed — and done is called with latency -1. This is the pool's
-// overload fast-reject path: under sustained overload the queue sheds
-// stale work instead of growing without bound in useful-work terms.
-// FIFO discipline only (EDF orders by its own deadlines).
-func (p *Pool) SubmitTimeout(task Task, timeout time.Duration, done func(latency time.Duration)) {
+// executed — and done is called with ShedLatency (-1). This is the
+// pool's overload fast-reject path: under sustained overload the queue
+// sheds stale work instead of growing without bound in useful-work
+// terms. FIFO discipline only (EDF orders by its own deadlines).
+func (p *Pool) SubmitTimeout(task Task, timeout time.Duration, done func(latency time.Duration)) *TaskHandle {
 	if timeout <= 0 {
 		panic("preemptible: non-positive timeout")
 	}
-	p.submit(task, time.Now().Add(timeout), done)
+	return p.submit(task, time.Now().Add(timeout), done)
 }
 
-func (p *Pool) submit(task Task, deadline time.Time, done func(latency time.Duration)) {
+func (p *Pool) submit(task Task, deadline time.Time, done func(latency time.Duration)) *TaskHandle {
 	if task == nil {
 		panic("preemptible: Submit(nil)")
 	}
+	st := &taskState{done: done}
+	wrapped := p.bindCancel(task, st)
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -163,12 +184,24 @@ func (p *Pool) submit(task Task, deadline time.Time, done func(latency time.Dura
 	p.submitted++
 	p.winArr++
 	if p.discipline == EDF {
-		p.pushEDFLocked(&edfItem{task: task, arrival: time.Now(), done: done})
+		p.pushEDFLocked(&edfItem{task: wrapped, st: st, arrival: time.Now(), done: done})
 	} else {
-		p.arrivals = append(p.arrivals, poolArrival{task: task, arrival: time.Now(), deadline: deadline, done: done})
+		p.arrivals = append(p.arrivals, poolArrival{task: wrapped, st: st, arrival: time.Now(), deadline: deadline, done: done})
 	}
 	p.mu.Unlock()
 	p.cond.Signal()
+	return &TaskHandle{p: p, st: st}
+}
+
+// bindCancel wraps a task so its Ctx polls the submission's shared
+// cancel flag at safepoints. Binding happens on the task goroutine
+// before any user code, so a cancel landing between queue pickup and
+// first execution is observed at the very first Checkpoint.
+func (p *Pool) bindCancel(task Task, st *taskState) Task {
+	return func(ctx *Ctx) {
+		ctx.cancelReq = &st.cancelReq
+		task(ctx)
+	}
 }
 
 // SubmitWait runs the task and blocks until it completes, returning its
@@ -203,7 +236,7 @@ func (p *Pool) Quantum() time.Duration {
 func (p *Pool) QueueLen() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return (len(p.arrivals) - p.arrHead) + (len(p.preempted) - p.preHead) + len(p.edf)
+	return (len(p.arrivals) - p.arrHead) + (len(p.preempted) - p.preHead) + len(p.edf) - p.tombstones
 }
 
 // Stats snapshots the pool's counters.
@@ -211,15 +244,17 @@ func (p *Pool) Stats() PoolStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return PoolStats{
-		Submitted:    p.submitted,
-		Completed:    p.completed,
-		Preemptions:  p.preempts,
-		Shed:         p.shed,
-		DegradedRuns: p.degradedRuns,
-		QuantumNow:   p.quantum,
-		Mean:         time.Duration(p.hist.Mean()),
-		P50:          time.Duration(p.hist.Median()),
-		P99:          time.Duration(p.hist.P99()),
+		Submitted:          p.submitted,
+		Completed:          p.completed,
+		Preemptions:        p.preempts,
+		Shed:               p.shed,
+		CancelledQueued:    p.cancelledQueued,
+		CancelledExecuting: p.cancelledExec,
+		DegradedRuns:       p.degradedRuns,
+		QuantumNow:         p.quantum,
+		Mean:               time.Duration(p.hist.Mean()),
+		P50:                time.Duration(p.hist.Median()),
+		P99:                time.Duration(p.hist.P99()),
 	}
 }
 
@@ -236,14 +271,21 @@ func (p *Pool) Close() {
 }
 
 // next pops work: under FIFO, fresh arrivals first, then the preempted
-// list; under EDF, the earliest deadline across both. Returns with
-// ok=false when the pool is closed and drained.
+// list; under EDF, the earliest deadline across both. Cancel-evicted
+// tombstones are skipped here (their done already fired at Cancel
+// time). The popped task's state moves to Running inside the lock, so
+// a Cancel arriving after the pop takes the cooperative (flag) path
+// instead of double-reporting an eviction. Returns with ok=false when
+// the pool is closed and drained.
 func (p *Pool) next() (arr *poolArrival, pre *poolPreempted, ed *edfItem, ok bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.discipline == EDF {
 		for {
 			if it := p.popEDFLocked(); it != nil {
+				if it.st != nil {
+					it.st.status = TaskRunning
+				}
 				return nil, nil, it, true
 			}
 			if p.closed {
@@ -261,6 +303,11 @@ func (p *Pool) next() (arr *poolArrival, pre *poolPreempted, ed *edfItem, ok boo
 				p.arrivals = append([]poolArrival(nil), p.arrivals[p.arrHead:]...)
 				p.arrHead = 0
 			}
+			if a.st.status == TaskCancelledQueued {
+				p.tombstones--
+				continue
+			}
+			a.st.status = TaskRunning
 			return &a, nil, nil, true
 		}
 		if p.preHead < len(p.preempted) {
@@ -271,6 +318,7 @@ func (p *Pool) next() (arr *poolArrival, pre *poolPreempted, ed *edfItem, ok boo
 				p.preempted = append([]poolPreempted(nil), p.preempted[p.preHead:]...)
 				p.preHead = 0
 			}
+			pr.st.status = TaskRunning
 			return nil, &pr, nil, true
 		}
 		if p.closed {
@@ -291,17 +339,17 @@ func (p *Pool) worker() {
 		switch {
 		case arr != nil:
 			if !arr.deadline.IsZero() && time.Now().After(arr.deadline) {
-				p.shedTask(arr.done)
+				p.shedTask(arr.st, arr.done)
 				continue
 			}
 			fn, err := p.rt.Launch(arr.task, q)
 			if err != nil {
 				// Runtime closed under us: run the task cooperatively
 				// rather than losing it.
-				p.runCooperative(arr.task, arr.arrival, arr.done)
+				p.runCooperative(arr.task, arr.st, arr.arrival, arr.done)
 				continue
 			}
-			p.afterRun(fn, arr.arrival, time.Time{}, arr.done)
+			p.afterRun(fn, arr.st, arr.arrival, time.Time{}, arr.done)
 		case pre != nil:
 			// Let producer goroutines run before resuming preempted
 			// work: the worker↔task channel handoff otherwise starves
@@ -309,32 +357,35 @@ func (p *Pool) worker() {
 			// the arrivals-first discipline.
 			runtime.Gosched()
 			pre.fn.Resume(q)
-			p.afterRun(pre.fn, pre.arrival, time.Time{}, pre.done)
+			p.afterRun(pre.fn, pre.st, pre.arrival, time.Time{}, pre.done)
 		case ed != nil:
 			if ed.task != nil {
 				fn, err := p.rt.Launch(ed.task, q)
 				if err != nil {
-					p.runCooperative(ed.task, ed.arrival, ed.done)
+					p.runCooperative(ed.task, ed.st, ed.arrival, ed.done)
 					continue
 				}
-				p.afterRun(fn, ed.arrival, ed.deadline, ed.done)
+				p.afterRun(fn, ed.st, ed.arrival, ed.deadline, ed.done)
 			} else {
 				runtime.Gosched()
 				ed.fn.Resume(q)
-				p.afterRun(ed.fn, ed.arrival, ed.deadline, ed.done)
+				p.afterRun(ed.fn, ed.st, ed.arrival, ed.deadline, ed.done)
 			}
 		}
 	}
 }
 
 // shedTask drops a task whose pickup deadline passed before any worker
-// reached it; done observes latency -1.
-func (p *Pool) shedTask(done func(time.Duration)) {
+// reached it; done observes ShedLatency.
+func (p *Pool) shedTask(st *taskState, done func(time.Duration)) {
 	p.mu.Lock()
 	p.shed++
+	if st != nil {
+		st.status = TaskShed
+	}
 	p.mu.Unlock()
 	if done != nil {
-		done(-1)
+		done(ShedLatency)
 	}
 }
 
@@ -342,13 +393,22 @@ func (p *Pool) shedTask(done func(time.Duration)) {
 // Launch (closed mid-shutdown), so the task runs inline on the worker
 // goroutine with a coop context — Checkpoint and Yield are no-ops, no
 // preemption — and still completes and reports its latency. No task
-// accepted by Submit is ever lost.
-func (p *Pool) runCooperative(task Task, arrival time.Time, done func(time.Duration)) {
-	task(&Ctx{coop: true})
+// accepted by Submit is ever lost; a pending cancel still unwinds at
+// the first safepoint even in degraded mode.
+func (p *Pool) runCooperative(task Task, st *taskState, arrival time.Time, done func(time.Duration)) {
+	ctx := &Ctx{coop: true}
+	runTaskBody(task, ctx)
+	if ctx.CancelUnwound() {
+		p.finishCancelled(st, done)
+		return
+	}
 	lat := time.Since(arrival)
 	p.mu.Lock()
 	p.completed++
 	p.degradedRuns++
+	if st != nil {
+		st.status = TaskCompleted
+	}
 	p.hist.Record(int64(lat))
 	p.winLats = append(p.winLats, float64(lat))
 	p.mu.Unlock()
@@ -357,11 +417,31 @@ func (p *Pool) runCooperative(task Task, arrival time.Time, done func(time.Durat
 	}
 }
 
-func (p *Pool) afterRun(fn *Fn, arrival time.Time, deadline time.Time, done func(time.Duration)) {
+// finishCancelled settles a task that unwound at a safepoint.
+func (p *Pool) finishCancelled(st *taskState, done func(time.Duration)) {
+	p.mu.Lock()
+	p.cancelledExec++
+	if st != nil {
+		st.status = TaskCancelledExecuting
+	}
+	p.mu.Unlock()
+	if done != nil {
+		done(CancelledLatency)
+	}
+}
+
+func (p *Pool) afterRun(fn *Fn, st *taskState, arrival time.Time, deadline time.Time, done func(time.Duration)) {
 	if fn.Completed() {
+		if fn.Cancelled() {
+			p.finishCancelled(st, done)
+			return
+		}
 		lat := time.Since(arrival)
 		p.mu.Lock()
 		p.completed++
+		if st != nil {
+			st.status = TaskCompleted
+		}
 		p.hist.Record(int64(lat))
 		p.winLats = append(p.winLats, float64(lat))
 		p.mu.Unlock()
@@ -372,10 +452,13 @@ func (p *Pool) afterRun(fn *Fn, arrival time.Time, deadline time.Time, done func
 	}
 	p.mu.Lock()
 	p.preempts++
+	if st != nil {
+		st.status = TaskPreempted
+	}
 	if p.discipline == EDF {
-		p.pushEDFLocked(&edfItem{fn: fn, arrival: arrival, deadline: deadline, done: done})
+		p.pushEDFLocked(&edfItem{fn: fn, st: st, arrival: arrival, deadline: deadline, done: done})
 	} else {
-		p.preempted = append(p.preempted, poolPreempted{fn: fn, arrival: arrival, done: done})
+		p.preempted = append(p.preempted, poolPreempted{fn: fn, st: st, arrival: arrival, done: done})
 	}
 	p.mu.Unlock()
 	p.cond.Signal()
@@ -415,6 +498,9 @@ func (p *Pool) controller(cfg AdaptiveConfig) {
 		arr := p.winArr
 		p.winArr = 0
 		qlen := len(p.preempted) - p.preHead + len(p.edf)
+		if p.discipline == EDF {
+			qlen -= p.tombstones // cancel-evicted heap entries are not load
+		}
 		p.mu.Unlock()
 		obs := adaptive.Observation{
 			Rate:      float64(arr) / period.Seconds(),

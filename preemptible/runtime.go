@@ -62,7 +62,25 @@ type Config struct {
 	// Degraded, and restarts the loop. Default: 4× the effective
 	// watchdog interval (but at least 8× Resolution).
 	StallThreshold time.Duration
+
+	// MaxTimerRestarts is the watchdog's escalation bound: after this
+	// many restarts within RestartWindow the fault is treated as
+	// persistent — the watchdog stops restarting, the runtime stays
+	// Degraded forever, and Terminal() reports true. Fns keep running
+	// cooperatively (Checkpoint enforces quanta with its own clock
+	// reads). 0 = restart forever (the historical behavior).
+	MaxTimerRestarts int
+
+	// RestartWindow is the sliding window the escalation bound counts
+	// restarts in (DefaultRestartWindow if 0). Restarts spread thinner
+	// than MaxTimerRestarts per window — transient faults the restarts
+	// actually cured — never escalate.
+	RestartWindow time.Duration
 }
+
+// DefaultRestartWindow is the escalation window used when
+// MaxTimerRestarts is set and RestartWindow is 0.
+const DefaultRestartWindow = time.Second
 
 // Runtime hosts preemptible functions and the timer service (the
 // LibUtimer analog: one goroutine polling registered deadlines and
@@ -76,6 +94,8 @@ type Runtime struct {
 	clock          Clock
 	watchdogPeriod time.Duration
 	stallThreshold time.Duration
+	maxRestarts    int
+	restartWindow  time.Duration
 
 	mu       sync.Mutex
 	ctxs     map[*Ctx]struct{}
@@ -90,6 +110,9 @@ type Runtime struct {
 	// degraded is set by the watchdog on a detected stall and cleared
 	// by the timer loop's next successful tick.
 	degraded atomic.Bool
+	// terminal is set once the watchdog gives up restarting (the
+	// escalation policy); it is never cleared.
+	terminal atomic.Bool
 	// timerRestarts counts watchdog-initiated timer-loop restarts.
 	timerRestarts atomic.Uint64
 	// timerFlags counts preemption flags raised by the timer loop
@@ -135,11 +158,17 @@ func New(cfg Config) (*Runtime, error) {
 			stall = m
 		}
 	}
+	rw := cfg.RestartWindow
+	if rw == 0 {
+		rw = DefaultRestartWindow
+	}
 	r := &Runtime{
 		resolution:     res,
 		clock:          clk,
 		watchdogPeriod: wd,
 		stallThreshold: stall,
+		maxRestarts:    cfg.MaxTimerRestarts,
+		restartWindow:  rw,
 		ctxs:           make(map[*Ctx]struct{}),
 		stop:           make(chan struct{}),
 		loopQuit:       make(chan struct{}),
@@ -191,6 +220,13 @@ func (r *Runtime) Resolution() time.Duration { return r.resolution }
 // only asynchronous flag delivery is lost.
 func (r *Runtime) Degraded() bool { return r.degraded.Load() }
 
+// Terminal reports whether the watchdog escalated: MaxTimerRestarts
+// restarts landed inside RestartWindow, the fault was declared
+// persistent, and the timer service was permanently retired. A
+// terminal runtime stays Degraded forever but remains correct — quanta
+// are enforced cooperatively at safepoints.
+func (r *Runtime) Terminal() bool { return r.terminal.Load() }
+
 // TimerRestarts reports how many times the watchdog restarted a wedged
 // timer loop.
 func (r *Runtime) TimerRestarts() uint64 { return r.timerRestarts.Load() }
@@ -209,6 +245,12 @@ func (r *Runtime) utimerLoop(quit chan struct{}) {
 		case <-quit:
 			return
 		case <-ticks:
+		}
+		if r.terminal.Load() {
+			// The watchdog already declared the fault persistent; a
+			// zombie generation reviving must not clear the terminal
+			// Degraded state.
+			return
 		}
 		r.heartbeat.Store(time.Now().UnixNano())
 		r.degraded.Store(false)
@@ -233,10 +275,16 @@ func (r *Runtime) utimerLoop(quit chan struct{}) {
 // and a fresh loop generation is started with a fresh ticker. The
 // watchdog deliberately uses the real clock, not the injectable one:
 // it must outlive the fault it supervises.
+//
+// Escalation: with MaxTimerRestarts set, once that many restarts land
+// inside RestartWindow the fault is persistent — restarting forever
+// against it only burns cycles. The watchdog kills the wedged
+// generation, marks the runtime terminally Degraded, and retires.
 func (r *Runtime) watchdog() {
 	defer r.stopWG.Done()
 	ticker := time.NewTicker(r.watchdogPeriod)
 	defer ticker.Stop()
+	var restarts []time.Time // within-window restart history
 	for {
 		select {
 		case <-r.stop:
@@ -253,12 +301,31 @@ func (r *Runtime) watchdog() {
 			return
 		}
 		r.degraded.Store(true)
+		now := time.Now()
+		if r.maxRestarts > 0 {
+			keep := restarts[:0]
+			for _, t := range restarts {
+				if now.Sub(t) < r.restartWindow {
+					keep = append(keep, t)
+				}
+			}
+			restarts = keep
+			if len(restarts) >= r.maxRestarts {
+				// Persistent fault: stop the wedged generation for good
+				// and leave the runtime terminally degraded.
+				r.terminal.Store(true)
+				close(r.loopQuit)
+				r.mu.Unlock()
+				return
+			}
+			restarts = append(restarts, now)
+		}
 		r.timerRestarts.Add(1)
 		close(r.loopQuit)
 		r.loopQuit = make(chan struct{})
 		// Grace period: give the new loop a full threshold to produce
 		// its first heartbeat before the next stall verdict.
-		r.heartbeat.Store(time.Now().UnixNano())
+		r.heartbeat.Store(now.UnixNano())
 		r.stopWG.Add(1)
 		go r.utimerLoop(r.loopQuit)
 		r.mu.Unlock()
