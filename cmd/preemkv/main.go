@@ -11,6 +11,16 @@
 // pool, reporting KV latency percentiles:
 //
 //	preemkv -bench 127.0.0.1:7070 -clients 4 -ops 2000
+//
+// With -mix, each client interleaves latency-critical KV ops with
+// best-effort COMPRESS ops in the given ratio and the report splits by
+// class — the way to watch a brownout from the client side:
+//
+//	preemkv -bench 127.0.0.1:7070 -clients 8 -ops 2000 -mix 3:1
+//
+// Clients back off identically on "ERR overloaded" and "ERR brownout"
+// (both mean "not now"), but the two are counted separately: brownout
+// rejections are the server degrading BE on purpose, not drowning.
 package main
 
 import (
@@ -25,6 +35,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/brownout"
 	"repro/internal/liveserver"
 	"repro/preemptible"
 )
@@ -40,8 +51,9 @@ func main() {
 		reqTO     = flag.Duration("reqtimeout", 0, "queue-wait timeout before a request is shed (serve mode; 0 = none)")
 		maxLine   = flag.Int("maxline", 0, "request line byte cap (serve mode; 0 = default 1 MiB)")
 		clients   = flag.Int("clients", 4, "client connections (bench mode)")
-		ops       = flag.Int("ops", 2000, "KV ops per client (bench mode)")
+		ops       = flag.Int("ops", 2000, "ops per client (bench mode)")
 		compress  = flag.Bool("compress", true, "run a background COMPRESS stream during bench")
+		mix       = flag.String("mix", "1:0", "LC:BE op mix per client, e.g. 3:1 (bench mode; BE = COMPRESS)")
 	)
 	flag.Parse()
 
@@ -56,7 +68,11 @@ func main() {
 			MaxLineBytes:   *maxLine,
 		})
 	case *benchAddr != "":
-		bench(*benchAddr, *clients, *ops, *compress)
+		lc, be, err := parseMix(*mix)
+		if err != nil {
+			fatal(err)
+		}
+		bench(*benchAddr, *clients, *ops, *compress, lc, be)
 	default:
 		fmt.Fprintln(os.Stderr, "preemkv: need -serve <addr> or -bench <addr>")
 		flag.Usage()
@@ -93,23 +109,42 @@ func serve(addr string, cfg liveserver.Config) {
 	fmt.Printf("served: %d requests, %d preemptions, %d shed, %d degraded-runs, p99 %v\n",
 		st.Completed, st.Preemptions, st.Shed, st.DegradedRuns, st.P99)
 	ov := s.Overload
-	fmt.Printf("overload: %d conns shed, %d requests shed, %d timeouts, %d over-long lines; timer restarts %d\n",
-		ov.ShedConns, ov.ShedRequests, ov.Timeouts, ov.LineTooLong, rt.TimerRestarts())
+	fmt.Printf("overload: %d conns shed, %d requests shed, %d brownout-rejected, %d timeouts, %d over-long lines; timer restarts %d\n",
+		ov.ShedConns, ov.ShedRequests, ov.BrownoutRejects, ov.Timeouts, ov.LineTooLong, rt.TimerRestarts())
 	fmt.Printf("cancelled on disconnect: %d queued (evicted), %d executing (unwound at safepoint)\n",
 		ov.CancelledQueued, ov.CancelledExecuting)
+	fmt.Printf("brownout: %d transitions, final state %v, smoothed load %.3f\n",
+		s.Brownout().Transitions(), s.BrownoutState(), s.Brownout().Load())
+	for c := 0; c < preemptible.NumClasses; c++ {
+		pc := ov.PerClass[c]
+		fmt.Printf("  %v: %d requests, rejected %d normal / %d brownout / %d shed, %d evicted, %d timeouts\n",
+			preemptible.Class(c), pc.Requests,
+			pc.Rejected[brownout.Normal], pc.Rejected[brownout.Brownout], pc.Rejected[brownout.Shed],
+			pc.Evicted, pc.Timeouts)
+	}
 }
 
-// Retry policy for "ERR overloaded" responses: exponential backoff with
-// full jitter — each wait is uniform in [0, backoff), and backoff
-// doubles from retryBase up to retryCap. Jitter decorrelates the
-// clients, so a shed burst does not re-arrive as a synchronized burst.
+// parseMix parses an "lc:be" ratio like "3:1".
+func parseMix(s string) (lc, be int, err error) {
+	if n, _ := fmt.Sscanf(s, "%d:%d", &lc, &be); n != 2 || lc < 0 || be < 0 || lc+be == 0 {
+		return 0, 0, fmt.Errorf("bad -mix %q: want lc:be with lc+be > 0, e.g. 3:1", s)
+	}
+	return lc, be, nil
+}
+
+// Retry policy for "ERR overloaded" and "ERR brownout" responses:
+// exponential backoff with full jitter — each wait is uniform in
+// [0, backoff), and backoff doubles from retryBase up to retryCap.
+// Jitter decorrelates the clients, so a shed burst does not re-arrive
+// as a synchronized burst. Both rejection lines back off the same way;
+// they are only counted differently.
 const (
 	retryBase = 200 * time.Microsecond
 	retryCap  = 50 * time.Millisecond
 	retryMax  = 6
 )
 
-func bench(addr string, clients, ops int, withCompress bool) {
+func bench(addr string, clients, ops int, withCompress bool, mixLC, mixBE int) {
 	stopCompress := make(chan struct{})
 	var compressWG sync.WaitGroup
 	if withCompress {
@@ -139,13 +174,15 @@ func bench(addr string, clients, ops int, withCompress bool) {
 		}()
 	}
 
+	// Per-class tallies, indexed by preemptible.Class.
 	var (
 		mu         sync.Mutex
-		lats       []time.Duration
-		overloaded uint64 // "ERR overloaded" responses (shed or timed out)
-		retries    uint64 // backed-off re-sends
-		gaveUp     uint64 // ops abandoned after retryMax attempts
-		cancelled  uint64 // "ERR cancelled" responses
+		lats       [preemptible.NumClasses][]time.Duration
+		overloaded [preemptible.NumClasses]uint64 // "ERR overloaded" (shed or timed out)
+		browned    [preemptible.NumClasses]uint64 // "ERR brownout" (BE degraded on purpose)
+		retries    [preemptible.NumClasses]uint64 // backed-off re-sends
+		gaveUp     [preemptible.NumClasses]uint64 // ops abandoned after retryMax attempts
+		cancelled  [preemptible.NumClasses]uint64 // "ERR cancelled" responses
 	)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -162,9 +199,15 @@ func bench(addr string, clients, ops int, withCompress bool) {
 			rng := rand.New(rand.NewSource(int64(c) + 1))
 			sc := bufio.NewScanner(conn)
 			for i := 0; i < ops; i++ {
-				req := fmt.Sprintf("SET k%d-%d v%d\n", c, i%100, i)
-				if i%2 == 1 {
+				class := preemptible.ClassLC
+				var req string
+				if i%(mixLC+mixBE) >= mixLC {
+					class = preemptible.ClassBE
+					req = "COMPRESS 16\n"
+				} else if i%2 == 1 {
 					req = fmt.Sprintf("GET k%d-%d\n", c, i%100)
+				} else {
+					req = fmt.Sprintf("SET k%d-%d v%d\n", c, i%100, i)
 				}
 				backoff := retryBase
 				for attempt := 0; ; attempt++ {
@@ -178,15 +221,19 @@ func bench(addr string, clients, ops int, withCompress bool) {
 						return
 					}
 					resp := sc.Text()
-					if resp == "ERR overloaded" {
+					if resp == "ERR overloaded" || resp == "ERR brownout" {
 						mu.Lock()
-						overloaded++
+						if resp == "ERR brownout" {
+							browned[class]++
+						} else {
+							overloaded[class]++
+						}
 						if attempt >= retryMax {
-							gaveUp++
+							gaveUp[class]++
 							mu.Unlock()
 							break
 						}
-						retries++
+						retries[class]++
 						mu.Unlock()
 						time.Sleep(time.Duration(rng.Int63n(int64(backoff))))
 						if backoff < retryCap {
@@ -197,9 +244,9 @@ func bench(addr string, clients, ops int, withCompress bool) {
 					lat := time.Since(t0)
 					mu.Lock()
 					if resp == "ERR cancelled" {
-						cancelled++
+						cancelled[class]++
 					} else {
-						lats = append(lats, lat)
+						lats[class] = append(lats[class], lat)
 					}
 					mu.Unlock()
 					break
@@ -212,21 +259,34 @@ func bench(addr string, clients, ops int, withCompress bool) {
 	compressWG.Wait()
 	elapsed := time.Since(start)
 
-	if len(lats) == 0 {
+	total := len(lats[preemptible.ClassLC]) + len(lats[preemptible.ClassBE])
+	if total == 0 {
 		fatal(fmt.Errorf("no successful operations"))
 	}
-	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-	q := func(p float64) time.Duration { return lats[int(p*float64(len(lats)-1))] }
-	attempts := uint64(len(lats)) + overloaded + cancelled
-	fmt.Printf("%d KV ops over %d clients in %v (%.0f ops/s)\n",
-		len(lats), clients, elapsed.Round(time.Millisecond),
-		float64(len(lats))/elapsed.Seconds())
-	fmt.Printf("latency p50 %v  p90 %v  p99 %v  max %v\n",
-		q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
-		q(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
-	fmt.Printf("overload: %d shed/timeout responses (%.2f%% of %d attempts), %d retries, %d ops abandoned, %d cancelled\n",
-		overloaded, 100*float64(overloaded)/float64(attempts), attempts,
-		retries, gaveUp, cancelled)
+	fmt.Printf("%d ops over %d clients in %v (%.0f ops/s, mix %d:%d)\n",
+		total, clients, elapsed.Round(time.Millisecond),
+		float64(total)/elapsed.Seconds(), mixLC, mixBE)
+	for cl := 0; cl < preemptible.NumClasses; cl++ {
+		ls := lats[cl]
+		rejected := overloaded[cl] + browned[cl]
+		attempts := uint64(len(ls)) + rejected + cancelled[cl]
+		if attempts == 0 {
+			continue
+		}
+		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+		line := fmt.Sprintf("%v: %d ops", preemptible.Class(cl), len(ls))
+		if len(ls) > 0 {
+			q := func(p float64) time.Duration { return ls[int(p*float64(len(ls)-1))] }
+			line += fmt.Sprintf("  p50 %v  p90 %v  p99 %v  max %v",
+				q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
+				q(0.99).Round(time.Microsecond), ls[len(ls)-1].Round(time.Microsecond))
+		}
+		fmt.Println(line)
+		fmt.Printf("%v rejects: %d overloaded + %d brownout (%.2f%% of %d attempts), %d retries, %d abandoned, %d cancelled\n",
+			preemptible.Class(cl), overloaded[cl], browned[cl],
+			100*float64(rejected)/float64(attempts), attempts,
+			retries[cl], gaveUp[cl], cancelled[cl])
+	}
 }
 
 func fatal(err error) {

@@ -94,6 +94,14 @@ type Config struct {
 	// (the burst on recovery is part of the fault model).
 	Stalls []Window
 
+	// Burst, when non-nil, runs a Gilbert–Elliott correlated-loss chain
+	// over the delivery stream: losses cluster into bursts instead of
+	// the i.i.d. DropProb coin flips. The chain is stepped once per
+	// delivery (after stall windows, before the i.i.d. faults); a
+	// delivery the chain drops is counted in BurstDropped. Burst.Seed 0
+	// derives the chain's seed from Config.Seed.
+	Burst *GEConfig
+
 	// WorkerJitterProb inflates a worker assignment's overhead with an
 	// exponential spike of mean WorkerJitterMean — a slow or contended
 	// core.
@@ -113,6 +121,9 @@ type Counters struct {
 	Delivered uint64
 	// Dropped counts deliveries lost to DropProb.
 	Dropped uint64
+	// BurstDropped counts deliveries lost to the Gilbert–Elliott burst
+	// chain (Config.Burst).
+	BurstDropped uint64
 	// Delayed counts deliveries deferred by DelayProb.
 	Delayed uint64
 	// Stalled counts deliveries deferred to the end of a stall window.
@@ -130,6 +141,7 @@ type Injector struct {
 	cfg         Config
 	deliveryRNG *sim.RNG
 	workerRNG   *sim.RNG
+	burst       *GilbertElliott
 
 	// Counters is the running tally of injected faults.
 	Counters Counters
@@ -154,12 +166,24 @@ func NewInjector(cfg Config) *Injector {
 		}
 	}
 	root := sim.NewRNG(cfg.Seed ^ 0x63686173) // "chas"
-	return &Injector{
+	in := &Injector{
 		cfg:         cfg,
 		deliveryRNG: root.Stream(1),
 		workerRNG:   root.Stream(2),
 	}
+	if cfg.Burst != nil {
+		bcfg := *cfg.Burst
+		if bcfg.Seed == 0 {
+			bcfg.Seed = cfg.Seed ^ 0x6263 // "bc"
+		}
+		in.burst = NewGilbertElliott(bcfg)
+	}
+	return in
 }
+
+// Burst exposes the injector's Gilbert–Elliott chain (nil when
+// Config.Burst is unset), for tests asserting sojourn statistics.
+func (in *Injector) Burst() *GilbertElliott { return in.burst }
 
 // Config returns the scenario this injector was built from.
 func (in *Injector) Config() Config { return in.cfg }
@@ -174,6 +198,12 @@ func (in *Injector) OnDelivery(now sim.Time) (Action, sim.Time) {
 		if w.Contains(now) {
 			in.Counters.Stalled++
 			return Delay, w.To - now
+		}
+	}
+	if in.burst != nil {
+		if _, drop := in.burst.Step(); drop {
+			in.Counters.BurstDropped++
+			return Drop, 0
 		}
 	}
 	if in.cfg.DropProb > 0 && in.deliveryRNG.Bernoulli(in.cfg.DropProb) {

@@ -1,0 +1,167 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// GEConfig parameterizes the two-state Markov (Gilbert–Elliott)
+// correlated-loss chain. Unlike an i.i.d. DropProb, losses cluster:
+// the chain alternates between a good state (deliveries mostly pass)
+// and a bad state (deliveries mostly drop), with geometrically
+// distributed sojourns. This is the realistic shape of interrupt loss
+// — a wedged bus or contended core loses a *burst* of deliveries, not
+// an independent coin flip per delivery — and bursty loss is what
+// stresses hysteresis controllers, because the gaps inside a burst
+// tempt them to disengage early.
+type GEConfig struct {
+	// Seed fixes every draw the chain makes.
+	Seed uint64
+	// MeanGood/MeanBad are the mean sojourn lengths, in steps
+	// (deliveries), of the good and bad states. Sojourns are geometric
+	// with these means; both must be ≥ 1.
+	MeanGood, MeanBad float64
+	// DropGood/DropBad are the per-step loss probabilities inside each
+	// state. Zero values default to the classic Gilbert model: 0 in
+	// good, 1 in bad. To express a genuinely lossless bad state, use a
+	// different model — that is not a burst fault.
+	DropGood, DropBad float64
+}
+
+func (c GEConfig) withDefaults() GEConfig {
+	if c.DropBad == 0 {
+		c.DropBad = 1
+	}
+	return c
+}
+
+// GilbertElliott is the chain itself. It is deterministic for a fixed
+// config: the same seed reproduces the exact same state trajectory and
+// drop schedule, step for step.
+type GilbertElliott struct {
+	cfg      GEConfig
+	stateRNG *sim.RNG
+	dropRNG  *sim.RNG
+	bad      bool
+	curLen   int
+
+	// Steps/Drops/BadSteps are running totals.
+	Steps, Drops, BadSteps uint64
+
+	badSojourns  []int
+	goodSojourns []int
+}
+
+// NewGilbertElliott validates cfg and builds a chain starting in the
+// good state.
+func NewGilbertElliott(cfg GEConfig) *GilbertElliott {
+	cfg = cfg.withDefaults()
+	if cfg.MeanGood < 1 || cfg.MeanBad < 1 {
+		panic(fmt.Sprintf("chaos: GE mean sojourns (%v, %v) must be ≥ 1 step", cfg.MeanGood, cfg.MeanBad))
+	}
+	for _, p := range []float64{cfg.DropGood, cfg.DropBad} {
+		if p < 0 || p > 1 {
+			panic(fmt.Sprintf("chaos: GE drop probability %v outside [0,1]", p))
+		}
+	}
+	root := sim.NewRNG(cfg.Seed ^ 0x6765627374) // "gebst"
+	return &GilbertElliott{
+		cfg:      cfg,
+		stateRNG: root.Stream(1),
+		dropRNG:  root.Stream(2),
+	}
+}
+
+// Bad reports whether the chain is currently in the bad state.
+func (g *GilbertElliott) Bad() bool { return g.bad }
+
+// Step advances the chain by one delivery: it reports the state the
+// delivery sees and whether that delivery is lost, then draws the
+// transition for the next step.
+func (g *GilbertElliott) Step() (bad, drop bool) {
+	g.Steps++
+	g.curLen++
+	bad = g.bad
+	if bad {
+		g.BadSteps++
+		drop = g.cfg.DropBad > 0 && g.dropRNG.Bernoulli(g.cfg.DropBad)
+	} else {
+		drop = g.cfg.DropGood > 0 && g.dropRNG.Bernoulli(g.cfg.DropGood)
+	}
+	if drop {
+		g.Drops++
+	}
+	// Geometric sojourns: leave the current state with probability
+	// 1/mean, so the expected sojourn is exactly the configured mean.
+	mean := g.cfg.MeanGood
+	if g.bad {
+		mean = g.cfg.MeanBad
+	}
+	if g.stateRNG.Bernoulli(1 / mean) {
+		if g.bad {
+			g.badSojourns = append(g.badSojourns, g.curLen)
+		} else {
+			g.goodSojourns = append(g.goodSojourns, g.curLen)
+		}
+		g.bad = !g.bad
+		g.curLen = 0
+	}
+	return bad, drop
+}
+
+// BadSojourns returns the lengths, in steps, of every completed
+// bad-state sojourn (burst) so far.
+func (g *GilbertElliott) BadSojourns() []int {
+	return append([]int(nil), g.badSojourns...)
+}
+
+// GoodSojourns returns the lengths of every completed good-state
+// sojourn (gap between bursts) so far.
+func (g *GilbertElliott) GoodSojourns() []int {
+	return append([]int(nil), g.goodSojourns...)
+}
+
+// BurstWindow is one interval of a wall-clock burst schedule.
+type BurstWindow struct {
+	// From/To are offsets from the schedule's start.
+	From, To time.Duration
+	// Bad marks the window as a fault burst.
+	Bad bool
+}
+
+// Duration is the window's length.
+func (w BurstWindow) Duration() time.Duration { return w.To - w.From }
+
+// BurstWindows renders a Gilbert–Elliott on/off process into a
+// deterministic wall-clock schedule: alternating good/bad windows with
+// exponentially distributed durations of the given means, starting
+// good, covering [0, horizon). Live-server tests replay the schedule
+// against real time — blasting BE load or stalling the timer clock
+// during bad windows — so correlated bursts can drive the brownout
+// controller end to end while staying reproducible for a fixed seed.
+func BurstWindows(seed uint64, meanGood, meanBad, horizon time.Duration) []BurstWindow {
+	if meanGood <= 0 || meanBad <= 0 || horizon <= 0 {
+		panic("chaos: BurstWindows needs positive means and horizon")
+	}
+	rng := sim.NewRNG(seed ^ 0x6275727374) // "burst"
+	var out []BurstWindow
+	at := time.Duration(0)
+	bad := false
+	for at < horizon {
+		mean := meanGood
+		if bad {
+			mean = meanBad
+		}
+		d := time.Duration(1 + rng.Exp(float64(mean)))
+		to := at + d
+		if to > horizon {
+			to = horizon
+		}
+		out = append(out, BurstWindow{From: at, To: to, Bad: bad})
+		at = to
+		bad = !bad
+	}
+	return out
+}

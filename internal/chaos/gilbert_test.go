@@ -1,0 +1,179 @@
+package chaos
+
+// Gilbert–Elliott unit tests: the burst-length distribution matches
+// the configured mean sojourn times for fixed seeds, and a given seed
+// reproduces the exact drop schedule — the two properties the brownout
+// regression matrix leans on.
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGESojournMeansMatchConfig(t *testing.T) {
+	for _, tc := range []struct {
+		seed              uint64
+		meanGood, meanBad float64
+	}{
+		{seed: 1, meanGood: 40, meanBad: 8},
+		{seed: 7, meanGood: 100, meanBad: 3},
+		{seed: 42, meanGood: 12, meanBad: 12},
+	} {
+		g := NewGilbertElliott(GEConfig{Seed: tc.seed, MeanGood: tc.meanGood, MeanBad: tc.meanBad})
+		const steps = 400_000
+		for i := 0; i < steps; i++ {
+			g.Step()
+		}
+		mean := func(xs []int) float64 {
+			var s int
+			for _, x := range xs {
+				s += x
+			}
+			return float64(s) / float64(len(xs))
+		}
+		bad := g.BadSojourns()
+		good := g.GoodSojourns()
+		if len(bad) < 100 || len(good) < 100 {
+			t.Fatalf("seed %d: too few sojourns (%d bad, %d good) to estimate means", tc.seed, len(bad), len(good))
+		}
+		// Deterministic for a fixed seed, so a tight ±10% band is safe.
+		if got := mean(bad); got < 0.9*tc.meanBad || got > 1.1*tc.meanBad {
+			t.Errorf("seed %d: mean bad sojourn %.2f, want %.1f ± 10%%", tc.seed, got, tc.meanBad)
+		}
+		if got := mean(good); got < 0.9*tc.meanGood || got > 1.1*tc.meanGood {
+			t.Errorf("seed %d: mean good sojourn %.2f, want %.1f ± 10%%", tc.seed, got, tc.meanGood)
+		}
+		// Classic Gilbert defaults: every bad step drops, no good step
+		// does, so drops = bad steps exactly.
+		if g.Drops != g.BadSteps {
+			t.Errorf("seed %d: %d drops != %d bad steps under default drop probabilities", tc.seed, g.Drops, g.BadSteps)
+		}
+		// Stationary share of bad steps ≈ meanBad/(meanGood+meanBad).
+		wantBad := tc.meanBad / (tc.meanGood + tc.meanBad)
+		if got := float64(g.BadSteps) / float64(g.Steps); got < 0.85*wantBad || got > 1.15*wantBad {
+			t.Errorf("seed %d: bad-step share %.3f, want %.3f ± 15%%", tc.seed, got, wantBad)
+		}
+	}
+}
+
+func TestGESeedReproducesExactDropSchedule(t *testing.T) {
+	cfg := GEConfig{Seed: 99, MeanGood: 20, MeanBad: 5}
+	schedule := func(cfg GEConfig) []bool {
+		g := NewGilbertElliott(cfg)
+		out := make([]bool, 5000)
+		for i := range out {
+			_, out[i] = g.Step()
+		}
+		return out
+	}
+	a, b := schedule(cfg), schedule(cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+	c := schedule(GEConfig{Seed: 100, MeanGood: 20, MeanBad: 5})
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 5000-step drop schedules")
+	}
+}
+
+func TestGEDropsCluster(t *testing.T) {
+	// The whole point of the model: for the same overall loss rate, the
+	// drops arrive in runs. Assert the mean run length of consecutive
+	// drops is far above the i.i.d. expectation (~1/(1-p) ≈ 1.3 at
+	// p≈0.2 loss).
+	g := NewGilbertElliott(GEConfig{Seed: 3, MeanGood: 40, MeanBad: 10})
+	var runs []int
+	cur := 0
+	for i := 0; i < 100_000; i++ {
+		if _, drop := g.Step(); drop {
+			cur++
+		} else if cur > 0 {
+			runs = append(runs, cur)
+			cur = 0
+		}
+	}
+	var s int
+	for _, r := range runs {
+		s += r
+	}
+	meanRun := float64(s) / float64(len(runs))
+	if meanRun < 5 {
+		t.Fatalf("mean drop-run length %.2f: losses are not clustering", meanRun)
+	}
+}
+
+func TestInjectorBurstIntegration(t *testing.T) {
+	// The injector steps the chain per delivery: counters are exact and
+	// reproducible, and bursts coexist with the i.i.d. fault paths.
+	mk := func() *Injector {
+		return NewInjector(Config{Seed: 11, Burst: &GEConfig{MeanGood: 30, MeanBad: 6}})
+	}
+	in1, in2 := mk(), mk()
+	for i := 0; i < 10_000; i++ {
+		a1, _ := in1.OnDelivery(0)
+		a2, _ := in2.OnDelivery(0)
+		if a1 != a2 {
+			t.Fatalf("same config diverged at delivery %d: %v vs %v", i, a1, a2)
+		}
+	}
+	if in1.Counters != in2.Counters {
+		t.Fatalf("counters diverged: %+v vs %+v", in1.Counters, in2.Counters)
+	}
+	if in1.Counters.BurstDropped == 0 {
+		t.Fatal("burst chain never dropped a delivery")
+	}
+	if in1.Counters.Dropped != 0 {
+		t.Fatalf("i.i.d. drops %d with DropProb 0", in1.Counters.Dropped)
+	}
+	if got := in1.Counters.Delivered + in1.Counters.BurstDropped; got != 10_000 {
+		t.Fatalf("deliveries not conserved: %d delivered + burst-dropped of 10000", got)
+	}
+}
+
+func TestBurstWindowsDeterministicAndAlternating(t *testing.T) {
+	a := BurstWindows(5, 30*time.Millisecond, 60*time.Millisecond, 500*time.Millisecond)
+	b := BurstWindows(5, 30*time.Millisecond, 60*time.Millisecond, 500*time.Millisecond)
+	if len(a) != len(b) {
+		t.Fatalf("same seed: %d vs %d windows", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at window %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if a[0].From != 0 || a[0].Bad {
+		t.Fatalf("schedule must start good at 0: %+v", a[0])
+	}
+	var badTotal time.Duration
+	for i, w := range a {
+		if w.To <= w.From {
+			t.Fatalf("window %d empty or inverted: %+v", i, w)
+		}
+		if i > 0 {
+			if w.From != a[i-1].To {
+				t.Fatalf("gap between windows %d and %d", i-1, i)
+			}
+			if w.Bad == a[i-1].Bad {
+				t.Fatalf("windows %d and %d do not alternate", i-1, i)
+			}
+		}
+		if w.Bad {
+			badTotal += w.Duration()
+		}
+	}
+	if last := a[len(a)-1]; last.To != 500*time.Millisecond {
+		t.Fatalf("schedule does not cover the horizon: ends at %v", last.To)
+	}
+	if badTotal == 0 {
+		t.Fatal("no bad window in a 500ms horizon with 60ms mean bursts")
+	}
+}

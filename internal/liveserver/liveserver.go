@@ -11,12 +11,31 @@
 //	GET <key>           → VALUE <value> | NOT_FOUND
 //	COMPRESS <n>        → COMPRESSED <in> <out>   (n kilobytes of work)
 //	PING                → PONG
+//	STATS               → STATS state=<..> load=<..> <per-class counters>
 //
 // Unknown or malformed requests get "ERR <reason>". Under overload the
 // server sheds rather than queues: connections beyond MaxConns and
 // requests beyond MaxInflight (or older than RequestTimeout) answer
 // "ERR overloaded", and lines longer than MaxLineBytes answer
 // "ERR line too long" before the connection closes.
+//
+// Requests carry a service class mirroring the paper's colocation
+// contract: KV operations (GET/SET/PING) are latency-critical (LC),
+// COMPRESS is best-effort (BE). A brownout controller
+// (internal/brownout) watches smoothed load — inflight occupancy plus
+// recent fast-rejects against MaxInflight, queue delay, and the
+// runtime watchdog — and degrades class-aware:
+//
+//   - NORMAL: everyone is admitted up to MaxInflight.
+//   - BROWNOUT: BE answers "ERR brownout" at the door (retry later,
+//     or as LC) and queued BE is evicted from the pool; LC keeps
+//     flowing, bypassing the inflight cap — LC floods escalate the
+//     controller instead of turning LC away.
+//   - SHED: sustained overload BE rejection cannot absorb — every
+//     request answers "ERR overloaded" until pressure drains.
+//
+// "ERR brownout" versus "ERR overloaded" is the client's signal to
+// retry soon versus back off hard.
 package liveserver
 
 import (
@@ -32,6 +51,7 @@ import (
 	"time"
 
 	"repro/internal/bejob"
+	"repro/internal/brownout"
 	"repro/internal/mica"
 	"repro/preemptible"
 )
@@ -63,6 +83,21 @@ type Config struct {
 	// line answers "ERR line too long" and the connection is closed:
 	// a single huge line must not grow server buffers without limit.
 	MaxLineBytes int
+
+	// Brownout parameterizes the class-aware degradation controller
+	// (zero value = defaults; see internal/brownout). Set
+	// BrownoutDisabled to recover the pre-brownout behavior where every
+	// class sheds indiscriminately at the caps.
+	Brownout         brownout.Config
+	BrownoutDisabled bool
+	// BrownoutPeriod is the controller's sampling cadence (default
+	// 2ms): each tick folds the current pressure into the smoothed load
+	// and applies transitions.
+	BrownoutPeriod time.Duration
+	// BrownoutDelayTarget normalizes the queue-delay signal: the oldest
+	// queued arrival's wait divided by this is the controller's
+	// DelayRatio (default: RequestTimeout, else 20ms).
+	BrownoutDelayTarget time.Duration
 }
 
 // Server serves the protocol over TCP.
@@ -82,6 +117,13 @@ type Server struct {
 	store  *mica.Store
 	engine *bejob.Engine
 
+	ctl         *brownout.Controller
+	bstate      atomic.Int32 // brownout.State, written only by brownoutLoop
+	rejectsWin  atomic.Uint64
+	delayTarget time.Duration
+	bperiod     time.Duration
+	loopWG      sync.WaitGroup
+
 	ln     net.Listener
 	connWG sync.WaitGroup
 	connMu sync.Mutex
@@ -91,19 +133,39 @@ type Server struct {
 
 	// Requests counts protocol requests served.
 	Requests struct {
-		Get, Set, Compress, Ping, Errors uint64
+		Get, Set, Compress, Ping, Stats, Errors uint64
 	}
 	// Overload counts protection events: connections shed at accept,
-	// requests fast-rejected at admission, requests shed after timing
-	// out in the queue, over-long lines rejected, and work cancelled on
-	// client disconnect — split by whether the request was still queued
-	// (never occupied a worker) or already executing (unwound at its
-	// next safepoint).
+	// requests fast-rejected at admission with "ERR overloaded" (the
+	// inflight cap, or SHED), BE fast-rejected with "ERR brownout"
+	// (BROWNOUT), requests shed after timing out in the queue, over-long
+	// lines rejected, and work cancelled on client disconnect — split by
+	// whether the request was still queued (never occupied a worker) or
+	// already executing (unwound at its next safepoint). PerClass breaks
+	// admission decisions down by service class and, for rejections, by
+	// the brownout state that issued them — "no LC was ever rejected
+	// while merely browned out" is PerClass[ClassLC].Rejected[Brownout]
+	// == 0, directly.
 	Overload struct {
-		ShedConns, ShedRequests, Timeouts, LineTooLong uint64
-		CancelledQueued, CancelledExecuting            uint64
+		ShedConns, ShedRequests, BrownoutRejects, Timeouts, LineTooLong uint64
+		CancelledQueued, CancelledExecuting                             uint64
+		PerClass                                                        [preemptible.NumClasses]ClassOverload
 	}
 	statMu sync.Mutex
+}
+
+// ClassOverload is one service class's slice of the admission counters.
+type ClassOverload struct {
+	// Requests counts requests of this class that reached admission.
+	Requests uint64
+	// Rejected counts fast-rejects at the door, indexed by the brownout
+	// state that issued them (Normal = the plain inflight cap).
+	Rejected [brownout.NumStates]uint64
+	// Timeouts counts requests shed after waiting out RequestTimeout.
+	Timeouts uint64
+	// Evicted counts queued BE requests dropped by a brownout eviction
+	// (they answer "ERR brownout" without ever executing).
+	Evicted uint64
 }
 
 // New builds a server on the given runtime.
@@ -132,18 +194,37 @@ func New(rt *preemptible.Runtime, cfg Config) *Server {
 	if maxLine <= 0 {
 		maxLine = 1 << 20
 	}
-	return &Server{
+	period := cfg.BrownoutPeriod
+	if period <= 0 {
+		period = 2 * time.Millisecond
+	}
+	delayTarget := cfg.BrownoutDelayTarget
+	if delayTarget <= 0 {
+		delayTarget = cfg.RequestTimeout
+	}
+	if delayTarget <= 0 {
+		delayTarget = 20 * time.Millisecond
+	}
+	s := &Server{
 		rt:           rt,
 		pool:         preemptible.NewPool(rt, preemptible.PoolConfig{Workers: workers, Quantum: quantum}),
 		maxConns:     maxConns,
 		maxInflight:  maxInflight,
 		reqTimeout:   cfg.RequestTimeout,
 		maxLineBytes: maxLine,
+		ctl:          brownout.New(cfg.Brownout),
+		delayTarget:  delayTarget,
+		bperiod:      period,
 		store:        mica.NewStore(logBytes, logBytes/256),
 		engine:       bejob.NewEngine(0),
 		conns:        make(map[net.Conn]struct{}),
 		done:         make(chan struct{}),
 	}
+	if !cfg.BrownoutDisabled {
+		s.loopWG.Add(1)
+		go s.brownoutLoop()
+	}
+	return s
 }
 
 // Serve accepts connections on ln until Close. It returns when the
@@ -214,6 +295,7 @@ func (s *Server) Close() {
 		}
 		s.connMu.Unlock()
 		s.connWG.Wait()
+		s.loopWG.Wait()
 		s.pool.Close()
 	})
 }
@@ -221,13 +303,70 @@ func (s *Server) Close() {
 // PoolStats exposes the pool's scheduling statistics.
 func (s *Server) PoolStats() preemptible.PoolStats { return s.pool.Stats() }
 
+// Brownout exposes the degradation controller (state history, smoothed
+// load) for observability and tests.
+func (s *Server) Brownout() *brownout.Controller { return s.ctl }
+
+// BrownoutState reports the admission path's current view of the
+// controller — the state every in-flight accept/reject decision uses.
+func (s *Server) BrownoutState() brownout.State {
+	return brownout.State(s.bstate.Load())
+}
+
+// errLine is the fast-reject response for the given brownout state:
+// "ERR brownout" tells the client to retry soon (or retry as LC);
+// "ERR overloaded" tells it to back off hard.
+func errLine(st brownout.State) string {
+	if st == brownout.Brownout {
+		return "ERR brownout"
+	}
+	return "ERR overloaded"
+}
+
+// brownoutLoop samples load at the configured period and drives the
+// controller. Occupancy folds the fast-rejects issued since the last
+// tick into the inflight count — offered load, not just admitted load —
+// so the controller stays engaged while the door is turning work away.
+// On any transition out of Normal, queued BE work is evicted: requests
+// already accepted under a healthier state don't keep the queue wedged.
+func (s *Server) brownoutLoop() {
+	defer s.loopWG.Done()
+	tick := time.NewTicker(s.bperiod)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case now := <-tick.C:
+			sig := brownout.Signal{
+				Degraded: s.rt.Degraded(),
+				Terminal: s.rt.Terminal(),
+			}
+			if s.maxInflight > 0 {
+				offered := float64(s.inflight.Load()) + float64(s.rejectsWin.Swap(0))
+				sig.Occupancy = offered / float64(s.maxInflight)
+			}
+			if wait := s.pool.OldestWait(now); wait > 0 {
+				sig.DelayRatio = float64(wait) / float64(s.delayTarget)
+			}
+			prev := brownout.State(s.bstate.Load())
+			st := s.ctl.Observe(now, sig)
+			s.bstate.Store(int32(st))
+			if st != prev && st != brownout.Normal {
+				s.pool.EvictClass(preemptible.ClassBE)
+			}
+		}
+	}
+}
+
 // shedConn is the accept-side load shedder: the connection gets one
-// fast "ERR overloaded" line and is closed, so clients see an explicit
-// rejection instead of an unbounded accept queue.
+// fast rejection line — reflecting the current brownout state — and is
+// closed, so clients see an explicit rejection instead of an unbounded
+// accept queue.
 func (s *Server) shedConn(conn net.Conn) {
 	s.count(&s.Overload.ShedConns)
 	conn.SetWriteDeadline(time.Now().Add(100 * time.Millisecond)) //nolint:errcheck
-	io.WriteString(conn, "ERR overloaded\n")                      //nolint:errcheck
+	io.WriteString(conn, errLine(s.BrownoutState())+"\n")         //nolint:errcheck
 	conn.Close()
 }
 
@@ -302,7 +441,9 @@ func (s *Server) handleConn(conn net.Conn) {
 // handleRequest runs one request through the preemptible pool and
 // returns the response line. gone, when closed, marks the client as
 // disconnected: in-flight pool work for the request is cancelled (nil
-// means no disconnect tracking).
+// means no disconnect tracking). KV operations run as ClassLC,
+// COMPRESS as ClassBE; STATS is answered inline, off the pool, so the
+// brownout state stays observable even while everything else sheds.
 func (s *Server) handleRequest(line string, gone <-chan struct{}) string {
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
@@ -310,21 +451,24 @@ func (s *Server) handleRequest(line string, gone <-chan struct{}) string {
 		return "ERR empty request"
 	}
 	var resp string
-	run := func(task preemptible.Task) {
-		if msg := s.runTask(task, gone); msg != "" {
+	run := func(class preemptible.Class, task preemptible.Task) {
+		if msg := s.runTask(class, task, gone); msg != "" {
 			resp = msg
 		}
 	}
 	switch strings.ToUpper(fields[0]) {
 	case "PING":
-		run(func(ctx *preemptible.Ctx) { resp = "PONG" })
+		run(preemptible.ClassLC, func(ctx *preemptible.Ctx) { resp = "PONG" })
 		s.count(&s.Requests.Ping)
+	case "STATS":
+		s.count(&s.Requests.Stats)
+		return s.statsLine()
 	case "GET":
 		if len(fields) != 2 {
 			s.countErr()
 			return "ERR GET <key>"
 		}
-		run(func(ctx *preemptible.Ctx) {
+		run(preemptible.ClassLC, func(ctx *preemptible.Ctx) {
 			s.mu.Lock()
 			res := s.store.Get([]byte(fields[1]))
 			s.mu.Unlock()
@@ -341,7 +485,7 @@ func (s *Server) handleRequest(line string, gone <-chan struct{}) string {
 			return "ERR SET <key> <value>"
 		}
 		value := strings.Join(fields[2:], " ")
-		run(func(ctx *preemptible.Ctx) {
+		run(preemptible.ClassLC, func(ctx *preemptible.Ctx) {
 			s.mu.Lock()
 			ok := s.store.Set([]byte(fields[1]), []byte(value))
 			s.mu.Unlock()
@@ -362,7 +506,7 @@ func (s *Server) handleRequest(line string, gone <-chan struct{}) string {
 			s.countErr()
 			return "ERR COMPRESS wants 1..1024 kilobytes"
 		}
-		run(func(ctx *preemptible.Ctx) {
+		run(preemptible.ClassBE, func(ctx *preemptible.Ctx) {
 			block := bejob.MakeBlock(1024, uint64(kb))
 			var in, out int
 			for i := 0; i < kb; i++ {
@@ -385,16 +529,43 @@ func (s *Server) handleRequest(line string, gone <-chan struct{}) string {
 	return resp
 }
 
-// runTask pushes one request task through the overload-protected pool
-// path. It returns "" when the task ran, or the protocol error line
-// when it was shed: fast-rejected at admission (inflight bound), timed
-// out waiting in the queue (RequestTimeout), or cancelled because the
-// client disconnected (gone closed). Shed and queue-cancelled tasks are
-// never executed; an executing task cancels at its next safepoint.
-func (s *Server) runTask(task preemptible.Task, gone <-chan struct{}) string {
-	if n := s.inflight.Add(1); s.maxInflight > 0 && n > int64(s.maxInflight) {
+// runTask pushes one request task through the overload-protected,
+// class-aware pool path. It returns "" when the task ran, or the
+// protocol error line when it was shed.
+//
+// Admission, in order:
+//
+//   - SHED rejects every class with "ERR overloaded".
+//   - BROWNOUT rejects BE with "ERR brownout" — retry soon, the server
+//     is degrading, not drowning.
+//   - The inflight cap rejects with "ERR overloaded" — except LC while
+//     browned out, which is admitted past the cap: the whole point of
+//     BROWNOUT is that LC never pays for BE pressure, and an LC flood
+//     escalates the controller to SHED instead of turning LC away here.
+//
+// Every fast-reject also feeds rejectsWin so the controller keeps
+// seeing the turned-away load. After admission a task can still time
+// out in the queue (RequestTimeout), be evicted by a brownout
+// transition (BE only), or be cancelled on client disconnect.
+func (s *Server) runTask(class preemptible.Class, task preemptible.Task, gone <-chan struct{}) string {
+	st := s.BrownoutState()
+	s.countClass(class, func(c *ClassOverload) { c.Requests++ })
+	if st == brownout.Shed || (st == brownout.Brownout && class == preemptible.ClassBE) {
+		s.rejectsWin.Add(1)
+		if st == brownout.Shed {
+			s.count(&s.Overload.ShedRequests)
+		} else {
+			s.count(&s.Overload.BrownoutRejects)
+		}
+		s.countClass(class, func(c *ClassOverload) { c.Rejected[st]++ })
+		return errLine(st)
+	}
+	lcBypass := st == brownout.Brownout && class == preemptible.ClassLC
+	if n := s.inflight.Add(1); s.maxInflight > 0 && n > int64(s.maxInflight) && !lcBypass {
 		s.inflight.Add(-1)
+		s.rejectsWin.Add(1)
 		s.count(&s.Overload.ShedRequests)
+		s.countClass(class, func(c *ClassOverload) { c.Rejected[st]++ })
 		return "ERR overloaded"
 	}
 	ch := make(chan time.Duration, 1)
@@ -404,9 +575,9 @@ func (s *Server) runTask(task preemptible.Task, gone <-chan struct{}) string {
 	}
 	var h *preemptible.TaskHandle
 	if s.reqTimeout > 0 {
-		h = s.pool.SubmitTimeout(task, s.reqTimeout, done)
+		h = s.pool.SubmitClassTimeout(class, task, s.reqTimeout, done)
 	} else {
-		h = s.pool.Submit(task, done)
+		h = s.pool.SubmitClass(class, task, done)
 	}
 	var lat time.Duration
 	select {
@@ -429,15 +600,53 @@ func (s *Server) runTask(task preemptible.Task, gone <-chan struct{}) string {
 		}
 		return "ERR cancelled"
 	case lat < 0:
+		// Shed from the queue: a brownout eviction (BE, while degraded)
+		// or a RequestTimeout expiry. Either way it never executed.
+		if class == preemptible.ClassBE && s.BrownoutState() != brownout.Normal {
+			s.countClass(class, func(c *ClassOverload) { c.Evicted++ })
+			return errLine(s.BrownoutState())
+		}
 		s.count(&s.Overload.Timeouts)
+		s.countClass(class, func(c *ClassOverload) { c.Timeouts++ })
 		return "ERR overloaded"
 	}
 	return ""
 }
 
+// statsLine renders the STATS response: controller state and smoothed
+// load, then the per-class admission counters (rejections summed over
+// the states that issued them).
+func (s *Server) statsLine() string {
+	st := s.BrownoutState()
+	load := s.ctl.Load()
+	sum := func(a [brownout.NumStates]uint64) uint64 {
+		var t uint64
+		for _, v := range a {
+			t += v
+		}
+		return t
+	}
+	s.statMu.Lock()
+	lc := s.Overload.PerClass[preemptible.ClassLC]
+	be := s.Overload.PerClass[preemptible.ClassBE]
+	s.statMu.Unlock()
+	return fmt.Sprintf(
+		"STATS state=%s load=%.3f lc.requests=%d lc.rejected=%d lc.timeouts=%d be.requests=%d be.rejected=%d be.evicted=%d be.timeouts=%d",
+		st, load,
+		lc.Requests, sum(lc.Rejected), lc.Timeouts,
+		be.Requests, sum(be.Rejected), be.Evicted, be.Timeouts,
+	)
+}
+
 func (s *Server) count(field *uint64) {
 	s.statMu.Lock()
 	*field++
+	s.statMu.Unlock()
+}
+
+func (s *Server) countClass(class preemptible.Class, f func(*ClassOverload)) {
+	s.statMu.Lock()
+	f(&s.Overload.PerClass[class])
 	s.statMu.Unlock()
 }
 

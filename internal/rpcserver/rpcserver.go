@@ -80,6 +80,11 @@ type Server struct {
 	inFlight int
 	backlog  []*sched.Request
 	backHead int
+	// backLive counts backlog entries that are still live (not
+	// cancel/evict tombstones): the MaxBacklog bound applies to live
+	// waiters, so displacing a BE genuinely frees room for an LC.
+	backLive int
+	beClosed bool
 
 	// Admitted counts requests that entered the pool; Backlogged counts
 	// requests that had to wait for a slot.
@@ -93,6 +98,14 @@ type Server struct {
 	// slot ever admitted them (the RPC analog of a client hanging up
 	// while still queued).
 	Cancelled uint64
+	// Evicted counts, per class, backlogged requests dropped by
+	// class-aware shedding: EvictClass sweeps (the sim mirror of a
+	// brownout transition) and BE displaced to make room for LC.
+	Evicted [2]uint64
+	// RejectedBE counts BE requests refused at Submit while the BE
+	// admission gate is closed (SetBEAdmission) — the sim mirror of the
+	// live server's "ERR brownout" fast-reject.
+	RejectedBE uint64
 }
 
 // New builds a server. Quantum 0 gives the no-preemption baseline.
@@ -140,15 +153,61 @@ func (s *Server) Engine() *sim.Engine { return s.sys.Eng }
 // Submit delivers one RPC to the server. With MaxBacklog set, an
 // arrival that finds every slot busy and the backlog full is shed
 // immediately — overload produces explicit rejections, not an
-// unbounded queue.
+// unbounded queue. Class-aware degradation hooks in twice: a closed BE
+// gate (SetBEAdmission) refuses BE at arrival, and an LC arrival that
+// finds the backlog full displaces the oldest waiting BE instead of
+// being shed — queued LC survives overload at BE's expense.
 func (s *Server) Submit(r *sched.Request) {
-	if s.cfg.MaxBacklog > 0 && s.inFlight >= s.slots &&
-		len(s.backlog)-s.backHead >= s.cfg.MaxBacklog {
-		s.Shed++
+	if s.beClosed && r.Class == sched.ClassBE {
+		s.RejectedBE++
 		return
 	}
+	if s.cfg.MaxBacklog > 0 && s.inFlight >= s.slots && s.backLive >= s.cfg.MaxBacklog {
+		if r.Class != sched.ClassLC || !s.evictOneBE() {
+			s.Shed++
+			return
+		}
+	}
 	s.backlog = append(s.backlog, r)
+	s.backLive++
 	s.admit()
+}
+
+// SetBEAdmission opens or closes the BE admission gate. While closed,
+// BE submissions are refused at arrival (counted in RejectedBE); LC is
+// untouched. Already-backlogged BE is not affected — sweep it with
+// EvictClass.
+func (s *Server) SetBEAdmission(admit bool) { s.beClosed = !admit }
+
+// EvictClass drops every backlogged request of the class (lazy
+// tombstones, counted in Evicted) — the sim mirror of the live pool's
+// brownout eviction. Admitted requests are not touched. Returns how
+// many requests were evicted.
+func (s *Server) EvictClass(class int) int {
+	n := 0
+	for i := s.backHead; i < len(s.backlog); i++ {
+		if r := s.backlog[i]; r != nil && !r.Cancelled && !r.Evicted && r.Class == class {
+			r.Evicted = true
+			s.Evicted[class]++
+			s.backLive--
+			n++
+		}
+	}
+	return n
+}
+
+// evictOneBE tombstones the oldest live backlogged BE request, making
+// room for an LC arrival. Reports whether one was found.
+func (s *Server) evictOneBE() bool {
+	for i := s.backHead; i < len(s.backlog); i++ {
+		if r := s.backlog[i]; r != nil && !r.Cancelled && !r.Evicted && r.Class == sched.ClassBE {
+			r.Evicted = true
+			s.Evicted[sched.ClassBE]++
+			s.backLive--
+			return true
+		}
+	}
+	return false
 }
 
 // Cancel evicts a still-backlogged request: the RPC-side disconnect
@@ -160,11 +219,12 @@ func (s *Server) Submit(r *sched.Request) {
 func (s *Server) Cancel(r *sched.Request) bool {
 	for i := s.backHead; i < len(s.backlog); i++ {
 		if s.backlog[i] == r {
-			if r.Cancelled {
-				return false // double cancel
+			if r.Cancelled || r.Evicted {
+				return false // already tombstoned
 			}
 			r.Cancelled = true
 			s.Cancelled++
+			s.backLive--
 			return true
 		}
 	}
@@ -180,10 +240,11 @@ func (s *Server) admit() {
 			s.backlog = append([]*sched.Request(nil), s.backlog[s.backHead:]...)
 			s.backHead = 0
 		}
-		// Cancel-evicted tombstone: already counted at Cancel time.
-		if r.Cancelled {
+		// Cancel/evict tombstone: already counted when it was dropped.
+		if r.Cancelled || r.Evicted {
 			continue
 		}
+		s.backLive--
 		// Queue-timeout shedding: a request that has already waited
 		// past its deadline is dropped at the last responsible moment
 		// instead of occupying a slot.

@@ -22,6 +22,9 @@ const (
 	// CancelledLatency reports a task killed by TaskHandle.Cancel:
 	// evicted from the queue, or unwound at its next safepoint.
 	CancelledLatency = -2 * time.Nanosecond
+	// RejectedLatency reports a task refused at SubmitClass because its
+	// class's admission gate was closed; it never queued.
+	RejectedLatency = -3 * time.Nanosecond
 )
 
 // TaskState is a submitted task's lifecycle state, observable through
@@ -45,6 +48,9 @@ const (
 	// TaskCancelledExecuting: Cancel unwound the task at a safepoint
 	// after it had started executing.
 	TaskCancelledExecuting
+	// TaskRejected: the class admission gate refused the submission; the
+	// task never queued.
+	TaskRejected
 )
 
 func (s TaskState) String() string {
@@ -63,6 +69,8 @@ func (s TaskState) String() string {
 		return "cancelled-queued"
 	case TaskCancelledExecuting:
 		return "cancelled-executing"
+	case TaskRejected:
+		return "rejected"
 	default:
 		return "invalid"
 	}
@@ -80,6 +88,7 @@ func (s TaskState) Cancelled() bool {
 // poll (the cancellation analog of the preemption flag).
 type taskState struct {
 	status    TaskState // guarded by Pool.mu
+	class     Class     // set at submit, read-only afterwards
 	cancelReq atomic.Uint32
 	done      func(time.Duration)
 }
@@ -136,6 +145,7 @@ func (h *TaskHandle) Cancel() bool {
 		st.status = TaskCancelledQueued
 		st.cancelReq.Store(1)
 		p.cancelledQueued++
+		p.perClass[st.class].CancelledQueued++
 		p.tombstones++
 		done := st.done
 		p.mu.Unlock()

@@ -276,13 +276,13 @@ func TestEDFCancelProperty(t *testing.T) {
 		p.cond = sync.NewCond(&p.mu)
 
 		var (
-			live       []edfModelEntry // queued, not cancelled, not popped
-			cancelled  = make(map[*taskState]bool)
-			handles    []*TaskHandle
-			doneCalls  = make(map[*taskState]int)
-			popped     int
-			cancels    int
-			submits    int
+			live      []edfModelEntry // queued, not cancelled, not popped
+			cancelled = make(map[*taskState]bool)
+			handles   []*TaskHandle
+			doneCalls = make(map[*taskState]int)
+			popped    int
+			cancels   int
+			submits   int
 		)
 		noop := func(ctx *Ctx) {}
 

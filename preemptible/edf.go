@@ -71,10 +71,20 @@ func (q *edfQueue) Pop() any {
 // carried but ignored. done (optional) receives the sojourn latency.
 // The returned handle cancels the task at any point in its lifecycle.
 func (p *Pool) SubmitDeadline(task Task, deadline time.Time, done func(latency time.Duration)) *TaskHandle {
+	return p.SubmitClassDeadline(ClassLC, task, deadline, done)
+}
+
+// SubmitClassDeadline is SubmitDeadline with an explicit service class;
+// like SubmitClass, a closed admission gate refuses the task at the
+// door with RejectedLatency.
+func (p *Pool) SubmitClassDeadline(class Class, task Task, deadline time.Time, done func(latency time.Duration)) *TaskHandle {
 	if task == nil {
 		panic("preemptible: SubmitDeadline(nil)")
 	}
-	st := &taskState{done: done}
+	if !class.valid() {
+		panic("preemptible: invalid class")
+	}
+	st := &taskState{done: done, class: class}
 	wrapped := p.bindCancel(task, st)
 	p.mu.Lock()
 	if p.closed {
@@ -82,6 +92,17 @@ func (p *Pool) SubmitDeadline(task Task, deadline time.Time, done func(latency t
 		panic("preemptible: Submit on closed pool")
 	}
 	p.submitted++
+	p.perClass[class].Submitted++
+	if p.gateClosed[class] {
+		st.status = TaskRejected
+		p.rejected++
+		p.perClass[class].Rejected++
+		p.mu.Unlock()
+		if done != nil {
+			done(RejectedLatency)
+		}
+		return &TaskHandle{p: p, st: st}
+	}
 	p.winArr++
 	if p.discipline == EDF {
 		p.pushEDFLocked(&edfItem{task: wrapped, st: st, arrival: time.Now(), deadline: deadline, done: done})
@@ -109,7 +130,7 @@ func (p *Pool) pushEDFLocked(it *edfItem) {
 func (p *Pool) popEDFLocked() *edfItem {
 	for len(p.edf) > 0 {
 		it := heap.Pop(&p.edf).(*edfItem)
-		if it.st != nil && it.st.status == TaskCancelledQueued {
+		if it.st != nil && (it.st.status == TaskCancelledQueued || it.st.status == TaskShed) {
 			p.tombstones--
 			continue
 		}

@@ -199,9 +199,13 @@ func TestFnStateString(t *testing.T) {
 func TestPreemptedFlagVisible(t *testing.T) {
 	rt := newRT(t)
 	var observed atomic.Bool
+	// Spin until the timer thread marks us preempted; the absolute
+	// deadline only bounds the test when delivery never happens (a
+	// loaded machine can starve the timer goroutine well past the
+	// quantum, so give it a generous window).
 	fn, _ := rt.Launch(func(ctx *Ctx) {
-		deadline := time.Now().Add(50 * time.Millisecond)
-		for time.Now().Before(deadline) {
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) && !observed.Load() {
 			if ctx.Preempted() {
 				observed.Store(true)
 				ctx.Checkpoint() // actually take the preemption
@@ -212,6 +216,6 @@ func TestPreemptedFlagVisible(t *testing.T) {
 		fn.Resume(2 * time.Millisecond)
 	}
 	if !observed.Load() {
-		t.Fatal("Preempted flag never observed despite 2ms quanta over 50ms work")
+		t.Fatal("Preempted flag never observed despite 2ms quanta over 2s of work")
 	}
 }

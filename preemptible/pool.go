@@ -1,6 +1,7 @@
 package preemptible
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -42,13 +43,17 @@ type AdaptiveConfig struct {
 
 // PoolStats is a snapshot of a Pool's counters and latency summary.
 // Every submitted task lands in exactly one terminal bucket:
-// Submitted = Completed + Shed + CancelledQueued + CancelledExecuting
-// + work still in flight.
+// Submitted = Completed + Rejected + Shed + CancelledQueued +
+// CancelledExecuting + work still in flight — in aggregate and per
+// class (PerClass).
 type PoolStats struct {
 	Submitted, Completed uint64
 	Preemptions          uint64
-	// Shed counts tasks dropped because their pickup deadline
-	// (SubmitTimeout) had passed when a worker reached them.
+	// Rejected counts submissions refused at SubmitClass by a closed
+	// class admission gate (SetClassAdmission).
+	Rejected uint64
+	// Shed counts tasks dropped without executing: pickup-deadline
+	// (SubmitTimeout) sheds and EvictClass evictions.
 	Shed uint64
 	// CancelledQueued counts tasks evicted by TaskHandle.Cancel before
 	// they ever ran; CancelledExecuting counts tasks that had started
@@ -60,6 +65,8 @@ type PoolStats struct {
 	DegradedRuns   uint64
 	QuantumNow     time.Duration
 	Mean, P50, P99 time.Duration
+	// PerClass splits the terminal buckets by service class.
+	PerClass [NumClasses]ClassStats
 }
 
 // Cancelled is the total of both cancellation buckets.
@@ -106,9 +113,15 @@ type Pool struct {
 	submitted       uint64
 	completed       uint64
 	preempts        uint64
+	rejected        uint64
 	shed            uint64
 	cancelledQueued uint64
 	cancelledExec   uint64
+	perClass        [NumClasses]ClassStats
+	// gateClosed marks classes whose admission gate is shut
+	// (SetClassAdmission); the zero value — all gates open — is the
+	// historical behavior.
+	gateClosed [NumClasses]bool
 	// tombstones counts queue entries whose task was cancel-evicted but
 	// not yet skipped by a pop (lazy delete keeps the EDF heap intact).
 	tombstones   int
@@ -171,10 +184,17 @@ func (p *Pool) SubmitTimeout(task Task, timeout time.Duration, done func(latency
 }
 
 func (p *Pool) submit(task Task, deadline time.Time, done func(latency time.Duration)) *TaskHandle {
+	return p.submitClass(ClassLC, task, deadline, done)
+}
+
+func (p *Pool) submitClass(class Class, task Task, deadline time.Time, done func(latency time.Duration)) *TaskHandle {
 	if task == nil {
 		panic("preemptible: Submit(nil)")
 	}
-	st := &taskState{done: done}
+	if !class.valid() {
+		panic(fmt.Sprintf("preemptible: invalid class %d", class))
+	}
+	st := &taskState{done: done, class: class}
 	wrapped := p.bindCancel(task, st)
 	p.mu.Lock()
 	if p.closed {
@@ -182,6 +202,19 @@ func (p *Pool) submit(task Task, deadline time.Time, done func(latency time.Dura
 		panic("preemptible: Submit on closed pool")
 	}
 	p.submitted++
+	p.perClass[class].Submitted++
+	if p.gateClosed[class] {
+		// Closed admission gate: the task is refused at the door — a
+		// terminal outcome, never queued, so it is not arrival load.
+		st.status = TaskRejected
+		p.rejected++
+		p.perClass[class].Rejected++
+		p.mu.Unlock()
+		if done != nil {
+			done(RejectedLatency)
+		}
+		return &TaskHandle{p: p, st: st}
+	}
 	p.winArr++
 	if p.discipline == EDF {
 		p.pushEDFLocked(&edfItem{task: wrapped, st: st, arrival: time.Now(), done: done})
@@ -247,6 +280,7 @@ func (p *Pool) Stats() PoolStats {
 		Submitted:          p.submitted,
 		Completed:          p.completed,
 		Preemptions:        p.preempts,
+		Rejected:           p.rejected,
 		Shed:               p.shed,
 		CancelledQueued:    p.cancelledQueued,
 		CancelledExecuting: p.cancelledExec,
@@ -255,6 +289,7 @@ func (p *Pool) Stats() PoolStats {
 		Mean:               time.Duration(p.hist.Mean()),
 		P50:                time.Duration(p.hist.Median()),
 		P99:                time.Duration(p.hist.P99()),
+		PerClass:           p.perClass,
 	}
 }
 
@@ -303,7 +338,9 @@ func (p *Pool) next() (arr *poolArrival, pre *poolPreempted, ed *edfItem, ok boo
 				p.arrivals = append([]poolArrival(nil), p.arrivals[p.arrHead:]...)
 				p.arrHead = 0
 			}
-			if a.st.status == TaskCancelledQueued {
+			if a.st.status == TaskCancelledQueued || a.st.status == TaskShed {
+				// Tombstone: cancel-evicted or class-evicted; its done
+				// already fired.
 				p.tombstones--
 				continue
 			}
@@ -382,6 +419,7 @@ func (p *Pool) shedTask(st *taskState, done func(time.Duration)) {
 	p.shed++
 	if st != nil {
 		st.status = TaskShed
+		p.perClass[st.class].Shed++
 	}
 	p.mu.Unlock()
 	if done != nil {
@@ -408,6 +446,7 @@ func (p *Pool) runCooperative(task Task, st *taskState, arrival time.Time, done 
 	p.degradedRuns++
 	if st != nil {
 		st.status = TaskCompleted
+		p.perClass[st.class].Completed++
 	}
 	p.hist.Record(int64(lat))
 	p.winLats = append(p.winLats, float64(lat))
@@ -423,6 +462,7 @@ func (p *Pool) finishCancelled(st *taskState, done func(time.Duration)) {
 	p.cancelledExec++
 	if st != nil {
 		st.status = TaskCancelledExecuting
+		p.perClass[st.class].CancelledExecuting++
 	}
 	p.mu.Unlock()
 	if done != nil {
@@ -441,6 +481,7 @@ func (p *Pool) afterRun(fn *Fn, st *taskState, arrival time.Time, deadline time.
 		p.completed++
 		if st != nil {
 			st.status = TaskCompleted
+			p.perClass[st.class].Completed++
 		}
 		p.hist.Record(int64(lat))
 		p.winLats = append(p.winLats, float64(lat))
