@@ -18,13 +18,22 @@
 //
 //	preemkv -bench 127.0.0.1:7070 -clients 8 -ops 2000 -mix 3:1
 //
-// Clients back off identically on "ERR overloaded" and "ERR brownout"
-// (both mean "not now"), but the two are counted separately: brownout
-// rejections are the server degrading BE on purpose, not drowning.
+// Clients back off identically on "ERR overloaded", "ERR brownout",
+// and "ERR unavailable" (all mean "not now"), but the three are
+// counted separately: brownout rejections are the server degrading BE
+// on purpose, and unavailable means the class's circuit breaker is
+// open — the server is containing a fault, not drowning. "ERR
+// internal" (a contained panic) is terminal for the op and counted in
+// the per-class failure rate.
+//
+// In serve mode SIGINT/SIGTERM trigger a graceful drain: admission
+// stops, in-flight requests finish until the -drain deadline, then
+// stragglers are cancelled at their next safepoint.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -33,6 +42,7 @@ import (
 	"os/signal"
 	"sort"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/brownout"
@@ -50,6 +60,8 @@ func main() {
 		maxInfl   = flag.Int("maxinflight", 0, "in-flight request cap (serve mode; 0 = default 64×workers, -1 = unlimited)")
 		reqTO     = flag.Duration("reqtimeout", 0, "queue-wait timeout before a request is shed (serve mode; 0 = none)")
 		maxLine   = flag.Int("maxline", 0, "request line byte cap (serve mode; 0 = default 1 MiB)")
+		drain     = flag.Duration("drain", 5*time.Second, "graceful-drain deadline on SIGINT/SIGTERM (serve mode)")
+		noBreaker = flag.Bool("nobreaker", false, "disable per-class circuit breakers (serve mode)")
 		clients   = flag.Int("clients", 4, "client connections (bench mode)")
 		ops       = flag.Int("ops", 2000, "ops per client (bench mode)")
 		compress  = flag.Bool("compress", true, "run a background COMPRESS stream during bench")
@@ -60,13 +72,14 @@ func main() {
 	switch {
 	case *serveAddr != "":
 		serve(*serveAddr, liveserver.Config{
-			Workers:        *workers,
-			Quantum:        *quantum,
-			MaxConns:       *maxConns,
-			MaxInflight:    *maxInfl,
-			RequestTimeout: *reqTO,
-			MaxLineBytes:   *maxLine,
-		})
+			Workers:         *workers,
+			Quantum:         *quantum,
+			MaxConns:        *maxConns,
+			MaxInflight:     *maxInfl,
+			RequestTimeout:  *reqTO,
+			MaxLineBytes:    *maxLine,
+			BreakerDisabled: *noBreaker,
+		}, *drain)
 	case *benchAddr != "":
 		lc, be, err := parseMix(*mix)
 		if err != nil {
@@ -80,7 +93,7 @@ func main() {
 	}
 }
 
-func serve(addr string, cfg liveserver.Config) {
+func serve(addr string, cfg liveserver.Config, drain time.Duration) {
 	rt, err := preemptible.New(preemptible.Config{})
 	if err != nil {
 		fatal(err)
@@ -97,10 +110,15 @@ func serve(addr string, cfg liveserver.Config) {
 		ln.Addr(), cfg.Workers, cfg.Quantum)
 
 	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	go func() {
-		<-stop
-		s.Close()
+		sig := <-stop
+		fmt.Printf("preemkv: %v: draining (deadline %v)\n", sig, drain)
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "preemkv: drain incomplete, stragglers cancelled: %v\n", err)
+		}
 	}()
 	if err := s.Serve(ln); err != nil {
 		fatal(err)
@@ -115,12 +133,25 @@ func serve(addr string, cfg liveserver.Config) {
 		ov.CancelledQueued, ov.CancelledExecuting)
 	fmt.Printf("brownout: %d transitions, final state %v, smoothed load %.3f\n",
 		s.Brownout().Transitions(), s.BrownoutState(), s.Brownout().Load())
+	now := time.Now()
+	for c := 0; c < preemptible.NumClasses; c++ {
+		if br := s.Breaker(preemptible.Class(c)); br != nil {
+			line := fmt.Sprintf("breaker %v: state %v, %d trips", preemptible.Class(c), br.State(now), br.Trips())
+			if h := br.History(); len(h) > 0 {
+				line += ", transitions"
+				for _, tr := range h {
+					line += fmt.Sprintf(" %v→%v", tr.From, tr.To)
+				}
+			}
+			fmt.Println(line)
+		}
+	}
 	for c := 0; c < preemptible.NumClasses; c++ {
 		pc := ov.PerClass[c]
-		fmt.Printf("  %v: %d requests, rejected %d normal / %d brownout / %d shed, %d evicted, %d timeouts\n",
+		fmt.Printf("  %v: %d requests, rejected %d normal / %d brownout / %d shed / %d unavailable, %d evicted, %d timeouts, %d failed\n",
 			preemptible.Class(c), pc.Requests,
 			pc.Rejected[brownout.Normal], pc.Rejected[brownout.Brownout], pc.Rejected[brownout.Shed],
-			pc.Evicted, pc.Timeouts)
+			pc.Unavailable, pc.Evicted, pc.Timeouts, pc.Failed)
 	}
 }
 
@@ -176,13 +207,15 @@ func bench(addr string, clients, ops int, withCompress bool, mixLC, mixBE int) {
 
 	// Per-class tallies, indexed by preemptible.Class.
 	var (
-		mu         sync.Mutex
-		lats       [preemptible.NumClasses][]time.Duration
-		overloaded [preemptible.NumClasses]uint64 // "ERR overloaded" (shed or timed out)
-		browned    [preemptible.NumClasses]uint64 // "ERR brownout" (BE degraded on purpose)
-		retries    [preemptible.NumClasses]uint64 // backed-off re-sends
-		gaveUp     [preemptible.NumClasses]uint64 // ops abandoned after retryMax attempts
-		cancelled  [preemptible.NumClasses]uint64 // "ERR cancelled" responses
+		mu          sync.Mutex
+		lats        [preemptible.NumClasses][]time.Duration
+		overloaded  [preemptible.NumClasses]uint64 // "ERR overloaded" (shed or timed out)
+		browned     [preemptible.NumClasses]uint64 // "ERR brownout" (BE degraded on purpose)
+		unavailable [preemptible.NumClasses]uint64 // "ERR unavailable" (circuit breaker open)
+		retries     [preemptible.NumClasses]uint64 // backed-off re-sends
+		gaveUp      [preemptible.NumClasses]uint64 // ops abandoned after retryMax attempts
+		cancelled   [preemptible.NumClasses]uint64 // "ERR cancelled" responses
+		failed      [preemptible.NumClasses]uint64 // "ERR internal" (contained panic)
 	)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -221,11 +254,14 @@ func bench(addr string, clients, ops int, withCompress bool, mixLC, mixBE int) {
 						return
 					}
 					resp := sc.Text()
-					if resp == "ERR overloaded" || resp == "ERR brownout" {
+					if resp == "ERR overloaded" || resp == "ERR brownout" || resp == "ERR unavailable" {
 						mu.Lock()
-						if resp == "ERR brownout" {
+						switch resp {
+						case "ERR brownout":
 							browned[class]++
-						} else {
+						case "ERR unavailable":
+							unavailable[class]++
+						default:
 							overloaded[class]++
 						}
 						if attempt >= retryMax {
@@ -243,9 +279,15 @@ func bench(addr string, clients, ops int, withCompress bool, mixLC, mixBE int) {
 					}
 					lat := time.Since(t0)
 					mu.Lock()
-					if resp == "ERR cancelled" {
+					switch resp {
+					case "ERR cancelled":
 						cancelled[class]++
-					} else {
+					case "ERR internal":
+						// The request ran and its handler panicked; the
+						// fault was contained server-side. Retrying would
+						// hit the same fault — terminal for the op.
+						failed[class]++
+					default:
 						lats[class] = append(lats[class], lat)
 					}
 					mu.Unlock()
@@ -268,8 +310,8 @@ func bench(addr string, clients, ops int, withCompress bool, mixLC, mixBE int) {
 		float64(total)/elapsed.Seconds(), mixLC, mixBE)
 	for cl := 0; cl < preemptible.NumClasses; cl++ {
 		ls := lats[cl]
-		rejected := overloaded[cl] + browned[cl]
-		attempts := uint64(len(ls)) + rejected + cancelled[cl]
+		rejected := overloaded[cl] + browned[cl] + unavailable[cl]
+		attempts := uint64(len(ls)) + rejected + cancelled[cl] + failed[cl]
 		if attempts == 0 {
 			continue
 		}
@@ -282,10 +324,12 @@ func bench(addr string, clients, ops int, withCompress bool, mixLC, mixBE int) {
 				q(0.99).Round(time.Microsecond), ls[len(ls)-1].Round(time.Microsecond))
 		}
 		fmt.Println(line)
-		fmt.Printf("%v rejects: %d overloaded + %d brownout (%.2f%% of %d attempts), %d retries, %d abandoned, %d cancelled\n",
-			preemptible.Class(cl), overloaded[cl], browned[cl],
+		fmt.Printf("%v rejects: %d overloaded + %d brownout + %d unavailable (%.2f%% of %d attempts), %d retries, %d abandoned, %d cancelled\n",
+			preemptible.Class(cl), overloaded[cl], browned[cl], unavailable[cl],
 			100*float64(rejected)/float64(attempts), attempts,
 			retries[cl], gaveUp[cl], cancelled[cl])
+		fmt.Printf("%v failures: %d internal (%.2f%% failure rate)\n",
+			preemptible.Class(cl), failed[cl], 100*float64(failed[cl])/float64(attempts))
 	}
 }
 

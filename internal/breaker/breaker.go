@@ -1,0 +1,291 @@
+// Package breaker implements a per-class circuit breaker: the
+// fail-fast companion to panic isolation. The preemptible pool
+// contains a poisoned task's panic so the process survives, but
+// containment alone still burns a worker quantum per poisoned request;
+// under a failure storm (a bad deploy, a corrupt shard) the breaker
+// trips after K failures and fast-rejects the class at the front door,
+// converting repeated contained faults into cheap refusals while probe
+// requests test for recovery.
+//
+// The state machine is the classic three-state breaker:
+//
+//	Closed ──(K failures)──▶ Open ──(OpenTimeout)──▶ HalfOpen
+//	   ▲                                                │
+//	   └──(probe successes)──────────────┐   (probe failure)
+//	                                     │               │
+//	                                  Closed ◀──┘        ▼
+//	                                                   Open
+//
+// Closed admits everything and counts failures — consecutively by
+// default, or within a rolling Window when configured. Open rejects
+// everything until OpenTimeout has elapsed, then lazily becomes
+// HalfOpen on the next Allow. HalfOpen admits at most HalfOpenProbes
+// concurrent probes: if they all succeed the breaker recloses; one
+// failure re-trips it (a fresh OpenTimeout starts). Outcomes reported
+// while Open — stragglers admitted before the trip — are discarded, so
+// a burst of in-flight failures cannot re-trip or extend an open
+// breaker and cause flapping.
+//
+// Like internal/brownout, every method takes an explicit `now`: the
+// breaker never reads the wall clock, so sim-time sweeps (rpcserver)
+// and deterministic tests drive it exactly.
+package breaker
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// State is the breaker's admission state.
+type State int
+
+const (
+	// Closed: normal operation, requests admitted, failures counted.
+	Closed State = iota
+	// Open: the class is fast-rejected; no work reaches the pool.
+	Open
+	// HalfOpen: a bounded number of probe requests test recovery.
+	HalfOpen
+
+	// NumStates sizes per-state counter arrays.
+	NumStates = 3
+)
+
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Config parameterizes a Breaker. The zero value is usable: 5
+// consecutive failures trip, 100ms open timeout, 1 recovery probe.
+type Config struct {
+	// FailureThreshold is K: the breaker trips when K failures are
+	// observed — consecutively, or within Window when Window > 0.
+	// Default 5.
+	FailureThreshold int
+	// Window, when positive, switches failure counting from consecutive
+	// to rolling-window: a failure only counts toward the threshold for
+	// Window after it happened, and successes do not reset the count.
+	// Zero selects consecutive mode (any success resets).
+	Window time.Duration
+	// OpenTimeout is how long the breaker stays Open before allowing
+	// half-open probes. Default 100ms.
+	OpenTimeout time.Duration
+	// HalfOpenProbes is how many probe requests HalfOpen admits and how
+	// many successes reclose the breaker. Default 1.
+	HalfOpenProbes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.FailureThreshold == 0 {
+		c.FailureThreshold = 5
+	}
+	if c.OpenTimeout == 0 {
+		c.OpenTimeout = 100 * time.Millisecond
+	}
+	if c.HalfOpenProbes == 0 {
+		c.HalfOpenProbes = 1
+	}
+	return c
+}
+
+func (c Config) validate() {
+	if c.FailureThreshold < 0 || c.HalfOpenProbes < 0 {
+		panic(fmt.Sprintf("breaker: negative threshold/probes (%d, %d)", c.FailureThreshold, c.HalfOpenProbes))
+	}
+	if c.OpenTimeout < 0 || c.Window < 0 {
+		panic(fmt.Sprintf("breaker: negative timeout/window (%v, %v)", c.OpenTimeout, c.Window))
+	}
+}
+
+// Transition is one state change, for diagnostics and flap tests.
+type Transition struct {
+	From, To State
+	At       time.Time
+}
+
+// Breaker is one class's circuit breaker. Safe for concurrent use;
+// all time comes from the callers' `now` arguments.
+type Breaker struct {
+	mu  sync.Mutex
+	cfg Config
+
+	state    State
+	openedAt time.Time
+
+	consec    int         // consecutive-mode failure run length
+	failTimes []time.Time // window-mode failure timestamps
+
+	probesIssued int // HalfOpen: probes admitted this half-open episode
+	probeOK      int // HalfOpen: probe successes this episode
+
+	trips   uint64
+	history []Transition
+}
+
+// New validates cfg (panicking on negative values — config bugs, not
+// runtime conditions), applies defaults, and returns a closed breaker.
+func New(cfg Config) *Breaker {
+	cfg.validate()
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// Allow reports whether a request of this class may proceed at `now`.
+// In HalfOpen it also claims a probe slot, so callers must report the
+// outcome (Success or Failure) for every allowed request — the breaker
+// cannot distinguish an abandoned probe from a slow one.
+func (b *Breaker) Allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advance(now)
+	switch b.state {
+	case Closed:
+		return true
+	case HalfOpen:
+		if b.probesIssued < b.cfg.HalfOpenProbes {
+			b.probesIssued++
+			return true
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// Success reports a completed request of this class.
+func (b *Breaker) Success(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advance(now)
+	switch b.state {
+	case Closed:
+		b.consec = 0
+	case HalfOpen:
+		b.probeOK++
+		if b.probeOK >= b.cfg.HalfOpenProbes {
+			b.transition(Closed, now)
+			b.consec = 0
+			b.failTimes = b.failTimes[:0]
+		}
+	case Open:
+		// Straggler admitted before the trip; its outcome is stale.
+	}
+}
+
+// Failure reports a failed request of this class (a contained panic,
+// not an admission rejection — refusals are not evidence of fault).
+func (b *Breaker) Failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advance(now)
+	switch b.state {
+	case Closed:
+		if b.cfg.Window > 0 {
+			b.pruneWindow(now)
+			b.failTimes = append(b.failTimes, now)
+			if len(b.failTimes) >= b.cfg.FailureThreshold {
+				b.trip(now)
+			}
+			return
+		}
+		b.consec++
+		if b.consec >= b.cfg.FailureThreshold {
+			b.trip(now)
+		}
+	case HalfOpen:
+		// A failed probe: the fault persists, back to Open for a fresh
+		// timeout.
+		b.trip(now)
+	case Open:
+		// Straggler; already rejecting, nothing to learn.
+	}
+}
+
+// Abandon returns an admitted request's claim without an outcome: the
+// request was shed, timed out in the queue, or cancelled — events that
+// say nothing about whether the class's handler is faulty. In HalfOpen
+// this releases the probe slot so an abandoned probe cannot wedge the
+// breaker half-open forever; elsewhere it is a no-op.
+func (b *Breaker) Abandon(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advance(now)
+	if b.state == HalfOpen && b.probesIssued > 0 {
+		b.probesIssued--
+	}
+}
+
+// State reports the breaker's state at `now` (Open lazily becomes
+// HalfOpen once the timeout has elapsed).
+func (b *Breaker) State(now time.Time) State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advance(now)
+	return b.state
+}
+
+// Trips reports how many times the breaker has tripped to Open
+// (including HalfOpen probe failures re-tripping it).
+func (b *Breaker) Trips() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// History returns every state transition so far, oldest first. Flap
+// tests count Open entries; dashboards render the timeline.
+func (b *Breaker) History() []Transition {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Transition(nil), b.history...)
+}
+
+// advance applies lazy time-based transitions (Open → HalfOpen). The
+// caller holds b.mu.
+func (b *Breaker) advance(now time.Time) {
+	if b.state == Open && !now.Before(b.openedAt.Add(b.cfg.OpenTimeout)) {
+		b.transition(HalfOpen, now)
+		b.probesIssued = 0
+		b.probeOK = 0
+	}
+}
+
+// trip moves to Open and stamps the episode. The caller holds b.mu.
+func (b *Breaker) trip(now time.Time) {
+	b.transition(Open, now)
+	b.openedAt = now
+	b.trips++
+	b.consec = 0
+	b.failTimes = b.failTimes[:0]
+}
+
+// pruneWindow drops window-mode failures older than Window. The caller
+// holds b.mu.
+func (b *Breaker) pruneWindow(now time.Time) {
+	cut := now.Add(-b.cfg.Window)
+	i := 0
+	for i < len(b.failTimes) && !b.failTimes[i].After(cut) {
+		i++
+	}
+	if i > 0 {
+		b.failTimes = append(b.failTimes[:0], b.failTimes[i:]...)
+	}
+}
+
+// transition records a state change. The caller holds b.mu.
+func (b *Breaker) transition(to State, now time.Time) {
+	if b.state == to {
+		return
+	}
+	b.history = append(b.history, Transition{From: b.state, To: to, At: now})
+	b.state = to
+}

@@ -1,0 +1,225 @@
+package breaker
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var t0 = time.Unix(0, 0)
+
+func at(d time.Duration) time.Time { return t0.Add(d) }
+
+// TestConsecutiveTrip: K consecutive failures trip the breaker; a
+// success mid-run resets the count.
+func TestConsecutiveTrip(t *testing.T) {
+	b := New(Config{FailureThreshold: 3, OpenTimeout: time.Second})
+	for i := 0; i < 2; i++ {
+		b.Failure(at(0))
+	}
+	b.Success(at(0)) // resets the run
+	for i := 0; i < 2; i++ {
+		b.Failure(at(0))
+		if got := b.State(at(0)); got != Closed {
+			t.Fatalf("tripped after %d post-reset failures, state %v", i+1, got)
+		}
+	}
+	b.Failure(at(0))
+	if got := b.State(at(0)); got != Open {
+		t.Fatalf("state %v after threshold, want open", got)
+	}
+	if b.Allow(at(0)) {
+		t.Fatal("open breaker admitted a request")
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("trips = %d", b.Trips())
+	}
+}
+
+// TestWindowedTrip: in window mode failures expire and successes do
+// not reset.
+func TestWindowedTrip(t *testing.T) {
+	b := New(Config{FailureThreshold: 3, Window: 100 * time.Millisecond, OpenTimeout: time.Second})
+	b.Failure(at(0))
+	b.Success(at(5 * time.Millisecond)) // no reset in window mode
+	b.Failure(at(10 * time.Millisecond))
+	// First failure expires before the third lands → still closed.
+	b.Failure(at(150 * time.Millisecond))
+	if got := b.State(at(150 * time.Millisecond)); got != Closed {
+		t.Fatalf("state %v, want closed (window should expire old failures)", got)
+	}
+	// Two fresh failures inside the window join the survivor → trip.
+	b.Failure(at(160 * time.Millisecond))
+	b.Failure(at(170 * time.Millisecond))
+	if got := b.State(at(170 * time.Millisecond)); got != Open {
+		t.Fatalf("state %v, want open", got)
+	}
+}
+
+// TestHalfOpenRecovery: after OpenTimeout the breaker admits exactly
+// HalfOpenProbes probes; all succeeding recloses it.
+func TestHalfOpenRecovery(t *testing.T) {
+	b := New(Config{FailureThreshold: 1, OpenTimeout: 100 * time.Millisecond, HalfOpenProbes: 2})
+	b.Failure(at(0))
+	if b.Allow(at(50 * time.Millisecond)) {
+		t.Fatal("admitted before OpenTimeout")
+	}
+	now := at(100 * time.Millisecond)
+	if got := b.State(now); got != HalfOpen {
+		t.Fatalf("state %v at timeout, want half-open", got)
+	}
+	if !b.Allow(now) || !b.Allow(now) {
+		t.Fatal("half-open refused its probes")
+	}
+	if b.Allow(now) {
+		t.Fatal("half-open admitted a third probe")
+	}
+	b.Success(now)
+	if got := b.State(now); got != HalfOpen {
+		t.Fatalf("reclosed after 1 of 2 probe successes")
+	}
+	b.Success(now)
+	if got := b.State(now); got != Closed {
+		t.Fatalf("state %v after all probes succeeded, want closed", got)
+	}
+	// Reclosed breaker needs the full threshold again.
+	if got := b.State(now); got != Closed {
+		t.Fatalf("state %v", got)
+	}
+}
+
+// TestHalfOpenProbeFailureRetrips: one failed probe sends the breaker
+// back to Open with a fresh timeout.
+func TestHalfOpenProbeFailureRetrips(t *testing.T) {
+	b := New(Config{FailureThreshold: 1, OpenTimeout: 100 * time.Millisecond})
+	b.Failure(at(0))
+	now := at(100 * time.Millisecond)
+	if !b.Allow(now) {
+		t.Fatal("half-open refused its probe")
+	}
+	b.Failure(now)
+	if got := b.State(now); got != Open {
+		t.Fatalf("state %v after failed probe, want open", got)
+	}
+	if b.Trips() != 2 {
+		t.Fatalf("trips = %d, want 2", b.Trips())
+	}
+	// Fresh timeout from the re-trip, not the original.
+	if b.Allow(at(150 * time.Millisecond)) {
+		t.Fatal("admitted before the re-trip timeout elapsed")
+	}
+	if !b.Allow(at(200 * time.Millisecond)) {
+		t.Fatal("refused after the re-trip timeout")
+	}
+}
+
+// TestOpenDiscardsStragglerOutcomes: outcomes of work admitted before
+// the trip must not extend or re-trip an open breaker (no flapping
+// from in-flight backlog).
+func TestOpenDiscardsStragglerOutcomes(t *testing.T) {
+	b := New(Config{FailureThreshold: 1, OpenTimeout: 100 * time.Millisecond})
+	b.Failure(at(0))
+	for i := 0; i < 10; i++ {
+		b.Failure(at(time.Duration(i) * time.Millisecond))
+		b.Success(at(time.Duration(i) * time.Millisecond))
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("straggler outcomes re-tripped: trips = %d", b.Trips())
+	}
+	// The original timeout still stands.
+	if got := b.State(at(100 * time.Millisecond)); got != HalfOpen {
+		t.Fatalf("state %v at original timeout, want half-open", got)
+	}
+}
+
+// TestAbandonReleasesProbeSlot: an abandoned probe (shed, cancelled)
+// frees its half-open slot instead of wedging the breaker.
+func TestAbandonReleasesProbeSlot(t *testing.T) {
+	b := New(Config{FailureThreshold: 1, OpenTimeout: 100 * time.Millisecond})
+	b.Failure(at(0))
+	now := at(100 * time.Millisecond)
+	if !b.Allow(now) {
+		t.Fatal("half-open refused its probe")
+	}
+	if b.Allow(now) {
+		t.Fatal("second probe admitted while first outstanding")
+	}
+	b.Abandon(now) // the probe was shed; its slot returns
+	if !b.Allow(now) {
+		t.Fatal("probe slot not released by Abandon")
+	}
+	b.Success(now)
+	if got := b.State(now); got != Closed {
+		t.Fatalf("state %v, want closed", got)
+	}
+}
+
+// TestHistory: transitions are recorded in order.
+func TestHistory(t *testing.T) {
+	b := New(Config{FailureThreshold: 1, OpenTimeout: 10 * time.Millisecond})
+	b.Failure(at(0))
+	b.Allow(at(10 * time.Millisecond))
+	b.Success(at(11 * time.Millisecond))
+	h := b.History()
+	want := []struct{ from, to State }{
+		{Closed, Open},
+		{Open, HalfOpen},
+		{HalfOpen, Closed},
+	}
+	if len(h) != len(want) {
+		t.Fatalf("history %v", h)
+	}
+	for i, w := range want {
+		if h[i].From != w.from || h[i].To != w.to {
+			t.Fatalf("transition %d = %v→%v, want %v→%v", i, h[i].From, h[i].To, w.from, w.to)
+		}
+	}
+}
+
+// TestZeroConfigDefaults: the zero config is usable.
+func TestZeroConfigDefaults(t *testing.T) {
+	b := New(Config{})
+	for i := 0; i < 4; i++ {
+		b.Failure(at(0))
+	}
+	if got := b.State(at(0)); got != Closed {
+		t.Fatalf("tripped before default threshold: %v", got)
+	}
+	b.Failure(at(0))
+	if got := b.State(at(0)); got != Open {
+		t.Fatalf("state %v after 5 failures, want open", got)
+	}
+	if got := b.State(at(100 * time.Millisecond)); got != HalfOpen {
+		t.Fatalf("state %v after default timeout, want half-open", got)
+	}
+}
+
+// TestConcurrentUse: racing reporters never corrupt the breaker
+// (exercised under -race in CI).
+func TestConcurrentUse(t *testing.T) {
+	b := New(Config{FailureThreshold: 10, OpenTimeout: time.Millisecond})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				now := at(time.Duration(i) * time.Microsecond)
+				if b.Allow(now) {
+					if i%3 == 0 {
+						b.Failure(now)
+					} else {
+						b.Success(now)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	h := b.History()
+	for i := 1; i < len(h); i++ {
+		if h[i].From != h[i-1].To {
+			t.Fatalf("discontinuous history at %d: %v", i, h)
+		}
+	}
+}

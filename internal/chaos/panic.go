@@ -1,0 +1,106 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// PanicConfig describes a seeded per-request panic injector: the
+// poisoned-task fault model. Where the delivery Injector degrades the
+// preemption substrate, the panic injector poisons the *work itself* —
+// a request whose body panics mid-execution — to drive the panic
+// isolation path (preemptible.TaskFailed) and, in aggregate, the
+// per-class circuit breaker. The zero value injects nothing.
+type PanicConfig struct {
+	// Seed fixes every decision; the same seed against the same request
+	// stream reproduces the same poison schedule exactly.
+	Seed uint64
+	// Prob is the i.i.d. probability a request is poisoned.
+	Prob float64
+	// Burst, when non-nil, layers a Gilbert–Elliott chain over the
+	// request stream: chain drops are injected panics, so poisonings
+	// cluster into storms — the shape that trips breakers and tests
+	// their no-flapping recovery — instead of a flat trickle. The chain
+	// is stepped first; the i.i.d. coin only applies to requests the
+	// chain spares. Burst.Seed 0 derives the chain's seed from Seed.
+	Burst *GEConfig
+}
+
+// PanicCounters tallies the injector's decisions.
+type PanicCounters struct {
+	// Requests counts Should calls (poisoned or not).
+	Requests uint64
+	// Injected counts poisoned requests from the i.i.d. coin.
+	Injected uint64
+	// BurstInjected counts poisoned requests from the burst chain.
+	BurstInjected uint64
+}
+
+// Total is the number of poisoned requests from either source.
+func (c PanicCounters) Total() uint64 { return c.Injected + c.BurstInjected }
+
+// PanicInjector makes the per-request poison decision. Unlike the
+// sim-side Injector it is called from many live connection goroutines
+// concurrently, so it carries its own lock. Methods are nil-safe: a
+// nil *PanicInjector poisons nothing.
+type PanicInjector struct {
+	mu    sync.Mutex
+	cfg   PanicConfig
+	rng   *sim.RNG
+	burst *GilbertElliott
+	ctr   PanicCounters
+}
+
+// NewPanicInjector validates cfg and builds an injector.
+func NewPanicInjector(cfg PanicConfig) *PanicInjector {
+	if cfg.Prob < 0 || cfg.Prob > 1 {
+		panic(fmt.Sprintf("chaos: panic probability %v outside [0,1]", cfg.Prob))
+	}
+	in := &PanicInjector{
+		cfg: cfg,
+		rng: sim.NewRNG(cfg.Seed ^ 0x706e6963), // "pnic"
+	}
+	if cfg.Burst != nil {
+		bcfg := *cfg.Burst
+		if bcfg.Seed == 0 {
+			bcfg.Seed = cfg.Seed ^ 0x7062 // "pb"
+		}
+		in.burst = NewGilbertElliott(bcfg)
+	}
+	return in
+}
+
+// Should decides whether the next request is poisoned. Callers react
+// by panicking inside the request's task body, which exercises the
+// exact containment path a genuinely buggy handler would.
+func (in *PanicInjector) Should() bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.ctr.Requests++
+	if in.burst != nil {
+		if _, drop := in.burst.Step(); drop {
+			in.ctr.BurstInjected++
+			return true
+		}
+	}
+	if in.cfg.Prob > 0 && in.rng.Bernoulli(in.cfg.Prob) {
+		in.ctr.Injected++
+		return true
+	}
+	return false
+}
+
+// Counters snapshots the tally.
+func (in *PanicInjector) Counters() PanicCounters {
+	if in == nil {
+		return PanicCounters{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.ctr
+}

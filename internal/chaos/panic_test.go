@@ -1,0 +1,109 @@
+package chaos
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestPanicInjectorDeterministic: the same seed reproduces the exact
+// poison schedule.
+func TestPanicInjectorDeterministic(t *testing.T) {
+	mk := func() []bool {
+		in := NewPanicInjector(PanicConfig{Seed: 42, Prob: 0.1})
+		out := make([]bool, 1000)
+		for i := range out {
+			out[i] = in.Should()
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at request %d", i)
+		}
+	}
+	in := NewPanicInjector(PanicConfig{Seed: 42, Prob: 0.1})
+	for i := 0; i < 1000; i++ {
+		in.Should()
+	}
+	c := in.Counters()
+	if c.Requests != 1000 || c.Injected == 0 || c.BurstInjected != 0 {
+		t.Fatalf("counters %+v", c)
+	}
+	// ~10% hit rate, generously bounded.
+	if c.Injected < 50 || c.Injected > 200 {
+		t.Fatalf("injected %d of 1000 at p=0.1", c.Injected)
+	}
+}
+
+// TestPanicInjectorBurstClusters: with a Gilbert–Elliott layer the
+// poisonings cluster — bad-state steps inject, good-state steps
+// (DropGood=0) never do.
+func TestPanicInjectorBurstClusters(t *testing.T) {
+	in := NewPanicInjector(PanicConfig{
+		Seed:  7,
+		Burst: &GEConfig{MeanGood: 50, MeanBad: 10},
+	})
+	n := 0
+	for i := 0; i < 5000; i++ {
+		if in.Should() {
+			n++
+		}
+	}
+	c := in.Counters()
+	if c.BurstInjected == 0 {
+		t.Fatal("burst chain never injected")
+	}
+	if c.Injected != 0 {
+		t.Fatalf("i.i.d. coin injected %d with Prob=0", c.Injected)
+	}
+	if uint64(n) != c.Total() {
+		t.Fatalf("Should said %d, counters say %d", n, c.Total())
+	}
+	// The chain spends ~1/6 of steps in bad state; injections must be
+	// a strict minority yet non-trivial.
+	if n < 100 || n > 2500 {
+		t.Fatalf("burst injections %d of 5000 look unclustered", n)
+	}
+}
+
+// TestPanicInjectorNilSafe: a nil injector poisons nothing.
+func TestPanicInjectorNilSafe(t *testing.T) {
+	var in *PanicInjector
+	if in.Should() {
+		t.Fatal("nil injector poisoned a request")
+	}
+	if c := in.Counters(); c != (PanicCounters{}) {
+		t.Fatalf("nil counters %+v", c)
+	}
+}
+
+// TestPanicInjectorConcurrent: Should is safe from many goroutines
+// (the live server calls it per connection); exercised under -race.
+func TestPanicInjectorConcurrent(t *testing.T) {
+	in := NewPanicInjector(PanicConfig{Seed: 3, Prob: 0.05})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				in.Should()
+			}
+		}()
+	}
+	wg.Wait()
+	if c := in.Counters(); c.Requests != 4000 {
+		t.Fatalf("requests = %d, want 4000", c.Requests)
+	}
+}
+
+// TestPanicInjectorValidates: out-of-range probability panics.
+func TestPanicInjectorValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPanicInjector(PanicConfig{Prob: 1.5})
+}

@@ -36,10 +36,19 @@
 //
 // "ERR brownout" versus "ERR overloaded" is the client's signal to
 // retry soon versus back off hard.
+//
+// Fault containment rides alongside load protection: a request whose
+// task panics is contained by the pool (the worker survives) and
+// answers "ERR internal"; a class whose tasks keep panicking trips its
+// per-class circuit breaker (internal/breaker) and fast-rejects with
+// "ERR unavailable" until recovery probes succeed. Shutdown drains
+// gracefully on SIGTERM: in-flight requests finish under a deadline,
+// stragglers are cancelled through the pool's cancel-unwind path.
 package liveserver
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -51,6 +60,7 @@ import (
 	"time"
 
 	"repro/internal/bejob"
+	"repro/internal/breaker"
 	"repro/internal/brownout"
 	"repro/internal/mica"
 	"repro/preemptible"
@@ -98,6 +108,20 @@ type Config struct {
 	// queued arrival's wait divided by this is the controller's
 	// DelayRatio (default: RequestTimeout, else 20ms).
 	BrownoutDelayTarget time.Duration
+
+	// Breaker parameterizes the per-class circuit breakers (zero value
+	// = defaults; see internal/breaker): a class whose tasks keep
+	// panicking trips its breaker and fast-rejects with
+	// "ERR unavailable" until recovery probes succeed. Set
+	// BreakerDisabled to admit every class regardless of failures.
+	Breaker         breaker.Config
+	BreakerDisabled bool
+	// PanicInject, when non-nil, is consulted once per admitted request
+	// (after every admission gate, before the pool submit); true
+	// replaces the request's task body with one that panics mid-run.
+	// This is the chaos hook fault-containment tests use to poison live
+	// traffic deterministically (see chaos.PanicInjector).
+	PanicInject func(class preemptible.Class) bool
 }
 
 // Server serves the protocol over TCP.
@@ -123,6 +147,12 @@ type Server struct {
 	delayTarget time.Duration
 	bperiod     time.Duration
 	loopWG      sync.WaitGroup
+
+	// breakers holds one circuit breaker per service class (all nil
+	// when BreakerDisabled): panics trip a class independently, so a
+	// poisoned BE deploy fast-rejects BE while LC keeps flowing.
+	breakers    [preemptible.NumClasses]*breaker.Breaker
+	panicInject func(class preemptible.Class) bool
 
 	ln     net.Listener
 	connWG sync.WaitGroup
@@ -166,6 +196,12 @@ type ClassOverload struct {
 	// Evicted counts queued BE requests dropped by a brownout eviction
 	// (they answer "ERR brownout" without ever executing).
 	Evicted uint64
+	// Failed counts requests whose task panicked mid-execution; the
+	// pool contained the fault and the client saw "ERR internal".
+	Failed uint64
+	// Unavailable counts fast-rejects by the class's circuit breaker
+	// (or by a draining pool); the client saw "ERR unavailable".
+	Unavailable uint64
 }
 
 // New builds a server on the given runtime.
@@ -224,6 +260,12 @@ func New(rt *preemptible.Runtime, cfg Config) *Server {
 		s.loopWG.Add(1)
 		go s.brownoutLoop()
 	}
+	if !cfg.BreakerDisabled {
+		for c := range s.breakers {
+			s.breakers[c] = breaker.New(cfg.Breaker)
+		}
+	}
+	s.panicInject = cfg.PanicInject
 	return s
 }
 
@@ -298,6 +340,52 @@ func (s *Server) Close() {
 		s.loopWG.Wait()
 		s.pool.Close()
 	})
+}
+
+// Shutdown drains the server gracefully — the SIGTERM path. Accepting
+// stops immediately; each open connection finishes the request it is
+// serving (closing s.done stops the per-connection loops after the
+// in-flight response is written) and connections get until ctx's
+// deadline before being force-closed; finally the pool drains under
+// the same deadline, cancelling stragglers through the cancel-unwind
+// path. Returns nil on a complete drain, ctx.Err() if the deadline
+// forced any teardown. Concurrent with Close: whichever runs first
+// wins, the other is a no-op.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	s.closed.Do(func() {
+		close(s.done)
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		connsDone := make(chan struct{})
+		go func() {
+			s.connWG.Wait()
+			close(connsDone)
+		}()
+		select {
+		case <-connsDone:
+		case <-ctx.Done():
+			err = ctx.Err()
+			s.connMu.Lock()
+			for c := range s.conns {
+				c.Close()
+			}
+			s.connMu.Unlock()
+			<-connsDone
+		}
+		s.loopWG.Wait()
+		if derr := s.pool.Drain(ctx); err == nil {
+			err = derr
+		}
+	})
+	return err
+}
+
+// Breaker exposes a class's circuit breaker (nil when disabled), for
+// observability and tests.
+func (s *Server) Breaker(class preemptible.Class) *breaker.Breaker {
+	return s.breakers[class]
 }
 
 // PoolStats exposes the pool's scheduling statistics.
@@ -542,9 +630,13 @@ func (s *Server) handleRequest(line string, gone <-chan struct{}) string {
 //     browned out, which is admitted past the cap: the whole point of
 //     BROWNOUT is that LC never pays for BE pressure, and an LC flood
 //     escalates the controller to SHED instead of turning LC away here.
+//   - A tripped per-class circuit breaker rejects with
+//     "ERR unavailable": the class's tasks keep panicking, so refusing
+//     them fast beats burning workers on contained crashes. Recovery
+//     probes re-admit a trickle once the breaker's timeout passes.
 //
-// Every fast-reject also feeds rejectsWin so the controller keeps
-// seeing the turned-away load. After admission a task can still time
+// Every load-driven fast-reject also feeds rejectsWin so the
+// controller keeps seeing the turned-away load. After admission a task can still time
 // out in the queue (RequestTimeout), be evicted by a brownout
 // transition (BE only), or be cancelled on client disconnect.
 func (s *Server) runTask(class preemptible.Class, task preemptible.Task, gone <-chan struct{}) string {
@@ -568,16 +660,45 @@ func (s *Server) runTask(class preemptible.Class, task preemptible.Task, gone <-
 		s.countClass(class, func(c *ClassOverload) { c.Rejected[st]++ })
 		return "ERR overloaded"
 	}
+	// Circuit breaker, last gate before the pool: a tripped class
+	// fast-rejects with "ERR unavailable" — the fault signal (your
+	// requests are crashing), distinct from the load signals above.
+	// Breaker rejects are deliberately NOT folded into rejectsWin: a
+	// crashing class is faulty, not heavy, and must not push the
+	// brownout controller toward shedding healthy traffic.
+	br := s.breakers[class]
+	if br != nil && !br.Allow(time.Now()) {
+		s.inflight.Add(-1)
+		s.countClass(class, func(c *ClassOverload) { c.Unavailable++ })
+		return "ERR unavailable"
+	}
+	if s.panicInject != nil && s.panicInject(class) {
+		task = func(ctx *preemptible.Ctx) {
+			ctx.Checkpoint() // pass one safepoint so the poison fires mid-run
+			panic("chaos: injected panic")
+		}
+	}
 	ch := make(chan time.Duration, 1)
 	done := func(lat time.Duration) {
 		s.inflight.Add(-1)
 		ch <- lat
 	}
 	var h *preemptible.TaskHandle
+	var err error
 	if s.reqTimeout > 0 {
-		h = s.pool.SubmitClassTimeout(class, task, s.reqTimeout, done)
+		h, err = s.pool.SubmitClassTimeout(class, task, s.reqTimeout, done)
 	} else {
-		h = s.pool.SubmitClass(class, task, done)
+		h, err = s.pool.SubmitClass(class, task, done)
+	}
+	if err != nil {
+		// Pool draining or closed: admission is off for everyone. The
+		// connection is being torn down anyway; tell the client plainly.
+		s.inflight.Add(-1)
+		if br != nil {
+			br.Abandon(time.Now())
+		}
+		s.countClass(class, func(c *ClassOverload) { c.Unavailable++ })
+		return "ERR unavailable"
 	}
 	var lat time.Duration
 	select {
@@ -592,7 +713,19 @@ func (s *Server) runTask(class preemptible.Class, task preemptible.Task, gone <-
 		lat = <-ch
 	}
 	switch {
+	case lat == preemptible.FailedLatency:
+		// The task panicked; the pool contained it (the worker and the
+		// connection both survive) and the breaker hears about it — K of
+		// these in a row trip the class.
+		if br != nil {
+			br.Failure(time.Now())
+		}
+		s.countClass(class, func(c *ClassOverload) { c.Failed++ })
+		return "ERR internal"
 	case lat == preemptible.CancelledLatency:
+		if br != nil {
+			br.Abandon(time.Now())
+		}
 		if h.State() == preemptible.TaskCancelledQueued {
 			s.count(&s.Overload.CancelledQueued)
 		} else {
@@ -601,7 +734,11 @@ func (s *Server) runTask(class preemptible.Class, task preemptible.Task, gone <-
 		return "ERR cancelled"
 	case lat < 0:
 		// Shed from the queue: a brownout eviction (BE, while degraded)
-		// or a RequestTimeout expiry. Either way it never executed.
+		// or a RequestTimeout expiry. Either way it never executed —
+		// load, not fault, so the breaker only gets its claim back.
+		if br != nil {
+			br.Abandon(time.Now())
+		}
 		if class == preemptible.ClassBE && s.BrownoutState() != brownout.Normal {
 			s.countClass(class, func(c *ClassOverload) { c.Evicted++ })
 			return errLine(s.BrownoutState())
@@ -609,6 +746,9 @@ func (s *Server) runTask(class preemptible.Class, task preemptible.Task, gone <-
 		s.count(&s.Overload.Timeouts)
 		s.countClass(class, func(c *ClassOverload) { c.Timeouts++ })
 		return "ERR overloaded"
+	}
+	if br != nil {
+		br.Success(time.Now())
 	}
 	return ""
 }
@@ -630,11 +770,22 @@ func (s *Server) statsLine() string {
 	lc := s.Overload.PerClass[preemptible.ClassLC]
 	be := s.Overload.PerClass[preemptible.ClassBE]
 	s.statMu.Unlock()
+	brk := func(class preemptible.Class) (string, uint64) {
+		if b := s.breakers[class]; b != nil {
+			return b.State(time.Now()).String(), b.Trips()
+		}
+		return "off", 0
+	}
+	lcState, lcTrips := brk(preemptible.ClassLC)
+	beState, beTrips := brk(preemptible.ClassBE)
 	return fmt.Sprintf(
-		"STATS state=%s load=%.3f lc.requests=%d lc.rejected=%d lc.timeouts=%d be.requests=%d be.rejected=%d be.evicted=%d be.timeouts=%d",
+		"STATS state=%s load=%.3f lc.requests=%d lc.rejected=%d lc.timeouts=%d be.requests=%d be.rejected=%d be.evicted=%d be.timeouts=%d"+
+			" lc.failed=%d be.failed=%d lc.unavailable=%d be.unavailable=%d breaker.lc=%s breaker.lc.trips=%d breaker.be=%s breaker.be.trips=%d",
 		st, load,
 		lc.Requests, sum(lc.Rejected), lc.Timeouts,
 		be.Requests, sum(be.Rejected), be.Evicted, be.Timeouts,
+		lc.Failed, be.Failed, lc.Unavailable, be.Unavailable,
+		lcState, lcTrips, beState, beTrips,
 	)
 }
 

@@ -1,0 +1,166 @@
+package rpcserver
+
+import (
+	"testing"
+
+	"repro/internal/breaker"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// faultyServer builds a 1-slot breaker-enabled server whose Fail hook
+// fails every BE completion while *failing is true.
+func faultyServer(failing *bool, cfg breaker.Config) *Server {
+	c := Config{KernelThreads: 1, UserThreadsPerKT: 1,
+		ServiceMean: 50 * sim.Microsecond, Seed: 50,
+		BreakerEnabled: true, Breaker: cfg,
+		Fail: func(r *sched.Request) bool { return r.Class == sched.ClassBE && *failing }}
+	return New(c)
+}
+
+// TestBreakerTripsAndRecoversSimTime: the full breaker arc driven
+// entirely by the sim clock — BE failures trip the BE breaker, open
+// fast-rejects BE while LC flows untouched, and after OpenTimeout of
+// sim time a healthy probe recloses it.
+func TestBreakerTripsAndRecoversSimTime(t *testing.T) {
+	failing := true
+	s := faultyServer(&failing, breaker.Config{
+		FailureThreshold: 3,
+		OpenTimeout:      sim.Millisecond.Duration(), // 1ms of sim time
+	})
+
+	// Three failing BE completions, run to quiescence each time so the
+	// completions (and Failure reports) land before the next arrival.
+	for i := 0; i < 3; i++ {
+		s.Submit(sched.NewRequest(uint64(i+1), sched.ClassBE, s.Engine().Now(), 50*sim.Microsecond))
+		s.Engine().RunAll()
+	}
+	if s.Failed[sched.ClassBE] != 3 {
+		t.Fatalf("Failed[BE] = %d, want 3", s.Failed[sched.ClassBE])
+	}
+	be := s.Breaker(sched.ClassBE)
+	if got := be.State(s.simNow()); got != breaker.Open {
+		t.Fatalf("BE breaker %v after threshold failures, want open", got)
+	}
+
+	// Open fast-rejects BE at Submit; the request never queues or runs.
+	rejected := sched.NewRequest(10, sched.ClassBE, s.Engine().Now(), 50*sim.Microsecond)
+	s.Submit(rejected)
+	if s.RejectedUnavailable[sched.ClassBE] != 1 {
+		t.Fatalf("RejectedUnavailable = %v, want [0 1]", s.RejectedUnavailable)
+	}
+	s.Engine().RunAll()
+	if rejected.Done() {
+		t.Fatal("breaker-rejected request ran anyway")
+	}
+
+	// LC is isolated: its breaker never saw a failure and still admits.
+	s.Submit(sched.NewRequest(11, sched.ClassLC, s.Engine().Now(), 50*sim.Microsecond))
+	s.Engine().RunAll()
+	if s.RejectedUnavailable[sched.ClassLC] != 0 {
+		t.Fatalf("LC rejected: %v", s.RejectedUnavailable)
+	}
+	if lc := s.Breaker(sched.ClassLC); lc.Trips() != 0 {
+		t.Fatalf("LC breaker tripped %d times", lc.Trips())
+	}
+
+	// Advance sim time past OpenTimeout; the fault clears; a healthy
+	// probe recloses the breaker and BE flows again.
+	failing = false
+	s.Engine().Schedule(2*sim.Millisecond, func() {})
+	s.Engine().RunAll()
+	if got := be.State(s.simNow()); got != breaker.HalfOpen {
+		t.Fatalf("BE breaker %v after open timeout, want half-open", got)
+	}
+	s.Submit(sched.NewRequest(12, sched.ClassBE, s.Engine().Now(), 50*sim.Microsecond))
+	s.Engine().RunAll()
+	if got := be.State(s.simNow()); got != breaker.Closed {
+		t.Fatalf("BE breaker %v after healthy probe, want closed", got)
+	}
+	if be.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1 (no flapping)", be.Trips())
+	}
+	s.Submit(sched.NewRequest(13, sched.ClassBE, s.Engine().Now(), 50*sim.Microsecond))
+	s.Engine().RunAll()
+	if s.RejectedUnavailable[sched.ClassBE] != 1 {
+		t.Fatalf("reclosed breaker still rejecting: %v", s.RejectedUnavailable)
+	}
+
+	// Determinism: an identical run reproduces the exact counters.
+	failing2 := true
+	s2 := faultyServer(&failing2, breaker.Config{
+		FailureThreshold: 3, OpenTimeout: sim.Millisecond.Duration()})
+	for i := 0; i < 3; i++ {
+		s2.Submit(sched.NewRequest(uint64(i+1), sched.ClassBE, s2.Engine().Now(), 50*sim.Microsecond))
+		s2.Engine().RunAll()
+	}
+	s2.Submit(sched.NewRequest(10, sched.ClassBE, s2.Engine().Now(), 50*sim.Microsecond))
+	if s2.RejectedUnavailable != s.RejectedUnavailable || s2.Failed != s.Failed {
+		t.Fatalf("not deterministic: %v/%v vs %v/%v",
+			s2.RejectedUnavailable, s2.Failed, s.RejectedUnavailable, s.Failed)
+	}
+}
+
+// TestBreakerCancelledProbeAbandons: cancelling a backlogged half-open
+// probe returns its slot instead of wedging the breaker half-open.
+func TestBreakerCancelledProbeAbandons(t *testing.T) {
+	failing := true
+	s := faultyServer(&failing, breaker.Config{
+		FailureThreshold: 1,
+		OpenTimeout:      sim.Millisecond.Duration(),
+	})
+	s.Submit(sched.NewRequest(1, sched.ClassBE, 0, 50*sim.Microsecond))
+	s.Engine().RunAll()
+	be := s.Breaker(sched.ClassBE)
+	if got := be.State(s.simNow()); got != breaker.Open {
+		t.Fatalf("state %v, want open", got)
+	}
+
+	failing = false
+	// Occupy the single slot with a long LC request so the probe waits
+	// in the backlog, then advance past the open timeout.
+	s.Engine().Schedule(2*sim.Millisecond, func() {
+		s.Submit(sched.NewRequest(2, sched.ClassLC, s.Engine().Now(), sim.Millisecond))
+		probe := sched.NewRequest(3, sched.ClassBE, s.Engine().Now(), 50*sim.Microsecond)
+		s.Submit(probe) // claims the single half-open probe slot
+		// A second BE is refused while the probe is outstanding.
+		s.Submit(sched.NewRequest(4, sched.ClassBE, s.Engine().Now(), 50*sim.Microsecond))
+		if s.RejectedUnavailable[sched.ClassBE] != 1 {
+			t.Fatalf("RejectedUnavailable = %v, want [0 1]", s.RejectedUnavailable)
+		}
+		// The client hangs up; the abandoned claim frees the slot for a
+		// fresh probe, which completes healthy and recloses the breaker.
+		if !s.Cancel(probe) {
+			t.Fatal("Cancel of the backlogged probe failed")
+		}
+		s.Submit(sched.NewRequest(5, sched.ClassBE, s.Engine().Now(), 50*sim.Microsecond))
+		if s.RejectedUnavailable[sched.ClassBE] != 1 {
+			t.Fatal("abandoned probe slot was not released")
+		}
+	})
+	s.Engine().RunAll()
+	if got := be.State(s.simNow()); got != breaker.Closed {
+		t.Fatalf("state %v after replacement probe completed, want closed", got)
+	}
+}
+
+// TestBreakerOffByDefault: without BreakerEnabled the breaker
+// machinery is absent and failure marking still counts.
+func TestBreakerOffByDefault(t *testing.T) {
+	s := New(Config{KernelThreads: 1, UserThreadsPerKT: 1,
+		ServiceMean: 50 * sim.Microsecond, Seed: 51,
+		Fail: func(*sched.Request) bool { return true }})
+	if s.Breaker(sched.ClassLC) != nil || s.Breaker(sched.ClassBE) != nil {
+		t.Fatal("breakers built without BreakerEnabled")
+	}
+	for i := 0; i < 10; i++ {
+		s.Submit(sched.NewRequest(uint64(i+1), sched.ClassLC, 0, 50*sim.Microsecond))
+	}
+	s.Engine().RunAll()
+	if s.RejectedUnavailable[sched.ClassLC] != 0 {
+		t.Fatalf("rejections with no breaker: %v", s.RejectedUnavailable)
+	}
+	if s.Failed[sched.ClassLC] != 10 {
+		t.Fatalf("Failed = %v, want 10 LC", s.Failed)
+	}
+}

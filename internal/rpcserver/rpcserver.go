@@ -8,9 +8,19 @@
 // the latency distribution at increasing QPS with and without
 // preemption reproduces Fig. 10's finding: ~1.2% tail-latency overhead
 // near 89% load, growing sublinearly with load.
+//
+// With BreakerEnabled the server mirrors the live server's per-class
+// circuit breakers in sim time (internal/breaker takes explicit
+// clocks, so the engine's clock drives OpenTimeout deterministically):
+// a Fail hook marks completions as failures, an open breaker
+// fast-rejects the class at Submit (RejectedUnavailable), and drops
+// (shed/expired/evicted/cancelled) abandon their breaker claims.
 package rpcserver
 
 import (
+	"time"
+
+	"repro/internal/breaker"
 	"repro/internal/core"
 	"repro/internal/hw"
 	"repro/internal/sched"
@@ -66,6 +76,20 @@ type Config struct {
 	// it when a slot frees up (0 = none): the fast-reject path for
 	// work that is already too stale to meet any SLO.
 	QueueTimeout sim.Time
+
+	// BreakerEnabled turns on per-class circuit breakers: the sim
+	// mirror of the live server's fault containment, driven entirely
+	// by sim time so sweeps stay deterministic. Off by default — the
+	// historical server has no breaker.
+	BreakerEnabled bool
+	// Breaker parameterizes the per-class breakers when enabled; the
+	// zero value takes the package defaults. OpenTimeout and Window
+	// are interpreted in sim time (1ns of either is 1ns of sim time).
+	Breaker breaker.Config
+	// Fail marks a completed request as a failure for breaker
+	// accounting — the sim analog of a contained panic. Evaluated at
+	// completion; nil means every completion is a success.
+	Fail func(r *sched.Request) bool
 }
 
 // spedEventCost is the extra per-request event-loop work of the SPED
@@ -85,6 +109,9 @@ type Server struct {
 	// waiters, so displacing a BE genuinely frees room for an LC.
 	backLive int
 	beClosed bool
+	// breakers holds one circuit breaker per class when
+	// BreakerEnabled; nil entries mean no breaker for that class.
+	breakers [2]*breaker.Breaker
 
 	// Admitted counts requests that entered the pool; Backlogged counts
 	// requests that had to wait for a slot.
@@ -106,6 +133,14 @@ type Server struct {
 	// admission gate is closed (SetBEAdmission) — the sim mirror of the
 	// live server's "ERR brownout" fast-reject.
 	RejectedBE uint64
+	// RejectedUnavailable counts, per class, requests refused at
+	// Submit by an open circuit breaker — the sim mirror of the live
+	// server's "ERR unavailable". Distinct from Shed (load) and
+	// RejectedBE (brownout): this is fault isolation, not overload.
+	RejectedUnavailable [2]uint64
+	// Failed counts, per class, completed requests the Fail hook
+	// marked as failures.
+	Failed [2]uint64
 }
 
 // New builds a server. Quantum 0 gives the no-preemption baseline.
@@ -120,6 +155,11 @@ func New(cfg Config) *Server {
 		panic("rpcserver: need positive service mean")
 	}
 	s := &Server{cfg: cfg, slots: cfg.KernelThreads * cfg.UserThreadsPerKT}
+	if cfg.BreakerEnabled {
+		for c := range s.breakers {
+			s.breakers[c] = breaker.New(cfg.Breaker)
+		}
+	}
 	mech := core.MechNone
 	if cfg.Quantum > 0 {
 		mech = core.MechUINTR
@@ -136,8 +176,9 @@ func New(cfg Config) *Server {
 		Mech:    mech,
 		Costs:   &costs,
 		Seed:    cfg.Seed ^ 0x727063737276,
-		OnComplete: func(*sched.Request) {
+		OnComplete: func(r *sched.Request) {
 			s.inFlight--
+			s.settle(r)
 			s.admit()
 		},
 	})
@@ -156,14 +197,24 @@ func (s *Server) Engine() *sim.Engine { return s.sys.Eng }
 // unbounded queue. Class-aware degradation hooks in twice: a closed BE
 // gate (SetBEAdmission) refuses BE at arrival, and an LC arrival that
 // finds the backlog full displaces the oldest waiting BE instead of
-// being shed — queued LC survives overload at BE's expense.
+// being shed — queued LC survives overload at BE's expense. With
+// BreakerEnabled, an open per-class breaker fast-rejects the class
+// before any queueing (counted in RejectedUnavailable).
 func (s *Server) Submit(r *sched.Request) {
 	if s.beClosed && r.Class == sched.ClassBE {
 		s.RejectedBE++
 		return
 	}
+	br := s.breakers[r.Class]
+	if br != nil && !br.Allow(s.simNow()) {
+		s.RejectedUnavailable[r.Class]++
+		return
+	}
 	if s.cfg.MaxBacklog > 0 && s.inFlight >= s.slots && s.backLive >= s.cfg.MaxBacklog {
 		if r.Class != sched.ClassLC || !s.evictOneBE() {
+			// Allowed but never ran: return any claimed probe slot —
+			// shedding is a load signal, not evidence of fault.
+			s.abandon(r.Class)
 			s.Shed++
 			return
 		}
@@ -172,6 +223,41 @@ func (s *Server) Submit(r *sched.Request) {
 	s.backLive++
 	s.admit()
 }
+
+// simNow maps the engine's sim clock onto the breaker's time.Time
+// axis (1ns of sim time per wall ns since the zero epoch), keeping
+// breaker timeouts deterministic under sim-time sweeps.
+func (s *Server) simNow() time.Time {
+	return time.Unix(0, int64(s.sys.Eng.Now()))
+}
+
+// settle reports a completed request's outcome to its class breaker:
+// the Fail hook decides failure (the sim analog of a contained panic).
+func (s *Server) settle(r *sched.Request) {
+	failed := s.cfg.Fail != nil && s.cfg.Fail(r)
+	if failed {
+		s.Failed[r.Class]++
+	}
+	if br := s.breakers[r.Class]; br != nil {
+		if failed {
+			br.Failure(s.simNow())
+		} else {
+			br.Success(s.simNow())
+		}
+	}
+}
+
+// abandon returns a breaker claim without an outcome (shed, expired,
+// evicted, cancelled): drops say nothing about handler health.
+func (s *Server) abandon(class int) {
+	if br := s.breakers[class]; br != nil {
+		br.Abandon(s.simNow())
+	}
+}
+
+// Breaker exposes the class's circuit breaker (nil unless
+// BreakerEnabled) for sweeps and tests.
+func (s *Server) Breaker(class int) *breaker.Breaker { return s.breakers[class] }
 
 // SetBEAdmission opens or closes the BE admission gate. While closed,
 // BE submissions are refused at arrival (counted in RejectedBE); LC is
@@ -190,6 +276,7 @@ func (s *Server) EvictClass(class int) int {
 			r.Evicted = true
 			s.Evicted[class]++
 			s.backLive--
+			s.abandon(class)
 			n++
 		}
 	}
@@ -204,6 +291,7 @@ func (s *Server) evictOneBE() bool {
 			r.Evicted = true
 			s.Evicted[sched.ClassBE]++
 			s.backLive--
+			s.abandon(sched.ClassBE)
 			return true
 		}
 	}
@@ -225,6 +313,7 @@ func (s *Server) Cancel(r *sched.Request) bool {
 			r.Cancelled = true
 			s.Cancelled++
 			s.backLive--
+			s.abandon(r.Class)
 			return true
 		}
 	}
@@ -250,6 +339,7 @@ func (s *Server) admit() {
 		// instead of occupying a slot.
 		if s.cfg.QueueTimeout > 0 && s.sys.Eng.Now()-r.Arrival > s.cfg.QueueTimeout {
 			s.Expired++
+			s.abandon(r.Class)
 			continue
 		}
 		s.inFlight++

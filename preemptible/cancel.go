@@ -25,6 +25,10 @@ const (
 	// RejectedLatency reports a task refused at SubmitClass because its
 	// class's admission gate was closed; it never queued.
 	RejectedLatency = -3 * time.Nanosecond
+	// FailedLatency reports a task that panicked mid-execution; the
+	// panic was contained by the runtime (TaskHandle.Err carries the
+	// captured TaskError) and the worker that ran it is unharmed.
+	FailedLatency = -4 * time.Nanosecond
 )
 
 // TaskState is a submitted task's lifecycle state, observable through
@@ -51,6 +55,9 @@ const (
 	// TaskRejected: the class admission gate refused the submission; the
 	// task never queued.
 	TaskRejected
+	// TaskFailed: the task panicked while executing; the runtime
+	// contained the fault and recorded it (TaskHandle.Err).
+	TaskFailed
 )
 
 func (s TaskState) String() string {
@@ -71,6 +78,8 @@ func (s TaskState) String() string {
 		return "cancelled-executing"
 	case TaskRejected:
 		return "rejected"
+	case TaskFailed:
+		return "failed"
 	default:
 		return "invalid"
 	}
@@ -91,6 +100,9 @@ type taskState struct {
 	class     Class     // set at submit, read-only afterwards
 	cancelReq atomic.Uint32
 	done      func(time.Duration)
+	// failure is the captured panic of a TaskFailed task (guarded by
+	// Pool.mu, set exactly once when the status becomes TaskFailed).
+	failure *TaskError
 }
 
 // TaskHandle identifies one submission for cancellation and outcome
@@ -109,11 +121,18 @@ func (h *TaskHandle) State() TaskState {
 }
 
 // Err reports the task's terminal outcome: ErrCancelled after a cancel
-// took effect, nil otherwise (including while still pending — pair with
-// State for liveness).
+// took effect, the captured *TaskError after the task panicked, nil
+// otherwise (including while still pending — pair with State for
+// liveness).
 func (h *TaskHandle) Err() error {
-	if h.State().Cancelled() {
+	h.p.mu.Lock()
+	st, failure := h.st.status, h.st.failure
+	h.p.mu.Unlock()
+	switch {
+	case st.Cancelled():
 		return ErrCancelled
+	case st == TaskFailed:
+		return failure
 	}
 	return nil
 }

@@ -26,7 +26,7 @@ func TestCancelQueuedEvicts(t *testing.T) {
 
 	executed := false
 	ch := make(chan time.Duration, 1)
-	h := p.Submit(func(ctx *Ctx) { executed = true }, func(l time.Duration) { ch <- l })
+	h, _ := p.Submit(func(ctx *Ctx) { executed = true }, func(l time.Duration) { ch <- l })
 	if got := h.State(); got != TaskQueued {
 		t.Fatalf("state before cancel: %v", got)
 	}
@@ -75,7 +75,7 @@ func TestCancelExecutingUnwindsAtSafepoint(t *testing.T) {
 	started := make(chan struct{})
 	var deferRan bool
 	ch := make(chan time.Duration, 1)
-	h := p.Submit(func(ctx *Ctx) {
+	h, _ := p.Submit(func(ctx *Ctx) {
 		defer func() { deferRan = true }()
 		close(started)
 		for {
@@ -115,7 +115,7 @@ func TestCancelPreemptedInQueue(t *testing.T) {
 	started := make(chan struct{})
 	segments := 0
 	ch := make(chan time.Duration, 1)
-	h := p.Submit(func(ctx *Ctx) {
+	h, _ := p.Submit(func(ctx *Ctx) {
 		close(started)
 		for {
 			segments++
@@ -165,7 +165,7 @@ func TestCancelRunningWithoutSafepointsCompletes(t *testing.T) {
 	started := make(chan struct{})
 	release := make(chan struct{})
 	ch := make(chan time.Duration, 1)
-	h := p.Submit(func(ctx *Ctx) {
+	h, _ := p.Submit(func(ctx *Ctx) {
 		close(started)
 		<-release
 		// no Checkpoint between here and return
@@ -193,7 +193,7 @@ func TestCancelCompletedReturnsFalse(t *testing.T) {
 	rt := newRT(t)
 	p := NewPool(rt, PoolConfig{Workers: 1})
 	ch := make(chan time.Duration, 1)
-	h := p.Submit(func(ctx *Ctx) {}, func(l time.Duration) { ch <- l })
+	h, _ := p.Submit(func(ctx *Ctx) {}, func(l time.Duration) { ch <- l })
 	<-ch
 	waitUntil(t, 2*time.Second, func() bool { return h.State() == TaskCompleted },
 		"task to settle")
@@ -214,7 +214,7 @@ func TestCancelObservableViaCtxPolling(t *testing.T) {
 	started := make(chan struct{})
 	sawCancel := make(chan bool, 1)
 	ch := make(chan time.Duration, 1)
-	h := p.Submit(func(ctx *Ctx) {
+	h, _ := p.Submit(func(ctx *Ctx) {
 		close(started)
 		for !ctx.Cancelled() {
 			time.Sleep(50 * time.Microsecond)
@@ -330,7 +330,7 @@ func TestEDFCancelProperty(t *testing.T) {
 				if rng.Intn(4) != 0 { // 1 in 4 deadline-free
 					dl = base.Add(time.Duration(rng.Intn(1000)) * time.Millisecond)
 				}
-				h := p.SubmitDeadline(noop, dl, nil)
+				h, _ := p.SubmitDeadline(noop, dl, nil)
 				h.st.done = func(st *taskState) func(time.Duration) {
 					return func(l time.Duration) {
 						if l != CancelledLatency {

@@ -40,7 +40,7 @@ func (c Class) valid() bool { return c >= 0 && c < NumClasses }
 // ClassStats is one class's slice of the pool counters. Work is
 // conserved per class: once the pool is idle,
 //
-//	Submitted = Completed + Rejected + Shed + Cancelled()
+//	Submitted = Completed + Rejected + Shed + Failed + Cancelled()
 //
 // holds exactly — every submission lands in one terminal bucket.
 type ClassStats struct {
@@ -58,6 +58,10 @@ type ClassStats struct {
 	Shed uint64
 	// CancelledQueued/CancelledExecuting mirror the pool-wide buckets.
 	CancelledQueued, CancelledExecuting uint64
+	// Failed counts tasks of the class that panicked mid-execution; the
+	// runtime contained each fault and the done callback observed
+	// FailedLatency.
+	Failed uint64
 }
 
 // Cancelled is the total of both cancellation buckets.
@@ -66,19 +70,19 @@ func (s ClassStats) Cancelled() uint64 { return s.CancelledQueued + s.CancelledE
 // Settled is the total of every terminal bucket; Submitted − Settled
 // is the work still in flight.
 func (s ClassStats) Settled() uint64 {
-	return s.Completed + s.Rejected + s.Shed + s.Cancelled()
+	return s.Completed + s.Rejected + s.Shed + s.Failed + s.Cancelled()
 }
 
 // SubmitClass is Submit with an explicit service class. If the class's
 // admission gate is closed (SetClassAdmission) the task is refused
 // without queuing: done observes RejectedLatency and the handle
-// reports TaskRejected.
-func (p *Pool) SubmitClass(class Class, task Task, done func(latency time.Duration)) *TaskHandle {
+// reports TaskRejected. Returns ErrClosed after Close/Drain.
+func (p *Pool) SubmitClass(class Class, task Task, done func(latency time.Duration)) (*TaskHandle, error) {
 	return p.submitClass(class, task, time.Time{}, done)
 }
 
 // SubmitClassTimeout is SubmitTimeout with an explicit service class.
-func (p *Pool) SubmitClassTimeout(class Class, task Task, timeout time.Duration, done func(latency time.Duration)) *TaskHandle {
+func (p *Pool) SubmitClassTimeout(class Class, task Task, timeout time.Duration, done func(latency time.Duration)) (*TaskHandle, error) {
 	if timeout <= 0 {
 		panic("preemptible: non-positive timeout")
 	}

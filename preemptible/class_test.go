@@ -46,7 +46,7 @@ func TestClassAdmissionGate(t *testing.T) {
 	p.SetClassAdmission(ClassBE, false)
 	var lat atomic.Int64
 	done := make(chan struct{})
-	h := p.SubmitClass(ClassBE, func(ctx *Ctx) { t.Error("rejected task ran") },
+	h, _ := p.SubmitClass(ClassBE, func(ctx *Ctx) { t.Error("rejected task ran") },
 		func(l time.Duration) { lat.Store(int64(l)); close(done) })
 	<-done
 	if time.Duration(lat.Load()) != RejectedLatency {
@@ -58,7 +58,7 @@ func TestClassAdmissionGate(t *testing.T) {
 	if h.Cancel() {
 		t.Fatal("Cancel accepted on a rejected task")
 	}
-	if got := p.SubmitWait(func(ctx *Ctx) {}); got < 0 {
+	if got, _ := p.SubmitWait(func(ctx *Ctx) {}); got < 0 {
 		t.Fatalf("LC refused while BE gate closed: %v", got)
 	}
 
@@ -92,8 +92,8 @@ func TestEvictClassFIFO(t *testing.T) {
 	lcCh := make(chan time.Duration, nLC)
 	var beHandles []*TaskHandle
 	for i := 0; i < nBE; i++ {
-		beHandles = append(beHandles,
-			p.SubmitClass(ClassBE, func(ctx *Ctx) {}, func(l time.Duration) { beCh <- l }))
+		h, _ := p.SubmitClass(ClassBE, func(ctx *Ctx) {}, func(l time.Duration) { beCh <- l })
+		beHandles = append(beHandles, h)
 	}
 	for i := 0; i < nLC; i++ {
 		p.SubmitClass(ClassLC, func(ctx *Ctx) {}, func(l time.Duration) { lcCh <- l })
@@ -203,7 +203,8 @@ func TestPerClassConservation(t *testing.T) {
 		if i%2 == 0 {
 			class = ClassBE
 		}
-		handles = append(handles, p.SubmitClass(class, func(ctx *Ctx) {}, track()))
+		h, _ := p.SubmitClass(class, func(ctx *Ctx) {}, track())
+		handles = append(handles, h)
 	}
 	handles[3].Cancel() // queued LC cancel
 	p.EvictClass(ClassBE)

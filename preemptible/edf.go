@@ -70,14 +70,15 @@ func (q *edfQueue) Pop() any {
 // EDF discipline the deadline orders execution; under FIFO it is
 // carried but ignored. done (optional) receives the sojourn latency.
 // The returned handle cancels the task at any point in its lifecycle.
-func (p *Pool) SubmitDeadline(task Task, deadline time.Time, done func(latency time.Duration)) *TaskHandle {
+// Returns ErrClosed after Close/Drain, like Submit.
+func (p *Pool) SubmitDeadline(task Task, deadline time.Time, done func(latency time.Duration)) (*TaskHandle, error) {
 	return p.SubmitClassDeadline(ClassLC, task, deadline, done)
 }
 
 // SubmitClassDeadline is SubmitDeadline with an explicit service class;
 // like SubmitClass, a closed admission gate refuses the task at the
 // door with RejectedLatency.
-func (p *Pool) SubmitClassDeadline(class Class, task Task, deadline time.Time, done func(latency time.Duration)) *TaskHandle {
+func (p *Pool) SubmitClassDeadline(class Class, task Task, deadline time.Time, done func(latency time.Duration)) (*TaskHandle, error) {
 	if task == nil {
 		panic("preemptible: SubmitDeadline(nil)")
 	}
@@ -89,7 +90,7 @@ func (p *Pool) SubmitClassDeadline(class Class, task Task, deadline time.Time, d
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
-		panic("preemptible: Submit on closed pool")
+		return nil, ErrClosed
 	}
 	p.submitted++
 	p.perClass[class].Submitted++
@@ -101,7 +102,7 @@ func (p *Pool) SubmitClassDeadline(class Class, task Task, deadline time.Time, d
 		if done != nil {
 			done(RejectedLatency)
 		}
-		return &TaskHandle{p: p, st: st}
+		return &TaskHandle{p: p, st: st}, nil
 	}
 	p.winArr++
 	if p.discipline == EDF {
@@ -113,7 +114,7 @@ func (p *Pool) SubmitClassDeadline(class Class, task Task, deadline time.Time, d
 	}
 	p.mu.Unlock()
 	p.cond.Signal()
-	return &TaskHandle{p: p, st: st}
+	return &TaskHandle{p: p, st: st}, nil
 }
 
 // pushEDF enqueues an item under the EDF discipline (caller holds mu or

@@ -90,7 +90,7 @@ func TestEDFSubmitPlainGoesDeadlineFree(t *testing.T) {
 	p := NewPool(rt, PoolConfig{Workers: 1, Quantum: 10 * time.Millisecond, Discipline: EDF})
 	defer p.Close()
 	// Plain Submit on an EDF pool is valid: deadline-free.
-	lat := p.SubmitWait(func(ctx *Ctx) {})
+	lat, _ := p.SubmitWait(func(ctx *Ctx) {})
 	if lat <= 0 {
 		t.Fatal("no latency recorded")
 	}

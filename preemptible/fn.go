@@ -1,6 +1,8 @@
 package preemptible
 
 import (
+	"fmt"
+	"runtime/debug"
 	"sync/atomic"
 	"time"
 )
@@ -28,6 +30,13 @@ type Ctx struct {
 	// than a normal return (fn_completed(cancelled)).
 	unwound atomic.Bool
 
+	// failure records a panic runTaskBody captured: the task died but
+	// the Fn completes through the ordinary yield path in StateFailed.
+	// Written by the task goroutine before its final yieldCh send, read
+	// by the scheduler after the matching receive — the channel handoff
+	// orders the accesses.
+	failure *TaskError
+
 	// coop marks a degraded-mode context: the task runs inline with no
 	// scheduler to yield to, so Yield and Checkpoint-triggered yields
 	// are no-ops (see Pool's graceful degradation).
@@ -42,8 +51,25 @@ type Ctx struct {
 
 // cancelPanic is the sentinel thrown by a safepoint to unwind a
 // cancelled task; the launch wrapper recovers it and completes the Fn
-// through the normal yield path. Any other panic still crashes.
+// through the normal yield path.
 type cancelPanic struct{}
+
+// TaskError is the captured panic of a failed task: the recovered
+// value plus the stack at the panic site. The runtime contains the
+// fault — the worker, timer service, and queues stay healthy — and the
+// Fn completes in StateFailed carrying this record, so the scheduler
+// can attribute the crash without the process dying with it.
+type TaskError struct {
+	// Value is the value the task panicked with.
+	Value any
+	// Stack is the goroutine stack captured at recovery, panic site
+	// included.
+	Stack []byte
+}
+
+func (e *TaskError) Error() string {
+	return fmt.Sprintf("preemptible: task panicked: %v", e.Value)
+}
 
 // Checkpoint is the safepoint: on a raised preemption flag it saves
 // control state and returns to the scheduler that called Launch/Resume,
@@ -154,6 +180,9 @@ const (
 	StateRunning
 	// StateCompleted: the task returned; Resume is an error.
 	StateCompleted
+	// StateFailed: the task panicked; the Fn is terminal and Err
+	// carries the captured panic. Resume is an error.
+	StateFailed
 )
 
 func (s FnState) String() string {
@@ -164,6 +193,8 @@ func (s FnState) String() string {
 		return "running"
 	case StateCompleted:
 		return "completed"
+	case StateFailed:
+		return "failed"
 	default:
 		return "invalid"
 	}
@@ -215,16 +246,21 @@ func (r *Runtime) Launch(task Task, quantum time.Duration) (*Fn, error) {
 	return fn, nil
 }
 
-// runTaskBody executes the task, absorbing only the cancel-unwind
-// sentinel: a cancelled task's stack unwinds (its defers run) and the
-// Fn then completes through the ordinary yield path, state Completed
-// with ctx.CancelUnwound() set. Every other panic propagates.
+// runTaskBody executes the task, containing every panic. The
+// cancel-unwind sentinel is absorbed silently: a cancelled task's stack
+// unwinds (its defers run) and the Fn completes through the ordinary
+// yield path, state Completed with ctx.CancelUnwound() set. Any other
+// panic is a task fault, not a runtime fault: the value and stack are
+// captured into a TaskError and the Fn completes in StateFailed through
+// the same path, so one poisoned task can never take down the worker,
+// the timer service, or the queues around it.
 func runTaskBody(task Task, ctx *Ctx) {
 	defer func() {
 		if r := recover(); r != nil {
-			if _, ok := r.(cancelPanic); !ok {
-				panic(r)
+			if _, ok := r.(cancelPanic); ok {
+				return
 			}
+			ctx.failure = &TaskError{Value: r, Stack: debug.Stack()}
 		}
 	}()
 	task(ctx)
@@ -243,12 +279,16 @@ func (r *Runtime) LaunchWithDeadline(task Task, quantum time.Duration, deadline 
 }
 
 // Resume continues a preempted function (fn_resume) until the next
-// quantum expiry or completion. Resuming a completed or running Fn
-// panics: both indicate a scheduler bug.
+// quantum expiry or completion. Resuming a completed, failed, or
+// running Fn panics: all three indicate a scheduler bug — a failed Fn
+// in particular is terminal, its task goroutine is gone, and there is
+// nothing left to continue.
 func (fn *Fn) Resume(quantum time.Duration) {
 	switch FnState(fn.state.Load()) {
 	case StateCompleted:
 		panic("preemptible: Resume of completed Fn")
+	case StateFailed:
+		panic("preemptible: Resume of failed Fn")
 	case StateRunning:
 		panic("preemptible: concurrent Resume")
 	}
@@ -265,7 +305,11 @@ func (fn *Fn) resume(quantum time.Duration) {
 	fn.ctx.runCh <- struct{}{}
 	done := <-fn.ctx.yieldCh
 	if done {
-		fn.state.Store(int32(StateCompleted))
+		if fn.ctx.failure != nil {
+			fn.state.Store(int32(StateFailed))
+		} else {
+			fn.state.Store(int32(StateCompleted))
+		}
 		fn.rt.unregister(fn.ctx)
 		return
 	}
@@ -277,6 +321,21 @@ func (fn *Fn) resume(quantum time.Duration) {
 // no reschedule is necessary.
 func (fn *Fn) Completed() bool {
 	return FnState(fn.state.Load()) == StateCompleted
+}
+
+// Failed reports whether the task panicked; the captured panic is in
+// Err. A failed Fn is terminal: like Completed, no reschedule is
+// necessary (or possible).
+func (fn *Fn) Failed() bool {
+	return FnState(fn.state.Load()) == StateFailed
+}
+
+// Err reports a failed Fn's captured panic (nil unless Failed).
+func (fn *Fn) Err() *TaskError {
+	if fn.Failed() {
+		return fn.ctx.failure
+	}
+	return nil
 }
 
 // Cancelled reports fn_completed(cancelled): the task completed by

@@ -1,6 +1,7 @@
 package preemptible
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -23,6 +24,10 @@ type PoolConfig struct {
 	// Discipline selects FIFO (default, arrivals-first) or EDF
 	// (deadline-ordered, with SubmitDeadline).
 	Discipline Discipline
+	// OnFailure, when non-nil, is invoked (outside the pool lock, on
+	// the worker goroutine that contained the fault) every time a task
+	// panics. Circuit breakers and alerting hook in here.
+	OnFailure func(class Class, err *TaskError)
 }
 
 // AdaptiveConfig is the public mirror of the paper's Algorithm 1
@@ -43,12 +48,16 @@ type AdaptiveConfig struct {
 
 // PoolStats is a snapshot of a Pool's counters and latency summary.
 // Every submitted task lands in exactly one terminal bucket:
-// Submitted = Completed + Rejected + Shed + CancelledQueued +
+// Submitted = Completed + Rejected + Shed + Failed + CancelledQueued +
 // CancelledExecuting + work still in flight — in aggregate and per
 // class (PerClass).
 type PoolStats struct {
 	Submitted, Completed uint64
 	Preemptions          uint64
+	// Failed counts tasks that panicked mid-execution; the runtime
+	// contained each fault (the worker survived) and the done callback
+	// observed FailedLatency.
+	Failed uint64
 	// Rejected counts submissions refused at SubmitClass by a closed
 	// class admission gate (SetClassAdmission).
 	Rejected uint64
@@ -115,9 +124,14 @@ type Pool struct {
 	preempts        uint64
 	rejected        uint64
 	shed            uint64
+	failed          uint64
 	cancelledQueued uint64
 	cancelledExec   uint64
 	perClass        [NumClasses]ClassStats
+	// running tracks tasks currently held by a worker (popped, not yet
+	// settled or requeued); Drain raises their cancel flags when the
+	// deadline passes, since they are in no queue to walk.
+	running map[*taskState]struct{}
 	// gateClosed marks classes whose admission gate is shut
 	// (SetClassAdmission); the zero value — all gates open — is the
 	// historical behavior.
@@ -129,8 +143,11 @@ type Pool struct {
 	winLats      []float64
 	winArr       uint64
 
+	onFailure func(class Class, err *TaskError)
+
 	workersWG sync.WaitGroup
 	ctlStop   chan struct{}
+	ctlOnce   sync.Once // guards controller shutdown across Close/Drain
 	ctlWG     sync.WaitGroup
 }
 
@@ -148,6 +165,8 @@ func NewPool(rt *Runtime, cfg PoolConfig) *Pool {
 		quantum:    q,
 		discipline: cfg.Discipline,
 		hist:       stats.NewHistogram(),
+		running:    make(map[*taskState]struct{}),
+		onFailure:  cfg.OnFailure,
 		ctlStop:    make(chan struct{}),
 	}
 	p.cond = sync.NewCond(&p.mu)
@@ -164,9 +183,13 @@ func NewPool(rt *Runtime, cfg PoolConfig) *Pool {
 
 // Submit enqueues a task; done (optional) is called with the task's
 // sojourn latency when it completes (or a negative sentinel — see
-// ShedLatency/CancelledLatency — when it does not). The returned
-// handle cancels the task at any point in its lifecycle.
-func (p *Pool) Submit(task Task, done func(latency time.Duration)) *TaskHandle {
+// ShedLatency/CancelledLatency/FailedLatency — when it does not). The
+// returned handle cancels the task at any point in its lifecycle.
+// Submitting to a closed (or draining) pool returns ErrClosed and a
+// nil handle — a Submit racing Close is an ordinary, handleable
+// outcome, not a crash; done is never called. A nil task or invalid
+// class still panics: those are caller bugs, not races.
+func (p *Pool) Submit(task Task, done func(latency time.Duration)) (*TaskHandle, error) {
 	return p.submit(task, time.Time{}, done)
 }
 
@@ -176,18 +199,19 @@ func (p *Pool) Submit(task Task, done func(latency time.Duration)) *TaskHandle {
 // pool's overload fast-reject path: under sustained overload the queue
 // sheds stale work instead of growing without bound in useful-work
 // terms. FIFO discipline only (EDF orders by its own deadlines).
-func (p *Pool) SubmitTimeout(task Task, timeout time.Duration, done func(latency time.Duration)) *TaskHandle {
+// Returns ErrClosed after Close/Drain, like Submit.
+func (p *Pool) SubmitTimeout(task Task, timeout time.Duration, done func(latency time.Duration)) (*TaskHandle, error) {
 	if timeout <= 0 {
 		panic("preemptible: non-positive timeout")
 	}
 	return p.submit(task, time.Now().Add(timeout), done)
 }
 
-func (p *Pool) submit(task Task, deadline time.Time, done func(latency time.Duration)) *TaskHandle {
+func (p *Pool) submit(task Task, deadline time.Time, done func(latency time.Duration)) (*TaskHandle, error) {
 	return p.submitClass(ClassLC, task, deadline, done)
 }
 
-func (p *Pool) submitClass(class Class, task Task, deadline time.Time, done func(latency time.Duration)) *TaskHandle {
+func (p *Pool) submitClass(class Class, task Task, deadline time.Time, done func(latency time.Duration)) (*TaskHandle, error) {
 	if task == nil {
 		panic("preemptible: Submit(nil)")
 	}
@@ -199,7 +223,7 @@ func (p *Pool) submitClass(class Class, task Task, deadline time.Time, done func
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
-		panic("preemptible: Submit on closed pool")
+		return nil, ErrClosed
 	}
 	p.submitted++
 	p.perClass[class].Submitted++
@@ -213,7 +237,7 @@ func (p *Pool) submitClass(class Class, task Task, deadline time.Time, done func
 		if done != nil {
 			done(RejectedLatency)
 		}
-		return &TaskHandle{p: p, st: st}
+		return &TaskHandle{p: p, st: st}, nil
 	}
 	p.winArr++
 	if p.discipline == EDF {
@@ -223,7 +247,7 @@ func (p *Pool) submitClass(class Class, task Task, deadline time.Time, done func
 	}
 	p.mu.Unlock()
 	p.cond.Signal()
-	return &TaskHandle{p: p, st: st}
+	return &TaskHandle{p: p, st: st}, nil
 }
 
 // bindCancel wraps a task so its Ctx polls the submission's shared
@@ -237,12 +261,16 @@ func (p *Pool) bindCancel(task Task, st *taskState) Task {
 	}
 }
 
-// SubmitWait runs the task and blocks until it completes, returning its
-// sojourn latency.
-func (p *Pool) SubmitWait(task Task) time.Duration {
+// SubmitWait runs the task and blocks until it settles, returning its
+// sojourn latency (or a negative sentinel — see FailedLatency — when
+// it did not complete). Returns ErrClosed without running the task if
+// the pool is closed.
+func (p *Pool) SubmitWait(task Task) (time.Duration, error) {
 	ch := make(chan time.Duration, 1)
-	p.Submit(task, func(l time.Duration) { ch <- l })
-	return <-ch
+	if _, err := p.Submit(task, func(l time.Duration) { ch <- l }); err != nil {
+		return 0, err
+	}
+	return <-ch, nil
 }
 
 // SetQuantum updates the time slice used for subsequent launches and
@@ -280,6 +308,7 @@ func (p *Pool) Stats() PoolStats {
 		Submitted:          p.submitted,
 		Completed:          p.completed,
 		Preemptions:        p.preempts,
+		Failed:             p.failed,
 		Rejected:           p.rejected,
 		Shed:               p.shed,
 		CancelledQueued:    p.cancelledQueued,
@@ -293,16 +322,96 @@ func (p *Pool) Stats() PoolStats {
 	}
 }
 
-// Close waits for queued work to drain, then stops the workers and the
-// controller. Submitting after Close panics.
+// Close waits for all queued and executing work to finish, then stops
+// the workers and the controller. Submitting after Close returns
+// ErrClosed. Close is Drain without a deadline; it is idempotent and
+// safe to combine with Drain (whichever stops the pool first wins).
 func (p *Pool) Close() {
+	p.Drain(context.Background()) //nolint:errcheck // no deadline → no error
+}
+
+// Drain shuts the pool down gracefully: admission stops immediately
+// (Submit* return ErrClosed), queued and in-flight work keeps running
+// until it finishes or ctx expires, and on expiry the stragglers are
+// cancelled through the ordinary cancel paths — queued work is evicted
+// (done observes CancelledLatency without ever occupying a worker),
+// executing and preempted work unwinds at its next safepoint. Drain
+// returns once every worker has exited: nil after a complete drain,
+// ctx.Err() if the deadline forced cancellation. Note that an
+// executing straggler that reaches no further safepoint still runs to
+// completion — cancellation is cooperative, exactly like preemption —
+// so Drain's post-deadline wait is bounded by the longest
+// safepoint-free stretch, not by total remaining work.
+func (p *Pool) Drain(ctx context.Context) error {
 	p.mu.Lock()
 	p.closed = true
 	p.mu.Unlock()
 	p.cond.Broadcast()
-	p.workersWG.Wait()
-	close(p.ctlStop)
+	workersDone := make(chan struct{})
+	go func() {
+		p.workersWG.Wait()
+		close(workersDone)
+	}()
+	var err error
+	select {
+	case <-workersDone:
+	case <-ctx.Done():
+		err = ctx.Err()
+		p.cancelStragglers()
+		<-workersDone
+	}
+	p.ctlOnce.Do(func() { close(p.ctlStop) })
 	p.ctlWG.Wait()
+	return err
+}
+
+// cancelStragglers cancels everything still alive at the drain
+// deadline: queued tasks are tombstone-evicted exactly as by
+// TaskHandle.Cancel, preempted and running tasks get their cancel
+// flags raised so they unwind at the next safepoint.
+func (p *Pool) cancelStragglers() {
+	var dones []func(time.Duration)
+	p.mu.Lock()
+	evict := func(st *taskState, done func(time.Duration)) {
+		st.status = TaskCancelledQueued
+		st.cancelReq.Store(1)
+		p.cancelledQueued++
+		p.perClass[st.class].CancelledQueued++
+		p.tombstones++
+		if done != nil {
+			dones = append(dones, done)
+		}
+	}
+	for i := p.arrHead; i < len(p.arrivals); i++ {
+		a := &p.arrivals[i]
+		if a.st != nil && a.st.status == TaskQueued {
+			evict(a.st, a.done)
+		}
+	}
+	for _, it := range p.edf {
+		if it.st == nil {
+			continue
+		}
+		switch it.st.status {
+		case TaskQueued:
+			evict(it.st, it.done)
+		case TaskPreempted:
+			it.st.cancelReq.Store(1)
+		}
+	}
+	for i := p.preHead; i < len(p.preempted); i++ {
+		if pr := &p.preempted[i]; pr.st != nil && pr.st.status == TaskPreempted {
+			pr.st.cancelReq.Store(1)
+		}
+	}
+	for st := range p.running {
+		st.cancelReq.Store(1)
+	}
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	for _, d := range dones {
+		d(CancelledLatency)
+	}
 }
 
 // next pops work: under FIFO, fresh arrivals first, then the preempted
@@ -320,6 +429,7 @@ func (p *Pool) next() (arr *poolArrival, pre *poolPreempted, ed *edfItem, ok boo
 			if it := p.popEDFLocked(); it != nil {
 				if it.st != nil {
 					it.st.status = TaskRunning
+					p.running[it.st] = struct{}{}
 				}
 				return nil, nil, it, true
 			}
@@ -345,6 +455,7 @@ func (p *Pool) next() (arr *poolArrival, pre *poolPreempted, ed *edfItem, ok boo
 				continue
 			}
 			a.st.status = TaskRunning
+			p.running[a.st] = struct{}{}
 			return &a, nil, nil, true
 		}
 		if p.preHead < len(p.preempted) {
@@ -356,6 +467,7 @@ func (p *Pool) next() (arr *poolArrival, pre *poolPreempted, ed *edfItem, ok boo
 				p.preHead = 0
 			}
 			pr.st.status = TaskRunning
+			p.running[pr.st] = struct{}{}
 			return nil, &pr, nil, true
 		}
 		if p.closed {
@@ -420,6 +532,7 @@ func (p *Pool) shedTask(st *taskState, done func(time.Duration)) {
 	if st != nil {
 		st.status = TaskShed
 		p.perClass[st.class].Shed++
+		delete(p.running, st)
 	}
 	p.mu.Unlock()
 	if done != nil {
@@ -440,6 +553,10 @@ func (p *Pool) runCooperative(task Task, st *taskState, arrival time.Time, done 
 		p.finishCancelled(st, done)
 		return
 	}
+	if ctx.failure != nil {
+		p.finishFailed(st, ctx.failure, done)
+		return
+	}
 	lat := time.Since(arrival)
 	p.mu.Lock()
 	p.completed++
@@ -447,6 +564,7 @@ func (p *Pool) runCooperative(task Task, st *taskState, arrival time.Time, done 
 	if st != nil {
 		st.status = TaskCompleted
 		p.perClass[st.class].Completed++
+		delete(p.running, st)
 	}
 	p.hist.Record(int64(lat))
 	p.winLats = append(p.winLats, float64(lat))
@@ -463,6 +581,7 @@ func (p *Pool) finishCancelled(st *taskState, done func(time.Duration)) {
 	if st != nil {
 		st.status = TaskCancelledExecuting
 		p.perClass[st.class].CancelledExecuting++
+		delete(p.running, st)
 	}
 	p.mu.Unlock()
 	if done != nil {
@@ -470,7 +589,36 @@ func (p *Pool) finishCancelled(st *taskState, done func(time.Duration)) {
 	}
 }
 
+// finishFailed settles a task whose body panicked: the fault was
+// contained by runTaskBody, the worker is unharmed, and the captured
+// TaskError is published on the handle (and to the OnFailure hook,
+// invoked outside the lock on this worker goroutine).
+func (p *Pool) finishFailed(st *taskState, terr *TaskError, done func(time.Duration)) {
+	class := ClassLC
+	p.mu.Lock()
+	p.failed++
+	if st != nil {
+		class = st.class
+		st.status = TaskFailed
+		st.failure = terr
+		p.perClass[st.class].Failed++
+		delete(p.running, st)
+	}
+	hook := p.onFailure
+	p.mu.Unlock()
+	if hook != nil {
+		hook(class, terr)
+	}
+	if done != nil {
+		done(FailedLatency)
+	}
+}
+
 func (p *Pool) afterRun(fn *Fn, st *taskState, arrival time.Time, deadline time.Time, done func(time.Duration)) {
+	if fn.Failed() {
+		p.finishFailed(st, fn.Err(), done)
+		return
+	}
 	if fn.Completed() {
 		if fn.Cancelled() {
 			p.finishCancelled(st, done)
@@ -482,6 +630,7 @@ func (p *Pool) afterRun(fn *Fn, st *taskState, arrival time.Time, deadline time.
 		if st != nil {
 			st.status = TaskCompleted
 			p.perClass[st.class].Completed++
+			delete(p.running, st)
 		}
 		p.hist.Record(int64(lat))
 		p.winLats = append(p.winLats, float64(lat))
@@ -495,6 +644,7 @@ func (p *Pool) afterRun(fn *Fn, st *taskState, arrival time.Time, deadline time.
 	p.preempts++
 	if st != nil {
 		st.status = TaskPreempted
+		delete(p.running, st)
 	}
 	if p.discipline == EDF {
 		p.pushEDFLocked(&edfItem{fn: fn, st: st, arrival: arrival, deadline: deadline, done: done})

@@ -34,7 +34,7 @@ func TestPoolSubmitWait(t *testing.T) {
 	rt := newRT(t)
 	p := NewPool(rt, PoolConfig{Workers: 2})
 	defer p.Close()
-	lat := p.SubmitWait(func(ctx *Ctx) { time.Sleep(time.Millisecond) })
+	lat, _ := p.SubmitWait(func(ctx *Ctx) { time.Sleep(time.Millisecond) })
 	if lat < time.Millisecond {
 		t.Fatalf("latency = %v", lat)
 	}
@@ -133,16 +133,33 @@ func TestPoolZeroWorkersPanics(t *testing.T) {
 	NewPool(rt, PoolConfig{Workers: 0})
 }
 
-func TestPoolSubmitAfterClosePanics(t *testing.T) {
+func TestPoolSubmitAfterCloseReturnsErrClosed(t *testing.T) {
 	rt := newRT(t)
 	p := NewPool(rt, PoolConfig{Workers: 1})
 	p.Close()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	p.Submit(func(*Ctx) {}, nil)
+	ran := false
+	h, err := p.Submit(func(*Ctx) { ran = true }, func(time.Duration) { ran = true })
+	if err != ErrClosed {
+		t.Fatalf("Submit after Close: err = %v, want ErrClosed", err)
+	}
+	if h != nil {
+		t.Fatalf("Submit after Close returned a handle: %v", h)
+	}
+	if _, err := p.SubmitClass(ClassBE, func(*Ctx) { ran = true }, nil); err != ErrClosed {
+		t.Fatalf("SubmitClass after Close: err = %v, want ErrClosed", err)
+	}
+	if _, err := p.SubmitDeadline(func(*Ctx) { ran = true }, time.Now().Add(time.Second), nil); err != ErrClosed {
+		t.Fatalf("SubmitDeadline after Close: err = %v, want ErrClosed", err)
+	}
+	if _, err := p.SubmitTimeout(func(*Ctx) { ran = true }, time.Second, nil); err != ErrClosed {
+		t.Fatalf("SubmitTimeout after Close: err = %v, want ErrClosed", err)
+	}
+	if _, err := p.SubmitWait(func(*Ctx) { ran = true }); err != ErrClosed {
+		t.Fatalf("SubmitWait after Close: err = %v, want ErrClosed", err)
+	}
+	if ran {
+		t.Fatal("a refused submission ran its task or done callback")
+	}
 }
 
 func TestPoolCloseDrainsQueuedWork(t *testing.T) {
