@@ -18,13 +18,20 @@
 //
 //	preemkv -bench 127.0.0.1:7070 -clients 8 -ops 2000 -mix 3:1
 //
-// Clients back off identically on "ERR overloaded", "ERR brownout",
-// and "ERR unavailable" (all mean "not now"), but the three are
-// counted separately: brownout rejections are the server degrading BE
-// on purpose, and unavailable means the class's circuit breaker is
-// open — the server is containing a fault, not drowning. "ERR
-// internal" (a contained panic) is terminal for the op and counted in
-// the per-class failure rate.
+// Bench traffic flows through the tail-tolerant client
+// (internal/tailclient): every op can carry an end-to-end deadline
+// (-opdeadline, propagated to the server as a wire D token so doomed
+// work is shed at dequeue), slow ops are hedged after an adaptive
+// delay (-hedge/-hedgeq), and all re-attempt traffic — hedges and
+// retries alike — draws from one global retry budget (-budget/-burst).
+// Retryable rejections ("ERR overloaded", "ERR brownout", "ERR
+// unavailable" — all mean "not now") are retried with budgeted
+// full-jitter backoff but counted separately: brownout rejections are
+// the server degrading BE on purpose, and unavailable means the
+// class's circuit breaker is open — the server is containing a fault,
+// not drowning. "ERR internal" (a contained panic) is terminal for the
+// op and counted in the per-class failure rate. SIGINT aborts the
+// bench promptly, even mid-backoff.
 //
 // In serve mode SIGINT/SIGTERM trigger a graceful drain: admission
 // stops, in-flight requests finish until the -drain deadline, then
@@ -36,7 +43,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"math/rand"
 	"net"
 	"os"
 	"os/signal"
@@ -47,6 +53,7 @@ import (
 
 	"repro/internal/brownout"
 	"repro/internal/liveserver"
+	"repro/internal/tailclient"
 	"repro/preemptible"
 )
 
@@ -66,6 +73,11 @@ func main() {
 		ops       = flag.Int("ops", 2000, "ops per client (bench mode)")
 		compress  = flag.Bool("compress", true, "run a background COMPRESS stream during bench")
 		mix       = flag.String("mix", "1:0", "LC:BE op mix per client, e.g. 3:1 (bench mode; BE = COMPRESS)")
+		hedge     = flag.Bool("hedge", true, "hedge slow ops after the adaptive delay (bench mode)")
+		hedgeQ    = flag.Float64("hedgeq", 0.95, "latency quantile that sets the hedge delay (bench mode)")
+		opDL      = flag.Duration("opdeadline", 0, "end-to-end op deadline, propagated as a wire D token (bench mode; 0 = none)")
+		budgetR   = flag.Float64("budget", 0.1, "retry-budget accrual per primary op (bench mode)")
+		burst     = flag.Float64("burst", 10, "retry-budget burst cap (bench mode)")
 	)
 	flag.Parse()
 
@@ -85,7 +97,17 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		bench(*benchAddr, *clients, *ops, *compress, lc, be)
+		bench(*benchAddr, *clients, *ops, *compress, lc, be, tailclient.Config{
+			Hedge:         *hedge,
+			HedgeQuantile: *hedgeQ,
+			OpDeadline:    *opDL,
+			BudgetRatio:   *budgetR,
+			BudgetBurst:   *burst,
+			RetryMax:      retryMax,
+			RetryBase:     retryBase,
+			RetryCap:      retryCap,
+			Seed:          1,
+		})
 	default:
 		fmt.Fprintln(os.Stderr, "preemkv: need -serve <addr> or -bench <addr>")
 		flag.Usage()
@@ -163,19 +185,35 @@ func parseMix(s string) (lc, be int, err error) {
 	return lc, be, nil
 }
 
-// Retry policy for "ERR overloaded" and "ERR brownout" responses:
-// exponential backoff with full jitter — each wait is uniform in
-// [0, backoff), and backoff doubles from retryBase up to retryCap.
-// Jitter decorrelates the clients, so a shed burst does not re-arrive
-// as a synchronized burst. Both rejection lines back off the same way;
-// they are only counted differently.
+// Retry policy for retryable rejections: exponential backoff with full
+// jitter — each wait is uniform in [0, backoff), and backoff doubles
+// from retryBase up to retryCap. Jitter decorrelates the clients, so a
+// shed burst does not re-arrive as a synchronized burst. The policy
+// lives in tailclient; these are just the bench's knob settings.
 const (
 	retryBase = 200 * time.Microsecond
 	retryCap  = 50 * time.Millisecond
 	retryMax  = 6
 )
 
-func bench(addr string, clients, ops int, withCompress bool, mixLC, mixBE int) {
+func bench(addr string, clients, ops int, withCompress bool, mixLC, mixBE int, ccfg tailclient.Config) {
+	ccfg.Addr = addr
+	if ccfg.MaxConns < clients+4 {
+		// Room for one in-flight op per worker plus hedge headroom.
+		ccfg.MaxConns = clients + 4
+	}
+	tc := tailclient.New(ccfg)
+	defer tc.Close()
+
+	// SIGINT aborts the bench: in-flight ops (including ones sleeping
+	// out a retry backoff) return Aborted promptly and workers exit.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-stop
+		fmt.Fprintln(os.Stderr, "preemkv: interrupted, aborting bench")
+		tc.Close()
+	}()
 	stopCompress := make(chan struct{})
 	var compressWG sync.WaitGroup
 	if withCompress {
@@ -205,15 +243,18 @@ func bench(addr string, clients, ops int, withCompress bool, mixLC, mixBE int) {
 		}()
 	}
 
-	// Per-class tallies, indexed by preemptible.Class.
+	// Per-class tallies, indexed by preemptible.Class. All workers share
+	// one tail-tolerant client, so the retry budget is genuinely global
+	// across the whole bench — amplification is bounded fleet-wide, not
+	// per connection.
 	var (
 		mu          sync.Mutex
 		lats        [preemptible.NumClasses][]time.Duration
-		overloaded  [preemptible.NumClasses]uint64 // "ERR overloaded" (shed or timed out)
-		browned     [preemptible.NumClasses]uint64 // "ERR brownout" (BE degraded on purpose)
-		unavailable [preemptible.NumClasses]uint64 // "ERR unavailable" (circuit breaker open)
+		overloaded  [preemptible.NumClasses]uint64 // gave up on "ERR overloaded" (shed or timed out)
+		browned     [preemptible.NumClasses]uint64 // gave up on "ERR brownout" (BE degraded on purpose)
+		unavailable [preemptible.NumClasses]uint64 // gave up on "ERR unavailable" (circuit breaker open)
 		retries     [preemptible.NumClasses]uint64 // backed-off re-sends
-		gaveUp      [preemptible.NumClasses]uint64 // ops abandoned after retryMax attempts
+		expired     [preemptible.NumClasses]uint64 // end-to-end deadline passed (client- or server-side)
 		cancelled   [preemptible.NumClasses]uint64 // "ERR cancelled" responses
 		failed      [preemptible.NumClasses]uint64 // "ERR internal" (contained panic)
 	)
@@ -223,63 +264,27 @@ func bench(addr string, clients, ops int, withCompress bool, mixLC, mixBE int) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			conn, err := net.Dial("tcp", addr)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "client %d: %v\n", c, err)
-				return
-			}
-			defer conn.Close()
-			rng := rand.New(rand.NewSource(int64(c) + 1))
-			sc := bufio.NewScanner(conn)
 			for i := 0; i < ops; i++ {
 				class := preemptible.ClassLC
 				var req string
 				if i%(mixLC+mixBE) >= mixLC {
 					class = preemptible.ClassBE
-					req = "COMPRESS 16\n"
+					req = "COMPRESS 16"
 				} else if i%2 == 1 {
-					req = fmt.Sprintf("GET k%d-%d\n", c, i%100)
+					req = fmt.Sprintf("GET k%d-%d", c, i%100)
 				} else {
-					req = fmt.Sprintf("SET k%d-%d v%d\n", c, i%100, i)
+					req = fmt.Sprintf("SET k%d-%d v%d", c, i%100, i)
 				}
-				backoff := retryBase
-				for attempt := 0; ; attempt++ {
-					t0 := time.Now()
-					if _, err := conn.Write([]byte(req)); err != nil {
-						fmt.Fprintf(os.Stderr, "client %d: %v\n", c, err)
-						return
-					}
-					if !sc.Scan() {
-						fmt.Fprintf(os.Stderr, "client %d: connection closed\n", c)
-						return
-					}
-					resp := sc.Text()
-					if resp == "ERR overloaded" || resp == "ERR brownout" || resp == "ERR unavailable" {
-						mu.Lock()
-						switch resp {
-						case "ERR brownout":
-							browned[class]++
-						case "ERR unavailable":
-							unavailable[class]++
-						default:
-							overloaded[class]++
-						}
-						if attempt >= retryMax {
-							gaveUp[class]++
-							mu.Unlock()
-							break
-						}
-						retries[class]++
-						mu.Unlock()
-						time.Sleep(time.Duration(rng.Int63n(int64(backoff))))
-						if backoff < retryCap {
-							backoff *= 2
-						}
-						continue
-					}
-					lat := time.Since(t0)
-					mu.Lock()
-					switch resp {
+				res, err := tc.Do(req)
+				if err != nil {
+					// ErrClosed: the bench was interrupted.
+					return
+				}
+				mu.Lock()
+				retries[class] += uint64(res.Retries)
+				switch res.Outcome {
+				case tailclient.OK:
+					switch res.Resp {
 					case "ERR cancelled":
 						cancelled[class]++
 					case "ERR internal":
@@ -288,11 +293,21 @@ func bench(addr string, clients, ops int, withCompress bool, mixLC, mixBE int) {
 						// hit the same fault — terminal for the op.
 						failed[class]++
 					default:
-						lats[class] = append(lats[class], lat)
+						lats[class] = append(lats[class], res.Latency)
 					}
-					mu.Unlock()
-					break
+				case tailclient.Expired:
+					expired[class]++
+				case tailclient.Rejected:
+					switch res.Resp {
+					case "ERR brownout":
+						browned[class]++
+					case "ERR unavailable":
+						unavailable[class]++
+					default:
+						overloaded[class]++
+					}
 				}
+				mu.Unlock()
 			}
 		}(c)
 	}
@@ -311,8 +326,8 @@ func bench(addr string, clients, ops int, withCompress bool, mixLC, mixBE int) {
 	for cl := 0; cl < preemptible.NumClasses; cl++ {
 		ls := lats[cl]
 		rejected := overloaded[cl] + browned[cl] + unavailable[cl]
-		attempts := uint64(len(ls)) + rejected + cancelled[cl] + failed[cl]
-		if attempts == 0 {
+		settled := uint64(len(ls)) + rejected + expired[cl] + cancelled[cl] + failed[cl]
+		if settled == 0 {
 			continue
 		}
 		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
@@ -324,13 +339,21 @@ func bench(addr string, clients, ops int, withCompress bool, mixLC, mixBE int) {
 				q(0.99).Round(time.Microsecond), ls[len(ls)-1].Round(time.Microsecond))
 		}
 		fmt.Println(line)
-		fmt.Printf("%v rejects: %d overloaded + %d brownout + %d unavailable (%.2f%% of %d attempts), %d retries, %d abandoned, %d cancelled\n",
+		fmt.Printf("%v rejects: %d overloaded + %d brownout + %d unavailable (%.2f%% of %d ops), %d retries, %d expired, %d cancelled\n",
 			preemptible.Class(cl), overloaded[cl], browned[cl], unavailable[cl],
-			100*float64(rejected)/float64(attempts), attempts,
-			retries[cl], gaveUp[cl], cancelled[cl])
+			100*float64(rejected)/float64(settled), settled,
+			retries[cl], expired[cl], cancelled[cl])
 		fmt.Printf("%v failures: %d internal (%.2f%% failure rate)\n",
-			preemptible.Class(cl), failed[cl], 100*float64(failed[cl])/float64(attempts))
+			preemptible.Class(cl), failed[cl], 100*float64(failed[cl])/float64(settled))
 	}
+	st := tc.Stats()
+	amp := 0.0
+	if st.Primaries > 0 {
+		amp = float64(st.Attempts) / float64(st.Primaries)
+	}
+	fmt.Printf("tail: %d attempts / %d primaries (%.3f× amplification), %d hedges (%d won), %d retries, %d budget-denied, %d expired, hedge delay %v\n",
+		st.Attempts, st.Primaries, amp, st.Hedges, st.HedgeWins,
+		st.Retries, st.BudgetDenied, st.Expired, tc.HedgeDelay().Round(time.Microsecond))
 }
 
 func fatal(err error) {

@@ -1,0 +1,62 @@
+package chaos
+
+import (
+	"sync"
+	"time"
+)
+
+// DelayChain renders a Gilbert–Elliott chain as a per-event wall-clock
+// delay injector: each Next() steps the chain once and returns the
+// delay that event suffers — Delay during bad-state steps, 0 during
+// good ones. This is the service-time face of the same correlated
+// fault model OnDelivery applies to preemption deliveries: a congested
+// upstream or a GC pause slows a *burst* of responses, not an
+// independent coin flip per response. Tail-tolerance tests wrap a test
+// server's reply path in one chain so hedged clients face realistic,
+// seeded latency bursts.
+//
+// DelayChain is safe for concurrent use (server handlers race on it);
+// the chain's step order is then the arrival interleaving, so strict
+// event-for-event reproducibility holds only under serialized callers.
+type DelayChain struct {
+	mu sync.Mutex
+	ge *GilbertElliott
+	// Delay is the penalty a bad-state step returns.
+	Delay time.Duration
+}
+
+// NewDelayChain builds a delay injector over a Gilbert–Elliott chain.
+// The chain's drop decisions are ignored — only the good/bad state
+// matters — so the classic Gilbert defaults (DropBad 1) are fine.
+func NewDelayChain(cfg GEConfig, delay time.Duration) *DelayChain {
+	if delay <= 0 {
+		panic("chaos: DelayChain needs a positive delay")
+	}
+	return &DelayChain{ge: NewGilbertElliott(cfg), Delay: delay}
+}
+
+// Next steps the chain and returns this event's delay (0 in the good
+// state).
+func (d *DelayChain) Next() time.Duration {
+	d.mu.Lock()
+	bad, _ := d.ge.Step()
+	d.mu.Unlock()
+	if bad {
+		return d.Delay
+	}
+	return 0
+}
+
+// BadSteps reports how many steps so far landed in the bad state.
+func (d *DelayChain) BadSteps() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ge.BadSteps
+}
+
+// Steps reports the total steps taken.
+func (d *DelayChain) Steps() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ge.Steps
+}

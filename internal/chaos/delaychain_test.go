@@ -1,0 +1,44 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDelayChainDeterministicBursts: identically seeded chains yield
+// the exact same delay schedule (the property the tail-tolerance
+// regression matrix leans on to give hedged and unhedged runs the same
+// bursts), delays cluster rather than flip i.i.d., and the bad
+// fraction lands near MeanBad/(MeanGood+MeanBad).
+func TestDelayChainDeterministicBursts(t *testing.T) {
+	cfg := GEConfig{Seed: 5, MeanGood: 60, MeanBad: 4}
+	const steps = 4000
+	a := NewDelayChain(cfg, 25*time.Millisecond)
+	b := NewDelayChain(cfg, 25*time.Millisecond)
+	for i := 0; i < steps; i++ {
+		da, db := a.Next(), b.Next()
+		if da != db {
+			t.Fatalf("step %d: chains diverge (%v vs %v) despite equal seeds", i, da, db)
+		}
+		if da != 0 && da != 25*time.Millisecond {
+			t.Fatalf("step %d: delay %v is neither 0 nor the configured penalty", i, da)
+		}
+	}
+	if a.Steps() != steps || a.BadSteps() != b.BadSteps() {
+		t.Fatalf("steps=%d bad=%d/%d, want %d total with equal bad counts",
+			a.Steps(), a.BadSteps(), b.BadSteps(), steps)
+	}
+	frac := float64(a.BadSteps()) / float64(a.Steps())
+	if frac < 0.02 || frac > 0.15 {
+		t.Fatalf("bad fraction %.3f outside [0.02, 0.15]; expected ≈%.3f", frac, 4.0/64.0)
+	}
+}
+
+func TestDelayChainRejectsNonPositiveDelay(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDelayChain accepted a zero delay")
+		}
+	}()
+	NewDelayChain(GEConfig{Seed: 1, MeanGood: 2, MeanBad: 2}, 0)
+}

@@ -31,6 +31,24 @@ func FuzzParse(f *testing.F) {
 		"\tGET\tk\t",
 		"GET \x00\xff",
 		strings.Repeat("SET k ", 100),
+		// Metadata tokens: deadline (D, absolute micros) and attempt (A).
+		"PING D1 A1",
+		"GET k D123456789",
+		"GET k A2 D123456789",
+		"SET k v D123 A0",
+		"COMPRESS 2 D123 A1",
+		"D123",                       // token with no command
+		"PING D-5",                   // negative deadline: bad token
+		"PING D0",                    // zero deadline: bad token
+		"PING A-1",                   // negative attempt: bad token
+		"PING D99999999999999999999", // overflow: bad token
+		"PING A99999999999999999999",
+		"PING D1 D2",    // duplicate deadline
+		"PING A1 A2 D3", // duplicate attempt
+		"PING D+12 A+1", // explicit sign
+		"SET k A1",      // token shape eats the value: SET arity error
+		"SET k v A",     // bare prefix: data, not a token
+		"SET k v Dx9",
 	} {
 		f.Add(seed)
 	}

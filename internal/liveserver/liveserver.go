@@ -13,6 +13,21 @@
 //	PING                → PONG
 //	STATS               → STATS state=<..> load=<..> <per-class counters>
 //
+// Every command may carry trailing metadata tokens, at most one of
+// each, in either order:
+//
+//	D<micros>  absolute hard deadline, microseconds since the Unix epoch
+//	A<n>       attempt number (0/absent = primary, ≥1 = retry or hedge)
+//
+// A request whose deadline passes while it waits in the pool queue is
+// dropped at dequeue — no worker time is spent on work whose caller has
+// given up — and one already executing unwinds at its next safepoint;
+// either way the client gets "ERR deadline". Malformed tokens answer
+// "ERR bad token <tok>", duplicates "ERR duplicate token <tok>". Note
+// that a SET value's final word is consumed as metadata when it has
+// token shape (D or A followed by digits); clients needing such values
+// verbatim must append an explicit A0.
+//
 // Unknown or malformed requests get "ERR <reason>". Under overload the
 // server sheds rather than queues: connections beyond MaxConns and
 // requests beyond MaxInflight (or older than RequestTimeout) answer
@@ -179,7 +194,12 @@ type Server struct {
 	Overload struct {
 		ShedConns, ShedRequests, BrownoutRejects, Timeouts, LineTooLong uint64
 		CancelledQueued, CancelledExecuting                             uint64
-		PerClass                                                        [preemptible.NumClasses]ClassOverload
+		// ExpiredQueued/ExpiredExecuting count requests whose wire
+		// deadline (D token) passed server-side: dropped at dequeue
+		// without ever executing, and unwound at a safepoint mid-run,
+		// respectively. Both answered "ERR deadline".
+		ExpiredQueued, ExpiredExecuting uint64
+		PerClass                        [preemptible.NumClasses]ClassOverload
 	}
 	statMu sync.Mutex
 }
@@ -202,6 +222,15 @@ type ClassOverload struct {
 	// Unavailable counts fast-rejects by the class's circuit breaker
 	// (or by a draining pool); the client saw "ERR unavailable".
 	Unavailable uint64
+	// ExpiredQueued/ExpiredExecuting mirror the pool's deadline-expiry
+	// buckets for this class's wire-deadline (D token) requests. Exact
+	// conservation holds: this ExpiredQueued equals the pool's
+	// PerClass ExpiredQueued, because deadline-carrying requests are
+	// always submitted and expire only inside the pool.
+	ExpiredQueued, ExpiredExecuting uint64
+	// Reattempts counts admitted requests marked A≥1 — the server-side
+	// view of client hedging and retry traffic.
+	Reattempts uint64
 }
 
 // New builds a server on the given runtime.
@@ -468,8 +497,8 @@ func (s *Server) shedConn(conn net.Conn) {
 // observes the disconnect after that line is consumed.
 func (s *Server) handleConn(conn net.Conn) {
 	defer conn.Close()
-	gone := make(chan struct{})  // closed when the client's read side ends
-	lines := make(chan string)   // request lines, reader → handler
+	gone := make(chan struct{}) // closed when the client's read side ends
+	lines := make(chan string)  // request lines, reader → handler
 	scanErr := make(chan error, 1)
 	go func() {
 		defer close(gone)
@@ -526,6 +555,77 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 }
 
+// reqMeta is one request's scheduling metadata, parsed from trailing
+// wire tokens: deadline is the hard completion deadline (zero = none),
+// attempt the client's attempt number (0 = primary).
+type reqMeta struct {
+	deadline time.Time
+	attempt  int64
+}
+
+// metaToken reports whether f has the shape of a trailing metadata
+// token: 'D' or 'A' followed by an optionally signed run of digits.
+// Shape alone claims the field — a malformed value ("D-5") is then a
+// protocol error, not data, so a client never silently loses a
+// deadline to a typo.
+func metaToken(f string) bool {
+	if len(f) < 2 || (f[0] != 'D' && f[0] != 'A') {
+		return false
+	}
+	rest := f[1:]
+	if rest[0] == '-' || rest[0] == '+' {
+		rest = rest[1:]
+	}
+	if rest == "" {
+		return false
+	}
+	for i := 0; i < len(rest); i++ {
+		if rest[i] < '0' || rest[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// parseMeta strips trailing metadata tokens — at most one D and one A,
+// in either order — off a request's fields. It returns the remaining
+// fields and the parsed metadata, or a non-empty protocol error line
+// for a malformed or duplicate token. D is strict: it must be a
+// positive in-range microsecond timestamp (negative, zero, and
+// overflowing values are rejected); A must be non-negative.
+func parseMeta(fields []string) ([]string, reqMeta, string) {
+	var meta reqMeta
+	var haveD, haveA bool
+	for len(fields) > 0 {
+		f := fields[len(fields)-1]
+		if !metaToken(f) {
+			break
+		}
+		v, err := strconv.ParseInt(f[1:], 10, 64)
+		if f[0] == 'D' {
+			if haveD {
+				return nil, reqMeta{}, "ERR duplicate token " + f
+			}
+			haveD = true
+			if err != nil || v <= 0 {
+				return nil, reqMeta{}, "ERR bad token " + f
+			}
+			meta.deadline = time.UnixMicro(v)
+		} else {
+			if haveA {
+				return nil, reqMeta{}, "ERR duplicate token " + f
+			}
+			haveA = true
+			if err != nil || v < 0 {
+				return nil, reqMeta{}, "ERR bad token " + f
+			}
+			meta.attempt = v
+		}
+		fields = fields[:len(fields)-1]
+	}
+	return fields, meta, ""
+}
+
 // handleRequest runs one request through the preemptible pool and
 // returns the response line. gone, when closed, marks the client as
 // disconnected: in-flight pool work for the request is cancelled (nil
@@ -534,13 +634,18 @@ func (s *Server) handleConn(conn net.Conn) {
 // brownout state stays observable even while everything else sheds.
 func (s *Server) handleRequest(line string, gone <-chan struct{}) string {
 	fields := strings.Fields(line)
+	fields, meta, metaErr := parseMeta(fields)
+	if metaErr != "" {
+		s.countErr()
+		return metaErr
+	}
 	if len(fields) == 0 {
 		s.countErr()
 		return "ERR empty request"
 	}
 	var resp string
 	run := func(class preemptible.Class, task preemptible.Task) {
-		if msg := s.runTask(class, task, gone); msg != "" {
+		if msg := s.runTask(class, task, meta, gone); msg != "" {
 			resp = msg
 		}
 	}
@@ -638,10 +743,20 @@ func (s *Server) handleRequest(line string, gone <-chan struct{}) string {
 // Every load-driven fast-reject also feeds rejectsWin so the
 // controller keeps seeing the turned-away load. After admission a task can still time
 // out in the queue (RequestTimeout), be evicted by a brownout
-// transition (BE only), or be cancelled on client disconnect.
-func (s *Server) runTask(class preemptible.Class, task preemptible.Task, gone <-chan struct{}) string {
+// transition (BE only), be cancelled on client disconnect, or — when it
+// carries a wire deadline — expire in the queue or at a safepoint and
+// answer "ERR deadline". An already-past deadline is deliberately NOT
+// fast-rejected at admission: the request is submitted and expires at
+// dequeue, so the server's per-class expiry counters and the pool's
+// agree exactly.
+func (s *Server) runTask(class preemptible.Class, task preemptible.Task, meta reqMeta, gone <-chan struct{}) string {
 	st := s.BrownoutState()
-	s.countClass(class, func(c *ClassOverload) { c.Requests++ })
+	s.countClass(class, func(c *ClassOverload) {
+		c.Requests++
+		if meta.attempt > 0 {
+			c.Reattempts++
+		}
+	})
 	if st == brownout.Shed || (st == brownout.Brownout && class == preemptible.ClassBE) {
 		s.rejectsWin.Add(1)
 		if st == brownout.Shed {
@@ -683,13 +798,12 @@ func (s *Server) runTask(class preemptible.Class, task preemptible.Task, gone <-
 		s.inflight.Add(-1)
 		ch <- lat
 	}
-	var h *preemptible.TaskHandle
-	var err error
-	if s.reqTimeout > 0 {
-		h, err = s.pool.SubmitClassTimeout(class, task, s.reqTimeout, done)
-	} else {
-		h, err = s.pool.SubmitClass(class, task, done)
-	}
+	h, err := s.pool.SubmitWithOptions(task, preemptible.SubmitOptions{
+		Class:         class,
+		Deadline:      meta.deadline,
+		Expire:        !meta.deadline.IsZero(),
+		PickupTimeout: s.reqTimeout,
+	}, done)
 	if err != nil {
 		// Pool draining or closed: admission is off for everyone. The
 		// connection is being torn down anyway; tell the client plainly.
@@ -732,6 +846,21 @@ func (s *Server) runTask(class preemptible.Class, task preemptible.Task, gone <-
 			s.count(&s.Overload.CancelledExecuting)
 		}
 		return "ERR cancelled"
+	case lat == preemptible.ExpiredLatency:
+		// The wire deadline passed server-side; the caller has given up,
+		// so this is neither load nor fault — the breaker just gets its
+		// claim back.
+		if br != nil {
+			br.Abandon(time.Now())
+		}
+		if h.State() == preemptible.TaskExpiredQueued {
+			s.count(&s.Overload.ExpiredQueued)
+			s.countClass(class, func(c *ClassOverload) { c.ExpiredQueued++ })
+		} else {
+			s.count(&s.Overload.ExpiredExecuting)
+			s.countClass(class, func(c *ClassOverload) { c.ExpiredExecuting++ })
+		}
+		return "ERR deadline"
 	case lat < 0:
 		// Shed from the queue: a brownout eviction (BE, while degraded)
 		// or a RequestTimeout expiry. Either way it never executed —
@@ -780,12 +909,15 @@ func (s *Server) statsLine() string {
 	beState, beTrips := brk(preemptible.ClassBE)
 	return fmt.Sprintf(
 		"STATS state=%s load=%.3f lc.requests=%d lc.rejected=%d lc.timeouts=%d be.requests=%d be.rejected=%d be.evicted=%d be.timeouts=%d"+
-			" lc.failed=%d be.failed=%d lc.unavailable=%d be.unavailable=%d breaker.lc=%s breaker.lc.trips=%d breaker.be=%s breaker.be.trips=%d",
+			" lc.failed=%d be.failed=%d lc.unavailable=%d be.unavailable=%d breaker.lc=%s breaker.lc.trips=%d breaker.be=%s breaker.be.trips=%d"+
+			" lc.expired.queued=%d lc.expired.executing=%d be.expired.queued=%d be.expired.executing=%d lc.reattempts=%d be.reattempts=%d",
 		st, load,
 		lc.Requests, sum(lc.Rejected), lc.Timeouts,
 		be.Requests, sum(be.Rejected), be.Evicted, be.Timeouts,
 		lc.Failed, be.Failed, lc.Unavailable, be.Unavailable,
 		lcState, lcTrips, beState, beTrips,
+		lc.ExpiredQueued, lc.ExpiredExecuting, be.ExpiredQueued, be.ExpiredExecuting,
+		lc.Reattempts, be.Reattempts,
 	)
 }
 

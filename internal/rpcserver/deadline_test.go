@@ -1,0 +1,77 @@
+package rpcserver
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// TestDeadlineExpiredAtAdmission: backlogged requests whose absolute
+// deadline passes (in engine time) while a long request holds the only
+// slot are dropped at the admission pop — deterministically, before
+// they occupy the slot — while a sibling with a comfortable deadline
+// still runs. The sim mirror of the live server's dequeue-time expiry.
+func TestDeadlineExpiredAtAdmission(t *testing.T) {
+	s := New(Config{KernelThreads: 1, UserThreadsPerKT: 1,
+		ServiceMean: 50 * sim.Microsecond, Seed: 7})
+	eng := s.Engine()
+
+	// Occupy the single slot for 200µs of sim time.
+	blocker := sched.NewRequest(1, sched.ClassLC, eng.Now(), 200*sim.Microsecond)
+	s.Submit(blocker)
+
+	// Five doomed requests: deadlines pass long before the slot frees.
+	const doomed = 5
+	doomedReqs := make([]*sched.Request, 0, doomed)
+	for i := 0; i < doomed; i++ {
+		r := sched.NewRequest(uint64(2+i), sched.ClassLC, eng.Now(), 10*sim.Microsecond)
+		r.Deadline = eng.Now() + 20*sim.Microsecond
+		s.Submit(r)
+		doomedReqs = append(doomedReqs, r)
+	}
+	// One BE request with a deadline far beyond the blocker: must run.
+	healthy := sched.NewRequest(10, sched.ClassBE, eng.Now(), 10*sim.Microsecond)
+	healthy.Deadline = eng.Now() + sim.Second
+	s.Submit(healthy)
+
+	eng.RunAll()
+
+	if !blocker.Done() || !healthy.Done() {
+		t.Fatalf("blocker done=%v healthy done=%v, want both", blocker.Done(), healthy.Done())
+	}
+	if s.DeadlineExpired[sched.ClassLC] != doomed {
+		t.Fatalf("DeadlineExpired[LC]=%d, want %d", s.DeadlineExpired[sched.ClassLC], doomed)
+	}
+	if s.DeadlineExpired[sched.ClassBE] != 0 {
+		t.Fatalf("DeadlineExpired[BE]=%d, want 0", s.DeadlineExpired[sched.ClassBE])
+	}
+	for _, r := range doomedReqs {
+		if r.Started() || r.Done() {
+			t.Fatalf("doomed request %d ran (started=%v done=%v)", r.ID, r.Started(), r.Done())
+		}
+	}
+	// Only the blocker and the healthy request were admitted.
+	if s.Admitted != 2 {
+		t.Fatalf("Admitted=%d, want 2", s.Admitted)
+	}
+
+	// Determinism: an identical run produces identical counts.
+	s2 := New(Config{KernelThreads: 1, UserThreadsPerKT: 1,
+		ServiceMean: 50 * sim.Microsecond, Seed: 7})
+	e2 := s2.Engine()
+	s2.Submit(sched.NewRequest(1, sched.ClassLC, e2.Now(), 200*sim.Microsecond))
+	for i := 0; i < doomed; i++ {
+		r := sched.NewRequest(uint64(2+i), sched.ClassLC, e2.Now(), 10*sim.Microsecond)
+		r.Deadline = e2.Now() + 20*sim.Microsecond
+		s2.Submit(r)
+	}
+	h2 := sched.NewRequest(10, sched.ClassBE, e2.Now(), 10*sim.Microsecond)
+	h2.Deadline = e2.Now() + sim.Second
+	s2.Submit(h2)
+	e2.RunAll()
+	if s2.DeadlineExpired != s.DeadlineExpired || s2.Admitted != s.Admitted {
+		t.Fatalf("non-deterministic: run1 %v/%d run2 %v/%d",
+			s.DeadlineExpired, s.Admitted, s2.DeadlineExpired, s2.Admitted)
+	}
+}

@@ -121,6 +121,12 @@ type Server struct {
 	// wait exceeded QueueTimeout. Both are deterministic for a fixed
 	// seed and load.
 	Shed, Expired uint64
+	// DeadlineExpired counts, per class, backlogged requests dropped at
+	// admission because their absolute deadline (Request.Deadline, the
+	// sim mirror of the live wire's D token) had passed in engine time —
+	// doomed work shed before it occupies a slot. Distinct from Expired,
+	// which is the server-side QueueTimeout staleness bound.
+	DeadlineExpired [2]uint64
 	// Cancelled counts backlogged requests evicted by Cancel before a
 	// slot ever admitted them (the RPC analog of a client hanging up
 	// while still queued).
@@ -334,6 +340,15 @@ func (s *Server) admit() {
 			continue
 		}
 		s.backLive--
+		// End-to-end deadline expiry: a request whose caller-supplied
+		// absolute deadline passed while it waited is doomed — drop it
+		// at the pop, before it occupies a slot, exactly like the live
+		// pool's dequeue-time expiry.
+		if r.Deadline > 0 && s.sys.Eng.Now() > r.Deadline {
+			s.DeadlineExpired[r.Class]++
+			s.abandon(r.Class)
+			continue
+		}
 		// Queue-timeout shedding: a request that has already waited
 		// past its deadline is dropped at the last responsible moment
 		// instead of occupying a slot.

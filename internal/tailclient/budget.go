@@ -1,0 +1,52 @@
+package tailclient
+
+import "sync"
+
+// budget is the global retry budget: a token bucket where every
+// primary operation accrues Ratio tokens (capped at Burst) and every
+// re-attempt — hedge or retry — spends exactly one. When the bucket is
+// empty the client degrades to first-attempt-only instead of amplifying
+// load against a server that is already struggling: bounded
+// amplification is the whole point, re-attempt traffic can never exceed
+// Ratio of primary traffic plus the burst allowance.
+type budget struct {
+	mu     sync.Mutex
+	tokens float64
+	ratio  float64
+	burst  float64
+	denied uint64
+}
+
+func newBudget(ratio, burst float64) *budget {
+	return &budget{ratio: ratio, burst: burst, tokens: burst}
+}
+
+// OnPrimary accrues the per-primary allowance.
+func (b *budget) OnPrimary() {
+	b.mu.Lock()
+	b.tokens += b.ratio
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.mu.Unlock()
+}
+
+// Take spends one token; false (and a denial tally) when the bucket
+// cannot cover it.
+func (b *budget) Take() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		b.denied++
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Denied reports how many re-attempts the budget refused.
+func (b *budget) Denied() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.denied
+}

@@ -1,0 +1,522 @@
+package tailclient
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// ErrClosed is returned by Do after Close.
+var ErrClosed = errors.New("tailclient: client closed")
+
+// Config parameterizes a Client. The zero value of every field takes a
+// sensible default; only Addr is required.
+type Config struct {
+	// Addr is the server's TCP address.
+	Addr string
+	// DialTimeout bounds one dial (default 2s).
+	DialTimeout time.Duration
+	// MaxConns caps the idle connection stack (default 4). The stack is
+	// LIFO so the hottest connection is reused first; hedges naturally
+	// take the next one down.
+	MaxConns int
+
+	// OpDeadline, when positive, gives every operation an absolute
+	// deadline of now+OpDeadline, propagated to the server as a D token:
+	// the server drops the work at dequeue (or unwinds it at a
+	// safepoint) once the client has given up, and a hedge's abandoned
+	// twin dies server-side the same way.
+	OpDeadline time.Duration
+
+	// Hedge enables hedged requests: if the primary attempt has not
+	// answered within the hedge delay — the HedgeQuantile of recent
+	// operation latencies, floored at HedgeMin — a second attempt is
+	// sent on another connection and the first response wins.
+	Hedge bool
+	// HedgeQuantile is the latency quantile that sets the hedge delay
+	// (default 0.95: hedge the slowest ~5%).
+	HedgeQuantile float64
+	// HedgeMin floors the hedge delay (default 1ms) so a cold or
+	// very-fast-regime digest cannot hedge everything.
+	HedgeMin time.Duration
+	// Window is the latency digest's sample window (default 512).
+	Window int
+
+	// RetryMax bounds budgeted retries per operation (default 3).
+	RetryMax int
+	// RetryBase/RetryCap shape the exponential, full-jitter backoff
+	// between retries (defaults 200µs / 50ms).
+	RetryBase, RetryCap time.Duration
+
+	// BudgetRatio is the retry-budget accrual per primary operation
+	// (default 0.1: re-attempt traffic — hedges plus retries — is
+	// bounded by ~10% of primaries). BudgetBurst caps the bucket
+	// (default 10).
+	BudgetRatio float64
+	// BudgetBurst caps accumulated budget tokens (default 10).
+	BudgetBurst float64
+
+	// Seed fixes the backoff jitter.
+	Seed uint64
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = 4
+	}
+	if cfg.HedgeQuantile <= 0 || cfg.HedgeQuantile > 1 {
+		cfg.HedgeQuantile = 0.95
+	}
+	if cfg.HedgeMin <= 0 {
+		cfg.HedgeMin = time.Millisecond
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 512
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 3
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 200 * time.Microsecond
+	}
+	if cfg.RetryCap <= 0 {
+		cfg.RetryCap = 50 * time.Millisecond
+	}
+	if cfg.BudgetRatio <= 0 {
+		cfg.BudgetRatio = 0.1
+	}
+	if cfg.BudgetBurst <= 0 {
+		cfg.BudgetBurst = 10
+	}
+	return cfg
+}
+
+// Outcome is an operation's terminal disposition.
+type Outcome int
+
+const (
+	// OK: the server answered; Resp holds the response line (which may
+	// itself be an application-level error like NOT_FOUND).
+	OK Outcome = iota
+	// Expired: the operation's end-to-end deadline passed — client-side
+	// before an attempt could be sent, or server-side ("ERR deadline").
+	Expired
+	// Rejected: every budgeted attempt was turned away by a retryable
+	// server rejection (overloaded/brownout/unavailable) or transport
+	// error; Resp holds the last rejection.
+	Rejected
+	// Aborted: Close interrupted the operation (mid-wait or mid-backoff).
+	Aborted
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OK:
+		return "ok"
+	case Expired:
+		return "expired"
+	case Rejected:
+		return "rejected"
+	case Aborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Result is one operation's outcome.
+type Result struct {
+	// Resp is the winning (or last) response line.
+	Resp string
+	// Latency is the end-to-end operation latency (success only).
+	Latency time.Duration
+	// Attempts counts wire attempts actually sent (primary + hedges +
+	// retries).
+	Attempts int
+	// Retries counts backoff-retried attempts.
+	Retries int
+	// Hedged marks that a hedge was sent; HedgeWon that the hedge's
+	// response arrived first.
+	Hedged, HedgeWon bool
+	// Outcome is the terminal disposition.
+	Outcome Outcome
+}
+
+// Stats is a snapshot of the client's counters.
+type Stats struct {
+	// Primaries counts Do calls; Attempts counts wire attempts sent.
+	Primaries, Attempts uint64
+	// Retries and Hedges count budgeted re-attempts by kind; HedgeWins
+	// counts hedges whose response won the race.
+	Retries, Hedges, HedgeWins uint64
+	// BudgetDenied counts re-attempts the retry budget refused — the
+	// client degraded to first-attempt-only instead of amplifying load.
+	BudgetDenied uint64
+	// Expired counts operations whose end-to-end deadline passed;
+	// Aborted counts operations interrupted by Close.
+	Expired, Aborted uint64
+}
+
+// Client is a tail-tolerant line-protocol client. Safe for concurrent
+// use; operations on one Client share its connection stack, latency
+// digest, and retry budget.
+type Client struct {
+	cfg    Config
+	budget *budget
+	dig    *digest
+
+	rngMu sync.Mutex
+	rng   *sim.RNG
+
+	mu     sync.Mutex
+	idle   []*wireConn // LIFO
+	live   map[*wireConn]struct{}
+	closed bool
+
+	done      chan struct{}
+	closeOnce sync.Once
+
+	primaries, attempts, retries uint64
+	hedges, hedgeWins            uint64
+	expired, aborted             uint64
+}
+
+// wireConn is one pooled connection.
+type wireConn struct {
+	nc net.Conn
+	sc *bufio.Scanner
+}
+
+func (w *wireConn) roundTrip(line string) (string, error) {
+	if _, err := w.nc.Write([]byte(line + "\n")); err != nil {
+		return "", err
+	}
+	if !w.sc.Scan() {
+		if err := w.sc.Err(); err != nil {
+			return "", err
+		}
+		return "", errors.New("tailclient: connection closed by server")
+	}
+	return w.sc.Text(), nil
+}
+
+// New builds a client. No connection is dialed until the first Do.
+func New(cfg Config) *Client {
+	cfg = cfg.withDefaults()
+	return &Client{
+		cfg:    cfg,
+		budget: newBudget(cfg.BudgetRatio, cfg.BudgetBurst),
+		dig:    newDigest(cfg.Window),
+		rng:    sim.NewRNG(cfg.Seed ^ 0x7461696c), // "tail"
+		live:   make(map[*wireConn]struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// Stats snapshots the counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Primaries:    atomic.LoadUint64(&c.primaries),
+		Attempts:     atomic.LoadUint64(&c.attempts),
+		Retries:      atomic.LoadUint64(&c.retries),
+		Hedges:       atomic.LoadUint64(&c.hedges),
+		HedgeWins:    atomic.LoadUint64(&c.hedgeWins),
+		BudgetDenied: c.budget.Denied(),
+		Expired:      atomic.LoadUint64(&c.expired),
+		Aborted:      atomic.LoadUint64(&c.aborted),
+	}
+}
+
+// HedgeDelay reports the delay a hedge sent now would wait: the
+// configured quantile of the latency window, floored at HedgeMin.
+func (c *Client) HedgeDelay() time.Duration {
+	d := c.dig.Quantile(c.cfg.HedgeQuantile)
+	if d < c.cfg.HedgeMin {
+		d = c.cfg.HedgeMin
+	}
+	return d
+}
+
+// Close interrupts in-flight operations (they return Aborted) and
+// closes every pooled connection. Idempotent.
+func (c *Client) Close() {
+	c.closeOnce.Do(func() {
+		close(c.done)
+		c.mu.Lock()
+		c.closed = true
+		for cn := range c.live {
+			cn.nc.Close()
+		}
+		c.idle = nil
+		c.mu.Unlock()
+	})
+}
+
+func (c *Client) getConn() (*wireConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if n := len(c.idle); n > 0 {
+		cn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return cn, nil
+	}
+	c.mu.Unlock()
+	nc, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(nc)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	cn := &wireConn{nc: nc, sc: sc}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		nc.Close()
+		return nil, ErrClosed
+	}
+	c.live[cn] = struct{}{}
+	c.mu.Unlock()
+	return cn, nil
+}
+
+func (c *Client) putConn(cn *wireConn) {
+	c.mu.Lock()
+	if c.closed || len(c.idle) >= c.cfg.MaxConns {
+		delete(c.live, cn)
+		c.mu.Unlock()
+		cn.nc.Close()
+		return
+	}
+	c.idle = append(c.idle, cn)
+	c.mu.Unlock()
+}
+
+func (c *Client) dropConn(cn *wireConn) {
+	c.mu.Lock()
+	delete(c.live, cn)
+	c.mu.Unlock()
+	cn.nc.Close()
+}
+
+// attemptKind classifies one attempt's reply.
+type attemptKind int
+
+const (
+	kindOK attemptKind = iota
+	kindExpired
+	kindRetryable // overloaded / brownout / unavailable / transport error
+)
+
+type attemptReply struct {
+	resp string
+	kind attemptKind
+}
+
+func classify(resp string) attemptKind {
+	switch resp {
+	case "ERR deadline":
+		return kindExpired
+	case "ERR overloaded", "ERR brownout", "ERR unavailable":
+		return kindRetryable
+	default:
+		return kindOK
+	}
+}
+
+// startAttempt sends one wire attempt (with D/A tokens appended) on a
+// pooled connection in its own goroutine; the reply lands in the
+// returned 1-buffered channel, so an abandoned attempt never blocks
+// and its connection still returns to the stack when the server
+// answers (typically promptly with "ERR deadline", since the
+// abandoning client's wire deadline travels with the attempt).
+func (c *Client) startAttempt(op string, deadline time.Time, attempt int) <-chan attemptReply {
+	line := op
+	if !deadline.IsZero() {
+		line += fmt.Sprintf(" D%d", deadline.UnixMicro())
+	}
+	if attempt > 0 {
+		line += fmt.Sprintf(" A%d", attempt)
+	}
+	atomic.AddUint64(&c.attempts, 1)
+	ch := make(chan attemptReply, 1)
+	go func() {
+		cn, err := c.getConn()
+		if err != nil {
+			ch <- attemptReply{kind: kindRetryable}
+			return
+		}
+		resp, err := cn.roundTrip(line)
+		if err != nil {
+			c.dropConn(cn)
+			ch <- attemptReply{kind: kindRetryable}
+			return
+		}
+		c.putConn(cn)
+		ch <- attemptReply{resp: resp, kind: classify(resp)}
+	}()
+	return ch
+}
+
+// Do runs one operation (a protocol line without metadata tokens, e.g.
+// "GET k") to a terminal outcome: hedged after the adaptive delay when
+// enabled, retried with budgeted exponential backoff on retryable
+// rejections, expired when the end-to-end deadline passes. Do never
+// returns a non-nil error except ErrClosed.
+func (c *Client) Do(op string) (Result, error) {
+	select {
+	case <-c.done:
+		return Result{Outcome: Aborted}, ErrClosed
+	default:
+	}
+	start := time.Now()
+	var deadline time.Time
+	if c.cfg.OpDeadline > 0 {
+		deadline = start.Add(c.cfg.OpDeadline)
+	}
+	atomic.AddUint64(&c.primaries, 1)
+	c.budget.OnPrimary()
+
+	var res Result
+	backoff := c.cfg.RetryBase
+	attempt := 0
+	for {
+		// An attempt sent past the deadline is doomed before it leaves:
+		// give up client-side, exactly like the server would at dequeue.
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			atomic.AddUint64(&c.expired, 1)
+			res.Outcome = Expired
+			return res, nil
+		}
+		reply, aborted := c.raceAttempts(op, deadline, &attempt, &res)
+		if aborted {
+			atomic.AddUint64(&c.aborted, 1)
+			res.Outcome = Aborted
+			return res, ErrClosed
+		}
+		switch reply.kind {
+		case kindOK:
+			res.Resp = reply.resp
+			res.Outcome = OK
+			res.Latency = time.Since(start)
+			c.dig.Record(res.Latency)
+			return res, nil
+		case kindExpired:
+			atomic.AddUint64(&c.expired, 1)
+			res.Resp = reply.resp
+			res.Outcome = Expired
+			return res, nil
+		}
+		// Retryable: spend budget, back off (cancellably), go again.
+		if res.Retries >= c.cfg.RetryMax || !c.budget.Take() {
+			res.Resp = reply.resp
+			res.Outcome = Rejected
+			return res, nil
+		}
+		res.Retries++
+		atomic.AddUint64(&c.retries, 1)
+		t := time.NewTimer(c.jitter(backoff))
+		select {
+		case <-t.C:
+		case <-c.done:
+			t.Stop()
+			atomic.AddUint64(&c.aborted, 1)
+			res.Outcome = Aborted
+			return res, ErrClosed
+		}
+		backoff *= 2
+		if backoff > c.cfg.RetryCap {
+			backoff = c.cfg.RetryCap
+		}
+	}
+}
+
+// raceAttempts runs one primary attempt and, when hedging is enabled
+// and the budget allows, a hedge after the adaptive delay. The first
+// successful response wins; a failed leg waits for its in-flight twin
+// before reporting (the twin might still succeed). Expiry outranks
+// retryable when both legs fail: the operation's deadline passed, so
+// retrying is pointless.
+func (c *Client) raceAttempts(op string, deadline time.Time, attempt *int, res *Result) (attemptReply, bool) {
+	primary := c.startAttempt(op, deadline, *attempt)
+	*attempt++
+	res.Attempts++
+
+	var hedgeC <-chan time.Time
+	var hedgeTimer *time.Timer
+	if c.cfg.Hedge {
+		hedgeTimer = time.NewTimer(c.HedgeDelay())
+		defer hedgeTimer.Stop()
+		hedgeC = hedgeTimer.C
+	}
+	var hedge <-chan attemptReply
+	pending := 1
+	fail := attemptReply{kind: kindRetryable}
+	haveFail := false
+	for {
+		select {
+		case <-c.done:
+			return attemptReply{}, true
+		case <-hedgeC:
+			hedgeC = nil
+			if !c.budget.Take() {
+				continue // denial tallied by the budget; primary rides alone
+			}
+			atomic.AddUint64(&c.hedges, 1)
+			res.Hedged = true
+			hedge = c.startAttempt(op, deadline, *attempt)
+			*attempt++
+			res.Attempts++
+			pending++
+		case r := <-primary:
+			primary = nil
+			pending--
+			if r.kind == kindOK {
+				return r, false
+			}
+			if !haveFail || r.kind == kindExpired {
+				fail, haveFail = r, true
+			}
+			if pending == 0 {
+				return fail, false
+			}
+		case r := <-hedge:
+			hedge = nil
+			pending--
+			if r.kind == kindOK {
+				atomic.AddUint64(&c.hedgeWins, 1)
+				res.HedgeWon = true
+				return r, false
+			}
+			if !haveFail || r.kind == kindExpired {
+				fail, haveFail = r, true
+			}
+			if pending == 0 {
+				return fail, false
+			}
+		}
+	}
+}
+
+// jitter draws a full-jitter backoff in [1, d].
+func (c *Client) jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	c.rngMu.Lock()
+	j := 1 + time.Duration(c.rng.Intn(int(d)))
+	c.rngMu.Unlock()
+	return j
+}

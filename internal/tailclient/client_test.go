@@ -1,0 +1,374 @@
+package tailclient
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// startLineServer runs a minimal line server: one goroutine per
+// connection, each request line answered by handle(op, attempt) —
+// the returned delay is slept before the response is written. The
+// attempt number is parsed from a trailing A token (0 when absent),
+// mirroring how a hedging-aware backend distinguishes primaries from
+// re-attempts.
+func startLineServer(t *testing.T, handle func(op string, attempt int) (time.Duration, string)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				sc := bufio.NewScanner(conn)
+				for sc.Scan() {
+					op, attempt := splitAttempt(sc.Text())
+					delay, resp := handle(op, attempt)
+					if delay > 0 {
+						time.Sleep(delay)
+					}
+					if _, err := fmt.Fprintf(conn, "%s\n", resp); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// splitAttempt strips trailing D/A metadata tokens from a request line
+// and reports the attempt number (0 for a primary).
+func splitAttempt(line string) (string, int) {
+	fields := strings.Fields(line)
+	attempt := 0
+	for len(fields) > 0 {
+		f := fields[len(fields)-1]
+		if len(f) < 2 || (f[0] != 'D' && f[0] != 'A') {
+			break
+		}
+		v, err := strconv.Atoi(f[1:])
+		if err != nil {
+			break
+		}
+		if f[0] == 'A' {
+			attempt = v
+		}
+		fields = fields[:len(fields)-1]
+	}
+	return strings.Join(fields, " "), attempt
+}
+
+func p99(lats []time.Duration) time.Duration {
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(0.99*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+func TestDigestQuantile(t *testing.T) {
+	d := newDigest(8)
+	if got := d.Quantile(0.99); got != 0 {
+		t.Fatalf("empty digest quantile = %v, want 0", got)
+	}
+	for i := 1; i <= 4; i++ {
+		d.Record(time.Duration(i) * time.Millisecond)
+	}
+	if d.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", d.Len())
+	}
+	if got := d.Quantile(1.0); got != 4*time.Millisecond {
+		t.Fatalf("max quantile = %v, want 4ms", got)
+	}
+	if got := d.Quantile(0.5); got != 2*time.Millisecond {
+		t.Fatalf("median = %v, want 2ms", got)
+	}
+	// Overflow the window: the oldest samples fall out of the sketch.
+	for i := 5; i <= 12; i++ {
+		d.Record(time.Duration(i) * time.Millisecond)
+	}
+	if d.Len() != 8 {
+		t.Fatalf("Len after wrap = %d, want 8", d.Len())
+	}
+	if got := d.Quantile(1.0); got != 12*time.Millisecond {
+		t.Fatalf("max after wrap = %v, want 12ms", got)
+	}
+	if got := d.Quantile(0.125); got != 5*time.Millisecond {
+		t.Fatalf("min after wrap = %v, want 5ms", got)
+	}
+}
+
+func TestBudgetAccrualAndDenial(t *testing.T) {
+	b := newBudget(0.5, 2)
+	// The bucket starts at burst: two tokens available immediately.
+	if !b.Take() || !b.Take() {
+		t.Fatal("initial burst tokens should cover two takes")
+	}
+	if b.Take() {
+		t.Fatal("empty bucket granted a token")
+	}
+	if b.Denied() != 1 {
+		t.Fatalf("Denied = %d, want 1", b.Denied())
+	}
+	// Two primaries accrue one token; ten more cap out at burst.
+	b.OnPrimary()
+	b.OnPrimary()
+	if !b.Take() {
+		t.Fatal("accrued token refused")
+	}
+	for i := 0; i < 10; i++ {
+		b.OnPrimary()
+	}
+	if !b.Take() || !b.Take() {
+		t.Fatal("burst-capped bucket should cover two takes")
+	}
+	if b.Take() {
+		t.Fatal("bucket exceeded burst cap")
+	}
+}
+
+// TestHedgingCutsTailLatency is the regression matrix for the ISSUE
+// acceptance bar: under a seeded Gilbert–Elliott delay burst, the
+// hedged client's P99 must beat the unhedged client's by at least 2×
+// at equal load, while total wire attempts stay within 1.10× of
+// primaries (the retry-budget amplification bound).
+func TestHedgingCutsTailLatency(t *testing.T) {
+	const (
+		ops      = 400
+		penalty  = 25 * time.Millisecond
+		hedgeMin = 3 * time.Millisecond
+	)
+	run := func(hedge bool) ([]time.Duration, Stats) {
+		// Each run gets its own server over an identically seeded
+		// chain, so both clients face the same burst schedule. Only
+		// primaries step the chain: a re-attempt is served cleanly,
+		// which is exactly the diversity hedging exploits (a different
+		// connection, a different moment).
+		chain := chaos.NewDelayChain(chaos.GEConfig{Seed: 11, MeanGood: 60, MeanBad: 4}, penalty)
+		addr := startLineServer(t, func(op string, attempt int) (time.Duration, string) {
+			if attempt == 0 {
+				return chain.Next(), "PONG"
+			}
+			return 0, "PONG"
+		})
+		c := New(Config{Addr: addr, Hedge: hedge, HedgeMin: hedgeMin, Seed: 3})
+		defer c.Close()
+		lats := make([]time.Duration, 0, ops)
+		for i := 0; i < ops; i++ {
+			res, err := c.Do("PING")
+			if err != nil || res.Outcome != OK || res.Resp != "PONG" {
+				t.Fatalf("op %d: res=%+v err=%v", i, res, err)
+			}
+			lats = append(lats, res.Latency)
+		}
+		return lats, c.Stats()
+	}
+
+	unhedged, ustats := run(false)
+	hedged, hstats := run(true)
+
+	up99, hp99 := p99(unhedged), p99(hedged)
+	t.Logf("unhedged P99=%v hedged P99=%v (hedges=%d wins=%d attempts=%d/%d primaries)",
+		up99, hp99, hstats.Hedges, hstats.HedgeWins, hstats.Attempts, hstats.Primaries)
+
+	// Sanity: the burst schedule actually bit the unhedged run.
+	if up99 < penalty/2 {
+		t.Fatalf("unhedged P99 = %v; chaos bursts did not reach the tail", up99)
+	}
+	if ustats.Attempts != ustats.Primaries {
+		t.Fatalf("unhedged run sent %d attempts for %d primaries", ustats.Attempts, ustats.Primaries)
+	}
+	// The acceptance bar: ≥2× P99 improvement at equal load.
+	if 2*hp99 > up99 {
+		t.Fatalf("hedged P99 %v not ≥2× better than unhedged %v", hp99, up99)
+	}
+	// Bounded amplification: attempts ≤ 1.10× primaries.
+	if 10*hstats.Attempts > 11*hstats.Primaries {
+		t.Fatalf("attempts %d exceed 1.10× primaries %d", hstats.Attempts, hstats.Primaries)
+	}
+	if hstats.HedgeWins == 0 {
+		t.Fatal("no hedge ever won the race; hedging did nothing")
+	}
+}
+
+// TestBudgetExhaustionDegrades: against a server that rejects
+// everything, a nearly empty retry budget caps total re-attempt
+// traffic at the burst allowance — the client degrades to
+// first-attempt-only instead of hammering a struggling server, and
+// every refused re-attempt is tallied.
+func TestBudgetExhaustionDegrades(t *testing.T) {
+	addr := startLineServer(t, func(op string, attempt int) (time.Duration, string) {
+		return 0, "ERR overloaded"
+	})
+	c := New(Config{
+		Addr: addr, RetryMax: 3,
+		RetryBase: 100 * time.Microsecond, RetryCap: time.Millisecond,
+		BudgetRatio: 0.01, BudgetBurst: 1, Seed: 9,
+	})
+	defer c.Close()
+	const ops = 20
+	for i := 0; i < ops; i++ {
+		res, err := c.Do("PING")
+		if err != nil || res.Outcome != Rejected {
+			t.Fatalf("op %d: res=%+v err=%v, want Rejected", i, res, err)
+		}
+	}
+	st := c.Stats()
+	// The burst token covers one retry ever (accrual is 0.01/primary);
+	// everything past it is denied, one denial per subsequent op.
+	if st.Retries > 2 {
+		t.Fatalf("Retries = %d, want ≤2 on an exhausted budget", st.Retries)
+	}
+	if st.BudgetDenied < ops/2 {
+		t.Fatalf("BudgetDenied = %d, want ≥%d (each rejected op should trip the empty bucket)",
+			st.BudgetDenied, ops/2)
+	}
+	if st.Attempts > st.Primaries+2 {
+		t.Fatalf("attempts %d for %d primaries; budget failed to bound amplification",
+			st.Attempts, st.Primaries)
+	}
+}
+
+// TestRetryableRejectionRetriesThenRejects: retryable server rejections
+// are retried with incrementing attempt numbers up to RetryMax, then
+// surfaced as Rejected with the last rejection line.
+func TestRetryableRejectionRetriesThenRejects(t *testing.T) {
+	var mu sync.Mutex
+	var seen []int
+	addr := startLineServer(t, func(op string, attempt int) (time.Duration, string) {
+		mu.Lock()
+		seen = append(seen, attempt)
+		mu.Unlock()
+		return 0, "ERR overloaded"
+	})
+	c := New(Config{
+		Addr: addr, RetryMax: 2,
+		RetryBase: time.Millisecond, RetryCap: 2 * time.Millisecond, Seed: 4,
+	})
+	defer c.Close()
+	res, err := c.Do("GET k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Rejected || res.Resp != "ERR overloaded" {
+		t.Fatalf("res = %+v, want Rejected / ERR overloaded", res)
+	}
+	if res.Retries != 2 || res.Attempts != 3 {
+		t.Fatalf("retries=%d attempts=%d, want 2/3", res.Retries, res.Attempts)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []int{0, 1, 2}
+	if len(seen) != len(want) {
+		t.Fatalf("server saw attempts %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("server saw attempts %v, want %v", seen, want)
+		}
+	}
+}
+
+// TestCloseCancelsBackoff: satellite check — Close interrupts an
+// operation sleeping out a long retry backoff promptly, instead of the
+// operation holding on for the full backoff.
+func TestCloseCancelsBackoff(t *testing.T) {
+	addr := startLineServer(t, func(op string, attempt int) (time.Duration, string) {
+		return 0, "ERR overloaded"
+	})
+	c := New(Config{
+		Addr: addr, RetryBase: 30 * time.Second, RetryCap: 30 * time.Second, Seed: 2,
+	})
+	type out struct {
+		res Result
+		err error
+	}
+	ch := make(chan out, 1)
+	go func() {
+		res, err := c.Do("PING")
+		ch <- out{res, err}
+	}()
+	time.Sleep(100 * time.Millisecond) // let the op enter its first backoff
+	closed := time.Now()
+	c.Close()
+	select {
+	case o := <-ch:
+		if o.err != ErrClosed || o.res.Outcome != Aborted {
+			t.Fatalf("res=%+v err=%v, want Aborted/ErrClosed", o.res, o.err)
+		}
+		if waited := time.Since(closed); waited > 2*time.Second {
+			t.Fatalf("backoff cancel took %v, want prompt", waited)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do still blocked 5s after Close; backoff is not cancellable")
+	}
+	if _, err := c.Do("PING"); err != ErrClosed {
+		t.Fatalf("Do after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestExpiredOutcomes: "ERR deadline" from the server and a client-side
+// pre-send deadline check both settle the operation as Expired — and
+// neither is retried, because work past its deadline is doomed.
+func TestExpiredOutcomes(t *testing.T) {
+	addr := startLineServer(t, func(op string, attempt int) (time.Duration, string) {
+		return 0, "ERR deadline"
+	})
+	c := New(Config{Addr: addr, Seed: 6})
+	defer c.Close()
+	res, err := c.Do("GET k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Expired || res.Resp != "ERR deadline" || res.Attempts != 1 {
+		t.Fatalf("res = %+v, want Expired / ERR deadline / 1 attempt", res)
+	}
+
+	// A deadline that passes before the first attempt: expired without a
+	// single wire attempt, exactly like the server's dequeue-time drop.
+	c2 := New(Config{Addr: addr, OpDeadline: time.Nanosecond, Seed: 7})
+	defer c2.Close()
+	res2, err := c2.Do("GET k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Outcome != Expired || res2.Attempts != 0 {
+		t.Fatalf("res = %+v, want client-side Expired with 0 attempts", res2)
+	}
+	st := c2.Stats()
+	if st.Expired != 1 || st.Attempts != 0 {
+		t.Fatalf("stats = %+v, want Expired=1 Attempts=0", st)
+	}
+}
+
+func TestHedgeDelayFloorsAndAdapts(t *testing.T) {
+	c := New(Config{Addr: "127.0.0.1:1", HedgeMin: 2 * time.Millisecond})
+	defer c.Close()
+	if got := c.HedgeDelay(); got != 2*time.Millisecond {
+		t.Fatalf("cold HedgeDelay = %v, want the 2ms floor", got)
+	}
+	for i := 0; i < 100; i++ {
+		c.dig.Record(10 * time.Millisecond)
+	}
+	if got := c.HedgeDelay(); got != 10*time.Millisecond {
+		t.Fatalf("warm HedgeDelay = %v, want 10ms (P95 of the window)", got)
+	}
+}

@@ -12,6 +12,12 @@ import (
 // callback observes CancelledLatency.
 var ErrCancelled = errors.New("preemptible: task cancelled")
 
+// ErrExpired is the outcome of a task dropped because its hard
+// completion deadline (SubmitOptions.Expire) passed: shed at dequeue or
+// unwound at a safepoint. Reported through TaskHandle.Err; the done
+// callback observes ExpiredLatency.
+var ErrExpired = errors.New("preemptible: task deadline expired")
+
 // Latency sentinels passed to a submission's done callback when the
 // task did not complete. Any negative latency means "not executed to
 // completion"; the exact value says why.
@@ -29,6 +35,13 @@ const (
 	// panic was contained by the runtime (TaskHandle.Err carries the
 	// captured TaskError) and the worker that ran it is unharmed.
 	FailedLatency = -4 * time.Nanosecond
+	// ExpiredLatency reports a task dropped because its hard completion
+	// deadline (SubmitOptions.Expire) passed: either shed at dequeue
+	// before it ever ran (TaskExpiredQueued) or unwound at a safepoint
+	// mid-run (TaskExpiredExecuting). The work was doomed — its caller
+	// had already given up — so finishing it would burn worker time for
+	// a result nobody reads.
+	ExpiredLatency = -5 * time.Nanosecond
 )
 
 // TaskState is a submitted task's lifecycle state, observable through
@@ -58,6 +71,12 @@ const (
 	// TaskFailed: the task panicked while executing; the runtime
 	// contained the fault and recorded it (TaskHandle.Err).
 	TaskFailed
+	// TaskExpiredQueued: the hard completion deadline passed while the
+	// task was still queued; it was dropped at dequeue, never executed.
+	TaskExpiredQueued
+	// TaskExpiredExecuting: the hard completion deadline passed after
+	// the task started; it unwound at its next safepoint.
+	TaskExpiredExecuting
 )
 
 func (s TaskState) String() string {
@@ -80,6 +99,10 @@ func (s TaskState) String() string {
 		return "rejected"
 	case TaskFailed:
 		return "failed"
+	case TaskExpiredQueued:
+		return "expired-queued"
+	case TaskExpiredExecuting:
+		return "expired-executing"
 	default:
 		return "invalid"
 	}
@@ -91,6 +114,12 @@ func (s TaskState) Cancelled() bool {
 	return s == TaskCancelledQueued || s == TaskCancelledExecuting
 }
 
+// Expired reports whether the state is one of the two
+// deadline-expired outcomes.
+func (s TaskState) Expired() bool {
+	return s == TaskExpiredQueued || s == TaskExpiredExecuting
+}
+
 // taskState is the shared record between a queue entry, the executing
 // Ctx, and the TaskHandle. status transitions are serialized by the
 // pool's mutex; cancelReq is the lock-free flag the task's safepoints
@@ -99,7 +128,11 @@ type taskState struct {
 	status    TaskState // guarded by Pool.mu
 	class     Class     // set at submit, read-only afterwards
 	cancelReq atomic.Uint32
-	done      func(time.Duration)
+	// expires is the hard completion deadline in unixnanos (0 = none),
+	// set at submit and read-only afterwards. Workers consult it at
+	// dequeue; the task's Ctx consults it at safepoints.
+	expires int64
+	done    func(time.Duration)
 	// failure is the captured panic of a TaskFailed task (guarded by
 	// Pool.mu, set exactly once when the status becomes TaskFailed).
 	failure *TaskError
@@ -121,7 +154,8 @@ func (h *TaskHandle) State() TaskState {
 }
 
 // Err reports the task's terminal outcome: ErrCancelled after a cancel
-// took effect, the captured *TaskError after the task panicked, nil
+// took effect, ErrExpired after the hard completion deadline dropped
+// the task, the captured *TaskError after the task panicked, nil
 // otherwise (including while still pending — pair with State for
 // liveness).
 func (h *TaskHandle) Err() error {
@@ -131,6 +165,8 @@ func (h *TaskHandle) Err() error {
 	switch {
 	case st.Cancelled():
 		return ErrCancelled
+	case st.Expired():
+		return ErrExpired
 	case st == TaskFailed:
 		return failure
 	}

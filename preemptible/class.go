@@ -40,7 +40,7 @@ func (c Class) valid() bool { return c >= 0 && c < NumClasses }
 // ClassStats is one class's slice of the pool counters. Work is
 // conserved per class: once the pool is idle,
 //
-//	Submitted = Completed + Rejected + Shed + Failed + Cancelled()
+//	Submitted = Completed + Rejected + Shed + Failed + Cancelled() + Expired()
 //
 // holds exactly — every submission lands in one terminal bucket.
 type ClassStats struct {
@@ -58,6 +58,10 @@ type ClassStats struct {
 	Shed uint64
 	// CancelledQueued/CancelledExecuting mirror the pool-wide buckets.
 	CancelledQueued, CancelledExecuting uint64
+	// ExpiredQueued/ExpiredExecuting mirror the pool-wide deadline-expiry
+	// buckets (SubmitOptions.Expire): dropped at dequeue without ever
+	// running, and unwound at a safepoint mid-run, respectively.
+	ExpiredQueued, ExpiredExecuting uint64
 	// Failed counts tasks of the class that panicked mid-execution; the
 	// runtime contained each fault and the done callback observed
 	// FailedLatency.
@@ -67,10 +71,13 @@ type ClassStats struct {
 // Cancelled is the total of both cancellation buckets.
 func (s ClassStats) Cancelled() uint64 { return s.CancelledQueued + s.CancelledExecuting }
 
+// Expired is the total of both deadline-expiry buckets.
+func (s ClassStats) Expired() uint64 { return s.ExpiredQueued + s.ExpiredExecuting }
+
 // Settled is the total of every terminal bucket; Submitted − Settled
 // is the work still in flight.
 func (s ClassStats) Settled() uint64 {
-	return s.Completed + s.Rejected + s.Shed + s.Failed + s.Cancelled()
+	return s.Completed + s.Rejected + s.Shed + s.Failed + s.Cancelled() + s.Expired()
 }
 
 // SubmitClass is Submit with an explicit service class. If the class's
@@ -78,7 +85,7 @@ func (s ClassStats) Settled() uint64 {
 // without queuing: done observes RejectedLatency and the handle
 // reports TaskRejected. Returns ErrClosed after Close/Drain.
 func (p *Pool) SubmitClass(class Class, task Task, done func(latency time.Duration)) (*TaskHandle, error) {
-	return p.submitClass(class, task, time.Time{}, done)
+	return p.submitOpts(class, task, time.Time{}, time.Time{}, false, done)
 }
 
 // SubmitClassTimeout is SubmitTimeout with an explicit service class.
@@ -86,7 +93,7 @@ func (p *Pool) SubmitClassTimeout(class Class, task Task, timeout time.Duration,
 	if timeout <= 0 {
 		panic("preemptible: non-positive timeout")
 	}
-	return p.submitClass(class, task, time.Now().Add(timeout), done)
+	return p.submitOpts(class, task, time.Now().Add(timeout), time.Time{}, false, done)
 }
 
 // SetClassAdmission opens or closes a class's admission gate. While

@@ -28,8 +28,12 @@ type edfItem struct {
 	st       *taskState
 	arrival  time.Time
 	deadline time.Time // zero = none
-	done     func(time.Duration)
-	seq      uint64
+	// expire marks deadline as a hard completion deadline
+	// (SubmitOptions.Expire): a worker popping the item after the
+	// deadline drops it as expired instead of running it.
+	expire bool
+	done   func(time.Duration)
+	seq    uint64
 }
 
 // edfQueue is a deadline-ordered heap.
@@ -77,44 +81,11 @@ func (p *Pool) SubmitDeadline(task Task, deadline time.Time, done func(latency t
 
 // SubmitClassDeadline is SubmitDeadline with an explicit service class;
 // like SubmitClass, a closed admission gate refuses the task at the
-// door with RejectedLatency.
+// door with RejectedLatency. The deadline orders execution (EDF) but is
+// soft: late work still runs. For hard expiry — drop at dequeue, unwind
+// at the next safepoint — use SubmitWithOptions with Expire set.
 func (p *Pool) SubmitClassDeadline(class Class, task Task, deadline time.Time, done func(latency time.Duration)) (*TaskHandle, error) {
-	if task == nil {
-		panic("preemptible: SubmitDeadline(nil)")
-	}
-	if !class.valid() {
-		panic("preemptible: invalid class")
-	}
-	st := &taskState{done: done, class: class}
-	wrapped := p.bindCancel(task, st)
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		return nil, ErrClosed
-	}
-	p.submitted++
-	p.perClass[class].Submitted++
-	if p.gateClosed[class] {
-		st.status = TaskRejected
-		p.rejected++
-		p.perClass[class].Rejected++
-		p.mu.Unlock()
-		if done != nil {
-			done(RejectedLatency)
-		}
-		return &TaskHandle{p: p, st: st}, nil
-	}
-	p.winArr++
-	if p.discipline == EDF {
-		p.pushEDFLocked(&edfItem{task: wrapped, st: st, arrival: time.Now(), deadline: deadline, done: done})
-	} else {
-		// FIFO carries the deadline only as metadata; ordering is
-		// arrival-based.
-		p.arrivals = append(p.arrivals, poolArrival{task: wrapped, st: st, arrival: time.Now(), done: done})
-	}
-	p.mu.Unlock()
-	p.cond.Signal()
-	return &TaskHandle{p: p, st: st}, nil
+	return p.submitOpts(class, task, time.Time{}, deadline, false, done)
 }
 
 // pushEDF enqueues an item under the EDF discipline (caller holds mu or

@@ -26,9 +26,19 @@ type Ctx struct {
 	// it and unwind the task; it is bound by the Pool before any user
 	// code runs, so only the task goroutine ever touches the pointer.
 	cancelReq *atomic.Uint32
+	// expiresAt, when non-zero, is the submission's hard completion
+	// deadline in unixnanos (SubmitOptions.Expire): Checkpoint and
+	// Yield compare it against the clock and unwind the task once it
+	// passes — doomed work stops at the next safepoint instead of
+	// finishing for a caller that already gave up. Bound by the Pool
+	// before any user code runs, read-only afterwards.
+	expiresAt int64
 	// unwound records that the task exited via cancel-unwind rather
 	// than a normal return (fn_completed(cancelled)).
 	unwound atomic.Bool
+	// expired records that the unwind was triggered by the hard
+	// completion deadline rather than a cancel request.
+	expired atomic.Bool
 
 	// failure records a panic runTaskBody captured: the task died but
 	// the Fn completes through the ordinary yield path in StateFailed.
@@ -87,6 +97,7 @@ func (c *Ctx) Checkpoint() {
 	if c.Cancelled() {
 		c.unwind()
 	}
+	c.checkExpiry()
 	if c.preempt.Load() == 1 {
 		c.yieldNow()
 		return
@@ -106,6 +117,7 @@ func (c *Ctx) Yield() {
 	if c.Cancelled() {
 		c.unwind()
 	}
+	c.checkExpiry()
 	c.yieldNow()
 }
 
@@ -134,9 +146,25 @@ func (c *Ctx) unwind() {
 	panic(cancelPanic{})
 }
 
+// checkExpiry unwinds the task if its hard completion deadline has
+// passed — the expiry analog of the pending-cancel check, sharing the
+// same sentinel-panic unwind path but recording the cause so the pool
+// settles the task as expired rather than cancelled.
+func (c *Ctx) checkExpiry() {
+	if c.expiresAt != 0 && time.Now().UnixNano() >= c.expiresAt {
+		c.expired.Store(true)
+		c.unwind()
+	}
+}
+
 // CancelUnwound reports whether the task exited via cancel-unwind
 // (fn_completed(cancelled)) rather than a normal return.
 func (c *Ctx) CancelUnwound() bool { return c.unwound.Load() }
+
+// DeadlineExpired reports whether the task's unwind was triggered by
+// its hard completion deadline (SubmitOptions.Expire) rather than a
+// cancel request.
+func (c *Ctx) DeadlineExpired() bool { return c.expired.Load() }
 
 // Deadline reports the armed preemption deadline (zero Time if none).
 func (c *Ctx) Deadline() time.Time {
@@ -161,12 +189,13 @@ func (c *Ctx) yieldNow() {
 	}
 	c.yieldCh <- false
 	<-c.runCh
-	// Re-check on wake: a task cancelled while preempted-in-queue must
-	// unwind on its resume without running another inter-safepoint
-	// segment of user code.
+	// Re-check on wake: a task cancelled (or whose hard deadline
+	// passed) while preempted-in-queue must unwind on its resume
+	// without running another inter-safepoint segment of user code.
 	if c.Cancelled() {
 		c.unwind()
 	}
+	c.checkExpiry()
 }
 
 // FnState is a Fn's lifecycle state.
@@ -342,6 +371,11 @@ func (fn *Fn) Err() *TaskError {
 // unwinding at a safepoint after a cancel rather than returning
 // normally. Only meaningful once Completed is true.
 func (fn *Fn) Cancelled() bool { return fn.ctx.unwound.Load() }
+
+// Expired reports that the unwind was triggered by the task's hard
+// completion deadline rather than a cancel request. Only meaningful
+// once Cancelled is true.
+func (fn *Fn) Expired() bool { return fn.ctx.expired.Load() }
 
 // State reports the Fn's lifecycle state.
 func (fn *Fn) State() FnState { return FnState(fn.state.Load()) }

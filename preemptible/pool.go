@@ -49,8 +49,8 @@ type AdaptiveConfig struct {
 // PoolStats is a snapshot of a Pool's counters and latency summary.
 // Every submitted task lands in exactly one terminal bucket:
 // Submitted = Completed + Rejected + Shed + Failed + CancelledQueued +
-// CancelledExecuting + work still in flight — in aggregate and per
-// class (PerClass).
+// CancelledExecuting + ExpiredQueued + ExpiredExecuting + work still
+// in flight — in aggregate and per class (PerClass).
 type PoolStats struct {
 	Submitted, Completed uint64
 	Preemptions          uint64
@@ -68,6 +68,12 @@ type PoolStats struct {
 	// they ever ran; CancelledExecuting counts tasks that had started
 	// and unwound at a safepoint (including while preempted-in-queue).
 	CancelledQueued, CancelledExecuting uint64
+	// ExpiredQueued counts tasks whose hard completion deadline
+	// (SubmitOptions.Expire) passed while they were still queued — they
+	// were dropped at dequeue and never executed. ExpiredExecuting
+	// counts tasks whose deadline passed after they started; they
+	// unwound at their next safepoint through the cancel-unwind path.
+	ExpiredQueued, ExpiredExecuting uint64
 	// DegradedRuns counts tasks executed cooperatively (inline, no
 	// preemption) because the runtime refused Launch — the graceful
 	// degradation path, which never loses a task.
@@ -81,6 +87,9 @@ type PoolStats struct {
 // Cancelled is the total of both cancellation buckets.
 func (s PoolStats) Cancelled() uint64 { return s.CancelledQueued + s.CancelledExecuting }
 
+// Expired is the total of both deadline-expiry buckets.
+func (s PoolStats) Expired() uint64 { return s.ExpiredQueued + s.ExpiredExecuting }
+
 type poolArrival struct {
 	task    Task
 	st      *taskState
@@ -88,7 +97,11 @@ type poolArrival struct {
 	// deadline, when non-zero, is the pickup deadline: a worker
 	// reaching the task after it sheds instead of running it.
 	deadline time.Time
-	done     func(latency time.Duration)
+	// expires, when non-zero, is the hard completion deadline: a worker
+	// reaching the task after it drops it as expired (ExpiredLatency)
+	// instead of running doomed work.
+	expires time.Time
+	done    func(latency time.Duration)
 }
 
 type poolPreempted struct {
@@ -127,6 +140,8 @@ type Pool struct {
 	failed          uint64
 	cancelledQueued uint64
 	cancelledExec   uint64
+	expiredQueued   uint64
+	expiredExec     uint64
 	perClass        [NumClasses]ClassStats
 	// running tracks tasks currently held by a worker (popped, not yet
 	// settled or requeued); Drain raises their cancel flags when the
@@ -149,6 +164,13 @@ type Pool struct {
 	ctlStop   chan struct{}
 	ctlOnce   sync.Once // guards controller shutdown across Close/Drain
 	ctlWG     sync.WaitGroup
+
+	// drainOnce makes Drain (and therefore Close) idempotent: the first
+	// call performs the shutdown and records its result; later calls
+	// wait for that shutdown to finish and return the same result.
+	drainOnce sync.Once
+	drainDone chan struct{}
+	drainErr  error
 }
 
 // NewPool starts the workers (and controller, if configured).
@@ -168,6 +190,7 @@ func NewPool(rt *Runtime, cfg PoolConfig) *Pool {
 		running:    make(map[*taskState]struct{}),
 		onFailure:  cfg.OnFailure,
 		ctlStop:    make(chan struct{}),
+		drainDone:  make(chan struct{}),
 	}
 	p.cond = sync.NewCond(&p.mu)
 	for i := 0; i < cfg.Workers; i++ {
@@ -208,10 +231,54 @@ func (p *Pool) SubmitTimeout(task Task, timeout time.Duration, done func(latency
 }
 
 func (p *Pool) submit(task Task, deadline time.Time, done func(latency time.Duration)) (*TaskHandle, error) {
-	return p.submitClass(ClassLC, task, deadline, done)
+	return p.submitOpts(ClassLC, task, deadline, time.Time{}, false, done)
 }
 
-func (p *Pool) submitClass(class Class, task Task, deadline time.Time, done func(latency time.Duration)) (*TaskHandle, error) {
+// SubmitOptions bundles one submission's scheduling metadata — the
+// single submit surface every Submit* convenience wrapper funnels into.
+type SubmitOptions struct {
+	// Class is the service class (default ClassLC).
+	Class Class
+	// Deadline, when non-zero, is the request's SLO deadline: under the
+	// EDF discipline it orders execution; under FIFO it is carried as
+	// metadata. With Expire set it is additionally a hard completion
+	// deadline (see Expire).
+	Deadline time.Time
+	// Expire arms Deadline as a hard completion deadline: a worker
+	// reaching the task after the deadline drops it at dequeue (done
+	// observes ExpiredLatency, state TaskExpiredQueued, and no worker
+	// time is spent), and a task already executing when the deadline
+	// passes unwinds at its next Checkpoint/Yield through the
+	// cancel-unwind path (ExpiredLatency, TaskExpiredExecuting). This
+	// is end-to-end deadline propagation's server half: work whose
+	// caller has given up is shed instead of finished.
+	Expire bool
+	// PickupTimeout, when positive, sheds the task if no worker reaches
+	// it within the timeout (done observes ShedLatency), exactly like
+	// SubmitTimeout. FIFO discipline only.
+	PickupTimeout time.Duration
+}
+
+// SubmitWithOptions enqueues a task with explicit scheduling metadata.
+// Returns ErrClosed after Close/Drain, like Submit.
+func (p *Pool) SubmitWithOptions(task Task, opts SubmitOptions, done func(latency time.Duration)) (*TaskHandle, error) {
+	if opts.Expire && opts.Deadline.IsZero() {
+		panic("preemptible: SubmitOptions.Expire without a Deadline")
+	}
+	if opts.PickupTimeout < 0 {
+		panic("preemptible: negative PickupTimeout")
+	}
+	var pickup time.Time
+	if opts.PickupTimeout > 0 {
+		pickup = time.Now().Add(opts.PickupTimeout)
+	}
+	return p.submitOpts(opts.Class, task, pickup, opts.Deadline, opts.Expire, done)
+}
+
+// submitOpts is the single admission path: every Submit* entry point
+// lands here. pickup is the pickup deadline (zero = none); deadline is
+// the SLO deadline (zero = none), hard iff expire.
+func (p *Pool) submitOpts(class Class, task Task, pickup, deadline time.Time, expire bool, done func(latency time.Duration)) (*TaskHandle, error) {
 	if task == nil {
 		panic("preemptible: Submit(nil)")
 	}
@@ -219,6 +286,9 @@ func (p *Pool) submitClass(class Class, task Task, deadline time.Time, done func
 		panic(fmt.Sprintf("preemptible: invalid class %d", class))
 	}
 	st := &taskState{done: done, class: class}
+	if expire {
+		st.expires = deadline.UnixNano()
+	}
 	wrapped := p.bindCancel(task, st)
 	p.mu.Lock()
 	if p.closed {
@@ -241,22 +311,34 @@ func (p *Pool) submitClass(class Class, task Task, deadline time.Time, done func
 	}
 	p.winArr++
 	if p.discipline == EDF {
-		p.pushEDFLocked(&edfItem{task: wrapped, st: st, arrival: time.Now(), done: done})
+		p.pushEDFLocked(&edfItem{task: wrapped, st: st, arrival: time.Now(), deadline: deadline, expire: expire, done: done})
 	} else {
-		p.arrivals = append(p.arrivals, poolArrival{task: wrapped, st: st, arrival: time.Now(), deadline: deadline, done: done})
+		p.arrivals = append(p.arrivals, poolArrival{task: wrapped, st: st, arrival: time.Now(), deadline: pickup, expires: expiresTime(st), done: done})
 	}
 	p.mu.Unlock()
 	p.cond.Signal()
 	return &TaskHandle{p: p, st: st}, nil
 }
 
+// expiresTime renders a taskState's hard deadline back as a time.Time
+// (zero when none) for queue entries.
+func expiresTime(st *taskState) time.Time {
+	if st.expires == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, st.expires)
+}
+
 // bindCancel wraps a task so its Ctx polls the submission's shared
-// cancel flag at safepoints. Binding happens on the task goroutine
-// before any user code, so a cancel landing between queue pickup and
-// first execution is observed at the very first Checkpoint.
+// cancel flag — and hard completion deadline, when armed — at
+// safepoints. Binding happens on the task goroutine before any user
+// code, so a cancel (or an already-passed deadline) landing between
+// queue pickup and first execution is observed at the very first
+// Checkpoint.
 func (p *Pool) bindCancel(task Task, st *taskState) Task {
 	return func(ctx *Ctx) {
 		ctx.cancelReq = &st.cancelReq
+		ctx.expiresAt = st.expires
 		task(ctx)
 	}
 }
@@ -313,6 +395,8 @@ func (p *Pool) Stats() PoolStats {
 		Shed:               p.shed,
 		CancelledQueued:    p.cancelledQueued,
 		CancelledExecuting: p.cancelledExec,
+		ExpiredQueued:      p.expiredQueued,
+		ExpiredExecuting:   p.expiredExec,
 		DegradedRuns:       p.degradedRuns,
 		QuantumNow:         p.quantum,
 		Mean:               time.Duration(p.hist.Mean()),
@@ -342,7 +426,22 @@ func (p *Pool) Close() {
 // completion — cancellation is cooperative, exactly like preemption —
 // so Drain's post-deadline wait is bounded by the longest
 // safepoint-free stretch, not by total remaining work.
+//
+// Drain is idempotent: the first call performs the shutdown; later
+// calls (Drain or Close, from any goroutine) block until that shutdown
+// finishes and return its result. A Drain on an idle pool returns as
+// soon as the workers observe the closed flag — no timers, no deadline
+// wait.
 func (p *Pool) Drain(ctx context.Context) error {
+	p.drainOnce.Do(func() {
+		p.drainErr = p.drain(ctx)
+		close(p.drainDone)
+	})
+	<-p.drainDone
+	return p.drainErr
+}
+
+func (p *Pool) drain(ctx context.Context) error {
 	p.mu.Lock()
 	p.closed = true
 	p.mu.Unlock()
@@ -487,6 +586,15 @@ func (p *Pool) worker() {
 		q := p.Quantum()
 		switch {
 		case arr != nil:
+			if !arr.expires.IsZero() && !time.Now().Before(arr.expires) {
+				// Hard completion deadline already passed: the caller has
+				// given up, so executing the task would burn worker time
+				// on doomed work. Checked before the pickup deadline so a
+				// request carrying both settles as expired, matching what
+				// its client observed.
+				p.expireQueued(arr.st, arr.done)
+				continue
+			}
 			if !arr.deadline.IsZero() && time.Now().After(arr.deadline) {
 				p.shedTask(arr.st, arr.done)
 				continue
@@ -509,6 +617,14 @@ func (p *Pool) worker() {
 			p.afterRun(pre.fn, pre.st, pre.arrival, time.Time{}, pre.done)
 		case ed != nil:
 			if ed.task != nil {
+				if ed.expire && !time.Now().Before(ed.deadline) {
+					// Fresh EDF work past its hard deadline: drop at
+					// dequeue. Preempted items are not dropped here — they
+					// already ran, so they unwind at the wake-up safepoint
+					// and settle as ExpiredExecuting.
+					p.expireQueued(ed.st, ed.done)
+					continue
+				}
 				fn, err := p.rt.Launch(ed.task, q)
 				if err != nil {
 					p.runCooperative(ed.task, ed.st, ed.arrival, ed.done)
@@ -540,6 +656,40 @@ func (p *Pool) shedTask(st *taskState, done func(time.Duration)) {
 	}
 }
 
+// expireQueued drops a task whose hard completion deadline passed
+// before any worker reached it; done observes ExpiredLatency and no
+// worker time is spent on the doomed work.
+func (p *Pool) expireQueued(st *taskState, done func(time.Duration)) {
+	p.mu.Lock()
+	p.expiredQueued++
+	if st != nil {
+		st.status = TaskExpiredQueued
+		p.perClass[st.class].ExpiredQueued++
+		delete(p.running, st)
+	}
+	p.mu.Unlock()
+	if done != nil {
+		done(ExpiredLatency)
+	}
+}
+
+// finishExpired settles a task whose hard completion deadline passed
+// after it started executing: it unwound at a safepoint through the
+// cancel-unwind path, distinguished by the context's expired mark.
+func (p *Pool) finishExpired(st *taskState, done func(time.Duration)) {
+	p.mu.Lock()
+	p.expiredExec++
+	if st != nil {
+		st.status = TaskExpiredExecuting
+		p.perClass[st.class].ExpiredExecuting++
+		delete(p.running, st)
+	}
+	p.mu.Unlock()
+	if done != nil {
+		done(ExpiredLatency)
+	}
+}
+
 // runCooperative is the graceful-degradation path: the runtime refused
 // Launch (closed mid-shutdown), so the task runs inline on the worker
 // goroutine with a coop context — Checkpoint and Yield are no-ops, no
@@ -550,7 +700,11 @@ func (p *Pool) runCooperative(task Task, st *taskState, arrival time.Time, done 
 	ctx := &Ctx{coop: true}
 	runTaskBody(task, ctx)
 	if ctx.CancelUnwound() {
-		p.finishCancelled(st, done)
+		if ctx.DeadlineExpired() {
+			p.finishExpired(st, done)
+		} else {
+			p.finishCancelled(st, done)
+		}
 		return
 	}
 	if ctx.failure != nil {
@@ -621,7 +775,11 @@ func (p *Pool) afterRun(fn *Fn, st *taskState, arrival time.Time, deadline time.
 	}
 	if fn.Completed() {
 		if fn.Cancelled() {
-			p.finishCancelled(st, done)
+			if fn.Expired() {
+				p.finishExpired(st, done)
+			} else {
+				p.finishCancelled(st, done)
+			}
 			return
 		}
 		lat := time.Since(arrival)
