@@ -53,6 +53,7 @@ import (
 
 	"repro/internal/brownout"
 	"repro/internal/liveserver"
+	"repro/internal/shard"
 	"repro/internal/tailclient"
 	"repro/preemptible"
 )
@@ -69,6 +70,12 @@ func main() {
 		maxLine   = flag.Int("maxline", 0, "request line byte cap (serve mode; 0 = default 1 MiB)")
 		drain     = flag.Duration("drain", 5*time.Second, "graceful-drain deadline on SIGINT/SIGTERM (serve mode)")
 		noBreaker = flag.Bool("nobreaker", false, "disable per-class circuit breakers (serve mode)")
+		shards    = flag.Int("shards", 1, "bulkhead shard count: independent pool+store partitions behind a rendezvous router (serve mode)")
+		supervise = flag.Bool("supervise", false, "heartbeat shards and restart wedged ones in place (serve mode)")
+		hbEvery   = flag.Duration("hbinterval", 50*time.Millisecond, "supervisor heartbeat interval (serve mode, with -supervise)")
+		maxRestrt = flag.Int("maxrestarts", 0, "restart budget per shard within -restartwindow before it is retired as dead (serve mode; 0 = unlimited)")
+		restrtWin = flag.Duration("restartwindow", 10*time.Second, "sliding window for the restart budget (serve mode)")
+		restrtDrn = flag.Duration("restartdrain", 500*time.Millisecond, "drain deadline when restarting a failed shard (serve mode)")
 		clients   = flag.Int("clients", 4, "client connections (bench mode)")
 		ops       = flag.Int("ops", 2000, "ops per client (bench mode)")
 		compress  = flag.Bool("compress", true, "run a background COMPRESS stream during bench")
@@ -84,6 +91,7 @@ func main() {
 	switch {
 	case *serveAddr != "":
 		serve(*serveAddr, liveserver.Config{
+			Shards:          *shards,
 			Workers:         *workers,
 			Quantum:         *quantum,
 			MaxConns:        *maxConns,
@@ -91,6 +99,13 @@ func main() {
 			RequestTimeout:  *reqTO,
 			MaxLineBytes:    *maxLine,
 			BreakerDisabled: *noBreaker,
+			Supervise: shard.SuperviseConfig{
+				HeartbeatInterval: *hbEvery,
+				MaxRestarts:       *maxRestrt,
+				RestartWindow:     *restrtWin,
+				RestartDrain:      *restrtDrn,
+			},
+			SuperviseEnabled: *supervise,
 		}, *drain)
 	case *benchAddr != "":
 		lc, be, err := parseMix(*mix)
@@ -128,8 +143,12 @@ func serve(addr string, cfg liveserver.Config, drain time.Duration) {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("preemkv serving on %s (%d workers, %v quantum); Ctrl-C to stop\n",
-		ln.Addr(), cfg.Workers, cfg.Quantum)
+	supervised := "unsupervised"
+	if cfg.SuperviseEnabled {
+		supervised = fmt.Sprintf("heartbeat every %v", cfg.Supervise.HeartbeatInterval)
+	}
+	fmt.Printf("preemkv serving on %s (%d shards × %d workers, %v quantum, %s); Ctrl-C to stop\n",
+		ln.Addr(), max(cfg.Shards, 1), cfg.Workers, cfg.Quantum, supervised)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -174,6 +193,15 @@ func serve(addr string, cfg liveserver.Config, drain time.Duration) {
 			preemptible.Class(c), pc.Requests,
 			pc.Rejected[brownout.Normal], pc.Rejected[brownout.Brownout], pc.Rejected[brownout.Shed],
 			pc.Unavailable, pc.Evicted, pc.Timeouts, pc.Failed)
+	}
+	g := s.Group()
+	for i := 0; i < g.N(); i++ {
+		sh := g.Shard(i)
+		cs := sh.Counters()
+		lc, be := cs[preemptible.ClassLC], cs[preemptible.ClassBE]
+		fmt.Printf("shard %d: %s, gen %d, %d restarts, %d LC + %d BE requests, %d unavailable, brownout %v\n",
+			i, sh.Health(), sh.Generation(), g.Restarts(i),
+			lc.Requests, be.Requests, lc.Unavailable+be.Unavailable, sh.BrownoutState())
 	}
 }
 

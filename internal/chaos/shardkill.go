@@ -1,0 +1,113 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ShardKillConfig parameterizes a seeded shard-failure process: one
+// independent Gilbert–Elliott chain per shard, each seeded with a
+// ChildSeed of the scenario seed. The chain's good state is "shard
+// healthy", its bad state is a correlated failure burst — a flaky rack
+// takes a shard down repeatedly in clusters, not as i.i.d. coin flips —
+// and a step in the bad state kills the shard with KillProb.
+//
+// Because every shard owns its own chain and RNG, the decision sequence
+// for shard i is a pure function of (Seed, i, number of Step(i) calls):
+// adding shards, removing shards, or reordering the supervisor's probe
+// goroutines cannot perturb any other shard's schedule.
+type ShardKillConfig struct {
+	// Seed fixes every chain; per-shard chains use ChildSeed(Seed, i).
+	Seed uint64
+	// Shards is the number of independent kill chains.
+	Shards int
+	// MeanUp/MeanDown are the mean sojourns, in supervisor ticks, of
+	// the healthy and failure-burst states (both must be ≥ 1).
+	MeanUp, MeanDown float64
+	// KillProb is the per-tick kill probability while inside a failure
+	// burst (default 1: every bad-state tick kills).
+	KillProb float64
+	// Targets, when non-empty, restricts kills to these shard indices.
+	// Other shards' chains still advance — the schedule of a targeted
+	// shard is identical with or without the restriction — but their
+	// kill verdicts are masked off. This is how containment tests
+	// martyr one shard while proving its siblings never fault.
+	Targets []int
+}
+
+// ShardKill is the injector. Step is safe for concurrent use across
+// shards (each shard has its own lock and RNG); calls for the same
+// shard are serialized by its per-shard mutex.
+type ShardKill struct {
+	cfg    ShardKillConfig
+	target map[int]bool // nil = all shards targeted
+
+	mu     []sync.Mutex
+	chains []*GilbertElliott
+	kills  []uint64
+}
+
+// NewShardKill validates cfg and builds one chain per shard.
+func NewShardKill(cfg ShardKillConfig) *ShardKill {
+	if cfg.Shards <= 0 {
+		panic(fmt.Sprintf("chaos: ShardKill needs ≥ 1 shard, got %d", cfg.Shards))
+	}
+	kp := cfg.KillProb
+	if kp == 0 {
+		kp = 1
+	}
+	if kp < 0 || kp > 1 {
+		panic(fmt.Sprintf("chaos: ShardKill KillProb %v outside [0,1]", cfg.KillProb))
+	}
+	k := &ShardKill{
+		cfg:    cfg,
+		mu:     make([]sync.Mutex, cfg.Shards),
+		chains: make([]*GilbertElliott, cfg.Shards),
+		kills:  make([]uint64, cfg.Shards),
+	}
+	for i := range k.chains {
+		k.chains[i] = NewGilbertElliott(GEConfig{
+			Seed:     ChildSeed(cfg.Seed, uint64(i)),
+			MeanGood: cfg.MeanUp,
+			MeanBad:  cfg.MeanDown,
+			DropBad:  kp,
+		})
+	}
+	if len(cfg.Targets) > 0 {
+		k.target = make(map[int]bool, len(cfg.Targets))
+		for _, t := range cfg.Targets {
+			if t < 0 || t >= cfg.Shards {
+				panic(fmt.Sprintf("chaos: ShardKill target %d outside [0,%d)", t, cfg.Shards))
+			}
+			k.target[t] = true
+		}
+	}
+	return k
+}
+
+// Step advances shard's chain by one supervisor tick and reports
+// whether the shard is killed on this tick. Untargeted shards always
+// report false, but their chains advance regardless, so Targets never
+// changes a targeted shard's schedule.
+func (k *ShardKill) Step(shard int) bool {
+	k.mu[shard].Lock()
+	_, kill := k.chains[shard].Step()
+	if kill && k.target != nil && !k.target[shard] {
+		kill = false
+	}
+	if kill {
+		k.kills[shard]++
+	}
+	k.mu[shard].Unlock()
+	return kill
+}
+
+// Kills reports how many kill verdicts shard has received.
+func (k *ShardKill) Kills(shard int) uint64 {
+	k.mu[shard].Lock()
+	defer k.mu[shard].Unlock()
+	return k.kills[shard]
+}
+
+// Chain exposes shard's Gilbert–Elliott chain for sojourn assertions.
+func (k *ShardKill) Chain(shard int) *GilbertElliott { return k.chains[shard] }

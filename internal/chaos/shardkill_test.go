@@ -1,0 +1,125 @@
+package chaos
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestChildSeedDistinct checks that child seeds differ across children
+// and across roots — collisions among small indices would correlate
+// per-shard fault schedules.
+func TestChildSeedDistinct(t *testing.T) {
+	seen := make(map[uint64]string)
+	for root := uint64(0); root < 8; root++ {
+		for child := uint64(0); child < 64; child++ {
+			s := ChildSeed(root, child)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("ChildSeed collision: root=%d child=%d vs %s", root, child, prev)
+			}
+			seen[s] = "" // value unused; presence marks the seed
+		}
+	}
+	if ChildSeed(7, 3) != ChildSeed(7, 3) {
+		t.Fatal("ChildSeed not deterministic")
+	}
+}
+
+// killSchedule advances one shard's chain n ticks and records the
+// verdicts.
+func killSchedule(k *ShardKill, shard, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = k.Step(shard)
+	}
+	return out
+}
+
+// TestShardKillDeterministicPerShard is the satellite's core claim:
+// shard i's kill schedule is a pure function of (seed, i, step count) —
+// unchanged by how many shards exist, by the order other shards step,
+// or by goroutine interleaving.
+func TestShardKillDeterministicPerShard(t *testing.T) {
+	base := ShardKillConfig{Seed: 42, Shards: 4, MeanUp: 20, MeanDown: 3}
+
+	a := NewShardKill(base)
+	b := NewShardKill(base)
+	// b's other shards step in a scrambled, interleaved order first.
+	for i := 0; i < 500; i++ {
+		b.Step(3)
+		b.Step(0)
+		b.Step(0)
+	}
+	wantS2 := killSchedule(a, 2, 400)
+	gotS2 := killSchedule(b, 2, 400)
+	for i := range wantS2 {
+		if wantS2[i] != gotS2[i] {
+			t.Fatalf("shard 2 schedule diverged at tick %d despite identical seed", i)
+		}
+	}
+
+	// Shrinking the group must not change a surviving shard's schedule.
+	small := NewShardKill(ShardKillConfig{Seed: 42, Shards: 3, MeanUp: 20, MeanDown: 3})
+	gotSmall := killSchedule(small, 2, 400)
+	for i := range wantS2 {
+		if wantS2[i] != gotSmall[i] {
+			t.Fatalf("shard 2 schedule changed when group shrank 4→3 shards (tick %d)", i)
+		}
+	}
+}
+
+// TestShardKillTargetsMaskOnly checks that Targets masks verdicts
+// without perturbing schedules: a targeted shard's schedule matches the
+// unrestricted run, and untargeted shards never kill.
+func TestShardKillTargetsMaskOnly(t *testing.T) {
+	cfg := ShardKillConfig{Seed: 7, Shards: 3, MeanUp: 10, MeanDown: 4}
+	free := NewShardKill(cfg)
+	cfg.Targets = []int{1}
+	masked := NewShardKill(cfg)
+
+	const ticks = 1000
+	for s := 0; s < 3; s++ {
+		wantKills := false
+		for i := 0; i < ticks; i++ {
+			f, m := free.Step(s), masked.Step(s)
+			if s == 1 && f != m {
+				t.Fatalf("targeted shard 1 schedule perturbed at tick %d", i)
+			}
+			if s != 1 && m {
+				t.Fatalf("untargeted shard %d killed at tick %d", s, i)
+			}
+			wantKills = wantKills || m
+		}
+		if s == 1 && !wantKills {
+			t.Fatal("targeted shard 1 never killed in 1000 ticks of MeanUp=10/MeanDown=4")
+		}
+		if s == 1 && masked.Kills(1) == 0 {
+			t.Fatal("Kills(1) did not count")
+		}
+	}
+}
+
+// TestShardKillConcurrentSteps races Step across shards under -race and
+// re-checks per-shard determinism afterwards.
+func TestShardKillConcurrentSteps(t *testing.T) {
+	cfg := ShardKillConfig{Seed: 99, Shards: 8, MeanUp: 15, MeanDown: 2}
+	k := NewShardKill(cfg)
+	var wg sync.WaitGroup
+	got := make([][]bool, cfg.Shards)
+	for s := 0; s < cfg.Shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			got[s] = killSchedule(k, s, 300)
+		}(s)
+	}
+	wg.Wait()
+	ref := NewShardKill(cfg)
+	for s := 0; s < cfg.Shards; s++ {
+		want := killSchedule(ref, s, 300)
+		for i := range want {
+			if want[i] != got[s][i] {
+				t.Fatalf("shard %d: concurrent schedule diverged at tick %d", s, i)
+			}
+		}
+	}
+}

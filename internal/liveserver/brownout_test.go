@@ -340,7 +340,7 @@ func TestBrownoutDisabledRecoversLegacyShedding(t *testing.T) {
 	}
 	// Wait until the long request occupies the only inflight slot.
 	deadline := time.Now().Add(2 * time.Second)
-	for s.inflight.Load() == 0 && time.Now().Before(deadline) {
+	for s.inflightTotal() == 0 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
 	c := dial(t, addr)

@@ -44,7 +44,7 @@ func TestDisconnectCancelsExecuting(t *testing.T) {
 	// Wait until the request is actually executing (picked up, not just
 	// queued) before pulling the plug.
 	waitFor(t, 2*time.Second, func() bool {
-		return s.PoolStats().Submitted == 1 && s.pool.QueueLen() == 0
+		return s.PoolStats().Submitted == 1 && s.group.Shard(0).Pool().QueueLen() == 0
 	}, "compression to start executing")
 	c.conn.Close()
 
@@ -77,24 +77,24 @@ func TestDisconnectEvictsQueued(t *testing.T) {
 
 	// Wedge the single worker deterministically: hold the store lock so
 	// a GET blocks inside its critical section (no safepoints there).
-	s.mu.Lock()
+	s.storeMu[0].Lock()
 	wedged := dial(t, addr)
 	if _, err := wedged.conn.Write([]byte("GET k\n")); err != nil {
-		s.mu.Unlock()
+		s.storeMu[0].Unlock()
 		t.Fatal(err)
 	}
 	waitFor(t, 2*time.Second, func() bool {
-		return s.PoolStats().Submitted == 1 && s.pool.QueueLen() == 0
+		return s.PoolStats().Submitted == 1 && s.group.Shard(0).Pool().QueueLen() == 0
 	}, "wedge GET to occupy the worker")
 
 	// Queue a second request behind the wedge, then disconnect its
 	// client.
 	queued := dial(t, addr)
 	if _, err := queued.conn.Write([]byte("PING\n")); err != nil {
-		s.mu.Unlock()
+		s.storeMu[0].Unlock()
 		t.Fatal(err)
 	}
-	waitFor(t, 2*time.Second, func() bool { return s.pool.QueueLen() == 1 },
+	waitFor(t, 2*time.Second, func() bool { return s.group.Shard(0).Pool().QueueLen() == 1 },
 		"PING to queue behind the wedge")
 	queued.conn.Close()
 
@@ -107,13 +107,13 @@ func TestDisconnectEvictsQueued(t *testing.T) {
 	if ps := s.PoolStats(); ps.Completed != 0 {
 		t.Fatalf("something completed while the worker was wedged: %+v", ps)
 	}
-	if n := s.pool.QueueLen(); n != 0 {
+	if n := s.group.Shard(0).Pool().QueueLen(); n != 0 {
 		t.Fatalf("QueueLen %d after eviction, want 0", n)
 	}
 
 	// Release the wedge: the original GET completes normally and is the
 	// only task that ever ran.
-	s.mu.Unlock()
+	s.storeMu[0].Unlock()
 	if !wedged.r.Scan() {
 		t.Fatalf("no response to wedged GET: %v", wedged.r.Err())
 	}
@@ -187,7 +187,7 @@ func TestDisconnectConservation(t *testing.T) {
 
 	// Drain: every admitted request must reach a terminal state (the
 	// done callback decrements inflight on all paths).
-	waitFor(t, 10*time.Second, func() bool { return s.inflight.Load() == 0 },
+	waitFor(t, 10*time.Second, func() bool { return s.inflightTotal() == 0 },
 		"all in-flight requests to settle")
 
 	ps := s.PoolStats()

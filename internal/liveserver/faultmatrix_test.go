@@ -293,7 +293,7 @@ func TestShutdownGraceful(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitStart := time.Now().Add(2 * time.Second)
-	for s.inflight.Load() == 0 && time.Now().Before(waitStart) {
+	for s.inflightTotal() == 0 && time.Now().Before(waitStart) {
 		time.Sleep(time.Millisecond)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -331,7 +331,7 @@ func TestShutdownDeadlineCancelsStragglers(t *testing.T) {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(2 * time.Second)
-	for s.inflight.Load() == 0 && time.Now().Before(deadline) {
+	for s.inflightTotal() == 0 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
@@ -349,7 +349,7 @@ func TestShutdownDeadlineCancelsStragglers(t *testing.T) {
 		}
 	}
 	// Post-shutdown submissions are refused, not crashed.
-	if _, err := s.pool.SubmitClass(preemptible.ClassLC, func(*preemptible.Ctx) {}, nil); !errors.Is(err, preemptible.ErrClosed) {
+	if _, err := s.group.Shard(0).Pool().SubmitClass(preemptible.ClassLC, func(*preemptible.Ctx) {}, nil); !errors.Is(err, preemptible.ErrClosed) {
 		t.Fatalf("submit after shutdown: %v, want ErrClosed", err)
 	}
 }

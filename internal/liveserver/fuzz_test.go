@@ -59,7 +59,7 @@ func FuzzParse(f *testing.F) {
 	}
 	defer rt.Close()
 	s := New(rt, Config{Workers: 1})
-	defer s.pool.Close()
+	defer s.group.Close()
 
 	f.Fuzz(func(t *testing.T, line string) {
 		resp := s.handleRequest(line, nil)

@@ -2,16 +2,38 @@
 // built on the public preemptible runtime — the live analog of the
 // paper's "deploy LibPreemptible under an RPC server" study (§V-B) and
 // colocation scenario (§V-C). Short KV operations and long compression
-// requests share one preemptible worker pool; the pool's quantum
-// controls how aggressively the long requests are preempted.
+// requests share preemptible worker pools; the pool quantum controls
+// how aggressively the long requests are preempted.
+//
+// The server is partitioned into N bulkhead shards (internal/shard):
+// each shard owns its own pool, store partition, brownout controller,
+// and circuit breakers, behind a rendezvous-hash router resolved at
+// parse time. Keys route statically — a key's shard never changes with
+// shard health — so a wedged or dead shard is a visible partial
+// failure: exactly its keys answer "ERR unavailable" while sibling
+// shards keep serving theirs. Keyless work (PING, COMPRESS) routes
+// round-robin over healthy shards. An optional supervisor heartbeats
+// every shard, drains and rebuilds wedged ones, and retires flapping
+// ones permanently (see Config.SuperviseEnabled).
 //
 // Protocol (one request per line, responses newline-terminated):
 //
-//	SET <key> <value>   → OK
-//	GET <key>           → VALUE <value> | NOT_FOUND
-//	COMPRESS <n>        → COMPRESSED <in> <out>   (n kilobytes of work)
-//	PING                → PONG
-//	STATS               → STATS state=<..> load=<..> <per-class counters>
+//	SET <key> <value>        → OK
+//	GET <key>                → VALUE <value> | NOT_FOUND
+//	MGET <key> [<key> ...]   → MVALUES <tok> [<tok> ...]
+//	COMPRESS <n>             → COMPRESSED <in> <out>   (n kilobytes of work)
+//	PING                     → PONG
+//	STATS                    → STATS state=<..> load=<..> <counters> <per-shard fields>
+//
+// MGET fans out to every shard its keys route to, each leg under the
+// request's wire deadline, and reports per-key partial results: one
+// token per key, in request order. A hit is "=" + the value,
+// percent-escaped (url.QueryEscape) so values survive tokenization; a
+// miss is NOT_FOUND; a key whose shard leg failed carries the failure
+// instead — UNAVAILABLE (shard down or breaker open), DEADLINE (the
+// leg expired server-side), OVERLOADED, BROWNOUT, CANCELLED, or ERROR.
+// One dead shard degrades exactly its keys; the rest of the response
+// is served normally.
 //
 // Every command may carry trailing metadata tokens, at most one of
 // each, in either order:
@@ -19,7 +41,7 @@
 //	D<micros>  absolute hard deadline, microseconds since the Unix epoch
 //	A<n>       attempt number (0/absent = primary, ≥1 = retry or hedge)
 //
-// A request whose deadline passes while it waits in the pool queue is
+// A request whose deadline passes while it waits in a pool queue is
 // dropped at dequeue — no worker time is spent on work whose caller has
 // given up — and one already executing unwinds at its next safepoint;
 // either way the client gets "ERR deadline". Malformed tokens answer
@@ -30,18 +52,19 @@
 //
 // Unknown or malformed requests get "ERR <reason>". Under overload the
 // server sheds rather than queues: connections beyond MaxConns and
-// requests beyond MaxInflight (or older than RequestTimeout) answer
-// "ERR overloaded", and lines longer than MaxLineBytes answer
-// "ERR line too long" before the connection closes.
+// requests beyond a shard's inflight share (or older than
+// RequestTimeout) answer "ERR overloaded", and lines longer than
+// MaxLineBytes answer "ERR line too long" before the connection closes.
 //
 // Requests carry a service class mirroring the paper's colocation
-// contract: KV operations (GET/SET/PING) are latency-critical (LC),
-// COMPRESS is best-effort (BE). A brownout controller
-// (internal/brownout) watches smoothed load — inflight occupancy plus
-// recent fast-rejects against MaxInflight, queue delay, and the
-// runtime watchdog — and degrades class-aware:
+// contract: KV operations (GET/SET/MGET/PING) are latency-critical
+// (LC), COMPRESS is best-effort (BE). Each shard runs its own brownout
+// controller (internal/brownout) watching that shard's smoothed load —
+// inflight occupancy plus recent fast-rejects against the shard's
+// inflight share, queue delay, and the runtime watchdog — and degrades
+// class-aware:
 //
-//   - NORMAL: everyone is admitted up to MaxInflight.
+//   - NORMAL: everyone is admitted up to the inflight share.
 //   - BROWNOUT: BE answers "ERR brownout" at the door (retry later,
 //     or as LC) and queued BE is evicted from the pool; LC keeps
 //     flowing, bypassing the inflight cap — LC floods escalate the
@@ -50,13 +73,14 @@
 //     request answers "ERR overloaded" until pressure drains.
 //
 // "ERR brownout" versus "ERR overloaded" is the client's signal to
-// retry soon versus back off hard.
+// retry soon versus back off hard. Degradation is per shard: a
+// COMPRESS flood on one shard browns out that shard alone.
 //
 // Fault containment rides alongside load protection: a request whose
 // task panics is contained by the pool (the worker survives) and
 // answers "ERR internal"; a class whose tasks keep panicking trips its
-// per-class circuit breaker (internal/breaker) and fast-rejects with
-// "ERR unavailable" until recovery probes succeed. Shutdown drains
+// shard's per-class circuit breaker (internal/breaker) and fast-rejects
+// with "ERR unavailable" until recovery probes succeed. Shutdown drains
 // gracefully on SIGTERM: in-flight requests finish under a deadline,
 // stragglers are cancelled through the pool's cancel-unwind path.
 package liveserver
@@ -68,6 +92,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
@@ -77,17 +102,23 @@ import (
 	"repro/internal/bejob"
 	"repro/internal/breaker"
 	"repro/internal/brownout"
-	"repro/internal/mica"
+	"repro/internal/shard"
 	"repro/preemptible"
 )
 
 // Config parameterizes a Server.
 type Config struct {
-	// Workers is the preemptible pool size (default 2).
+	// Shards partitions the server into this many bulkhead shards
+	// (default 1), each with its own pool, store partition, brownout
+	// controller, and breakers. Keys route by rendezvous hash; one
+	// shard's failure leaves the others' keys fully served.
+	Shards int
+	// Workers is each shard's preemptible pool size (default 2).
 	Workers int
-	// Quantum is the pool's time slice (default 1ms).
+	// Quantum is the pool time slice (default 1ms).
 	Quantum time.Duration
-	// StoreLogBytes sizes the KV store (default 4 MiB).
+	// StoreLogBytes sizes the KV store across all shards, partitioned
+	// evenly (default 4 MiB per shard).
 	StoreLogBytes int
 
 	// MaxConns bounds concurrently open connections (default 1024;
@@ -95,10 +126,11 @@ type Config struct {
 	// "ERR overloaded" line and are closed instead of queuing
 	// unboundedly.
 	MaxConns int
-	// MaxInflight bounds requests admitted to the pool at once, queued
-	// plus executing (default 64 × Workers; negative = unlimited).
+	// MaxInflight bounds requests admitted at once, queued plus
+	// executing, across the whole group; each shard enforces an even
+	// share (default 64 × Workers per shard; negative = unlimited).
 	// Excess requests fast-reject with "ERR overloaded" without ever
-	// touching the pool.
+	// touching a pool.
 	MaxInflight int
 	// RequestTimeout bounds a request's queue wait: a request not
 	// picked up by a worker within it is shed — never executed — and
@@ -109,8 +141,8 @@ type Config struct {
 	// a single huge line must not grow server buffers without limit.
 	MaxLineBytes int
 
-	// Brownout parameterizes the class-aware degradation controller
-	// (zero value = defaults; see internal/brownout). Set
+	// Brownout parameterizes each shard's class-aware degradation
+	// controller (zero value = defaults; see internal/brownout). Set
 	// BrownoutDisabled to recover the pre-brownout behavior where every
 	// class sheds indiscriminately at the caps.
 	Brownout         brownout.Config
@@ -124,10 +156,10 @@ type Config struct {
 	// DelayRatio (default: RequestTimeout, else 20ms).
 	BrownoutDelayTarget time.Duration
 
-	// Breaker parameterizes the per-class circuit breakers (zero value
-	// = defaults; see internal/breaker): a class whose tasks keep
-	// panicking trips its breaker and fast-rejects with
-	// "ERR unavailable" until recovery probes succeed. Set
+	// Breaker parameterizes the per-shard, per-class circuit breakers
+	// (zero value = defaults; see internal/breaker): a class whose
+	// tasks keep panicking trips its shard's breaker and fast-rejects
+	// with "ERR unavailable" until recovery probes succeed. Set
 	// BreakerDisabled to admit every class regardless of failures.
 	Breaker         breaker.Config
 	BreakerDisabled bool
@@ -137,37 +169,34 @@ type Config struct {
 	// This is the chaos hook fault-containment tests use to poison live
 	// traffic deterministically (see chaos.PanicInjector).
 	PanicInject func(class preemptible.Class) bool
+
+	// Supervise parameterizes the shard supervisor: heartbeat health
+	// checks that detect a wedged shard, drain it, rebuild it from a
+	// fresh store partition, and re-admit it — with a restart budget
+	// that escalates a flapping shard to terminal Dead (see
+	// internal/shard). Off unless SuperviseEnabled is set: probes run
+	// as real pool tasks and would perturb the exact pool-stat
+	// accounting single-shard deployments rely on.
+	Supervise        shard.SuperviseConfig
+	SuperviseEnabled bool
 }
 
 // Server serves the protocol over TCP.
 type Server struct {
-	rt   *preemptible.Runtime
-	pool *preemptible.Pool
+	rt    *preemptible.Runtime
+	group *shard.Group
+
+	// storeMu serializes access to each shard's store: mica.Store
+	// mutates its hit counters even on Get, so reads are writes. One
+	// mutex per shard — the pre-sharding server's single full-exclusion
+	// store lock, split N ways so shards never contend on each other's
+	// keys.
+	storeMu []sync.Mutex
 
 	maxConns     int
-	maxInflight  int
 	reqTimeout   time.Duration
 	maxLineBytes int
-	inflight     atomic.Int64
-
-	// mu guards store with full exclusion: mica.Store mutates its hit
-	// counters even on Get, so reads are writes.
-	mu     sync.Mutex
-	store  *mica.Store
-	engine *bejob.Engine
-
-	ctl         *brownout.Controller
-	bstate      atomic.Int32 // brownout.State, written only by brownoutLoop
-	rejectsWin  atomic.Uint64
-	delayTarget time.Duration
-	bperiod     time.Duration
-	loopWG      sync.WaitGroup
-
-	// breakers holds one circuit breaker per service class (all nil
-	// when BreakerDisabled): panics trip a class independently, so a
-	// poisoned BE deploy fast-rejects BE while LC keeps flowing.
-	breakers    [preemptible.NumClasses]*breaker.Breaker
-	panicInject func(class preemptible.Class) bool
+	rr           atomic.Uint64 // round-robin cursor for keyless requests
 
 	ln     net.Listener
 	connWG sync.WaitGroup
@@ -178,19 +207,22 @@ type Server struct {
 
 	// Requests counts protocol requests served.
 	Requests struct {
-		Get, Set, Compress, Ping, Stats, Errors uint64
+		Get, Set, MGet, Compress, Ping, Stats, Errors uint64
 	}
-	// Overload counts protection events: connections shed at accept,
-	// requests fast-rejected at admission with "ERR overloaded" (the
-	// inflight cap, or SHED), BE fast-rejected with "ERR brownout"
-	// (BROWNOUT), requests shed after timing out in the queue, over-long
-	// lines rejected, and work cancelled on client disconnect — split by
-	// whether the request was still queued (never occupied a worker) or
-	// already executing (unwound at its next safepoint). PerClass breaks
-	// admission decisions down by service class and, for rejections, by
-	// the brownout state that issued them — "no LC was ever rejected
-	// while merely browned out" is PerClass[ClassLC].Rejected[Brownout]
-	// == 0, directly.
+	// Overload counts protection events as group totals: connections
+	// shed at accept, requests fast-rejected at admission with
+	// "ERR overloaded" (a shard's inflight share, or SHED), BE
+	// fast-rejected with "ERR brownout" (BROWNOUT), requests shed after
+	// timing out in a queue, over-long lines rejected, and work
+	// cancelled on client disconnect — split by whether the request was
+	// still queued (never occupied a worker) or already executing
+	// (unwound at its next safepoint). PerClass breaks admission
+	// decisions down by service class and, for rejections, by the
+	// brownout state that issued them — "no LC was ever rejected while
+	// merely browned out" is PerClass[ClassLC].Rejected[Brownout] == 0,
+	// directly. Every counter here also exists per shard
+	// (shard.ClassCounters); the group totals equal the sum over shards
+	// exactly, including across shard restarts.
 	Overload struct {
 		ShedConns, ShedRequests, BrownoutRejects, Timeouts, LineTooLong uint64
 		CancelledQueued, CancelledExecuting                             uint64
@@ -206,7 +238,8 @@ type Server struct {
 
 // ClassOverload is one service class's slice of the admission counters.
 type ClassOverload struct {
-	// Requests counts requests of this class that reached admission.
+	// Requests counts requests of this class that reached admission
+	// (each MGET shard leg counts once).
 	Requests uint64
 	// Rejected counts fast-rejects at the door, indexed by the brownout
 	// state that issued them (Normal = the plain inflight cap).
@@ -219,14 +252,15 @@ type ClassOverload struct {
 	// Failed counts requests whose task panicked mid-execution; the
 	// pool contained the fault and the client saw "ERR internal".
 	Failed uint64
-	// Unavailable counts fast-rejects by the class's circuit breaker
-	// (or by a draining pool); the client saw "ERR unavailable".
+	// Unavailable counts fast-rejects by the class's circuit breaker,
+	// by a draining pool, or by a Restarting/Dead shard; the client saw
+	// "ERR unavailable".
 	Unavailable uint64
-	// ExpiredQueued/ExpiredExecuting mirror the pool's deadline-expiry
+	// ExpiredQueued/ExpiredExecuting mirror the pools' deadline-expiry
 	// buckets for this class's wire-deadline (D token) requests. Exact
-	// conservation holds: this ExpiredQueued equals the pool's
+	// conservation holds: this ExpiredQueued equals the summed pools'
 	// PerClass ExpiredQueued, because deadline-carrying requests are
-	// always submitted and expire only inside the pool.
+	// always submitted and expire only inside a pool.
 	ExpiredQueued, ExpiredExecuting uint64
 	// Reattempts counts admitted requests marked A≥1 — the server-side
 	// view of client hedging and retry traffic.
@@ -235,66 +269,56 @@ type ClassOverload struct {
 
 // New builds a server on the given runtime.
 func New(rt *preemptible.Runtime, cfg Config) *Server {
-	workers := cfg.Workers
-	if workers == 0 {
-		workers = 2
-	}
-	quantum := cfg.Quantum
-	if quantum == 0 {
-		quantum = time.Millisecond
-	}
-	logBytes := cfg.StoreLogBytes
-	if logBytes == 0 {
-		logBytes = 4 << 20
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 1
 	}
 	maxConns := cfg.MaxConns
 	if maxConns == 0 {
 		maxConns = 1024
 	}
-	maxInflight := cfg.MaxInflight
-	if maxInflight == 0 {
-		maxInflight = 64 * workers
-	}
 	maxLine := cfg.MaxLineBytes
 	if maxLine <= 0 {
 		maxLine = 1 << 20
 	}
-	period := cfg.BrownoutPeriod
-	if period <= 0 {
-		period = 2 * time.Millisecond
+	// Group-level totals become even per-shard shares; zero keeps the
+	// shard defaults (64 × Workers inflight, 4 MiB store — per shard).
+	perInflight := cfg.MaxInflight
+	if perInflight > 0 {
+		perInflight = (perInflight + shards - 1) / shards
 	}
-	delayTarget := cfg.BrownoutDelayTarget
-	if delayTarget <= 0 {
-		delayTarget = cfg.RequestTimeout
+	perStore := cfg.StoreLogBytes
+	if perStore > 0 && shards > 1 {
+		perStore /= shards
+		if perStore < 64<<10 {
+			perStore = 64 << 10
+		}
 	}
-	if delayTarget <= 0 {
-		delayTarget = 20 * time.Millisecond
-	}
+	scfg := cfg.Supervise
+	scfg.Disabled = !cfg.SuperviseEnabled
 	s := &Server{
-		rt:           rt,
-		pool:         preemptible.NewPool(rt, preemptible.PoolConfig{Workers: workers, Quantum: quantum}),
+		rt: rt,
+		group: shard.NewGroup(rt, shards, shard.Config{
+			Workers:             cfg.Workers,
+			Quantum:             cfg.Quantum,
+			StoreLogBytes:       perStore,
+			MaxInflight:         perInflight,
+			RequestTimeout:      cfg.RequestTimeout,
+			Brownout:            cfg.Brownout,
+			BrownoutDisabled:    cfg.BrownoutDisabled,
+			BrownoutPeriod:      cfg.BrownoutPeriod,
+			BrownoutDelayTarget: cfg.BrownoutDelayTarget,
+			Breaker:             cfg.Breaker,
+			BreakerDisabled:     cfg.BreakerDisabled,
+			PanicInject:         cfg.PanicInject,
+		}, scfg),
+		storeMu:      make([]sync.Mutex, shards),
 		maxConns:     maxConns,
-		maxInflight:  maxInflight,
 		reqTimeout:   cfg.RequestTimeout,
 		maxLineBytes: maxLine,
-		ctl:          brownout.New(cfg.Brownout),
-		delayTarget:  delayTarget,
-		bperiod:      period,
-		store:        mica.NewStore(logBytes, logBytes/256),
-		engine:       bejob.NewEngine(0),
 		conns:        make(map[net.Conn]struct{}),
 		done:         make(chan struct{}),
 	}
-	if !cfg.BrownoutDisabled {
-		s.loopWG.Add(1)
-		go s.brownoutLoop()
-	}
-	if !cfg.BreakerDisabled {
-		for c := range s.breakers {
-			s.breakers[c] = breaker.New(cfg.Breaker)
-		}
-	}
-	s.panicInject = cfg.PanicInject
 	return s
 }
 
@@ -351,7 +375,7 @@ func (s *Server) Addr() net.Addr {
 }
 
 // Close stops accepting, waits for in-flight connections, and shuts the
-// pool down.
+// shard group down.
 func (s *Server) Close() {
 	s.closed.Do(func() {
 		close(s.done)
@@ -366,8 +390,7 @@ func (s *Server) Close() {
 		}
 		s.connMu.Unlock()
 		s.connWG.Wait()
-		s.loopWG.Wait()
-		s.pool.Close()
+		s.group.Close()
 	})
 }
 
@@ -375,7 +398,7 @@ func (s *Server) Close() {
 // stops immediately; each open connection finishes the request it is
 // serving (closing s.done stops the per-connection loops after the
 // in-flight response is written) and connections get until ctx's
-// deadline before being force-closed; finally the pool drains under
+// deadline before being force-closed; finally every shard drains under
 // the same deadline, cancelling stragglers through the cancel-unwind
 // path. Returns nil on a complete drain, ctx.Err() if the deadline
 // forced any teardown. Concurrent with Close: whichever runs first
@@ -403,31 +426,51 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			s.connMu.Unlock()
 			<-connsDone
 		}
-		s.loopWG.Wait()
-		if derr := s.pool.Drain(ctx); err == nil {
+		if derr := s.group.Drain(ctx); err == nil {
 			err = derr
 		}
 	})
 	return err
 }
 
-// Breaker exposes a class's circuit breaker (nil when disabled), for
-// observability and tests.
+// Group exposes the shard group (per-shard health, counters, restart
+// budget) for observability and tests.
+func (s *Server) Group() *shard.Group { return s.group }
+
+// Breaker exposes shard 0's breaker for the class (nil when disabled) —
+// the single-shard view; multi-shard callers go through Group.
 func (s *Server) Breaker(class preemptible.Class) *breaker.Breaker {
-	return s.breakers[class]
+	return s.group.Shard(0).Breaker(class)
 }
 
-// PoolStats exposes the pool's scheduling statistics.
-func (s *Server) PoolStats() preemptible.PoolStats { return s.pool.Stats() }
+// PoolStats aggregates scheduling statistics across every shard and
+// every shard generation (restarts lose nothing).
+func (s *Server) PoolStats() preemptible.PoolStats { return s.group.PoolStats() }
 
-// Brownout exposes the degradation controller (state history, smoothed
-// load) for observability and tests.
-func (s *Server) Brownout() *brownout.Controller { return s.ctl }
+// Brownout exposes shard 0's degradation controller (state history,
+// smoothed load) — the single-shard view; multi-shard callers go
+// through Group.
+func (s *Server) Brownout() *brownout.Controller { return s.group.Shard(0).Brownout() }
 
-// BrownoutState reports the admission path's current view of the
-// controller — the state every in-flight accept/reject decision uses.
+// BrownoutState reports the most degraded shard's admission state —
+// with one shard, exactly that shard's controller view.
 func (s *Server) BrownoutState() brownout.State {
-	return brownout.State(s.bstate.Load())
+	worst := brownout.Normal
+	for i := 0; i < s.group.N(); i++ {
+		if st := s.group.Shard(i).BrownoutState(); st > worst {
+			worst = st
+		}
+	}
+	return worst
+}
+
+// inflightTotal sums currently admitted requests across shards (tests).
+func (s *Server) inflightTotal() int64 {
+	var n int64
+	for i := 0; i < s.group.N(); i++ {
+		n += s.group.Shard(i).Inflight()
+	}
+	return n
 }
 
 // errLine is the fast-reject response for the given brownout state:
@@ -438,42 +481,6 @@ func errLine(st brownout.State) string {
 		return "ERR brownout"
 	}
 	return "ERR overloaded"
-}
-
-// brownoutLoop samples load at the configured period and drives the
-// controller. Occupancy folds the fast-rejects issued since the last
-// tick into the inflight count — offered load, not just admitted load —
-// so the controller stays engaged while the door is turning work away.
-// On any transition out of Normal, queued BE work is evicted: requests
-// already accepted under a healthier state don't keep the queue wedged.
-func (s *Server) brownoutLoop() {
-	defer s.loopWG.Done()
-	tick := time.NewTicker(s.bperiod)
-	defer tick.Stop()
-	for {
-		select {
-		case <-s.done:
-			return
-		case now := <-tick.C:
-			sig := brownout.Signal{
-				Degraded: s.rt.Degraded(),
-				Terminal: s.rt.Terminal(),
-			}
-			if s.maxInflight > 0 {
-				offered := float64(s.inflight.Load()) + float64(s.rejectsWin.Swap(0))
-				sig.Occupancy = offered / float64(s.maxInflight)
-			}
-			if wait := s.pool.OldestWait(now); wait > 0 {
-				sig.DelayRatio = float64(wait) / float64(s.delayTarget)
-			}
-			prev := brownout.State(s.bstate.Load())
-			st := s.ctl.Observe(now, sig)
-			s.bstate.Store(int32(st))
-			if st != prev && st != brownout.Normal {
-				s.pool.EvictClass(preemptible.ClassBE)
-			}
-		}
-	}
 }
 
 // shedConn is the accept-side load shedder: the connection gets one
@@ -488,7 +495,7 @@ func (s *Server) shedConn(conn net.Conn) {
 }
 
 // handleConn serves one connection. Reading runs in its own goroutine
-// so the socket is being watched even while a request executes in the
+// so the socket is being watched even while a request executes in a
 // pool: when the read side ends (disconnect, reset, shutdown) the
 // reader closes gone, and the in-flight request — queued or executing —
 // is cancelled instead of burning worker time for a client that will
@@ -626,12 +633,27 @@ func parseMeta(fields []string) ([]string, reqMeta, string) {
 	return fields, meta, ""
 }
 
-// handleRequest runs one request through the preemptible pool and
-// returns the response line. gone, when closed, marks the client as
-// disconnected: in-flight pool work for the request is cancelled (nil
-// means no disconnect tracking). KV operations run as ClassLC,
-// COMPRESS as ClassBE; STATS is answered inline, off the pool, so the
-// brownout state stays observable even while everything else sheds.
+// keyless picks the shard for requests with no placement constraint
+// (PING, COMPRESS): round-robin over healthy shards, falling back to
+// the raw cursor when every shard is down — the request then settles
+// through the normal Unavailable path with full accounting.
+func (s *Server) keyless() int {
+	i := int(s.rr.Add(1)) % s.group.N()
+	if h := s.group.NextHealthy(i); h >= 0 {
+		return h
+	}
+	return i
+}
+
+// handleRequest runs one request through its shard and returns the
+// response line. Routing is resolved here, at parse time: keyed
+// requests (GET/SET) go to the rendezvous shard of their key, MGET
+// fans out per shard, keyless ones round-robin over healthy shards.
+// gone, when closed, marks the client as disconnected: in-flight pool
+// work for the request is cancelled (nil means no disconnect
+// tracking). KV operations run as ClassLC, COMPRESS as ClassBE; STATS
+// is answered inline, off the pools, so shard health and brownout
+// state stay observable even while everything else sheds.
 func (s *Server) handleRequest(line string, gone <-chan struct{}) string {
 	fields := strings.Fields(line)
 	fields, meta, metaErr := parseMeta(fields)
@@ -644,14 +666,14 @@ func (s *Server) handleRequest(line string, gone <-chan struct{}) string {
 		return "ERR empty request"
 	}
 	var resp string
-	run := func(class preemptible.Class, task preemptible.Task) {
-		if msg := s.runTask(class, task, meta, gone); msg != "" {
+	run := func(idx int, class preemptible.Class, task preemptible.Task) {
+		if msg := s.runTask(idx, class, task, meta, gone); msg != "" {
 			resp = msg
 		}
 	}
 	switch strings.ToUpper(fields[0]) {
 	case "PING":
-		run(preemptible.ClassLC, func(ctx *preemptible.Ctx) { resp = "PONG" })
+		run(s.keyless(), preemptible.ClassLC, func(ctx *preemptible.Ctx) { resp = "PONG" })
 		s.count(&s.Requests.Ping)
 	case "STATS":
 		s.count(&s.Requests.Stats)
@@ -661,10 +683,13 @@ func (s *Server) handleRequest(line string, gone <-chan struct{}) string {
 			s.countErr()
 			return "ERR GET <key>"
 		}
-		run(preemptible.ClassLC, func(ctx *preemptible.Ctx) {
-			s.mu.Lock()
-			res := s.store.Get([]byte(fields[1]))
-			s.mu.Unlock()
+		key := []byte(fields[1])
+		idx := s.group.Route(key)
+		sh := s.group.Shard(idx)
+		run(idx, preemptible.ClassLC, func(ctx *preemptible.Ctx) {
+			s.storeMu[idx].Lock()
+			res := sh.Store().Get(key)
+			s.storeMu[idx].Unlock()
 			if res.Hit {
 				resp = "VALUE " + string(res.Value)
 			} else {
@@ -677,11 +702,14 @@ func (s *Server) handleRequest(line string, gone <-chan struct{}) string {
 			s.countErr()
 			return "ERR SET <key> <value>"
 		}
+		key := []byte(fields[1])
 		value := strings.Join(fields[2:], " ")
-		run(preemptible.ClassLC, func(ctx *preemptible.Ctx) {
-			s.mu.Lock()
-			ok := s.store.Set([]byte(fields[1]), []byte(value))
-			s.mu.Unlock()
+		idx := s.group.Route(key)
+		sh := s.group.Shard(idx)
+		run(idx, preemptible.ClassLC, func(ctx *preemptible.Ctx) {
+			s.storeMu[idx].Lock()
+			ok := sh.Store().Set(key, []byte(value))
+			s.storeMu[idx].Unlock()
 			if ok {
 				resp = "OK"
 			} else {
@@ -689,6 +717,13 @@ func (s *Server) handleRequest(line string, gone <-chan struct{}) string {
 			}
 		})
 		s.count(&s.Requests.Set)
+	case "MGET":
+		if len(fields) < 2 {
+			s.countErr()
+			return "ERR MGET <key> [<key> ...]"
+		}
+		s.count(&s.Requests.MGet)
+		return s.handleMGet(fields[1:], meta, gone)
 	case "COMPRESS":
 		if len(fields) != 2 {
 			s.countErr()
@@ -699,11 +734,14 @@ func (s *Server) handleRequest(line string, gone <-chan struct{}) string {
 			s.countErr()
 			return "ERR COMPRESS wants 1..1024 kilobytes"
 		}
-		run(preemptible.ClassBE, func(ctx *preemptible.Ctx) {
+		idx := s.keyless()
+		sh := s.group.Shard(idx)
+		run(idx, preemptible.ClassBE, func(ctx *preemptible.Ctx) {
+			eng := sh.Engine()
 			block := bejob.MakeBlock(1024, uint64(kb))
 			var in, out int
 			for i := 0; i < kb; i++ {
-				n, err := s.engine.CompressBlock(block)
+				n, err := eng.CompressBlock(block)
 				if err != nil {
 					resp = "ERR " + err.Error()
 					return
@@ -722,172 +760,167 @@ func (s *Server) handleRequest(line string, gone <-chan struct{}) string {
 	return resp
 }
 
-// runTask pushes one request task through the overload-protected,
-// class-aware pool path. It returns "" when the task ran, or the
-// protocol error line when it was shed.
-//
-// Admission, in order:
-//
-//   - SHED rejects every class with "ERR overloaded".
-//   - BROWNOUT rejects BE with "ERR brownout" — retry soon, the server
-//     is degrading, not drowning.
-//   - The inflight cap rejects with "ERR overloaded" — except LC while
-//     browned out, which is admitted past the cap: the whole point of
-//     BROWNOUT is that LC never pays for BE pressure, and an LC flood
-//     escalates the controller to SHED instead of turning LC away here.
-//   - A tripped per-class circuit breaker rejects with
-//     "ERR unavailable": the class's tasks keep panicking, so refusing
-//     them fast beats burning workers on contained crashes. Recovery
-//     probes re-admit a trickle once the breaker's timeout passes.
-//
-// Every load-driven fast-reject also feeds rejectsWin so the
-// controller keeps seeing the turned-away load. After admission a task can still time
-// out in the queue (RequestTimeout), be evicted by a brownout
-// transition (BE only), be cancelled on client disconnect, or — when it
-// carries a wire deadline — expire in the queue or at a safepoint and
-// answer "ERR deadline". An already-past deadline is deliberately NOT
-// fast-rejected at admission: the request is submitted and expires at
-// dequeue, so the server's per-class expiry counters and the pool's
-// agree exactly.
-func (s *Server) runTask(class preemptible.Class, task preemptible.Task, meta reqMeta, gone <-chan struct{}) string {
-	st := s.BrownoutState()
+// runTask pushes one request task through shard idx's admission path
+// (see shard.Shard.Do for the gate order) and settles the outcome into
+// the group-total counters. It returns "" when the task ran, or the
+// protocol error line when it was shed. An already-past deadline is
+// deliberately NOT fast-rejected at admission: the request is submitted
+// and expires at dequeue, so the server's per-class expiry counters and
+// the pools' agree exactly.
+func (s *Server) runTask(idx int, class preemptible.Class, task preemptible.Task, meta reqMeta, gone <-chan struct{}) string {
 	s.countClass(class, func(c *ClassOverload) {
 		c.Requests++
 		if meta.attempt > 0 {
 			c.Reattempts++
 		}
 	})
-	if st == brownout.Shed || (st == brownout.Brownout && class == preemptible.ClassBE) {
-		s.rejectsWin.Add(1)
-		if st == brownout.Shed {
-			s.count(&s.Overload.ShedRequests)
-		} else {
-			s.count(&s.Overload.BrownoutRejects)
-		}
-		s.countClass(class, func(c *ClassOverload) { c.Rejected[st]++ })
-		return errLine(st)
-	}
-	lcBypass := st == brownout.Brownout && class == preemptible.ClassLC
-	if n := s.inflight.Add(1); s.maxInflight > 0 && n > int64(s.maxInflight) && !lcBypass {
-		s.inflight.Add(-1)
-		s.rejectsWin.Add(1)
+	res := s.group.Do(idx, class, task, shard.DoOptions{
+		Deadline: meta.deadline,
+		Attempt:  meta.attempt,
+		Gone:     gone,
+	})
+	return s.settle(class, res)
+}
+
+// settle folds one shard disposition into the server's group-total
+// counters and returns its response line ("" for OK). The counter per
+// outcome mirrors shard.ClassCounters field for field, which is what
+// makes "group totals equal the sum over shards" an exact invariant.
+func (s *Server) settle(class preemptible.Class, res shard.Result) string {
+	switch res.Outcome {
+	case shard.OK:
+		return ""
+	case shard.RejectedShed:
 		s.count(&s.Overload.ShedRequests)
-		s.countClass(class, func(c *ClassOverload) { c.Rejected[st]++ })
+		s.countClass(class, func(c *ClassOverload) { c.Rejected[res.BState]++ })
 		return "ERR overloaded"
-	}
-	// Circuit breaker, last gate before the pool: a tripped class
-	// fast-rejects with "ERR unavailable" — the fault signal (your
-	// requests are crashing), distinct from the load signals above.
-	// Breaker rejects are deliberately NOT folded into rejectsWin: a
-	// crashing class is faulty, not heavy, and must not push the
-	// brownout controller toward shedding healthy traffic.
-	br := s.breakers[class]
-	if br != nil && !br.Allow(time.Now()) {
-		s.inflight.Add(-1)
+	case shard.RejectedBrownout:
+		s.count(&s.Overload.BrownoutRejects)
+		s.countClass(class, func(c *ClassOverload) { c.Rejected[res.BState]++ })
+		return "ERR brownout"
+	case shard.RejectedInflight:
+		s.count(&s.Overload.ShedRequests)
+		s.countClass(class, func(c *ClassOverload) { c.Rejected[res.BState]++ })
+		return "ERR overloaded"
+	case shard.Unavailable:
 		s.countClass(class, func(c *ClassOverload) { c.Unavailable++ })
 		return "ERR unavailable"
-	}
-	if s.panicInject != nil && s.panicInject(class) {
-		task = func(ctx *preemptible.Ctx) {
-			ctx.Checkpoint() // pass one safepoint so the poison fires mid-run
-			panic("chaos: injected panic")
-		}
-	}
-	ch := make(chan time.Duration, 1)
-	done := func(lat time.Duration) {
-		s.inflight.Add(-1)
-		ch <- lat
-	}
-	h, err := s.pool.SubmitWithOptions(task, preemptible.SubmitOptions{
-		Class:         class,
-		Deadline:      meta.deadline,
-		Expire:        !meta.deadline.IsZero(),
-		PickupTimeout: s.reqTimeout,
-	}, done)
-	if err != nil {
-		// Pool draining or closed: admission is off for everyone. The
-		// connection is being torn down anyway; tell the client plainly.
-		s.inflight.Add(-1)
-		if br != nil {
-			br.Abandon(time.Now())
-		}
-		s.countClass(class, func(c *ClassOverload) { c.Unavailable++ })
-		return "ERR unavailable"
-	}
-	var lat time.Duration
-	select {
-	case lat = <-ch:
-	case <-gone:
-		// Client disconnected mid-request: evict it from the queue or
-		// unwind it at its next safepoint, then wait for the done that
-		// always eventually fires. If the task slipped past every
-		// safepoint to completion, lat is the real latency and the
-		// normal path below applies.
-		h.Cancel()
-		lat = <-ch
-	}
-	switch {
-	case lat == preemptible.FailedLatency:
-		// The task panicked; the pool contained it (the worker and the
-		// connection both survive) and the breaker hears about it — K of
-		// these in a row trip the class.
-		if br != nil {
-			br.Failure(time.Now())
-		}
+	case shard.Failed:
 		s.countClass(class, func(c *ClassOverload) { c.Failed++ })
 		return "ERR internal"
-	case lat == preemptible.CancelledLatency:
-		if br != nil {
-			br.Abandon(time.Now())
-		}
-		if h.State() == preemptible.TaskCancelledQueued {
-			s.count(&s.Overload.CancelledQueued)
-		} else {
-			s.count(&s.Overload.CancelledExecuting)
-		}
+	case shard.CancelledQueued:
+		s.count(&s.Overload.CancelledQueued)
 		return "ERR cancelled"
-	case lat == preemptible.ExpiredLatency:
-		// The wire deadline passed server-side; the caller has given up,
-		// so this is neither load nor fault — the breaker just gets its
-		// claim back.
-		if br != nil {
-			br.Abandon(time.Now())
-		}
-		if h.State() == preemptible.TaskExpiredQueued {
-			s.count(&s.Overload.ExpiredQueued)
-			s.countClass(class, func(c *ClassOverload) { c.ExpiredQueued++ })
-		} else {
-			s.count(&s.Overload.ExpiredExecuting)
-			s.countClass(class, func(c *ClassOverload) { c.ExpiredExecuting++ })
-		}
+	case shard.CancelledExecuting:
+		s.count(&s.Overload.CancelledExecuting)
+		return "ERR cancelled"
+	case shard.ExpiredQueued:
+		s.count(&s.Overload.ExpiredQueued)
+		s.countClass(class, func(c *ClassOverload) { c.ExpiredQueued++ })
 		return "ERR deadline"
-	case lat < 0:
-		// Shed from the queue: a brownout eviction (BE, while degraded)
-		// or a RequestTimeout expiry. Either way it never executed —
-		// load, not fault, so the breaker only gets its claim back.
-		if br != nil {
-			br.Abandon(time.Now())
-		}
-		if class == preemptible.ClassBE && s.BrownoutState() != brownout.Normal {
-			s.countClass(class, func(c *ClassOverload) { c.Evicted++ })
-			return errLine(s.BrownoutState())
-		}
+	case shard.ExpiredExecuting:
+		s.count(&s.Overload.ExpiredExecuting)
+		s.countClass(class, func(c *ClassOverload) { c.ExpiredExecuting++ })
+		return "ERR deadline"
+	case shard.Evicted:
+		s.countClass(class, func(c *ClassOverload) { c.Evicted++ })
+		return errLine(res.BState)
+	case shard.Timeout:
 		s.count(&s.Overload.Timeouts)
 		s.countClass(class, func(c *ClassOverload) { c.Timeouts++ })
 		return "ERR overloaded"
 	}
-	if br != nil {
-		br.Success(time.Now())
-	}
-	return ""
+	return "ERR internal"
 }
 
-// statsLine renders the STATS response: controller state and smoothed
-// load, then the per-class admission counters (rejections summed over
-// the states that issued them).
+// failToken maps a failed MGET shard leg to its per-key result token.
+func failToken(o shard.Outcome) string {
+	switch o {
+	case shard.Unavailable:
+		return "UNAVAILABLE"
+	case shard.ExpiredQueued, shard.ExpiredExecuting:
+		return "DEADLINE"
+	case shard.RejectedShed, shard.RejectedInflight, shard.Timeout:
+		return "OVERLOADED"
+	case shard.RejectedBrownout, shard.Evicted:
+		return "BROWNOUT"
+	case shard.CancelledQueued, shard.CancelledExecuting:
+		return "CANCELLED"
+	default:
+		return "ERROR"
+	}
+}
+
+// handleMGet is the multi-key fan-out: keys are grouped by rendezvous
+// shard, each shard gets one LC leg carrying the request's wire
+// deadline, and the legs run concurrently. Results are per key, in
+// request order, with explicit partial failure: a leg that cannot run —
+// its shard is Restarting/Dead, shedding, draining, or the leg expired
+// — fails only its own keys with a failure token while every other
+// leg's keys come back with real values. Each leg settles into the
+// admission counters exactly like a single-key request, so counter
+// conservation sees MGET as N(shards touched) requests, not one.
+func (s *Server) handleMGet(keys []string, meta reqMeta, gone <-chan struct{}) string {
+	tokens := make([]string, len(keys))
+	byShard := make(map[int][]int)
+	for i, k := range keys {
+		idx := s.group.Route([]byte(k))
+		byShard[idx] = append(byShard[idx], i)
+	}
+	var wg sync.WaitGroup
+	for idx, kidx := range byShard {
+		wg.Add(1)
+		go func(idx int, kidx []int) {
+			defer wg.Done()
+			sh := s.group.Shard(idx)
+			s.countClass(preemptible.ClassLC, func(c *ClassOverload) {
+				c.Requests++
+				if meta.attempt > 0 {
+					c.Reattempts++
+				}
+			})
+			// The leg's task fills its keys' tokens with no safepoint in
+			// between: it either ran (every token set) or it did not run
+			// at all, so a failure token never overwrites a real value.
+			res := s.group.Do(idx, preemptible.ClassLC, func(ctx *preemptible.Ctx) {
+				s.storeMu[idx].Lock()
+				st := sh.Store()
+				for _, i := range kidx {
+					r := st.Get([]byte(keys[i]))
+					if r.Hit {
+						tokens[i] = "=" + url.QueryEscape(string(r.Value))
+					} else {
+						tokens[i] = "NOT_FOUND"
+					}
+				}
+				s.storeMu[idx].Unlock()
+			}, shard.DoOptions{Deadline: meta.deadline, Attempt: meta.attempt, Gone: gone})
+			if s.settle(preemptible.ClassLC, res) != "" {
+				tok := failToken(res.Outcome)
+				for _, i := range kidx {
+					tokens[i] = tok
+				}
+			}
+		}(idx, kidx)
+	}
+	wg.Wait()
+	return "MVALUES " + strings.Join(tokens, " ")
+}
+
+// statsLine renders the STATS response: the most degraded shard's
+// controller state and load, the group-total admission counters
+// (rejections summed over the states that issued them), then one field
+// block per shard — health, restart count, brownout state, and
+// per-class request/unavailable tallies — so a partial outage is
+// visible as exactly one degraded block.
 func (s *Server) statsLine() string {
 	st := s.BrownoutState()
-	load := s.ctl.Load()
+	var load float64
+	for i := 0; i < s.group.N(); i++ {
+		if l := s.group.Shard(i).Brownout().Load(); l > load {
+			load = l
+		}
+	}
 	sum := func(a [brownout.NumStates]uint64) uint64 {
 		var t uint64
 		for _, v := range a {
@@ -900,14 +933,15 @@ func (s *Server) statsLine() string {
 	be := s.Overload.PerClass[preemptible.ClassBE]
 	s.statMu.Unlock()
 	brk := func(class preemptible.Class) (string, uint64) {
-		if b := s.breakers[class]; b != nil {
+		if b := s.group.Shard(0).Breaker(class); b != nil {
 			return b.State(time.Now()).String(), b.Trips()
 		}
 		return "off", 0
 	}
 	lcState, lcTrips := brk(preemptible.ClassLC)
 	beState, beTrips := brk(preemptible.ClassBE)
-	return fmt.Sprintf(
+	var b strings.Builder
+	fmt.Fprintf(&b,
 		"STATS state=%s load=%.3f lc.requests=%d lc.rejected=%d lc.timeouts=%d be.requests=%d be.rejected=%d be.evicted=%d be.timeouts=%d"+
 			" lc.failed=%d be.failed=%d lc.unavailable=%d be.unavailable=%d breaker.lc=%s breaker.lc.trips=%d breaker.be=%s breaker.be.trips=%d"+
 			" lc.expired.queued=%d lc.expired.executing=%d be.expired.queued=%d be.expired.executing=%d lc.reattempts=%d be.reattempts=%d",
@@ -919,6 +953,16 @@ func (s *Server) statsLine() string {
 		lc.ExpiredQueued, lc.ExpiredExecuting, be.ExpiredQueued, be.ExpiredExecuting,
 		lc.Reattempts, be.Reattempts,
 	)
+	fmt.Fprintf(&b, " shards=%d", s.group.N())
+	for i := 0; i < s.group.N(); i++ {
+		sh := s.group.Shard(i)
+		cs := sh.Counters()
+		slc, sbe := cs[preemptible.ClassLC], cs[preemptible.ClassBE]
+		fmt.Fprintf(&b, " s%d.health=%s s%d.restarts=%d s%d.state=%s s%d.lc.requests=%d s%d.be.requests=%d s%d.unavailable=%d",
+			i, sh.Health(), i, s.group.Restarts(i), i, sh.BrownoutState(),
+			i, slc.Requests, i, sbe.Requests, i, slc.Unavailable+sbe.Unavailable)
+	}
+	return b.String()
 }
 
 func (s *Server) count(field *uint64) {

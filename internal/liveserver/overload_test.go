@@ -97,15 +97,15 @@ func TestRequestTimeoutSheds(t *testing.T) {
 	getC := dial(t, addr)
 	pingC := dial(t, addr)
 
-	s.mu.Lock()
+	s.storeMu[0].Lock()
 	getDone := make(chan string, 1)
 	go func() { getDone <- getC.roundTrip(t, "GET k") }()
-	time.Sleep(10 * time.Millisecond) // the worker is now blocked on s.mu
+	time.Sleep(10 * time.Millisecond) // the worker is now blocked on the store lock
 
 	pingDone := make(chan string, 1)
 	go func() { pingDone <- pingC.roundTrip(t, "PING") }()
 	time.Sleep(20 * time.Millisecond) // PING's pickup deadline lapses in queue
-	s.mu.Unlock()
+	s.storeMu[0].Unlock()
 
 	if got := <-pingDone; got != "ERR overloaded" {
 		t.Fatalf("queued PING → %q, want ERR overloaded", got)

@@ -1,0 +1,77 @@
+package shard
+
+// Router maps keys to shards by rendezvous (highest-random-weight)
+// hashing: every key scores each shard with a mixed hash of
+// (key, shard) and lands on the argmax. Two properties make this the
+// right shape for bulkhead routing:
+//
+//   - Stability: the mapping is a pure function of (key, N). Any two
+//     routers over the same shard count agree on every key, so the
+//     router can be rebuilt freely (restart, test, client) without a
+//     shared table.
+//   - Minimal disruption: growing or shrinking the group by one shard
+//     remaps only the keys whose argmax was the added/removed shard —
+//     an expected K/N of K keys — instead of reshuffling nearly
+//     everything the way `hash mod N` does.
+//
+// Routing is deliberately static: a key's shard does not change when
+// that shard is down. Bulkhead semantics want the failure domain to be
+// visible ("ERR unavailable" for exactly the dead shard's keys), not
+// silently smeared onto siblings whose stores never saw those keys.
+type Router struct {
+	n int
+}
+
+// NewRouter builds a router over n shards (n ≥ 1).
+func NewRouter(n int) Router {
+	if n < 1 {
+		panic("shard: router needs at least one shard")
+	}
+	return Router{n: n}
+}
+
+// N reports the shard count.
+func (r Router) N() int { return r.n }
+
+// Route returns key's shard index in [0, N).
+func (r Router) Route(key []byte) int {
+	if r.n == 1 {
+		return 0
+	}
+	kh := hashKey(key)
+	best, bestScore := 0, uint64(0)
+	for i := 0; i < r.n; i++ {
+		if s := mix(kh ^ shardSalt(uint64(i))); i == 0 || s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// hashKey is FNV-1a over the key bytes — cheap, allocation-free, and
+// good enough once finished through mix below.
+func hashKey(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// shardSalt spreads small shard indices across the hash space with a
+// golden-ratio multiply, so shard 0 and shard 1 score keys
+// independently.
+func shardSalt(i uint64) uint64 {
+	return (i + 1) * 0x9e3779b97f4a7c15
+}
+
+// mix is the splitmix64 finalizer: full-avalanche, so the per-shard
+// scores of one key behave as independent uniform draws — the property
+// rendezvous hashing's balance and minimal-disruption guarantees rest
+// on.
+func mix(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,79 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRouterStable: routing is a pure function of (key, N) — two
+// independently built routers agree on every key, and repeated calls
+// agree with themselves. "The same key never maps to two live shards"
+// reduces to exactly this: there is one authority, the hash, and every
+// replica of the router computes the same answer.
+func TestRouterStable(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 17} {
+		a, b := NewRouter(n), NewRouter(n)
+		for k := 0; k < 2000; k++ {
+			key := []byte(fmt.Sprintf("key-%d", k))
+			first := a.Route(key)
+			if first < 0 || first >= n {
+				t.Fatalf("n=%d key %s routed out of range: %d", n, key, first)
+			}
+			if second := a.Route(key); second != first {
+				t.Fatalf("n=%d key %s unstable: %d then %d", n, key, first, second)
+			}
+			if other := b.Route(key); other != first {
+				t.Fatalf("n=%d key %s disagrees across router instances: %d vs %d", n, key, first, other)
+			}
+		}
+	}
+}
+
+// TestRouterMinimalDisruption: growing N → N+1 remaps only keys whose
+// new argmax is the added shard — expected K/(N+1) of K keys. Assert a
+// generous 2× bound on that expectation, and that every remapped key
+// moved TO the new shard (the rendezvous signature: no lateral moves).
+func TestRouterMinimalDisruption(t *testing.T) {
+	const K = 20000
+	for _, n := range []int{2, 4, 8, 16} {
+		small, big := NewRouter(n), NewRouter(n+1)
+		moved := 0
+		for k := 0; k < K; k++ {
+			key := []byte(fmt.Sprintf("user:%d:session", k))
+			from, to := small.Route(key), big.Route(key)
+			if from == to {
+				continue
+			}
+			moved++
+			if to != n {
+				t.Fatalf("n=%d→%d: key %s moved laterally %d→%d, not to the new shard", n, n+1, key, from, to)
+			}
+		}
+		limit := 2 * K / (n + 1)
+		if moved > limit {
+			t.Fatalf("n=%d→%d: %d of %d keys remapped, over the ~K/N bound %d", n, n+1, moved, K, limit)
+		}
+		if moved == 0 {
+			t.Fatalf("n=%d→%d: no keys remapped — new shard would own nothing", n, n+1)
+		}
+	}
+}
+
+// TestRouterBalance: shard ownership stays within a loose band of even
+// — rendezvous over a mixing hash should not starve or swamp a shard.
+func TestRouterBalance(t *testing.T) {
+	const K = 30000
+	for _, n := range []int{3, 8} {
+		r := NewRouter(n)
+		counts := make([]int, n)
+		for k := 0; k < K; k++ {
+			counts[r.Route([]byte(fmt.Sprintf("item/%d", k)))]++
+		}
+		even := K / n
+		for i, c := range counts {
+			if c < even/2 || c > even*2 {
+				t.Fatalf("n=%d: shard %d owns %d of %d keys (even share %d)", n, i, c, K, even)
+			}
+		}
+	}
+}

@@ -1,0 +1,701 @@
+// Package shard partitions the live server into bulkhead-isolated
+// units. Each Shard owns a full vertical slice of the serving stack —
+// its own preemptible.Pool, mica.Store partition, brownout controller,
+// per-class circuit breakers, and counters — so one wedged, panicking,
+// or chaos-killed shard is a contained failure domain: its siblings
+// share nothing with it but the process and the preemptible.Runtime's
+// timer service. A Group (group.go) glues N shards behind a rendezvous
+// router and supervises them: heartbeat probes detect a dead shard,
+// drain it, rebuild it from a fresh store partition, and re-admit it,
+// with a restart budget that escalates a flapping shard to a terminal
+// Dead state the way the runtime watchdog escalates a flapping timer
+// loop.
+//
+// The failure semantics are deliberately partial: while a shard is
+// down, only keys that route to it answer Unavailable — the router
+// never fails keys over to a sibling whose store has never seen them.
+// A rebuilt shard restarts with an empty store partition (cache
+// semantics, exactly like a restarted memcached node); its admission
+// counters live in the Shard, not the pool, and survive restarts, so
+// conservation invariants hold across the whole lifecycle.
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bejob"
+	"repro/internal/breaker"
+	"repro/internal/brownout"
+	"repro/internal/mica"
+	"repro/preemptible"
+)
+
+// Health is a shard's lifecycle state.
+type Health int32
+
+const (
+	// Healthy: the shard is admitting and serving its keys.
+	Healthy Health = iota
+	// Restarting: the supervisor detected a failure and is draining and
+	// rebuilding the shard; its keys answer Unavailable.
+	Restarting
+	// Dead: the restart budget is exhausted — the shard flapped too
+	// often and was retired permanently. Its keys answer Unavailable
+	// forever; siblings are unaffected.
+	Dead
+
+	// NumHealthStates sizes per-state arrays.
+	NumHealthStates = 3
+)
+
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Restarting:
+		return "restarting"
+	case Dead:
+		return "dead"
+	default:
+		return fmt.Sprintf("Health(%d)", int32(h))
+	}
+}
+
+// Config parameterizes one shard (every shard of a group shares one
+// Config). Semantics and defaults mirror the pre-sharding liveserver:
+// MaxInflight is the per-shard admission cap, RequestTimeout the
+// per-shard queue-wait bound.
+type Config struct {
+	// Workers is the shard pool's worker count (default 2).
+	Workers int
+	// Quantum is the shard pool's time slice (default 1ms).
+	Quantum time.Duration
+	// StoreLogBytes sizes the shard's KV store partition (default 4 MiB).
+	StoreLogBytes int
+	// MaxInflight bounds requests admitted to this shard at once
+	// (default 64 × Workers; negative = unlimited).
+	MaxInflight int
+	// RequestTimeout bounds a request's queue wait (0 = none).
+	RequestTimeout time.Duration
+
+	// Brownout parameterizes the shard's degradation controller; each
+	// shard browns out independently, so a COMPRESS flood on one shard
+	// cannot push a sibling into BROWNOUT.
+	Brownout         brownout.Config
+	BrownoutDisabled bool
+	// BrownoutPeriod is the controller cadence (default 2ms).
+	BrownoutPeriod time.Duration
+	// BrownoutDelayTarget normalizes the queue-delay signal (default:
+	// RequestTimeout, else 20ms).
+	BrownoutDelayTarget time.Duration
+
+	// Breaker parameterizes the shard's per-class circuit breakers.
+	Breaker         breaker.Config
+	BreakerDisabled bool
+
+	// PanicInject, when non-nil, poisons an admitted request's task with
+	// a mid-run panic (the chaos hook; see chaos.PanicInjector).
+	PanicInject func(class preemptible.Class) bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = 2
+	}
+	if c.Quantum == 0 {
+		c.Quantum = time.Millisecond
+	}
+	if c.StoreLogBytes == 0 {
+		c.StoreLogBytes = 4 << 20
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 64 * c.Workers
+	}
+	if c.BrownoutPeriod <= 0 {
+		c.BrownoutPeriod = 2 * time.Millisecond
+	}
+	if c.BrownoutDelayTarget <= 0 {
+		c.BrownoutDelayTarget = c.RequestTimeout
+	}
+	if c.BrownoutDelayTarget <= 0 {
+		c.BrownoutDelayTarget = 20 * time.Millisecond
+	}
+	return c
+}
+
+// Outcome is a request's terminal disposition on a shard — the wire
+// layer maps each to a response line and a counter.
+type Outcome int
+
+const (
+	// OK: the task ran to completion.
+	OK Outcome = iota
+	// RejectedShed: fast-rejected at the door while the shard was in
+	// SHED ("ERR overloaded").
+	RejectedShed
+	// RejectedBrownout: BE fast-rejected while browned out
+	// ("ERR brownout").
+	RejectedBrownout
+	// RejectedInflight: fast-rejected by the inflight cap under Normal
+	// ("ERR overloaded").
+	RejectedInflight
+	// Unavailable: the shard is Restarting/Dead, its class breaker is
+	// open, or its pool is draining ("ERR unavailable").
+	Unavailable
+	// Failed: the task panicked; the pool contained it ("ERR internal").
+	Failed
+	// CancelledQueued/CancelledExecuting: cancelled via Gone — evicted
+	// from the queue, or unwound at a safepoint ("ERR cancelled").
+	CancelledQueued
+	CancelledExecuting
+	// ExpiredQueued/ExpiredExecuting: the wire deadline passed
+	// server-side ("ERR deadline").
+	ExpiredQueued
+	ExpiredExecuting
+	// Evicted: queued BE dropped by a brownout transition
+	// ("ERR brownout"/"ERR overloaded" per current state).
+	Evicted
+	// Timeout: shed after waiting out RequestTimeout ("ERR overloaded").
+	Timeout
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OK:
+		return "ok"
+	case RejectedShed:
+		return "rejected-shed"
+	case RejectedBrownout:
+		return "rejected-brownout"
+	case RejectedInflight:
+		return "rejected-inflight"
+	case Unavailable:
+		return "unavailable"
+	case Failed:
+		return "failed"
+	case CancelledQueued:
+		return "cancelled-queued"
+	case CancelledExecuting:
+		return "cancelled-executing"
+	case ExpiredQueued:
+		return "expired-queued"
+	case ExpiredExecuting:
+		return "expired-executing"
+	case Evicted:
+		return "evicted"
+	case Timeout:
+		return "timeout"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Result is one Do call's disposition plus the brownout state that
+// governed it — rejection counters are indexed by that state.
+type Result struct {
+	Outcome Outcome
+	// BState is the shard's brownout state at the admission decision
+	// (for Evicted, at settlement).
+	BState brownout.State
+}
+
+// ClassCounters is one shard's per-class admission tally. It lives in
+// the Shard, not the pool, so it survives restarts — group totals must
+// equal the sum over shards even after a shard was drained and rebuilt.
+type ClassCounters struct {
+	// Requests counts Do calls for the class that reached the shard.
+	Requests uint64
+	// Completed counts tasks that ran to completion.
+	Completed uint64
+	// Rejected counts fast-rejects, indexed by the brownout state that
+	// issued them (Normal = the plain inflight cap).
+	Rejected [brownout.NumStates]uint64
+	// Timeouts counts RequestTimeout sheds.
+	Timeouts uint64
+	// Evicted counts queued BE dropped by brownout transitions.
+	Evicted uint64
+	// Failed counts contained panics.
+	Failed uint64
+	// Unavailable counts breaker/lifecycle fast-rejects.
+	Unavailable uint64
+	// ExpiredQueued/ExpiredExecuting count wire-deadline expiries.
+	ExpiredQueued, ExpiredExecuting uint64
+	// Cancelled counts Gone-cancelled requests (both stages).
+	Cancelled uint64
+	// Reattempts counts admitted requests marked attempt ≥ 1.
+	Reattempts uint64
+}
+
+// DoOptions carries one request's scheduling metadata into a shard.
+type DoOptions struct {
+	// Deadline, when non-zero, is the hard wire deadline (D token).
+	Deadline time.Time
+	// Attempt is the client's attempt number (0 = primary).
+	Attempt int64
+	// Gone, when non-nil and closed, marks the client as disconnected:
+	// the request is cancelled instead of burning a worker.
+	Gone <-chan struct{}
+}
+
+// unit is one generation of a shard's rebuildable internals: everything
+// a restart throws away and recreates. Swapping the whole struct under
+// one mutex keeps Do's snapshot race-free against a concurrent rebuild.
+type unit struct {
+	pool     *preemptible.Pool
+	store    *mica.Store
+	engine   *bejob.Engine
+	ctl      *brownout.Controller
+	breakers [preemptible.NumClasses]*breaker.Breaker
+	loopStop chan struct{}
+	retired  bool // set under Shard.mu; makes retire idempotent per generation
+	// killed releases this generation's Wedge tasks. A wedged "thread"
+	// is reclaimed only when its unit is torn down — closing this
+	// channel in retire is the in-process analog of the OS killing a
+	// stuck thread when the shard process is restarted.
+	killed chan struct{}
+}
+
+// Shard is one bulkhead: a pool + store partition + degradation state,
+// restartable in place.
+type Shard struct {
+	idx int
+	rt  *preemptible.Runtime
+	cfg Config
+
+	mu  sync.Mutex
+	cur *unit
+	gen uint64
+
+	health     atomic.Int32
+	bstate     atomic.Int32 // brownout.State, written by the generation's loop
+	inflight   atomic.Int64
+	rejectsWin atomic.Uint64
+	loopWG     sync.WaitGroup
+
+	// retired accumulates the counter fields of drained generations'
+	// PoolStats; Stats() adds the live pool on top.
+	retired preemptible.PoolStats
+
+	statMu   sync.Mutex
+	counters [preemptible.NumClasses]ClassCounters
+}
+
+// newShard builds a healthy shard and starts its brownout loop.
+func newShard(rt *preemptible.Runtime, idx int, cfg Config) *Shard {
+	s := &Shard{idx: idx, rt: rt, cfg: cfg.withDefaults()}
+	s.mu.Lock()
+	s.cur = s.buildUnit()
+	s.mu.Unlock()
+	return s
+}
+
+// buildUnit constructs one generation of internals and starts its
+// brownout loop. Caller holds s.mu (or the shard is not yet shared).
+func (s *Shard) buildUnit() *unit {
+	u := &unit{
+		pool:     preemptible.NewPool(s.rt, preemptible.PoolConfig{Workers: s.cfg.Workers, Quantum: s.cfg.Quantum}),
+		store:    mica.NewStore(s.cfg.StoreLogBytes, s.cfg.StoreLogBytes/256),
+		engine:   bejob.NewEngine(0),
+		ctl:      brownout.New(s.cfg.Brownout),
+		loopStop: make(chan struct{}),
+		killed:   make(chan struct{}),
+	}
+	if !s.cfg.BreakerDisabled {
+		for c := range u.breakers {
+			u.breakers[c] = breaker.New(s.cfg.Breaker)
+		}
+	}
+	s.bstate.Store(int32(brownout.Normal))
+	if !s.cfg.BrownoutDisabled {
+		s.loopWG.Add(1)
+		go s.brownoutLoop(u)
+	}
+	return u
+}
+
+// snapshot returns the current generation.
+func (s *Shard) snapshot() *unit {
+	s.mu.Lock()
+	u := s.cur
+	s.mu.Unlock()
+	return u
+}
+
+// Index reports the shard's position in its group.
+func (s *Shard) Index() int { return s.idx }
+
+// Health reports the shard's lifecycle state.
+func (s *Shard) Health() Health { return Health(s.health.Load()) }
+
+func (s *Shard) casHealth(from, to Health) bool {
+	return s.health.CompareAndSwap(int32(from), int32(to))
+}
+
+// Generation reports how many times the shard has been rebuilt.
+func (s *Shard) Generation() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
+}
+
+// Pool exposes the current generation's pool (tests, drain).
+func (s *Shard) Pool() *preemptible.Pool { return s.snapshot().pool }
+
+// Store exposes the current generation's store partition.
+func (s *Shard) Store() *mica.Store { return s.snapshot().store }
+
+// Engine exposes the current generation's compression engine.
+func (s *Shard) Engine() *bejob.Engine { return s.snapshot().engine }
+
+// Brownout exposes the current generation's degradation controller.
+func (s *Shard) Brownout() *brownout.Controller { return s.snapshot().ctl }
+
+// BrownoutState reports the admission path's view of the controller.
+func (s *Shard) BrownoutState() brownout.State {
+	return brownout.State(s.bstate.Load())
+}
+
+// Breaker exposes a class's circuit breaker (nil when disabled).
+func (s *Shard) Breaker(class preemptible.Class) *breaker.Breaker {
+	return s.snapshot().breakers[class]
+}
+
+// Inflight reports the shard's currently admitted request count.
+func (s *Shard) Inflight() int64 { return s.inflight.Load() }
+
+// Counters snapshots the shard's per-class admission counters.
+func (s *Shard) Counters() [preemptible.NumClasses]ClassCounters {
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	return s.counters
+}
+
+// Stats reports the shard's pool counters accumulated across every
+// generation: retired (drained) pools' terminal buckets plus the live
+// pool. Latency fields (Mean/P50/P99/QuantumNow) describe the live
+// generation only.
+func (s *Shard) Stats() preemptible.PoolStats {
+	s.mu.Lock()
+	retired := s.retired
+	pool := s.cur.pool
+	s.mu.Unlock()
+	live := pool.Stats()
+	addPoolStats(&live, retired)
+	return live
+}
+
+// addPoolStats folds src's counter fields into dst, leaving dst's
+// latency summary alone.
+func addPoolStats(dst *preemptible.PoolStats, src preemptible.PoolStats) {
+	dst.Submitted += src.Submitted
+	dst.Completed += src.Completed
+	dst.Preemptions += src.Preemptions
+	dst.Failed += src.Failed
+	dst.Rejected += src.Rejected
+	dst.Shed += src.Shed
+	dst.CancelledQueued += src.CancelledQueued
+	dst.CancelledExecuting += src.CancelledExecuting
+	dst.ExpiredQueued += src.ExpiredQueued
+	dst.ExpiredExecuting += src.ExpiredExecuting
+	dst.DegradedRuns += src.DegradedRuns
+	for c := range dst.PerClass {
+		d, sc := &dst.PerClass[c], src.PerClass[c]
+		d.Submitted += sc.Submitted
+		d.Completed += sc.Completed
+		d.Rejected += sc.Rejected
+		d.Shed += sc.Shed
+		d.CancelledQueued += sc.CancelledQueued
+		d.CancelledExecuting += sc.CancelledExecuting
+		d.ExpiredQueued += sc.ExpiredQueued
+		d.ExpiredExecuting += sc.ExpiredExecuting
+		d.Failed += sc.Failed
+	}
+}
+
+func (s *Shard) countClass(class preemptible.Class, f func(*ClassCounters)) {
+	s.statMu.Lock()
+	f(&s.counters[class])
+	s.statMu.Unlock()
+}
+
+// brownoutLoop samples one generation's load at the configured period
+// and drives its controller — the per-shard twin of the pre-sharding
+// server loop. It exits when the generation is retired.
+func (s *Shard) brownoutLoop(u *unit) {
+	defer s.loopWG.Done()
+	tick := time.NewTicker(s.cfg.BrownoutPeriod)
+	defer tick.Stop()
+	for {
+		select {
+		case <-u.loopStop:
+			return
+		case now := <-tick.C:
+			sig := brownout.Signal{
+				Degraded: s.rt.Degraded(),
+				Terminal: s.rt.Terminal(),
+			}
+			if s.cfg.MaxInflight > 0 {
+				offered := float64(s.inflight.Load()) + float64(s.rejectsWin.Swap(0))
+				sig.Occupancy = offered / float64(s.cfg.MaxInflight)
+			}
+			if wait := u.pool.OldestWait(now); wait > 0 {
+				sig.DelayRatio = float64(wait) / float64(s.cfg.BrownoutDelayTarget)
+			}
+			prev := brownout.State(s.bstate.Load())
+			st := u.ctl.Observe(now, sig)
+			s.bstate.Store(int32(st))
+			if st != prev && st != brownout.Normal {
+				u.pool.EvictClass(preemptible.ClassBE)
+			}
+		}
+	}
+}
+
+// Do pushes one request task through the shard's overload-protected,
+// class-aware admission path — the bulkhead twin of the pre-sharding
+// liveserver runTask, with one extra gate in front: a shard that is
+// Restarting or Dead answers Unavailable before any load logic runs.
+// The admission order after that gate is unchanged: SHED rejects
+// everyone, BROWNOUT rejects BE (LC bypasses the inflight cap), the
+// inflight cap rejects, then the class's circuit breaker. See the
+// package comment for the partial-failure contract.
+func (s *Shard) Do(class preemptible.Class, task preemptible.Task, opts DoOptions) Result {
+	st := s.BrownoutState()
+	s.countClass(class, func(c *ClassCounters) {
+		c.Requests++
+		if opts.Attempt > 0 {
+			c.Reattempts++
+		}
+	})
+	if s.Health() != Healthy {
+		s.countClass(class, func(c *ClassCounters) { c.Unavailable++ })
+		return Result{Unavailable, st}
+	}
+	u := s.snapshot()
+	if st == brownout.Shed || (st == brownout.Brownout && class == preemptible.ClassBE) {
+		s.rejectsWin.Add(1)
+		s.countClass(class, func(c *ClassCounters) { c.Rejected[st]++ })
+		if st == brownout.Shed {
+			return Result{RejectedShed, st}
+		}
+		return Result{RejectedBrownout, st}
+	}
+	lcBypass := st == brownout.Brownout && class == preemptible.ClassLC
+	if n := s.inflight.Add(1); s.cfg.MaxInflight > 0 && n > int64(s.cfg.MaxInflight) && !lcBypass {
+		s.inflight.Add(-1)
+		s.rejectsWin.Add(1)
+		s.countClass(class, func(c *ClassCounters) { c.Rejected[st]++ })
+		return Result{RejectedInflight, st}
+	}
+	// Circuit breaker, last gate before the pool. Breaker rejects are
+	// deliberately NOT folded into rejectsWin: a crashing class is
+	// faulty, not heavy, and must not push the brownout controller
+	// toward shedding healthy traffic.
+	br := u.breakers[class]
+	if br != nil && !br.Allow(time.Now()) {
+		s.inflight.Add(-1)
+		s.countClass(class, func(c *ClassCounters) { c.Unavailable++ })
+		return Result{Unavailable, st}
+	}
+	if s.cfg.PanicInject != nil && s.cfg.PanicInject(class) {
+		task = func(ctx *preemptible.Ctx) {
+			ctx.Checkpoint() // pass one safepoint so the poison fires mid-run
+			panic("chaos: injected panic")
+		}
+	}
+	ch := make(chan time.Duration, 1)
+	done := func(lat time.Duration) {
+		s.inflight.Add(-1)
+		ch <- lat
+	}
+	h, err := u.pool.SubmitWithOptions(task, preemptible.SubmitOptions{
+		Class:         class,
+		Deadline:      opts.Deadline,
+		Expire:        !opts.Deadline.IsZero(),
+		PickupTimeout: s.cfg.RequestTimeout,
+	}, done)
+	if err != nil {
+		// Pool draining or closed — the shard is being torn down under
+		// us; same signal as the lifecycle gate.
+		s.inflight.Add(-1)
+		if br != nil {
+			br.Abandon(time.Now())
+		}
+		s.countClass(class, func(c *ClassCounters) { c.Unavailable++ })
+		return Result{Unavailable, st}
+	}
+	var lat time.Duration
+	if opts.Gone == nil {
+		lat = <-ch
+	} else {
+		select {
+		case lat = <-ch:
+		case <-opts.Gone:
+			// Client disconnected mid-request: evict or unwind, then wait
+			// for the done that always eventually fires.
+			h.Cancel()
+			lat = <-ch
+		}
+	}
+	switch {
+	case lat == preemptible.FailedLatency:
+		if br != nil {
+			br.Failure(time.Now())
+		}
+		s.countClass(class, func(c *ClassCounters) { c.Failed++ })
+		return Result{Failed, st}
+	case lat == preemptible.CancelledLatency:
+		if br != nil {
+			br.Abandon(time.Now())
+		}
+		s.countClass(class, func(c *ClassCounters) { c.Cancelled++ })
+		if h.State() == preemptible.TaskCancelledQueued {
+			return Result{CancelledQueued, st}
+		}
+		return Result{CancelledExecuting, st}
+	case lat == preemptible.ExpiredLatency:
+		if br != nil {
+			br.Abandon(time.Now())
+		}
+		if h.State() == preemptible.TaskExpiredQueued {
+			s.countClass(class, func(c *ClassCounters) { c.ExpiredQueued++ })
+			return Result{ExpiredQueued, st}
+		}
+		s.countClass(class, func(c *ClassCounters) { c.ExpiredExecuting++ })
+		return Result{ExpiredExecuting, st}
+	case lat < 0:
+		// Shed from the queue: a brownout eviction (BE, while degraded)
+		// or a RequestTimeout expiry.
+		if br != nil {
+			br.Abandon(time.Now())
+		}
+		now := s.BrownoutState()
+		if class == preemptible.ClassBE && now != brownout.Normal {
+			s.countClass(class, func(c *ClassCounters) { c.Evicted++ })
+			return Result{Evicted, now}
+		}
+		s.countClass(class, func(c *ClassCounters) { c.Timeouts++ })
+		return Result{Timeout, now}
+	}
+	if br != nil {
+		br.Success(time.Now())
+	}
+	s.countClass(class, func(c *ClassCounters) { c.Completed++ })
+	return Result{OK, st}
+}
+
+// probe submits one trivial LC heartbeat task directly to the shard's
+// pool (bypassing admission — the question is "can this pool still run
+// anything", not "would admission let it in") and waits up to timeout
+// for it to complete. A wedged pool never picks the probe up; the probe
+// is then cancelled so it cannot pile up behind its siblings.
+func (s *Shard) probe(timeout time.Duration) bool {
+	u := s.snapshot()
+	ch := make(chan time.Duration, 1)
+	h, err := u.pool.SubmitWithOptions(func(*preemptible.Ctx) {}, preemptible.SubmitOptions{
+		Class:         preemptible.ClassLC,
+		PickupTimeout: timeout,
+	}, func(lat time.Duration) { ch <- lat })
+	if err != nil {
+		return false
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case lat := <-ch:
+		return lat >= 0
+	case <-t.C:
+		h.Cancel()
+		return false
+	}
+}
+
+// Wedge simulates a hard shard failure: every worker is occupied by a
+// task that never reaches a safepoint — the preemptible runtime cannot
+// preempt it, cancel-unwind cannot reach it, and the pool's
+// arrivals-first dispatch never gets the worker back, so heartbeat
+// probes stop completing. (A task that merely ran long but kept
+// checkpointing would NOT wedge the shard: fresh short arrivals,
+// probes included, preempt long work by design. The fault modeled here
+// is the kind scheduling cannot route around — a stuck syscall, a
+// livelocked lock, a runaway handler.) A couple of extra tasks clog
+// the queue behind the stuck ones. The only way the wedge clears is
+// the unit's teardown closing killed — the supervisor restart, which
+// is exactly the repair under test. Detection must come from missed
+// heartbeats, not from this call: health is untouched here.
+func (s *Shard) Wedge() {
+	u := s.snapshot()
+	killed := u.killed
+	wedge := func(*preemptible.Ctx) {
+		for {
+			select {
+			case <-killed:
+				return
+			default:
+			}
+			time.Sleep(time.Millisecond) // yield the OS thread, never the scheduler
+		}
+	}
+	for i := 0; i < s.cfg.Workers+2; i++ {
+		// Inflight bookkeeping keeps the brownout controller honest
+		// about the wedge load; errors (already draining) are fine —
+		// the shard is dying anyway.
+		s.inflight.Add(1)
+		_, err := u.pool.SubmitWithOptions(wedge, preemptible.SubmitOptions{Class: preemptible.ClassLC},
+			func(time.Duration) { s.inflight.Add(-1) })
+		if err != nil {
+			s.inflight.Add(-1)
+			return
+		}
+	}
+}
+
+// retire drains the current generation and folds its counters into the
+// retired accumulator. Caller must have already moved health out of
+// Healthy so no new work lands on the dying pool.
+func (s *Shard) retire(ctx context.Context) {
+	s.mu.Lock()
+	u := s.cur
+	if u.retired {
+		s.mu.Unlock()
+		return
+	}
+	u.retired = true
+	s.mu.Unlock()
+	close(u.killed)   // reclaim wedged workers; see the killed field
+	u.pool.Drain(ctx) //nolint:errcheck // stragglers are cancelled either way
+	close(u.loopStop)
+	s.loopWG.Wait()
+	s.mu.Lock()
+	addPoolStats(&s.retired, u.pool.Stats())
+	s.mu.Unlock()
+}
+
+// rebuild is the supervisor's repair path: retire the wedged
+// generation (drain cancels its stragglers), then install a fresh
+// pool + empty store partition + reset controller and breakers, and
+// re-admit. The shard must be in Restarting when called; it is Healthy
+// again on return.
+func (s *Shard) rebuild(ctx context.Context) {
+	if s.Health() != Restarting {
+		panic("shard: rebuild outside Restarting")
+	}
+	s.retire(ctx)
+	s.mu.Lock()
+	s.cur = s.buildUnit()
+	s.gen++
+	s.mu.Unlock()
+	if !s.casHealth(Restarting, Healthy) {
+		panic("shard: health changed mid-rebuild")
+	}
+}
+
+// close retires the shard permanently (process shutdown or terminal
+// escalation). Idempotent via the health gate in Group.
+func (s *Shard) close(ctx context.Context) {
+	s.retire(ctx)
+}
