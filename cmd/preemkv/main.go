@@ -35,7 +35,12 @@
 //
 // In serve mode SIGINT/SIGTERM trigger a graceful drain: admission
 // stops, in-flight requests finish until the -drain deadline, then
-// stragglers are cancelled at their next safepoint.
+// stragglers are cancelled at their next safepoint. With -metrics, a
+// tiny HTTP endpoint exports the same per-shard + group-total series
+// as the STATS2 wire command (the v2 metrics plane):
+//
+//	preemkv -serve :7070 -metrics :9090
+//	curl http://127.0.0.1:9090/metrics
 package main
 
 import (
@@ -44,6 +49,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
@@ -76,6 +82,7 @@ func main() {
 		maxRestrt = flag.Int("maxrestarts", 0, "restart budget per shard within -restartwindow before it is retired as dead (serve mode; 0 = unlimited)")
 		restrtWin = flag.Duration("restartwindow", 10*time.Second, "sliding window for the restart budget (serve mode)")
 		restrtDrn = flag.Duration("restartdrain", 500*time.Millisecond, "drain deadline when restarting a failed shard (serve mode)")
+		metrics   = flag.String("metrics", "", "HTTP address exporting the STATS2 series at /metrics (serve mode; empty = disabled)")
 		clients   = flag.Int("clients", 4, "client connections (bench mode)")
 		ops       = flag.Int("ops", 2000, "ops per client (bench mode)")
 		compress  = flag.Bool("compress", true, "run a background COMPRESS stream during bench")
@@ -85,6 +92,7 @@ func main() {
 		opDL      = flag.Duration("opdeadline", 0, "end-to-end op deadline, propagated as a wire D token (bench mode; 0 = none)")
 		budgetR   = flag.Float64("budget", 0.1, "retry-budget accrual per primary op (bench mode)")
 		burst     = flag.Float64("burst", 10, "retry-budget burst cap (bench mode)")
+		seed      = flag.Uint64("seed", 1, "deterministic seed for hedge/backoff jitter (bench mode)")
 	)
 	flag.Parse()
 
@@ -106,7 +114,7 @@ func main() {
 				RestartDrain:      *restrtDrn,
 			},
 			SuperviseEnabled: *supervise,
-		}, *drain)
+		}, *drain, *metrics)
 	case *benchAddr != "":
 		lc, be, err := parseMix(*mix)
 		if err != nil {
@@ -121,7 +129,7 @@ func main() {
 			RetryMax:      retryMax,
 			RetryBase:     retryBase,
 			RetryCap:      retryCap,
-			Seed:          1,
+			Seed:          *seed,
 		})
 	default:
 		fmt.Fprintln(os.Stderr, "preemkv: need -serve <addr> or -bench <addr>")
@@ -130,7 +138,7 @@ func main() {
 	}
 }
 
-func serve(addr string, cfg liveserver.Config, drain time.Duration) {
+func serve(addr string, cfg liveserver.Config, drain time.Duration, metricsAddr string) {
 	rt, err := preemptible.New(preemptible.Config{})
 	if err != nil {
 		fatal(err)
@@ -142,6 +150,18 @@ func serve(addr string, cfg liveserver.Config, drain time.Duration) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fatal(err)
+	}
+	if metricsAddr != "" {
+		mln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			fatal(fmt.Errorf("metrics listener: %w", err))
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", s.MetricsHandler())
+		msrv := &http.Server{Handler: mux}
+		defer msrv.Close()
+		go msrv.Serve(mln) //nolint:errcheck // closed on shutdown
+		fmt.Printf("preemkv metrics on http://%s/metrics\n", mln.Addr())
 	}
 	supervised := "unsupervised"
 	if cfg.SuperviseEnabled {

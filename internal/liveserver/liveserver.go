@@ -24,6 +24,7 @@
 //	COMPRESS <n>             → COMPRESSED <in> <out>   (n kilobytes of work)
 //	PING                     → PONG
 //	STATS                    → STATS state=<..> load=<..> <counters> <per-shard fields>
+//	STATS2                   → STATS2 <one-line JSON document> (see metrics.go)
 //
 // MGET fans out to every shard its keys route to, each leg under the
 // request's wire deadline, and reports per-key partial results: one
@@ -562,6 +563,23 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 }
 
+// HandleLine processes one protocol line exactly as a connection
+// handler would — parse, route, schedule, encode — with no disconnect
+// tracking, and returns the response line. It is the in-process entry
+// the perf-validation harness (internal/perfval) and the hot-path
+// benchmarks use to drive the full request path without TCP.
+func (s *Server) HandleLine(line string) string { return s.handleRequest(line, nil) }
+
+// ParseLine exercises the request-parse hot path alone: field split
+// plus metadata-token stripping, no routing or scheduling. It returns
+// the remaining fields and the protocol error line ("" when valid).
+// Exported so the perf-validation harness can benchmark and gate the
+// parser's allocs/op — the baseline the zero-alloc rewrite must beat.
+func ParseLine(line string) (fields []string, errLine string) {
+	fields, _, errLine = parseMeta(strings.Fields(line))
+	return fields, errLine
+}
+
 // reqMeta is one request's scheduling metadata, parsed from trailing
 // wire tokens: deadline is the hard completion deadline (zero = none),
 // attempt the client's attempt number (0 = primary).
@@ -678,6 +696,9 @@ func (s *Server) handleRequest(line string, gone <-chan struct{}) string {
 	case "STATS":
 		s.count(&s.Requests.Stats)
 		return s.statsLine()
+	case "STATS2":
+		s.count(&s.Requests.Stats)
+		return s.statsV2Line()
 	case "GET":
 		if len(fields) != 2 {
 			s.countErr()

@@ -1,0 +1,72 @@
+package perfval
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+)
+
+// BENCH file management: the trajectory lives at the repo root as
+// BENCH_1.json, BENCH_2.json, … — one file per recorded run, never
+// rewritten. Latest finds the newest point to diff against; WriteRun
+// appends the next one.
+
+var benchName = regexp.MustCompile(`^BENCH_([0-9]+)\.json$`)
+
+// Latest returns the highest-numbered BENCH file in dir ("" and 0 when
+// none exist yet).
+func Latest(dir string) (path string, n int, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", 0, err
+	}
+	for _, e := range entries {
+		m := benchName.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		if v, err := strconv.Atoi(m[1]); err == nil && v > n {
+			n = v
+			path = filepath.Join(dir, e.Name())
+		}
+	}
+	return path, n, nil
+}
+
+// ReadRun loads and validates one BENCH file.
+func ReadRun(path string) (*Run, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var run Run
+	if err := json.Unmarshal(b, &run); err != nil {
+		return nil, fmt.Errorf("perfval: %s: %w", path, err)
+	}
+	if run.Schema != BenchSchemaVersion {
+		return nil, fmt.Errorf("perfval: %s: schema %d, want %d", path, run.Schema, BenchSchemaVersion)
+	}
+	return &run, nil
+}
+
+// WriteRun assigns run.Bench = seq and writes dir/BENCH_<seq>.json
+// (indented, trailing newline — it is a committed artifact). It refuses
+// to overwrite an existing trajectory point.
+func WriteRun(dir string, run *Run, seq int) (string, error) {
+	if seq < 1 {
+		return "", fmt.Errorf("perfval: bench sequence %d < 1", seq)
+	}
+	run.Bench = seq
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", seq))
+	if _, err := os.Stat(path); err == nil {
+		return "", fmt.Errorf("perfval: %s already exists; trajectory points are append-only", path)
+	}
+	b, err := json.MarshalIndent(run, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return path, os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,209 @@
+package perfval
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The regression gate. A Run flattens into dotted metric paths
+// ("cells.s1_lc.classes.lc.p99_us", "hot_path.get_allocs_per_op"), and
+// thresholds.json assigns tolerance bands to the paths worth gating —
+// every gated metric here is lower-is-better. A metric with no matching
+// band is recorded but ungated (throughput, counts); a metric present
+// in the previous run but absent now is not a regression (a class can
+// legitimately stop appearing when a mix changes).
+
+// Band is one metric's tolerance: the current value passes while
+// cur ≤ prev + prev·Rel + Abs. Rel absorbs proportional machine noise,
+// Abs floors the band so a near-zero baseline (an 80µs p50) doesn't
+// turn scheduler jitter into a gate failure.
+type Band struct {
+	Rel float64 `json:"rel,omitempty"`
+	Abs float64 `json:"abs,omitempty"`
+}
+
+// Allowed is the pass ceiling for a previous value.
+func (b Band) Allowed(prev float64) float64 { return prev + prev*b.Rel + b.Abs }
+
+// Thresholds is the checked-in tolerance file (thresholds.json).
+// Metric keys are dotted paths; a "*" segment matches exactly one path
+// segment. When several patterns match one metric, the most specific
+// (fewest wildcards, then lexicographically first) wins.
+type Thresholds struct {
+	Schema  int             `json:"schema"`
+	Metrics map[string]Band `json:"metrics"`
+}
+
+//go:embed thresholds.json
+var embeddedThresholds []byte
+
+// DefaultThresholds returns the bands compiled into the binary — the
+// same file committed at internal/perfval/thresholds.json.
+func DefaultThresholds() Thresholds {
+	th, err := parseThresholds(embeddedThresholds)
+	if err != nil {
+		panic(err) // the embedded file is validated by tests
+	}
+	return th
+}
+
+// LoadThresholds reads a thresholds file from disk.
+func LoadThresholds(path string) (Thresholds, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Thresholds{}, err
+	}
+	th, err := parseThresholds(b)
+	if err != nil {
+		return Thresholds{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return th, nil
+}
+
+func parseThresholds(b []byte) (Thresholds, error) {
+	var th Thresholds
+	if err := json.Unmarshal(b, &th); err != nil {
+		return Thresholds{}, fmt.Errorf("perfval: bad thresholds: %w", err)
+	}
+	if th.Schema != 1 {
+		return Thresholds{}, fmt.Errorf("perfval: thresholds schema %d, want 1", th.Schema)
+	}
+	for k, band := range th.Metrics {
+		if band.Rel < 0 || band.Abs < 0 {
+			return Thresholds{}, fmt.Errorf("perfval: negative band for %q", k)
+		}
+	}
+	return th, nil
+}
+
+// Match resolves the band governing metric, if any.
+func (t Thresholds) Match(metric string) (Band, bool) {
+	if b, ok := t.Metrics[metric]; ok {
+		return b, true
+	}
+	segs := strings.Split(metric, ".")
+	best, bestWild := "", -1
+	for pat := range t.Metrics {
+		if !strings.Contains(pat, "*") {
+			continue
+		}
+		psegs := strings.Split(pat, ".")
+		if len(psegs) != len(segs) {
+			continue
+		}
+		wild := 0
+		ok := true
+		for i, ps := range psegs {
+			if ps == "*" {
+				wild++
+				continue
+			}
+			if ps != segs[i] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if bestWild == -1 || wild < bestWild || (wild == bestWild && pat < best) {
+			best, bestWild = pat, wild
+		}
+	}
+	if bestWild == -1 {
+		return Band{}, false
+	}
+	return t.Metrics[best], true
+}
+
+// Flatten renders a Run as dotted metric paths → numeric values.
+// Arrays of named objects (cells) key by their "name" field; per-shard
+// blocks by "shard"; other arrays by index. Strings and booleans are
+// not metrics and are skipped.
+func Flatten(run *Run) map[string]float64 {
+	b, err := json.Marshal(run)
+	if err != nil {
+		return nil
+	}
+	var doc any
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil
+	}
+	out := map[string]float64{}
+	flattenInto(out, "", doc)
+	return out
+}
+
+func flattenInto(out map[string]float64, prefix string, v any) {
+	join := func(k string) string {
+		if prefix == "" {
+			return k
+		}
+		return prefix + "." + k
+	}
+	switch x := v.(type) {
+	case map[string]any:
+		for k, sub := range x {
+			flattenInto(out, join(k), sub)
+		}
+	case []any:
+		for i, sub := range x {
+			key := strconv.Itoa(i)
+			if m, ok := sub.(map[string]any); ok {
+				if name, ok := m["name"].(string); ok && name != "" {
+					key = name
+				} else if shard, ok := m["shard"].(float64); ok {
+					key = strconv.Itoa(int(shard))
+				}
+			}
+			flattenInto(out, join(key), sub)
+		}
+	case float64:
+		out[prefix] = x
+	}
+}
+
+// Regression is one broken band: machine-readable, with the metric
+// named — exactly what a CI log or a script needs.
+type Regression struct {
+	Metric  string  `json:"metric"`
+	Prev    float64 `json:"prev"`
+	Cur     float64 `json:"cur"`
+	Allowed float64 `json:"allowed"`
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.3g -> %.3g (allowed <= %.3g)", r.Metric, r.Prev, r.Cur, r.Allowed)
+}
+
+// Diff compares cur against prev under th and returns every gated
+// metric that broke its band, sorted by metric path. Empty means the
+// gate passes.
+func Diff(prev, cur *Run, th Thresholds) []Regression {
+	pf, cf := Flatten(prev), Flatten(cur)
+	metrics := make([]string, 0, len(cf))
+	for m := range cf {
+		metrics = append(metrics, m)
+	}
+	sort.Strings(metrics)
+	var regs []Regression
+	for _, m := range metrics {
+		band, gated := th.Match(m)
+		if !gated {
+			continue
+		}
+		pv, ok := pf[m]
+		if !ok {
+			continue // no baseline for this metric yet
+		}
+		if allowed := band.Allowed(pv); cf[m] > allowed {
+			regs = append(regs, Regression{Metric: m, Prev: pv, Cur: cf[m], Allowed: allowed})
+		}
+	}
+	return regs
+}

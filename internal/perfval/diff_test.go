@@ -1,0 +1,186 @@
+package perfval
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestEmbeddedThresholdsParse(t *testing.T) {
+	th := DefaultThresholds()
+	if th.Schema != 1 {
+		t.Fatalf("schema %d", th.Schema)
+	}
+	if len(th.Metrics) == 0 {
+		t.Fatal("no metrics in embedded thresholds")
+	}
+	// Every gated family the harness emits must be present so a silent
+	// rename doesn't quietly un-gate the trajectory.
+	for _, want := range []string{
+		"cells.*.classes.lc.p99_us",
+		"cells.*.classes.*.failed_rate",
+		"cells.*.tail.amplification",
+		"hot_path.parse_allocs_per_op",
+	} {
+		if _, ok := th.Metrics[want]; !ok {
+			t.Errorf("embedded thresholds missing %q", want)
+		}
+	}
+	// And the disk copy is the same file as the embedded one.
+	disk, err := LoadThresholds(filepath.Join(".", "thresholds.json"))
+	if err != nil {
+		t.Fatalf("LoadThresholds: %v", err)
+	}
+	if len(disk.Metrics) != len(th.Metrics) {
+		t.Errorf("disk thresholds (%d metrics) != embedded (%d)", len(disk.Metrics), len(th.Metrics))
+	}
+}
+
+func TestThresholdsValidation(t *testing.T) {
+	if _, err := parseThresholds([]byte(`{"schema": 2, "metrics": {}}`)); err == nil {
+		t.Error("wrong schema accepted")
+	}
+	if _, err := parseThresholds([]byte(`{"schema": 1, "metrics": {"a.b": {"rel": -1}}}`)); err == nil {
+		t.Error("negative band accepted")
+	}
+	if _, err := parseThresholds([]byte(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestMatchSpecificity(t *testing.T) {
+	th := Thresholds{Schema: 1, Metrics: map[string]Band{
+		"a.*.c":     {Abs: 1},
+		"a.b.c":     {Abs: 2},
+		"a.*.*":     {Abs: 3},
+		"*.b.c":     {Abs: 4},
+		"unrelated": {Abs: 9},
+	}}
+	cases := []struct {
+		metric  string
+		wantAbs float64
+		gated   bool
+	}{
+		{"a.b.c", 2, true}, // exact beats every wildcard
+		{"a.x.c", 1, true}, // one wildcard beats two
+		{"a.x.y", 3, true}, // only the double-wildcard matches
+		{"z.b.c", 4, true}, // leading wildcard
+		{"a.b", 0, false},  // wrong segment count never matches
+		{"a.b.c.d", 0, false},
+		{"q.q.q", 0, false},
+	}
+	for _, c := range cases {
+		band, ok := th.Match(c.metric)
+		if ok != c.gated || (ok && band.Abs != c.wantAbs) {
+			t.Errorf("Match(%q) = (%v, %v), want (abs=%v, %v)", c.metric, band.Abs, ok, c.wantAbs, c.gated)
+		}
+	}
+	// Tie on wildcard count resolves deterministically (lexicographic).
+	tie := Thresholds{Schema: 1, Metrics: map[string]Band{
+		"a.*.c": {Abs: 10},
+		"*.b.c": {Abs: 20},
+	}}
+	for i := 0; i < 10; i++ {
+		band, ok := tie.Match("a.b.c")
+		if !ok || band.Abs != 20 {
+			t.Fatalf("tie-break not deterministic: got abs=%v ok=%v, want the lexicographically first pattern (*.b.c)", band.Abs, ok)
+		}
+	}
+}
+
+// flatRun builds a small but fully-populated Run for Flatten/Diff tests.
+func flatRun(lcP99 int64, failedRate float64, parseAllocs int64) *Run {
+	return &Run{
+		Schema: BenchSchemaVersion,
+		Mode:   "quick",
+		Seed:   42,
+		Cells: []CellResult{{
+			Cell:       Cell{Name: "s1_lc", Shards: 1, MixLC: 1},
+			ElapsedSec: 1.5,
+			OpsPerSec:  800,
+			Classes: map[string]ClassResult{
+				"lc": {Ops: 100, P50Micros: 200, P99Micros: lcP99, P999Micros: 2 * lcP99, MaxMicros: 3 * lcP99, FailedRate: failedRate},
+			},
+			Tail:   TailResult{Primaries: 100, Attempts: 110, Amplification: 1.1},
+			Server: ServerTotals{LCCompleted: 100, LCP99Micros: lcP99},
+		}},
+		HotPath: &HotPath{ParseNsPerOp: 300, ParseAllocsPerOp: parseAllocs, GetNsPerOp: 9000, GetAllocsPerOp: 17},
+	}
+}
+
+func TestFlattenPaths(t *testing.T) {
+	f := Flatten(flatRun(1500, 0.01, 1))
+	want := map[string]float64{
+		"schema":                             float64(BenchSchemaVersion),
+		"seed":                               42,
+		"cells.s1_lc.shards":                 1,
+		"cells.s1_lc.ops_per_sec":            800,
+		"cells.s1_lc.classes.lc.p99_us":      1500,
+		"cells.s1_lc.classes.lc.failed_rate": 0.01,
+		"cells.s1_lc.tail.amplification":     1.1,
+		"cells.s1_lc.server.lc_p99_us":       1500,
+		"hot_path.parse_allocs_per_op":       1,
+	}
+	for k, v := range want {
+		if got, ok := f[k]; !ok || got != v {
+			t.Errorf("Flatten[%q] = %v (present=%v), want %v", k, got, ok, v)
+		}
+	}
+	// Strings (mode, go_version, cell name) must not appear as metrics.
+	for k := range f {
+		if strings.HasSuffix(k, ".name") || k == "mode" || k == "go_version" {
+			t.Errorf("non-numeric field leaked into flatten: %q", k)
+		}
+	}
+}
+
+func TestDiffGating(t *testing.T) {
+	th := DefaultThresholds()
+	base := flatRun(1500, 0.0, 1)
+
+	// Identical run: clean pass.
+	if regs := Diff(base, flatRun(1500, 0.0, 1), th); len(regs) != 0 {
+		t.Fatalf("identical runs produced regressions: %v", regs)
+	}
+	// Within band: p99 1500µs -> 3000µs is inside rel 1.5 + abs 10000µs.
+	if regs := Diff(base, flatRun(3000, 0.0, 1), th); len(regs) != 0 {
+		t.Fatalf("in-band drift flagged: %v", regs)
+	}
+	// Way out of band: p99 jumps past rel+abs; the verdict names the metric.
+	regs := Diff(base, flatRun(200_000, 0.0, 1), th)
+	found := false
+	for _, r := range regs {
+		if r.Metric == "cells.s1_lc.classes.lc.p99_us" {
+			found = true
+			if r.Prev != 1500 || r.Cur != 200_000 {
+				t.Errorf("regression values: %+v", r)
+			}
+			if r.Cur <= r.Allowed {
+				t.Errorf("flagged but within allowance: %+v", r)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("p99 blow-up not named; got %v", regs)
+	}
+	// Failed-rate band is purely absolute (rel 0, abs 0.01).
+	if regs := Diff(base, flatRun(1500, 0.05, 1), th); len(regs) != 1 ||
+		regs[0].Metric != "cells.s1_lc.classes.lc.failed_rate" {
+		t.Fatalf("failed_rate gate: %v", regs)
+	}
+	// Alloc growth past the band trips the hot-path gate.
+	if regs := Diff(base, flatRun(1500, 0.0, 12), th); len(regs) != 1 ||
+		regs[0].Metric != "hot_path.parse_allocs_per_op" {
+		t.Fatalf("allocs gate: %v", regs)
+	}
+	// Improvements never regress.
+	if regs := Diff(flatRun(200_000, 0.05, 12), base, th); len(regs) != 0 {
+		t.Fatalf("improvement flagged: %v", regs)
+	}
+	// A metric new in cur (no baseline) is not a regression.
+	noHP := flatRun(1500, 0.0, 1)
+	noHP.HotPath = nil
+	if regs := Diff(noHP, base, th); len(regs) != 0 {
+		t.Fatalf("metric without baseline flagged: %v", regs)
+	}
+}

@@ -1,0 +1,475 @@
+// Package perfval is the continuous perf-validation harness: it runs a
+// fixed benchmark matrix (LC/BE mixes × shard counts × hedging on/off)
+// against an in-process liveserver through the tail-tolerant client,
+// aggregates per-class latency quantiles and shed/hedge/expiry rates
+// with internal/stats histograms, measures the parse/encode hot path's
+// allocs/op, and emits one schema-versioned BENCH_<n>.json — a point on
+// the repo's performance trajectory.
+//
+// Two runs are comparable: the whole matrix is seeded (one root seed
+// split per cell and per client via chaos.ChildSeed), so both runs
+// issue the identical op streams; only the machine's scheduling noise
+// differs, and the Diff gate (diff.go) absorbs that with explicit
+// per-metric tolerance bands from thresholds.json. A regression is a
+// machine-readable verdict naming the offending metric, its previous
+// and current values, and the band it broke — cmd/preembench -perfval
+// exits nonzero on any.
+//
+// The harness deliberately scrapes its server-side numbers over the
+// wire with the STATS2 command (internal/liveserver metrics plane)
+// rather than poking server internals: the gate runs on exactly the
+// series a dashboard watching a live soak would see.
+package perfval
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/liveserver"
+	"repro/internal/stats"
+	"repro/internal/tailclient"
+	"repro/preemptible"
+)
+
+// BenchSchemaVersion identifies the BENCH_<n>.json layout. Bump on any
+// field removal or semantic change.
+const BenchSchemaVersion = 1
+
+// Cell is one matrix point: a server shape × an offered-load shape.
+type Cell struct {
+	Name   string `json:"name"`
+	Shards int    `json:"shards"`
+	MixLC  int    `json:"mix_lc"`
+	MixBE  int    `json:"mix_be"`
+	Hedge  bool   `json:"hedge"`
+}
+
+// DefaultMatrix is the fixed bench matrix every BENCH file reports:
+// single-shard and multi-shard, LC-only and colocated LC/BE, hedged
+// and unhedged — the axes the ROADMAP's scale-out and zero-alloc work
+// must not regress.
+func DefaultMatrix() []Cell {
+	return []Cell{
+		{Name: "s1_lc", Shards: 1, MixLC: 1, MixBE: 0, Hedge: false},
+		{Name: "s1_mix31_hedged", Shards: 1, MixLC: 3, MixBE: 1, Hedge: true},
+		{Name: "s4_lc_hedged", Shards: 4, MixLC: 1, MixBE: 0, Hedge: true},
+		{Name: "s4_mix31", Shards: 4, MixLC: 3, MixBE: 1, Hedge: false},
+	}
+}
+
+// Config parameterizes one harness execution.
+type Config struct {
+	// Seed is the root determinism seed; every cell and client derives
+	// its own stream via chaos.ChildSeed.
+	Seed uint64
+	// Quick selects the fast CI-smoke durations instead of the soak
+	// defaults (see withDefaults).
+	Quick bool
+	// Clients is the concurrent client count per cell (default 4 quick,
+	// 8 soak).
+	Clients int
+	// Ops is the op count per client per cell (default 120 quick, 1500
+	// soak).
+	Ops int
+	// Matrix overrides DefaultMatrix (tests shrink it).
+	Matrix []Cell
+	// InjectDelay, when positive, is a synthetic regression: it is added
+	// to every successful op's measured latency before aggregation. It
+	// exists to prove the gate fires — a BENCH produced with it must
+	// fail the Diff against an honest baseline.
+	InjectDelay time.Duration
+	// SkipHotPath skips the testing.Benchmark hot-path probes (tests;
+	// they cost ~1s each).
+	SkipHotPath bool
+	// Log, when non-nil, receives one progress line per cell.
+	Log io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clients <= 0 {
+		if c.Quick {
+			c.Clients = 4
+		} else {
+			c.Clients = 8
+		}
+	}
+	if c.Ops <= 0 {
+		if c.Quick {
+			c.Ops = 120
+		} else {
+			c.Ops = 1500
+		}
+	}
+	if c.Matrix == nil {
+		c.Matrix = DefaultMatrix()
+	}
+	return c
+}
+
+// Run is one BENCH_<n>.json document.
+type Run struct {
+	Schema    int          `json:"schema"`
+	Bench     int          `json:"bench"` // sequence number in the trajectory
+	Mode      string       `json:"mode"`  // "quick" | "soak"
+	Seed      uint64       `json:"seed"`
+	GoVersion string       `json:"go_version"`
+	Cells     []CellResult `json:"cells"`
+	HotPath   *HotPath     `json:"hot_path,omitempty"`
+}
+
+// CellResult is one cell's aggregated measurements.
+type CellResult struct {
+	Cell
+	ElapsedSec float64 `json:"elapsed_s"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	// Classes is keyed "lc"/"be"; a class with no settled ops is absent.
+	Classes map[string]ClassResult `json:"classes"`
+	Tail    TailResult             `json:"tail"`
+	Server  ServerTotals           `json:"server"`
+}
+
+// ClassResult is one class's client-observed latency distribution and
+// terminal-outcome rates, all relative to settled ops of the class.
+type ClassResult struct {
+	Ops        uint64 `json:"ops"` // settled (success + give-ups)
+	P50Micros  int64  `json:"p50_us"`
+	P99Micros  int64  `json:"p99_us"`
+	P999Micros int64  `json:"p999_us"`
+	MaxMicros  int64  `json:"max_us"`
+	// RejectedRate counts ops that gave up on overloaded/brownout/
+	// unavailable; ExpiredRate ops whose end-to-end deadline passed;
+	// FailedRate "ERR internal" (contained panics).
+	RejectedRate float64 `json:"rejected_rate"`
+	ExpiredRate  float64 `json:"expired_rate"`
+	FailedRate   float64 `json:"failed_rate"`
+	Retries      uint64  `json:"retries"`
+}
+
+// TailResult is the tail-tolerant client's attempt accounting.
+type TailResult struct {
+	Primaries     uint64  `json:"primaries"`
+	Attempts      uint64  `json:"attempts"`
+	Hedges        uint64  `json:"hedges"`
+	HedgeWins     uint64  `json:"hedge_wins"`
+	Retries       uint64  `json:"retries"`
+	BudgetDenied  uint64  `json:"budget_denied"`
+	Amplification float64 `json:"amplification"` // attempts / primaries
+	HedgeRate     float64 `json:"hedge_rate"`    // hedges / primaries
+}
+
+// ServerTotals is the server-side view of the cell, scraped over the
+// wire via STATS2 after the load drains — the same series /metrics
+// exports.
+type ServerTotals struct {
+	LCCompleted uint64 `json:"lc_completed"`
+	BECompleted uint64 `json:"be_completed"`
+	Rejected    uint64 `json:"rejected"` // all classes, all brownout states
+	Expired     uint64 `json:"expired"`  // wire-deadline expiries, both stages
+	Failed      uint64 `json:"failed"`
+	Preemptions uint64 `json:"preemptions"`
+	LCP99Micros int64  `json:"lc_p99_us"` // server-side (queue+run) LC p99
+}
+
+// HotPath is the parse/encode hot-path baseline: allocs/op and ns/op
+// measured with testing.Benchmark over the same entry points the
+// -benchmem pair in internal/liveserver exercises. The zero-alloc
+// rewrite lands against these numbers.
+type HotPath struct {
+	ParseNsPerOp      int64 `json:"parse_ns_per_op"`
+	ParseAllocsPerOp  int64 `json:"parse_allocs_per_op"`
+	GetNsPerOp        int64 `json:"get_ns_per_op"`
+	GetAllocsPerOp    int64 `json:"get_allocs_per_op"`
+	SetNsPerOp        int64 `json:"set_ns_per_op"`
+	SetAllocsPerOp    int64 `json:"set_allocs_per_op"`
+	Stats2NsPerOp     int64 `json:"stats2_ns_per_op"`
+	Stats2AllocsPerOp int64 `json:"stats2_allocs_per_op"`
+}
+
+// Execute runs the full matrix and returns the Run (Bench is left 0;
+// the caller assigns the trajectory sequence number when writing).
+func Execute(cfg Config) (*Run, error) {
+	cfg = cfg.withDefaults()
+	mode := "soak"
+	if cfg.Quick {
+		mode = "quick"
+	}
+	run := &Run{
+		Schema:    BenchSchemaVersion,
+		Mode:      mode,
+		Seed:      cfg.Seed,
+		GoVersion: runtime.Version(),
+	}
+	for i, cell := range cfg.Matrix {
+		res, err := runCell(cell, chaos.ChildSeed(cfg.Seed, uint64(i)), cfg)
+		if err != nil {
+			return nil, fmt.Errorf("perfval: cell %s: %w", cell.Name, err)
+		}
+		run.Cells = append(run.Cells, res)
+		if cfg.Log != nil {
+			lc := res.Classes["lc"]
+			fmt.Fprintf(cfg.Log, "perfval: cell %-16s %6.0f ops/s  lc p50 %6dµs p99 %6dµs p999 %6dµs  amp %.3f\n",
+				cell.Name, res.OpsPerSec, lc.P50Micros, lc.P99Micros, lc.P999Micros, res.Tail.Amplification)
+		}
+	}
+	if !cfg.SkipHotPath {
+		hp, err := measureHotPath()
+		if err != nil {
+			return nil, err
+		}
+		run.HotPath = hp
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "perfval: hot path  parse %d allocs/op  get %d allocs/op  stats2 %d allocs/op\n",
+				hp.ParseAllocsPerOp, hp.GetAllocsPerOp, hp.Stats2AllocsPerOp)
+		}
+	}
+	return run, nil
+}
+
+// runCell serves one cell: in-process liveserver on a loopback
+// listener, cfg.Clients concurrent tailclient workers, deterministic
+// op streams, then a STATS2 scrape before teardown.
+func runCell(cell Cell, cellSeed uint64, cfg Config) (CellResult, error) {
+	rt, err := preemptible.New(preemptible.Config{})
+	if err != nil {
+		return CellResult{}, err
+	}
+	defer rt.Close()
+	srv := liveserver.New(rt, liveserver.Config{
+		Shards:  cell.Shards,
+		Workers: 2,
+		Quantum: 500 * time.Microsecond,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return CellResult{}, err
+	}
+	go srv.Serve(ln) //nolint:errcheck
+	defer srv.Close()
+
+	tc := tailclient.New(tailclient.Config{
+		Addr:       ln.Addr().String(),
+		Hedge:      cell.Hedge,
+		OpDeadline: 2 * time.Second, // generous: fires only when something is genuinely wrong
+		MaxConns:   cfg.Clients + 4,
+		Seed:       chaos.ChildSeed(cellSeed, 1<<32),
+	})
+	defer tc.Close()
+
+	kb := 16
+	if cfg.Quick {
+		kb = 4
+	}
+	type tally struct {
+		lat                                  *stats.Histogram // microseconds
+		rejected, expired, failed, cancelled uint64
+		retries                              uint64
+	}
+	var mu sync.Mutex
+	tallies := [preemptible.NumClasses]tally{}
+	for c := range tallies {
+		tallies[c].lat = stats.NewHistogram()
+	}
+
+	period := cell.MixLC + cell.MixBE
+	if period <= 0 {
+		return CellResult{}, fmt.Errorf("bad mix %d:%d", cell.MixLC, cell.MixBE)
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(chaos.ChildSeed(cellSeed, uint64(1+w)))))
+			for i := 0; i < cfg.Ops; i++ {
+				class := preemptible.ClassLC
+				var op string
+				switch {
+				case i%period >= cell.MixLC:
+					class = preemptible.ClassBE
+					op = fmt.Sprintf("COMPRESS %d", kb)
+				case i%2 == 1:
+					op = fmt.Sprintf("GET k%d-%d", w, rng.Intn(100))
+				default:
+					op = fmt.Sprintf("SET k%d-%d v%d", w, rng.Intn(100), i)
+				}
+				res, err := tc.Do(op)
+				if err != nil {
+					return // client closed
+				}
+				mu.Lock()
+				tl := &tallies[class]
+				tl.retries += uint64(res.Retries)
+				switch res.Outcome {
+				case tailclient.OK:
+					switch res.Resp {
+					case "ERR cancelled":
+						tl.cancelled++
+					case "ERR internal":
+						tl.failed++
+					default:
+						tl.lat.Record((res.Latency + cfg.InjectDelay).Microseconds())
+					}
+				case tailclient.Expired:
+					tl.expired++
+				case tailclient.Rejected:
+					tl.rejected++
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	server, err := scrapeStats2(ln.Addr().String())
+	if err != nil {
+		return CellResult{}, fmt.Errorf("STATS2 scrape: %w", err)
+	}
+
+	out := CellResult{
+		Cell:       cell,
+		ElapsedSec: elapsed.Seconds(),
+		Classes:    map[string]ClassResult{},
+		Server:     server,
+	}
+	var totalOK uint64
+	for c := 0; c < preemptible.NumClasses; c++ {
+		tl := &tallies[c]
+		settled := tl.lat.Count() + tl.rejected + tl.expired + tl.failed + tl.cancelled
+		if settled == 0 {
+			continue
+		}
+		totalOK += tl.lat.Count()
+		snap := tl.lat.Snapshot()
+		out.Classes[preemptible.Class(c).String()] = ClassResult{
+			Ops:          settled,
+			P50Micros:    snap.Median,
+			P99Micros:    snap.P99,
+			P999Micros:   snap.P999,
+			MaxMicros:    snap.Max,
+			RejectedRate: float64(tl.rejected) / float64(settled),
+			ExpiredRate:  float64(tl.expired) / float64(settled),
+			FailedRate:   float64(tl.failed) / float64(settled),
+			Retries:      tl.retries,
+		}
+	}
+	if totalOK == 0 {
+		return CellResult{}, fmt.Errorf("no successful operations")
+	}
+	out.OpsPerSec = float64(totalOK) / elapsed.Seconds()
+
+	st := tc.Stats()
+	out.Tail = TailResult{
+		Primaries:    st.Primaries,
+		Attempts:     st.Attempts,
+		Hedges:       st.Hedges,
+		HedgeWins:    st.HedgeWins,
+		Retries:      st.Retries,
+		BudgetDenied: st.BudgetDenied,
+	}
+	if st.Primaries > 0 {
+		out.Tail.Amplification = float64(st.Attempts) / float64(st.Primaries)
+		out.Tail.HedgeRate = float64(st.Hedges) / float64(st.Primaries)
+	}
+	return out, nil
+}
+
+// scrapeStats2 fetches and decodes one STATS2 document over the wire.
+func scrapeStats2(addr string) (ServerTotals, error) {
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return ServerTotals{}, err
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("STATS2\n")); err != nil {
+		return ServerTotals{}, err
+	}
+	buf := make([]byte, 0, 64*1024)
+	tmp := make([]byte, 4096)
+	for {
+		n, err := conn.Read(tmp)
+		buf = append(buf, tmp[:n]...)
+		if n > 0 && buf[len(buf)-1] == '\n' {
+			break
+		}
+		if err != nil {
+			return ServerTotals{}, err
+		}
+	}
+	doc, err := liveserver.DecodeMetricsV2(string(buf))
+	if err != nil {
+		return ServerTotals{}, err
+	}
+	var out ServerTotals
+	for name, cs := range doc.Totals {
+		out.Rejected += cs.RejectedNormal + cs.RejectedBrownout + cs.RejectedShed
+		out.Expired += cs.ExpiredQueued + cs.ExpiredExecuting
+		out.Failed += cs.Failed
+		switch name {
+		case "lc":
+			out.LCCompleted = cs.Completed
+			out.LCP99Micros = cs.P99Micros
+		case "be":
+			out.BECompleted = cs.Completed
+		}
+	}
+	out.Preemptions = doc.Pool.Preemptions
+	return out, nil
+}
+
+// measureHotPath runs the parse/encode hot-path probes under
+// testing.Benchmark — the same entry points internal/liveserver's
+// BenchmarkHotPath* pair exercises — and returns their allocs/op and
+// ns/op. Benchmarks, not the seeded matrix: allocs/op is a property of
+// the code path, so it is the one BENCH series that is exactly
+// reproducible across machines.
+func measureHotPath() (*HotPath, error) {
+	rt, err := preemptible.New(preemptible.Config{})
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Close()
+	srv := liveserver.New(rt, liveserver.Config{Shards: 1})
+	defer srv.Close()
+	if resp := srv.HandleLine("SET bench-key bench-value"); resp != "OK" {
+		return nil, fmt.Errorf("hot path seed SET: %q", resp)
+	}
+	parse := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			liveserver.ParseLine("SET key-123 value-payload D1754600000000000 A1")
+		}
+	})
+	get := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			srv.HandleLine("GET bench-key")
+		}
+	})
+	set := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			srv.HandleLine("SET bench-key bench-value")
+		}
+	})
+	stats2 := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			srv.HandleLine("STATS2")
+		}
+	})
+	return &HotPath{
+		ParseNsPerOp:      parse.NsPerOp(),
+		ParseAllocsPerOp:  parse.AllocsPerOp(),
+		GetNsPerOp:        get.NsPerOp(),
+		GetAllocsPerOp:    get.AllocsPerOp(),
+		SetNsPerOp:        set.NsPerOp(),
+		SetAllocsPerOp:    set.AllocsPerOp(),
+		Stats2NsPerOp:     stats2.NsPerOp(),
+		Stats2AllocsPerOp: stats2.AllocsPerOp(),
+	}, nil
+}

@@ -1,0 +1,180 @@
+package perfval
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyConfig is the smallest honest harness execution: one single-shard
+// cell, light load, hot-path probes skipped (they cost ~1s each under
+// testing.Benchmark).
+func tinyConfig(seed uint64) Config {
+	return Config{
+		Seed:        seed,
+		Quick:       true,
+		Clients:     2,
+		Ops:         40,
+		Matrix:      []Cell{{Name: "s1_lc", Shards: 1, MixLC: 1, MixBE: 0}},
+		SkipHotPath: true,
+	}
+}
+
+// TestExecuteAndGateEndToEnd is the acceptance walk: run the tiny
+// matrix, persist it as a BENCH file, re-run identically and pass the
+// diff gate, then re-run with an injected 200ms delay and watch the
+// gate fail naming a latency metric.
+func TestExecuteAndGateEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs live load")
+	}
+	dir := t.TempDir()
+	th := DefaultThresholds()
+
+	base, err := Execute(tinyConfig(7))
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if base.Schema != BenchSchemaVersion || base.Mode != "quick" || base.Seed != 7 {
+		t.Fatalf("run header: %+v", base)
+	}
+	if len(base.Cells) != 1 || base.Cells[0].Name != "s1_lc" {
+		t.Fatalf("cells: %+v", base.Cells)
+	}
+	lc, ok := base.Cells[0].Classes["lc"]
+	if !ok || lc.Ops == 0 || lc.P99Micros < lc.P50Micros {
+		t.Fatalf("lc class result: %+v (present=%v)", lc, ok)
+	}
+	if base.Cells[0].Server.LCCompleted == 0 {
+		t.Fatalf("STATS2 scrape saw no completed LC ops: %+v", base.Cells[0].Server)
+	}
+
+	// Persist + reload round-trips.
+	path, err := WriteRun(dir, base, 1)
+	if err != nil {
+		t.Fatalf("WriteRun: %v", err)
+	}
+	re, err := ReadRun(path)
+	if err != nil {
+		t.Fatalf("ReadRun: %v", err)
+	}
+	if re.Bench != 1 || re.Seed != base.Seed || len(re.Cells) != len(base.Cells) {
+		t.Fatalf("round-trip: %+v", re)
+	}
+
+	// Second identical run passes the gate.
+	again, err := Execute(tinyConfig(7))
+	if err != nil {
+		t.Fatalf("Execute (2nd): %v", err)
+	}
+	if regs := Diff(re, again, th); len(regs) != 0 {
+		t.Fatalf("identical re-run failed the gate: %v", regs)
+	}
+
+	// Injected 200ms delay must fail the gate naming a latency metric.
+	slowCfg := tinyConfig(7)
+	slowCfg.InjectDelay = 200 * time.Millisecond
+	slow, err := Execute(slowCfg)
+	if err != nil {
+		t.Fatalf("Execute (injected): %v", err)
+	}
+	regs := Diff(re, slow, th)
+	if len(regs) == 0 {
+		t.Fatal("injected 200ms delay passed the gate")
+	}
+	named := false
+	for _, r := range regs {
+		if strings.Contains(r.Metric, "_us") {
+			named = true
+		}
+	}
+	if !named {
+		t.Fatalf("no latency metric named in %v", regs)
+	}
+
+	// The human reports render without panicking and carry the verdicts.
+	var buf bytes.Buffer
+	WriteReport(&buf, base)
+	if !strings.Contains(buf.String(), "s1_lc") {
+		t.Errorf("report missing cell name:\n%s", buf.String())
+	}
+	buf.Reset()
+	WriteDiffReport(&buf, path, regs)
+	if !strings.Contains(buf.String(), "FAIL") || !strings.Contains(buf.String(), regs[0].Metric) {
+		t.Errorf("diff report missing verdict/metric:\n%s", buf.String())
+	}
+}
+
+// TestDeterministicSeeding: same seed ⇒ identical op counts per class
+// (latency varies with machine noise, the op streams must not).
+func TestDeterministicSeeding(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs live load")
+	}
+	a, err := Execute(tinyConfig(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Execute(tinyConfig(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, cb := a.Cells[0].Classes["lc"], b.Cells[0].Classes["lc"]
+	if ca.Ops != cb.Ops {
+		t.Errorf("same seed, different settled op counts: %d vs %d", ca.Ops, cb.Ops)
+	}
+	c, err := Execute(tinyConfig(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Seed == a.Seed {
+		t.Error("seed not recorded")
+	}
+}
+
+func TestBenchFileSequencing(t *testing.T) {
+	dir := t.TempDir()
+	// Empty dir: no latest.
+	if path, n, err := Latest(dir); err != nil || path != "" || n != 0 {
+		t.Fatalf("Latest(empty) = %q, %d, %v", path, n, err)
+	}
+	run := &Run{Schema: BenchSchemaVersion, Mode: "quick"}
+	p1, err := WriteRun(dir, run, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteRun(dir, run, 1); err == nil {
+		t.Fatal("overwrote an existing trajectory point")
+	}
+	if _, err := WriteRun(dir, run, 0); err == nil {
+		t.Fatal("accepted sequence 0")
+	}
+	p3, err := WriteRun(dir, run, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decoys that must not be picked up.
+	for _, decoy := range []string{"BENCH_2.json.bak", "BENCH_x.json", "bench_4.json"} {
+		if err := os.WriteFile(filepath.Join(dir, decoy), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path, n, err := Latest(dir)
+	if err != nil || n != 3 || path != p3 {
+		t.Fatalf("Latest = %q, %d, %v; want %q, 3", path, n, err, p3)
+	}
+	if _, err := ReadRun(p1); err != nil {
+		t.Fatalf("ReadRun: %v", err)
+	}
+	// Schema mismatch is rejected.
+	bad := filepath.Join(dir, "BENCH_9.json")
+	if err := os.WriteFile(bad, []byte(`{"schema": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadRun(bad); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}

@@ -1,0 +1,58 @@
+package perfval
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Human-readable rendering of a Run and of a Diff verdict — what
+// cmd/preembench -perfval prints after writing the JSON artifact.
+
+// WriteReport renders run as an aligned table.
+func WriteReport(w io.Writer, run *Run) {
+	fmt.Fprintf(w, "perf-validation run: mode=%s seed=%d go=%s bench=%d\n",
+		run.Mode, run.Seed, run.GoVersion, run.Bench)
+	fmt.Fprintf(w, "%-16s %6s  %8s | %-5s %8s %8s %8s | %6s %6s %6s | %5s\n",
+		"cell", "shards", "ops/s", "class", "p50", "p99", "p999", "rej%", "exp%", "fail%", "amp")
+	for _, c := range run.Cells {
+		classes := make([]string, 0, len(c.Classes))
+		for name := range c.Classes {
+			classes = append(classes, name)
+		}
+		sort.Strings(classes)
+		for i, name := range classes {
+			cr := c.Classes[name]
+			cellCol, shardCol, opsCol, ampCol := "", "", "", ""
+			if i == 0 {
+				cellCol = c.Name
+				shardCol = fmt.Sprintf("%d", c.Shards)
+				opsCol = fmt.Sprintf("%.0f", c.OpsPerSec)
+				ampCol = fmt.Sprintf("%.3f", c.Tail.Amplification)
+			}
+			fmt.Fprintf(w, "%-16s %6s  %8s | %-5s %7dµ %7dµ %7dµ | %5.1f%% %5.1f%% %5.1f%% | %5s\n",
+				cellCol, shardCol, opsCol, name,
+				cr.P50Micros, cr.P99Micros, cr.P999Micros,
+				100*cr.RejectedRate, 100*cr.ExpiredRate, 100*cr.FailedRate, ampCol)
+		}
+	}
+	if hp := run.HotPath; hp != nil {
+		fmt.Fprintf(w, "hot path (allocs/op, ns/op): parse %d/%d  get %d/%d  set %d/%d  stats2 %d/%d\n",
+			hp.ParseAllocsPerOp, hp.ParseNsPerOp,
+			hp.GetAllocsPerOp, hp.GetNsPerOp,
+			hp.SetAllocsPerOp, hp.SetNsPerOp,
+			hp.Stats2AllocsPerOp, hp.Stats2NsPerOp)
+	}
+}
+
+// WriteDiffReport renders a Diff verdict; pass=true ⇔ regs is empty.
+func WriteDiffReport(w io.Writer, prevPath string, regs []Regression) {
+	if len(regs) == 0 {
+		fmt.Fprintf(w, "perfval: PASS vs %s (no gated metric broke its band)\n", prevPath)
+		return
+	}
+	fmt.Fprintf(w, "perfval: FAIL vs %s — %d regression(s):\n", prevPath, len(regs))
+	for _, r := range regs {
+		fmt.Fprintf(w, "  REGRESSION %s\n", r)
+	}
+}

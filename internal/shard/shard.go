@@ -31,6 +31,7 @@ import (
 	"repro/internal/breaker"
 	"repro/internal/brownout"
 	"repro/internal/mica"
+	"repro/internal/stats"
 	"repro/preemptible"
 )
 
@@ -282,11 +283,20 @@ type Shard struct {
 
 	statMu   sync.Mutex
 	counters [preemptible.NumClasses]ClassCounters
+	// lat records completed requests' end-to-end shard latency
+	// (admission to done callback) in microseconds, per class. Like the
+	// admission counters it lives in the Shard, not the unit, so the
+	// distribution survives restarts and group totals stay a pure merge
+	// over shards. Guarded by statMu (Histogram is not concurrency-safe).
+	lat [preemptible.NumClasses]*stats.Histogram
 }
 
 // newShard builds a healthy shard and starts its brownout loop.
 func newShard(rt *preemptible.Runtime, idx int, cfg Config) *Shard {
 	s := &Shard{idx: idx, rt: rt, cfg: cfg.withDefaults()}
+	for c := range s.lat {
+		s.lat[c] = stats.NewHistogram()
+	}
 	s.mu.Lock()
 	s.cur = s.buildUnit()
 	s.mu.Unlock()
@@ -372,6 +382,25 @@ func (s *Shard) Counters() [preemptible.NumClasses]ClassCounters {
 	s.statMu.Lock()
 	defer s.statMu.Unlock()
 	return s.counters
+}
+
+// LatencySnapshot summarizes the shard's completed-request latency
+// distribution for class, in microseconds. The distribution accumulates
+// across restarts, exactly like the admission counters.
+func (s *Shard) LatencySnapshot(class preemptible.Class) stats.Snapshot {
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	return s.lat[class].Snapshot()
+}
+
+// MergeLatency merges the shard's recorded latency distribution for
+// class into dst (same precision required: both sides use
+// stats.NewHistogram). This is how the metrics plane computes group
+// quantiles as a true distribution merge rather than a max over shards.
+func (s *Shard) MergeLatency(class preemptible.Class, dst *stats.Histogram) {
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	dst.Merge(s.lat[class])
 }
 
 // Stats reports the shard's pool counters accumulated across every
@@ -584,7 +613,10 @@ func (s *Shard) Do(class preemptible.Class, task preemptible.Task, opts DoOption
 	if br != nil {
 		br.Success(time.Now())
 	}
-	s.countClass(class, func(c *ClassCounters) { c.Completed++ })
+	s.statMu.Lock()
+	s.counters[class].Completed++
+	s.lat[class].Record(lat.Microseconds())
+	s.statMu.Unlock()
 	return Result{OK, st}
 }
 

@@ -1,0 +1,181 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Property tests for the histogram: invariants the rest of the repo —
+// the adaptive controller, the metrics plane, and the perf-validation
+// gate — silently leans on. Seeded deterministically so failures
+// reproduce.
+
+// randomHistogram fills a histogram (and returns the raw samples) from
+// a mix of distributions chosen by the seed: uniform, exponential-ish
+// heavy tail, and small-integer clusters, covering both the linear and
+// logarithmic bucket regimes.
+func randomHistogram(rng *rand.Rand, n int) (*Histogram, []int64) {
+	h := NewHistogram()
+	samples := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		var v int64
+		switch rng.Intn(3) {
+		case 0:
+			v = rng.Int63n(1 << 7) // linear buckets
+		case 1:
+			v = rng.Int63n(1 << 40) // deep log buckets
+		default:
+			v = int64(math.Expm1(rng.Float64() * 20)) // heavy tail
+		}
+		h.Record(v)
+		samples = append(samples, v)
+	}
+	return h, samples
+}
+
+// TestQuantileMonotonicity: q1 ≤ q2 ⇒ Quantile(q1) ≤ Quantile(q2), for
+// random histograms over a dense quantile grid including the clamped
+// extremes.
+func TestQuantileMonotonicity(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		h, _ := randomHistogram(rng, 1+rng.Intn(5000))
+		qs := []float64{-0.5, 0, 1e-9, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 0.9999, 1, 1.5}
+		prev := int64(math.MinInt64)
+		for _, q := range qs {
+			v := h.Quantile(q)
+			if v < prev {
+				t.Fatalf("seed %d: Quantile(%v)=%d < previous %d", seed, q, v, prev)
+			}
+			if v < h.Min() || v > h.Max() {
+				t.Fatalf("seed %d: Quantile(%v)=%d outside [min=%d, max=%d]", seed, q, v, h.Min(), h.Max())
+			}
+			prev = v
+		}
+	}
+}
+
+// TestMergeThenQueryEqualsQueryThenSumBounds: merging histograms and
+// querying must agree with querying the parts — exactly for the
+// additive summaries (count, sum, min, max), and within the component
+// envelope for quantiles: for any q, the merged quantile lies in
+// [min_i Q_i(q), max_i Q_i(q)] — both sides quantize on identical
+// bucket boundaries, so the bound is exact, not approximate.
+func TestMergeThenQueryEqualsQueryThenSumBounds(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		parts := make([]*Histogram, 2+rng.Intn(4))
+		merged := NewHistogram()
+		var all []int64
+		var wantCount uint64
+		var wantSum int64
+		for i := range parts {
+			h, samples := randomHistogram(rng, 1+rng.Intn(1000))
+			parts[i] = h
+			merged.Merge(h)
+			all = append(all, samples...)
+			wantCount += h.Count()
+			wantSum += h.Sum()
+		}
+		if merged.Count() != wantCount {
+			t.Fatalf("seed %d: merged count %d != Σ parts %d", seed, merged.Count(), wantCount)
+		}
+		if merged.Sum() != wantSum {
+			t.Fatalf("seed %d: merged sum %d != Σ parts %d", seed, merged.Sum(), wantSum)
+		}
+		lo, hi := parts[0].Min(), parts[0].Max()
+		for _, p := range parts[1:] {
+			lo, hi = min(lo, p.Min()), max(hi, p.Max())
+		}
+		if merged.Min() != lo || merged.Max() != hi {
+			t.Fatalf("seed %d: merged extremes [%d,%d] != part envelope [%d,%d]",
+				seed, merged.Min(), merged.Max(), lo, hi)
+		}
+		for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 0.999, 1} {
+			mv := merged.Quantile(q)
+			qlo, qhi := int64(math.MaxInt64), int64(math.MinInt64)
+			for _, p := range parts {
+				v := p.Quantile(q)
+				qlo, qhi = min(qlo, v), max(qhi, v)
+			}
+			if mv < qlo || mv > qhi {
+				t.Fatalf("seed %d: merged Quantile(%v)=%d outside component envelope [%d,%d]",
+					seed, q, mv, qlo, qhi)
+			}
+			// And the merged histogram stays faithful to ground truth
+			// within the documented relative error (plus one representative
+			// half-bucket at the low end).
+			exact := ExactQuantile(all, q)
+			relErr := 1.0 / float64(int(1)<<defaultSubBits)
+			slack := float64(exact)*2*relErr + 1
+			if d := math.Abs(float64(mv - exact)); d > slack {
+				t.Fatalf("seed %d: merged Quantile(%v)=%d vs exact %d: off by %.0f > %.0f",
+					seed, q, mv, exact, d, slack)
+			}
+		}
+	}
+}
+
+// TestEmptyHistogramEdgeCases: every summary of an empty histogram is
+// the documented zero, and Snapshot mirrors them.
+func TestEmptyHistogramEdgeCases(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 || h.StdDev() != 0 {
+		t.Errorf("empty scalar summaries: count=%d sum=%d mean=%v stddev=%v",
+			h.Count(), h.Sum(), h.Mean(), h.StdDev())
+	}
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Errorf("empty extremes: min=%d max=%d", h.Min(), h.Max())
+	}
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if v := h.Quantile(q); v != 0 {
+			t.Errorf("empty Quantile(%v) = %d, want 0", q, v)
+		}
+	}
+	if s := h.Snapshot(); s != (Snapshot{}) {
+		t.Errorf("empty snapshot not zero: %+v", s)
+	}
+	// Merging an empty histogram is a no-op; merging into one is a copy.
+	h2, _ := randomHistogram(rand.New(rand.NewSource(7)), 100)
+	before := h2.Snapshot()
+	h2.Merge(h)
+	h2.Merge(nil)
+	if h2.Snapshot() != before {
+		t.Error("merging empty/nil changed the receiver")
+	}
+	h.Merge(h2)
+	if h.Snapshot() != before {
+		t.Errorf("merge into empty: got %+v, want %+v", h.Snapshot(), before)
+	}
+}
+
+// TestSingleSampleEdgeCases: with one observation v, every quantile is
+// exactly v (the min/max clamp cancels bucket rounding), and the
+// moments collapse.
+func TestSingleSampleEdgeCases(t *testing.T) {
+	for _, v := range []int64{0, 1, 127, 128, 12345, 1 << 40, math.MaxInt64 / 2} {
+		h := NewHistogram()
+		h.Record(v)
+		if h.Count() != 1 || h.Sum() != v || h.Min() != v || h.Max() != v {
+			t.Errorf("v=%d: count=%d sum=%d min=%d max=%d", v, h.Count(), h.Sum(), h.Min(), h.Max())
+		}
+		for _, q := range []float64{0, 0.001, 0.5, 0.999, 1} {
+			if got := h.Quantile(q); got != v {
+				t.Errorf("v=%d: Quantile(%v) = %d, want exactly v", v, q, got)
+			}
+		}
+		if h.Mean() != float64(v) {
+			t.Errorf("v=%d: mean %v", v, h.Mean())
+		}
+		if h.StdDev() != 0 {
+			t.Errorf("v=%d: stddev %v, want 0 for single sample", v, h.StdDev())
+		}
+	}
+	// Negative values clamp to zero by contract.
+	h := NewHistogram()
+	h.Record(-42)
+	if h.Min() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Errorf("negative record not clamped: min=%d max=%d p50=%d", h.Min(), h.Max(), h.Quantile(0.5))
+	}
+}
