@@ -21,6 +21,16 @@
 //	preembench -perfval -quick -prev BENCH_1.json
 //	preembench -perfval -injectdelay 200ms   prove the gate fires
 //
+// Chaos soak: run the live sharded stack under seeded wire faults,
+// shard kills, and panic poisoning (internal/soak) while continuously
+// checking invariants — per-key model checking, STATS2 counter
+// conservation, goroutine/fd/heap drift — appending one JSON report
+// line per run and exiting nonzero on any violation:
+//
+//	preembench -soak -duration 60s -seed 1
+//	preembench -soak -scenario wire -shards 4 -clients 8
+//	preembench -soak -planonly -seed 1       print the fault schedule
+//
 // Output is tab-separated tables, one block per artifact, in the same
 // row/series structure the paper reports; -perfval prints an aligned
 // human report after writing the JSON artifact.
@@ -50,8 +60,28 @@ func main() {
 		pvTh    = flag.String("thresholds", "", "thresholds.json overriding the built-in bands (perfval mode)")
 		pvDelay = flag.Duration("injectdelay", 0, "synthetic latency added to every successful op — a planted regression to prove the gate fires (perfval mode)")
 		pvDry   = flag.Bool("norecord", false, "skip writing the BENCH file; run and diff only (perfval mode)")
+
+		doSoak   = flag.Bool("soak", false, "run a chaos soak against the live stack instead of a simulation experiment")
+		soakDur  = flag.Duration("duration", 60*time.Second, "soak length (soak mode)")
+		soakScn  = flag.String("scenario", "combined", "soak injector set: quiet|wire|kills|combined (soak mode)")
+		soakSh   = flag.Int("shards", 4, "server shard count (soak mode)")
+		soakCl   = flag.Int("clients", 8, "client workers (soak mode)")
+		soakOut  = flag.String("soakout", "SOAK.jsonl", "append-only soak report file (soak mode; empty = no file)")
+		planOnly = flag.Bool("planonly", false, "print the soak's fault plan JSON and exit without running (soak mode)")
 	)
 	flag.Parse()
+
+	if *doSoak {
+		os.Exit(runSoak(soakFlags{
+			seed:     *seed,
+			duration: *soakDur,
+			scenario: *soakScn,
+			shards:   *soakSh,
+			clients:  *soakCl,
+			out:      *soakOut,
+			planOnly: *planOnly,
+		}))
+	}
 
 	if *pv {
 		os.Exit(runPerfval(perfval.Config{

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/soak"
+)
+
+// soakFlags carries the -soak mode's knobs from main.
+type soakFlags struct {
+	seed     uint64
+	duration time.Duration
+	scenario string
+	shards   int
+	clients  int
+	out      string
+	planOnly bool
+}
+
+// runSoak executes one chaos soak (or just prints its fault plan with
+// -planonly, the cheap way to diff two seeds' schedules). Exit codes:
+// 0 clean, 1 invariant violations or execution error, 2 usage error.
+func runSoak(f soakFlags) int {
+	switch f.scenario {
+	case soak.ScenarioQuiet, soak.ScenarioWire, soak.ScenarioKills, soak.ScenarioCombined:
+	default:
+		fmt.Fprintf(os.Stderr, "preembench: unknown scenario %q (want %s|%s|%s|%s)\n",
+			f.scenario, soak.ScenarioQuiet, soak.ScenarioWire, soak.ScenarioKills, soak.ScenarioCombined)
+		return 2
+	}
+	cfg := soak.Config{
+		Seed:       f.seed,
+		Duration:   f.duration,
+		Scenario:   f.scenario,
+		Shards:     f.shards,
+		Clients:    f.clients,
+		ReportPath: f.out,
+		Log:        os.Stderr,
+	}
+	if f.planOnly {
+		fmt.Println(string(soak.BuildPlan(cfg).Encode()))
+		return 0
+	}
+	rep, err := soak.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "preembench:", err)
+		return 1
+	}
+	fmt.Printf("soak: seed=%d scenario=%s duration=%s shards=%d clients=%d\n",
+		f.seed, f.scenario, f.duration, f.shards, f.clients)
+	fmt.Printf("soak: ops=%v\n", rep.Ops)
+	fmt.Printf("soak: wire-faults=%d restarts=%d conservation-samples=%d\n",
+		rep.WireFaults, rep.Restarts, rep.Samples)
+	if rep.ViolationsTotal > 0 {
+		fmt.Printf("soak: FAIL — %d invariant violation(s):\n  %s\n",
+			rep.ViolationsTotal, strings.Join(rep.Violations, "\n  "))
+		return 1
+	}
+	fmt.Println("soak: PASS — zero invariant violations")
+	return 0
+}

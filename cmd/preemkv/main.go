@@ -74,6 +74,8 @@ func main() {
 		maxInfl   = flag.Int("maxinflight", 0, "in-flight request cap (serve mode; 0 = default 64×workers, -1 = unlimited)")
 		reqTO     = flag.Duration("reqtimeout", 0, "queue-wait timeout before a request is shed (serve mode; 0 = none)")
 		maxLine   = flag.Int("maxline", 0, "request line byte cap (serve mode; 0 = default 1 MiB)")
+		idleTO    = flag.Duration("idletimeout", 0, "reap connections idle this long with nothing in flight (serve mode; 0 = never)")
+		writeTO   = flag.Duration("writetimeout", 0, "per-response write deadline against non-draining clients (serve mode; 0 = none)")
 		drain     = flag.Duration("drain", 5*time.Second, "graceful-drain deadline on SIGINT/SIGTERM (serve mode)")
 		noBreaker = flag.Bool("nobreaker", false, "disable per-class circuit breakers (serve mode)")
 		shards    = flag.Int("shards", 1, "bulkhead shard count: independent pool+store partitions behind a rendezvous router (serve mode)")
@@ -106,6 +108,8 @@ func main() {
 			MaxInflight:     *maxInfl,
 			RequestTimeout:  *reqTO,
 			MaxLineBytes:    *maxLine,
+			IdleTimeout:     *idleTO,
+			WriteTimeout:    *writeTO,
 			BreakerDisabled: *noBreaker,
 			Supervise: shard.SuperviseConfig{
 				HeartbeatInterval: *hbEvery,

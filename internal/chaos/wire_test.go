@@ -1,0 +1,248 @@
+package chaos
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// pipeConn builds an in-memory full-duplex pair; the chaos wrapper goes
+// on side a.
+func pipeConn(t *testing.T, cfg WireConfig, seed uint64) (*Conn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	w := NewConn(a, cfg, seed)
+	t.Cleanup(func() { w.Close(); b.Close() })
+	return w, b
+}
+
+// faultTrace records the deterministic verdict stream of one conn: it
+// drains the decision RNG through decide() without touching a real
+// socket.
+func faultTrace(cfg WireConfig, seed uint64, writes, reads int) string {
+	c := newConn(nopConn{}, cfg, seed, nil)
+	var b strings.Builder
+	for i := 0; i < writes; i++ {
+		v := c.decide(true)
+		fmt.Fprintf(&b, "w%d:%v:%v:%d:%d:%d;", i, v.fire, v.fault, v.stall, v.chunk, v.leak)
+	}
+	for i := 0; i < reads; i++ {
+		v := c.decide(false)
+		fmt.Fprintf(&b, "r%d:%v:%v:%d;", i, v.fire, v.fault, v.stall)
+	}
+	return b.String()
+}
+
+// nopConn satisfies net.Conn without any real I/O (verdict-only tests).
+type nopConn struct{}
+
+func (nopConn) Read(p []byte) (int, error)         { return 0, io.EOF }
+func (nopConn) Write(p []byte) (int, error)        { return len(p), nil }
+func (nopConn) Close() error                       { return nil }
+func (nopConn) LocalAddr() net.Addr                { return nil }
+func (nopConn) RemoteAddr() net.Addr               { return nil }
+func (nopConn) SetDeadline(t time.Time) error      { return nil }
+func (nopConn) SetReadDeadline(t time.Time) error  { return nil }
+func (nopConn) SetWriteDeadline(t time.Time) error { return nil }
+
+func TestWireDeterministicPerSeed(t *testing.T) {
+	cfg := WireConfig{
+		PartialWriteProb: 0.2,
+		StallProb:        0.2,
+		StallMean:        time.Millisecond,
+		ResetProb:        0.05,
+		HalfOpenProb:     0.05,
+		Burst:            &GEConfig{MeanGood: 10, MeanBad: 5},
+	}
+	a := faultTrace(cfg, ChildSeed(42, 0), 200, 200)
+	b := faultTrace(cfg, ChildSeed(42, 0), 200, 200)
+	if a != b {
+		t.Fatal("same seed produced different fault streams")
+	}
+	c := faultTrace(cfg, ChildSeed(42, 1), 200, 200)
+	if a == c {
+		t.Fatal("sibling child seeds produced identical fault streams")
+	}
+	if !strings.Contains(a, "true") {
+		t.Fatal("no fault ever fired; probabilities too low for the test to mean anything")
+	}
+}
+
+func TestWirePartialWriteDelivers(t *testing.T) {
+	// PartialWriteProb 1: every write torn, but every byte still arrives
+	// in order — tearing is a framing fault, not a loss fault.
+	w, peer := pipeConn(t, WireConfig{PartialWriteProb: 1}, 7)
+	const msg = "VALUE some-moderately-long-payload-line\n"
+	go func() {
+		w.Write([]byte(msg)) //nolint:errcheck
+	}()
+	r := bufio.NewReader(peer)
+	got, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != msg {
+		t.Fatalf("torn write delivered %q, want %q", got, msg)
+	}
+}
+
+func TestWireResetTearsResponse(t *testing.T) {
+	// Over real TCP: the wrapped server writes one response; the client
+	// must observe either a prefix of it or nothing, never a complete
+	// line — and then a dead connection.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	cl := NewListener(ln, WireConfig{Seed: 3, ResetProb: 1})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := cl.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		// Wait for the request so the reset always lands after the
+		// client's dial completed.
+		buf := make([]byte, 8)
+		if _, err := c.Read(buf); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := c.Write([]byte("VALUE this-line-must-never-arrive-whole\n")); err == nil {
+			t.Error("reset write reported success")
+		}
+	}()
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if _, err := nc.Write([]byte("GET k\n")); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	data, _ := io.ReadAll(nc) // error or clean EOF — either way the line is torn
+	if strings.HasSuffix(string(data), "\n") {
+		t.Fatalf("peer received a complete line %q across a reset", data)
+	}
+	if ctr := cl.Counters(); ctr.Resets != 1 || ctr.Conns != 1 {
+		t.Fatalf("counters = %+v, want 1 reset on 1 conn", ctr)
+	}
+}
+
+func TestWireHalfOpenSwallowsBothDirections(t *testing.T) {
+	w, peer := pipeConn(t, WireConfig{HalfOpenProb: 1}, 5)
+
+	// The read side goes half-open on its first Read and must not
+	// return even though the peer keeps sending.
+	readDone := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 16)
+		_, err := w.Read(buf)
+		readDone <- err
+	}()
+	go peer.Write([]byte("PING\n")) //nolint:errcheck
+	select {
+	case err := <-readDone:
+		t.Fatalf("half-open read returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if !w.HalfOpen() {
+		t.Fatal("conn did not mark itself half-open")
+	}
+
+	// Writes on a half-open conn succeed into the void.
+	if n, err := w.Write([]byte("PONG\n")); n != 5 || err != nil {
+		t.Fatalf("half-open write = (%d, %v), want swallowed success", n, err)
+	}
+
+	// A read deadline on the underlying conn still unblocks the
+	// half-open read — the escape hatch a hardened server relies on.
+	w.Conn.SetReadDeadline(time.Now().Add(10 * time.Millisecond)) //nolint:errcheck
+	select {
+	case err := <-readDone:
+		if err == nil {
+			t.Fatal("half-open read returned nil error")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("read deadline did not unblock the half-open read")
+	}
+}
+
+func TestWireStallRespectsClose(t *testing.T) {
+	w, _ := pipeConn(t, WireConfig{StallProb: 1, StallMean: time.Minute}, 9)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 1)
+		w.Read(buf) //nolint:errcheck
+	}()
+	time.Sleep(10 * time.Millisecond) // let the read enter its stall
+	w.Close()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Close did not release a stalled read")
+	}
+}
+
+func TestWireSetActiveMasksWithoutDesync(t *testing.T) {
+	// Two listeners over the same seed: one always active, one toggled
+	// inactive for a prefix of operations. After reactivation the
+	// verdict streams must be identical — the mask may suppress faults
+	// but never perturbs the RNG.
+	cfg := WireConfig{Seed: 11, StallProb: 0.5, StallMean: time.Microsecond}
+	mk := func() (*Listener, *Conn) {
+		l := NewListener(nopListener{}, cfg)
+		c := newConn(nopConn{}, cfg, ChildSeed(cfg.Seed, 0), l)
+		return l, c
+	}
+	lA, cA := mk()
+	lB, cB := mk()
+	_ = lA
+	lB.SetActive(false)
+	const prefix, suffix = 64, 64
+	for i := 0; i < prefix; i++ {
+		cA.decide(false)
+		cB.decide(false)
+	}
+	lB.SetActive(true)
+	var a, b strings.Builder
+	for i := 0; i < suffix; i++ {
+		va, vb := cA.decide(false), cB.decide(false)
+		fmt.Fprintf(&a, "%v:%v:%d;", va.fire, va.fault, va.stall)
+		fmt.Fprintf(&b, "%v:%v:%d;", vb.fire, vb.fault, vb.stall)
+	}
+	if a.String() != b.String() {
+		t.Fatal("inactive window desynchronized the fault stream")
+	}
+	if lB.Counters().Suppressed == 0 {
+		t.Fatal("no verdicts were suppressed during the inactive window")
+	}
+}
+
+type nopListener struct{}
+
+func (nopListener) Accept() (net.Conn, error) { return nil, os.ErrClosed }
+func (nopListener) Close() error              { return nil }
+func (nopListener) Addr() net.Addr            { return nil }
+
+func TestWireZeroConfigIsTransparent(t *testing.T) {
+	w, peer := pipeConn(t, WireConfig{}, 1)
+	go func() {
+		w.Write([]byte("hello\n")) //nolint:errcheck
+	}()
+	r := bufio.NewReader(peer)
+	got, err := r.ReadString('\n')
+	if err != nil || got != "hello\n" {
+		t.Fatalf("zero-config conn altered traffic: %q, %v", got, err)
+	}
+}

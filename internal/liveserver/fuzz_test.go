@@ -49,6 +49,23 @@ func FuzzParse(f *testing.F) {
 		"SET k A1",      // token shape eats the value: SET arity error
 		"SET k v A",     // bare prefix: data, not a token
 		"SET k v Dx9",
+		// MGET arity edges: zero keys is a protocol error, one key the
+		// minimum, many keys a fan-out; metadata tokens must never be
+		// mistaken for keys.
+		"MGET",
+		"MGET k",
+		"MGET a b c",
+		"MGET k D123456789",
+		"MGET a b A1 D123456789",
+		"MGET D123", // the only "key" has token shape: arity error
+		"MGET " + strings.Repeat("k ", 200),
+		"STATS",
+		"STATS2",
+		// Oversized lines: the parser must stay linear and single-line on
+		// input near the transport's MaxLineBytes bound.
+		"GET " + strings.Repeat("k", 1<<16),
+		"SET big " + strings.Repeat("v", 1<<16),
+		"MGET " + strings.Repeat("key ", 1<<12),
 	} {
 		f.Add(seed)
 	}
@@ -75,7 +92,7 @@ func FuzzParse(f *testing.F) {
 		}
 		if len(fields) > 0 {
 			switch strings.ToUpper(fields[0]) {
-			case "PING", "GET", "SET", "COMPRESS":
+			case "PING", "GET", "SET", "COMPRESS", "MGET", "STATS", "STATS2":
 			default:
 				if !strings.HasPrefix(resp, "ERR") {
 					t.Fatalf("unknown command %q → %q, want ERR", line, resp)

@@ -94,6 +94,7 @@ import (
 	"io"
 	"net"
 	"net/url"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -141,6 +142,21 @@ type Config struct {
 	// line answers "ERR line too long" and the connection is closed:
 	// a single huge line must not grow server buffers without limit.
 	MaxLineBytes int
+
+	// IdleTimeout, when positive, bounds how long an accepted connection
+	// may sit with no inbound bytes and no request in flight before the
+	// server closes it — the defense against half-open clients pinning a
+	// goroutine and an fd forever (0 = connections may idle without
+	// limit, the pre-hardening behavior). A connection waiting on a
+	// long-running request is not idle: the reaper re-arms while a
+	// request is executing.
+	IdleTimeout time.Duration
+	// WriteTimeout, when positive, bounds each response write (and
+	// flush): a client that stops draining — half-open, or a zero
+	// receive window — fails the write and the connection closes,
+	// instead of its handler goroutine blocking in a send forever
+	// (0 = writes block without limit).
+	WriteTimeout time.Duration
 
 	// Brownout parameterizes each shard's class-aware degradation
 	// controller (zero value = defaults; see internal/brownout). Set
@@ -197,6 +213,8 @@ type Server struct {
 	maxConns     int
 	reqTimeout   time.Duration
 	maxLineBytes int
+	idleTimeout  time.Duration
+	writeTimeout time.Duration
 	rr           atomic.Uint64 // round-robin cursor for keyless requests
 
 	ln     net.Listener
@@ -227,6 +245,11 @@ type Server struct {
 	Overload struct {
 		ShedConns, ShedRequests, BrownoutRejects, Timeouts, LineTooLong uint64
 		CancelledQueued, CancelledExecuting                             uint64
+		// IdleClosed counts connections reaped by Config.IdleTimeout
+		// (quiet with nothing in flight); WriteTimeouts counts
+		// connections closed because a response write ran out its
+		// Config.WriteTimeout against a non-draining client.
+		IdleClosed, WriteTimeouts uint64
 		// ExpiredQueued/ExpiredExecuting count requests whose wire
 		// deadline (D token) passed server-side: dropped at dequeue
 		// without ever executing, and unwound at a safepoint mid-run,
@@ -317,6 +340,8 @@ func New(rt *preemptible.Runtime, cfg Config) *Server {
 		maxConns:     maxConns,
 		reqTimeout:   cfg.RequestTimeout,
 		maxLineBytes: maxLine,
+		idleTimeout:  cfg.IdleTimeout,
+		writeTimeout: cfg.WriteTimeout,
 		conns:        make(map[net.Conn]struct{}),
 		done:         make(chan struct{}),
 	}
@@ -505,19 +530,29 @@ func (s *Server) shedConn(conn net.Conn) {
 // observes the disconnect after that line is consumed.
 func (s *Server) handleConn(conn net.Conn) {
 	defer conn.Close()
+	var act connActivity
+	act.touch()
 	gone := make(chan struct{}) // closed when the client's read side ends
 	lines := make(chan string)  // request lines, reader → handler
 	scanErr := make(chan error, 1)
 	go func() {
 		defer close(gone)
 		defer close(lines)
-		r := bufio.NewScanner(conn)
+		var src io.Reader = conn
+		if s.idleTimeout > 0 {
+			src = &idleReader{conn: conn, idle: s.idleTimeout, act: &act}
+		}
+		r := bufio.NewScanner(src)
 		initial := 64 * 1024
 		if initial > s.maxLineBytes {
 			initial = s.maxLineBytes
 		}
 		r.Buffer(make([]byte, 0, initial), s.maxLineBytes)
 		for r.Scan() {
+			// The line counts as in flight from before the handler can
+			// receive it, so the idle reaper never sees a quiet window
+			// between handoff and execution.
+			act.inflight.Add(1)
 			select {
 			case lines <- r.Text():
 			case <-s.done:
@@ -540,26 +575,94 @@ func (s *Server) handleConn(conn net.Conn) {
 			break
 		}
 		resp := s.handleRequest(line, gone)
-		if _, err := w.WriteString(resp + "\n"); err != nil {
+		if s.writeTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.writeTimeout)) //nolint:errcheck
+		}
+		_, werr := w.WriteString(resp + "\n")
+		if werr == nil {
+			werr = w.Flush()
+		}
+		if werr != nil {
+			if errors.Is(werr, os.ErrDeadlineExceeded) {
+				s.count(&s.Overload.WriteTimeouts)
+			}
 			return
 		}
-		if err := w.Flush(); err != nil {
-			return
-		}
+		act.inflight.Add(-1)
+		act.touch()
 	}
 	// Read ended: a too-long line is a protocol violation the client
-	// should hear about before the close; other read errors (reset,
-	// EOF) just close cleanly via the deferred Close.
-	if err := <-scanErr; err != nil && errors.Is(err, bufio.ErrTooLong) {
+	// should hear about before the close, and an idle-reaped connection
+	// is tallied; other read errors (reset, EOF) just close cleanly via
+	// the deferred Close.
+	err := <-scanErr
+	switch {
+	case err != nil && errors.Is(err, bufio.ErrTooLong):
 		s.count(&s.Overload.LineTooLong)
 		s.countErr()
-		w.WriteString("ERR line too long\n") //nolint:errcheck
+		// A fresh write deadline: an earlier response's deadline may have
+		// long passed, and this line should not block on a dead client.
+		conn.SetWriteDeadline(time.Now().Add(100 * time.Millisecond)) //nolint:errcheck
+		w.WriteString("ERR line too long\n")                          //nolint:errcheck
 		w.Flush()                            //nolint:errcheck
 		// Drain the unread remainder of the over-long line so the close
 		// sends FIN, not RST — otherwise the error line may never reach
 		// the client.
 		conn.SetReadDeadline(time.Now().Add(20 * time.Millisecond)) //nolint:errcheck
 		io.Copy(io.Discard, conn)                                   //nolint:errcheck
+	case err != nil && errors.Is(err, os.ErrDeadlineExceeded):
+		s.count(&s.Overload.IdleClosed)
+	}
+}
+
+// connActivity tracks one connection's liveness for the idle reaper:
+// last is the UnixNano of the latest inbound byte or completed
+// response, inflight the requests handed to the handler and not yet
+// answered.
+type connActivity struct {
+	last     atomic.Int64
+	inflight atomic.Int32
+}
+
+func (a *connActivity) touch() { a.last.Store(time.Now().UnixNano()) }
+
+// idleReader feeds a connection's Scanner while enforcing
+// Config.IdleTimeout. Each Read arms a read deadline at last
+// activity + idle; a deadline that fires while a request is executing
+// (or after activity moved the bar) re-arms instead of failing, so
+// only a connection that is truly quiet — no inbound bytes, nothing in
+// flight — for a full idle period surfaces os.ErrDeadlineExceeded and
+// ends the scan.
+type idleReader struct {
+	conn net.Conn
+	idle time.Duration
+	act  *connActivity
+}
+
+func (r *idleReader) Read(p []byte) (int, error) {
+	for {
+		deadline := time.Unix(0, r.act.last.Load()).Add(r.idle)
+		if r.act.inflight.Load() > 0 {
+			deadline = time.Now().Add(r.idle)
+		}
+		if err := r.conn.SetReadDeadline(deadline); err != nil {
+			return 0, err
+		}
+		n, err := r.conn.Read(p)
+		if n > 0 {
+			r.act.touch()
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				err = nil // bytes arrived; the next Read re-arms
+			}
+			return n, err
+		}
+		if err == nil || !errors.Is(err, os.ErrDeadlineExceeded) {
+			return n, err
+		}
+		if r.act.inflight.Load() > 0 || time.Now().Before(time.Unix(0, r.act.last.Load()).Add(r.idle)) {
+			continue // not idle: executing, or activity since arming
+		}
+		return 0, err
 	}
 }
 

@@ -126,9 +126,13 @@ type MetricsV2 struct {
 	Shards int     `json:"shards"`
 
 	// Connection-plane counters that exist only at group level (they
-	// fire before any shard is chosen).
-	ShedConns   uint64 `json:"shed_conns"`
-	LineTooLong uint64 `json:"line_too_long"`
+	// fire before any shard is chosen). IdleClosed and WriteTimeouts
+	// are the connection-hardening reapers (Config.IdleTimeout /
+	// Config.WriteTimeout); additive since schema 2, no bump.
+	ShedConns     uint64 `json:"shed_conns"`
+	LineTooLong   uint64 `json:"line_too_long"`
+	IdleClosed    uint64 `json:"idle_closed"`
+	WriteTimeouts uint64 `json:"write_timeouts"`
 
 	// Totals is the per-class series summed over PerShard (latency
 	// quantiles from a histogram merge). Keyed "lc", "be".
@@ -189,6 +193,8 @@ func (s *Server) MetricsV2() MetricsV2 {
 	s.statMu.Lock()
 	m.ShedConns = s.Overload.ShedConns
 	m.LineTooLong = s.Overload.LineTooLong
+	m.IdleClosed = s.Overload.IdleClosed
+	m.WriteTimeouts = s.Overload.WriteTimeouts
 	s.statMu.Unlock()
 
 	merged := [preemptible.NumClasses]*stats.Histogram{}

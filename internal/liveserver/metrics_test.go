@@ -52,8 +52,10 @@ func goldenDoc() MetricsV2 {
 		State:       "brownout",
 		Load:        0.875,
 		Shards:      2,
-		ShedConns:   3,
-		LineTooLong: 1,
+		ShedConns:     3,
+		LineTooLong:   1,
+		IdleClosed:    2,
+		WriteTimeouts: 1,
 		Totals:      map[string]ClassSeries{"lc": lc, "be": be},
 		Pool:        pool,
 		PerShard: []ShardSeries{

@@ -1,0 +1,224 @@
+package soak
+
+import (
+	"fmt"
+	"net/url"
+	"strings"
+	"sync"
+
+	"repro/internal/liveserver"
+)
+
+// maxViolations bounds how many violation strings a checker retains;
+// past it only the count grows. A genuinely broken build would
+// otherwise flood the report with millions of identical lines.
+const maxViolations = 50
+
+// violations is the shared accumulator: thread-safe, capped, counted.
+type violations struct {
+	mu    sync.Mutex
+	list  []string
+	total uint64
+}
+
+func (v *violations) add(format string, args ...any) {
+	v.mu.Lock()
+	v.total++
+	if len(v.list) < maxViolations {
+		v.list = append(v.list, fmt.Sprintf(format, args...))
+	}
+	v.mu.Unlock()
+}
+
+func (v *violations) snapshot() ([]string, uint64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return append([]string(nil), v.list...), v.total
+}
+
+// modelChecker is the per-key linearizability-lite checker. Soak
+// values are globally unique ("w<worker>s<seq>"), and every worker
+// records a value against its key *before* the SET leaves the client.
+// The invariant a hostile wire must not break: a GET (or MGET leg)
+// that returns a VALUE must return a value some client attempted to
+// write to that key — a torn write, a replayed response, or a desynced
+// pooled connection surfaces as a value from the wrong key or from
+// nowhere. Restart-induced data loss (NOT_FOUND after a shard rebuild)
+// and every protocol rejection are legal; fabricated data is not.
+type modelChecker struct {
+	mu        sync.Mutex
+	attempted map[string]map[string]bool
+	v         *violations
+}
+
+func newModelChecker(v *violations) *modelChecker {
+	return &modelChecker{attempted: make(map[string]map[string]bool), v: v}
+}
+
+// WillSet records value as a legal result for key. Call it before the
+// SET is sent: an op that errors client-side may still have executed
+// server-side, so the value is legal from the moment it *could* land.
+func (m *modelChecker) WillSet(key, value string) {
+	m.mu.Lock()
+	set := m.attempted[key]
+	if set == nil {
+		set = make(map[string]bool)
+		m.attempted[key] = set
+	}
+	set[value] = true
+	m.mu.Unlock()
+}
+
+func (m *modelChecker) legalValue(key, value string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.attempted[key][value]
+}
+
+// legalErr: every protocol rejection line is a legal (if unwelcome)
+// answer under chaos — overload, brownout, breaker-open, deadline,
+// cancellation, contained panic.
+func legalErr(resp string) bool { return strings.HasPrefix(resp, "ERR") }
+
+// CheckGet validates one GET response.
+func (m *modelChecker) CheckGet(key, resp string) {
+	switch {
+	case resp == "NOT_FOUND" || legalErr(resp):
+	case strings.HasPrefix(resp, "VALUE "):
+		if v := resp[len("VALUE "):]; !m.legalValue(key, v) {
+			m.v.add("model: GET %s returned %q, never attempted for that key", key, v)
+		}
+	default:
+		m.v.add("model: GET %s → unrecognized response %q", key, resp)
+	}
+}
+
+// mgetFailTokens are the legal per-key failure tokens of an MGET leg
+// (see liveserver.failToken).
+var mgetFailTokens = map[string]bool{
+	"NOT_FOUND": true, "UNAVAILABLE": true, "DEADLINE": true,
+	"OVERLOADED": true, "BROWNOUT": true, "CANCELLED": true, "ERROR": true,
+}
+
+// CheckMGet validates one MGET response: arity must match the request,
+// and each returned value must be legal for its own key — a response
+// that answers key i with key j's value is exactly the desync a
+// poisoned connection produces.
+func (m *modelChecker) CheckMGet(keys []string, resp string) {
+	if legalErr(resp) {
+		return
+	}
+	if !strings.HasPrefix(resp, "MVALUES") {
+		m.v.add("model: MGET → unrecognized response %q", resp)
+		return
+	}
+	toks := strings.Fields(strings.TrimPrefix(resp, "MVALUES"))
+	if len(toks) != len(keys) {
+		m.v.add("model: MGET of %d keys answered %d tokens: %q", len(keys), len(toks), resp)
+		return
+	}
+	for i, tok := range toks {
+		if strings.HasPrefix(tok, "=") {
+			v, err := url.QueryUnescape(tok[1:])
+			if err != nil {
+				m.v.add("model: MGET %s token %q: %v", keys[i], tok, err)
+				continue
+			}
+			if !m.legalValue(keys[i], v) {
+				m.v.add("model: MGET %s returned %q, never attempted for that key", keys[i], v)
+			}
+			continue
+		}
+		if !mgetFailTokens[tok] {
+			m.v.add("model: MGET %s → unrecognized token %q", keys[i], tok)
+		}
+	}
+}
+
+// CheckSet/CheckPing/CheckCompress are shape checks: the response must
+// be the op's success form or a protocol rejection. Anything else is a
+// cross-wired response stream.
+func (m *modelChecker) CheckSet(resp string) {
+	if resp != "OK" && !legalErr(resp) {
+		m.v.add("model: SET → unrecognized response %q", resp)
+	}
+}
+
+func (m *modelChecker) CheckPing(resp string) {
+	if resp != "PONG" && !legalErr(resp) {
+		m.v.add("model: PING → unrecognized response %q", resp)
+	}
+}
+
+func (m *modelChecker) CheckCompress(resp string) {
+	if !strings.HasPrefix(resp, "COMPRESSED ") && !legalErr(resp) {
+		m.v.add("model: COMPRESS → unrecognized response %q", resp)
+	}
+}
+
+// classCounterFields enumerates the summable counters of a
+// ClassSeries — the latency quantiles are merged, not summed, and are
+// deliberately absent.
+var classCounterFields = []struct {
+	name string
+	get  func(liveserver.ClassSeries) uint64
+}{
+	{"requests", func(c liveserver.ClassSeries) uint64 { return c.Requests }},
+	{"completed", func(c liveserver.ClassSeries) uint64 { return c.Completed }},
+	{"rejected_normal", func(c liveserver.ClassSeries) uint64 { return c.RejectedNormal }},
+	{"rejected_brownout", func(c liveserver.ClassSeries) uint64 { return c.RejectedBrownout }},
+	{"rejected_shed", func(c liveserver.ClassSeries) uint64 { return c.RejectedShed }},
+	{"timeouts", func(c liveserver.ClassSeries) uint64 { return c.Timeouts }},
+	{"evicted", func(c liveserver.ClassSeries) uint64 { return c.Evicted }},
+	{"failed", func(c liveserver.ClassSeries) uint64 { return c.Failed }},
+	{"unavailable", func(c liveserver.ClassSeries) uint64 { return c.Unavailable }},
+	{"expired_queued", func(c liveserver.ClassSeries) uint64 { return c.ExpiredQueued }},
+	{"expired_executing", func(c liveserver.ClassSeries) uint64 { return c.ExpiredExecuting }},
+	{"cancelled", func(c liveserver.ClassSeries) uint64 { return c.Cancelled }},
+	{"reattempts", func(c liveserver.ClassSeries) uint64 { return c.Reattempts }},
+	{"latency_count", func(c liveserver.ClassSeries) uint64 { return c.LatencyCount }},
+}
+
+var poolCounterFields = []struct {
+	name string
+	get  func(liveserver.PoolSeries) uint64
+}{
+	{"submitted", func(p liveserver.PoolSeries) uint64 { return p.Submitted }},
+	{"completed", func(p liveserver.PoolSeries) uint64 { return p.Completed }},
+	{"preemptions", func(p liveserver.PoolSeries) uint64 { return p.Preemptions }},
+	{"shed", func(p liveserver.PoolSeries) uint64 { return p.Shed }},
+	{"failed", func(p liveserver.PoolSeries) uint64 { return p.Failed }},
+	{"degraded_runs", func(p liveserver.PoolSeries) uint64 { return p.DegradedRuns }},
+}
+
+// checkConservation asserts the STATS v2 contract on one sampled
+// document: every counter in Totals equals the sum of that counter
+// over PerShard — exactly, through any number of shard restarts. The
+// caveat that makes sampling sound: the server computes both views in
+// one pass over the same snapshots, so the equality holds at every
+// instant, not only at quiescence.
+func checkConservation(m liveserver.MetricsV2, v *violations) {
+	if m.Shards != len(m.PerShard) {
+		v.add("conservation: shards=%d but %d per-shard blocks", m.Shards, len(m.PerShard))
+	}
+	for class, total := range m.Totals {
+		for _, f := range classCounterFields {
+			var sum uint64
+			for _, sh := range m.PerShard {
+				sum += f.get(sh.Classes[class])
+			}
+			if got := f.get(total); got != sum {
+				v.add("conservation: totals.%s.%s=%d but Σ shards=%d", class, f.name, got, sum)
+			}
+		}
+	}
+	for _, f := range poolCounterFields {
+		var sum uint64
+		for _, sh := range m.PerShard {
+			sum += f.get(sh.Pool)
+		}
+		if got := f.get(m.Pool); got != sum {
+			v.add("conservation: pool.%s=%d but Σ shards=%d", f.name, got, sum)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package soak
+
+import (
+	"os"
+	"runtime"
+	"time"
+)
+
+// driftChecker watches the resources a slow leak consumes: goroutines,
+// file descriptors, and heap. It snapshots the three before the soak
+// builds anything and re-checks after full teardown — a soak that
+// survives every fault but leaves one reader goroutine per reset
+// connection has still failed, it just fails slowly in production
+// instead of loudly in CI.
+type driftChecker struct {
+	goroutines int
+	fds        int
+	heap       uint64
+}
+
+// Slack per dimension: the runtime legitimately varies a little
+// between two quiescent points (timer goroutines, GC pacing, an fd the
+// poller retains), so drift below these bounds is noise, not a leak.
+const (
+	goroutineSlack = 12
+	fdSlack        = 16
+	heapSlackBytes = 32 << 20
+)
+
+// countFDs counts open descriptors via /proc/self/fd. ok is false
+// where procfs is unavailable (non-Linux); fd drift is then skipped.
+func countFDs() (int, bool) {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return 0, false
+	}
+	return len(ents), true
+}
+
+func heapInUse() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+func newDriftChecker() *driftChecker {
+	d := &driftChecker{goroutines: runtime.NumGoroutine(), heap: heapInUse()}
+	d.fds, _ = countFDs()
+	return d
+}
+
+// Check compares against the baseline, giving teardown a grace period
+// to settle — connection handlers and attempt goroutines drain
+// asynchronously after Close returns.
+func (d *driftChecker) Check(v *violations) {
+	deadline := time.Now().Add(3 * time.Second)
+	var goroutines, fds int
+	fdsOK := false
+	for {
+		goroutines = runtime.NumGoroutine()
+		fds, fdsOK = countFDs()
+		if goroutines <= d.goroutines+goroutineSlack && (!fdsOK || fds <= d.fds+fdSlack) {
+			break
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if goroutines > d.goroutines+goroutineSlack {
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		v.add("drift: goroutines %d → %d (slack %d); dump:\n%s",
+			d.goroutines, goroutines, goroutineSlack, buf[:n])
+	}
+	if fdsOK && fds > d.fds+fdSlack {
+		v.add("drift: fds %d → %d (slack %d)", d.fds, fds, fdSlack)
+	}
+	if heap := heapInUse(); heap > d.heap*3+heapSlackBytes {
+		v.add("drift: heap %d → %d bytes", d.heap, heap)
+	}
+}

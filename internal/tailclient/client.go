@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,6 +48,26 @@ type Config struct {
 	HedgeMin time.Duration
 	// Window is the latency digest's sample window (default 512).
 	Window int
+
+	// IOTimeout, when positive, bounds each attempt's time on the wire:
+	// the connection's deadline is set to min(now+IOTimeout, op
+	// deadline) before the request is written, so a stalled or
+	// half-open server connection fails the attempt instead of pinning
+	// it (and its goroutine) forever. When zero, the op deadline alone
+	// bounds the wire (no bound if that is also unset).
+	IOTimeout time.Duration
+
+	// Idempotent classifies an operation (the raw line passed to Do,
+	// without metadata tokens) as safe to re-send after a transport
+	// error that consumed response bytes — the server may have executed
+	// the op, so only idempotent ops may be retried from that state.
+	// Nil means the default verb table: GET/MGET/PING/STATS/STATS2 are
+	// idempotent; SET/COMPRESS (and anything unknown) are not.
+	Idempotent func(op string) bool
+
+	// Dial overrides connection establishment (tests, chaos wrappers).
+	// Nil means net.DialTimeout("tcp", addr, timeout).
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
 
 	// RetryMax bounds budgeted retries per operation (default 3).
 	RetryMax int
@@ -97,7 +118,30 @@ func (cfg Config) withDefaults() Config {
 	if cfg.BudgetBurst <= 0 {
 		cfg.BudgetBurst = 10
 	}
+	if cfg.Idempotent == nil {
+		cfg.Idempotent = DefaultIdempotent
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
 	return cfg
+}
+
+// DefaultIdempotent is the built-in retry-safety table: reads and
+// diagnostics may be re-sent even when the server might have executed
+// the first copy; mutations and compute may not.
+func DefaultIdempotent(op string) bool {
+	verb := op
+	if i := strings.IndexByte(op, ' '); i >= 0 {
+		verb = op[:i]
+	}
+	switch verb {
+	case "GET", "MGET", "PING", "STATS", "STATS2":
+		return true
+	}
+	return false
 }
 
 // Outcome is an operation's terminal disposition.
@@ -116,6 +160,11 @@ const (
 	Rejected
 	// Aborted: Close interrupted the operation (mid-wait or mid-backoff).
 	Aborted
+	// Errored: a transport fault broke the attempt after response bytes
+	// were consumed on a non-idempotent op — the server may have
+	// executed it, so re-sending is unsafe and the op is terminal with
+	// an indeterminate server-side effect.
+	Errored
 )
 
 func (o Outcome) String() string {
@@ -128,6 +177,8 @@ func (o Outcome) String() string {
 		return "rejected"
 	case Aborted:
 		return "aborted"
+	case Errored:
+		return "errored"
 	default:
 		return fmt.Sprintf("Outcome(%d)", int(o))
 	}
@@ -164,6 +215,14 @@ type Stats struct {
 	// Expired counts operations whose end-to-end deadline passed;
 	// Aborted counts operations interrupted by Close.
 	Expired, Aborted uint64
+	// Errored counts operations settled Errored: a transport fault
+	// consumed response bytes on a non-idempotent op, so re-sending was
+	// unsafe.
+	Errored uint64
+	// ConnsEvicted counts connections closed and removed from the pool
+	// after an I/O error or a poisoned (stale-buffered) state — broken
+	// conns are never handed to the next op.
+	ConnsEvicted uint64
 }
 
 // Client is a tail-tolerant line-protocol client. Safe for concurrent
@@ -188,25 +247,34 @@ type Client struct {
 	primaries, attempts, retries uint64
 	hedges, hedgeWins            uint64
 	expired, aborted             uint64
+	errored, evicted             uint64
 }
 
 // wireConn is one pooled connection.
 type wireConn struct {
 	nc net.Conn
-	sc *bufio.Scanner
+	br *bufio.Reader
 }
 
-func (w *wireConn) roundTrip(line string) (string, error) {
+// roundTrip writes one request line and reads one newline-terminated
+// response. A response truncated by a mid-stream close or reset is an
+// error, never a success — bufio.Scanner would have returned the final
+// unterminated token as valid text, which is exactly how a torn
+// response used to masquerade as a server reply. consumed reports
+// whether any response bytes were read before the failure: if so, the
+// server started (and may have finished) executing the request.
+func (w *wireConn) roundTrip(line string, ioDeadline time.Time) (resp string, consumed bool, err error) {
+	if err := w.nc.SetDeadline(ioDeadline); err != nil {
+		return "", false, err
+	}
 	if _, err := w.nc.Write([]byte(line + "\n")); err != nil {
-		return "", err
+		return "", w.br.Buffered() > 0, err
 	}
-	if !w.sc.Scan() {
-		if err := w.sc.Err(); err != nil {
-			return "", err
-		}
-		return "", errors.New("tailclient: connection closed by server")
+	s, err := w.br.ReadString('\n')
+	if err != nil {
+		return "", len(s) > 0, err
 	}
-	return w.sc.Text(), nil
+	return strings.TrimRight(s, "\r\n"), true, nil
 }
 
 // New builds a client. No connection is dialed until the first Do.
@@ -233,6 +301,8 @@ func (c *Client) Stats() Stats {
 		BudgetDenied: c.budget.Denied(),
 		Expired:      atomic.LoadUint64(&c.expired),
 		Aborted:      atomic.LoadUint64(&c.aborted),
+		Errored:      atomic.LoadUint64(&c.errored),
+		ConnsEvicted: atomic.LoadUint64(&c.evicted),
 	}
 }
 
@@ -267,20 +337,33 @@ func (c *Client) getConn() (*wireConn, error) {
 		c.mu.Unlock()
 		return nil, ErrClosed
 	}
-	if n := len(c.idle); n > 0 {
+	for n := len(c.idle); n > 0; n = len(c.idle) {
 		cn := c.idle[n-1]
 		c.idle = c.idle[:n-1]
+		if cn.br.Buffered() > 0 {
+			// Poisoned: unread bytes mean a past response desynced from
+			// its request — the next round trip would read a stale
+			// answer. Evict instead of handing it out.
+			delete(c.live, cn)
+			c.mu.Unlock()
+			cn.nc.Close()
+			atomic.AddUint64(&c.evicted, 1)
+			c.mu.Lock()
+			if c.closed {
+				c.mu.Unlock()
+				return nil, ErrClosed
+			}
+			continue
+		}
 		c.mu.Unlock()
 		return cn, nil
 	}
 	c.mu.Unlock()
-	nc, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+	nc, err := c.cfg.Dial(c.cfg.Addr, c.cfg.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
-	sc := bufio.NewScanner(nc)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	cn := &wireConn{nc: nc, sc: sc}
+	cn := &wireConn{nc: nc, br: bufio.NewReaderSize(nc, 64*1024)}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -304,11 +387,14 @@ func (c *Client) putConn(cn *wireConn) {
 	c.mu.Unlock()
 }
 
+// dropConn evicts a broken connection: closed and forgotten, never
+// returned to the idle stack.
 func (c *Client) dropConn(cn *wireConn) {
 	c.mu.Lock()
 	delete(c.live, cn)
 	c.mu.Unlock()
 	cn.nc.Close()
+	atomic.AddUint64(&c.evicted, 1)
 }
 
 // attemptKind classifies one attempt's reply.
@@ -317,8 +403,25 @@ type attemptKind int
 const (
 	kindOK attemptKind = iota
 	kindExpired
-	kindRetryable // overloaded / brownout / unavailable / transport error
+	kindRetryable // overloaded / brownout / unavailable / safe transport error
+	kindBroken    // transport error after consuming response bytes on a non-idempotent op
 )
+
+// failRank orders failed attempt kinds for the hedge race: expiry
+// outranks broken (the deadline passed; nothing else matters), and
+// broken outranks retryable — a broken verdict must be sticky, or a
+// hedged twin's retryable failure could trigger a re-send of an op the
+// server may already have executed.
+func failRank(k attemptKind) int {
+	switch k {
+	case kindExpired:
+		return 2
+	case kindBroken:
+		return 1
+	default:
+		return 0
+	}
+}
 
 type attemptReply struct {
 	resp string
@@ -355,12 +458,23 @@ func (c *Client) startAttempt(op string, deadline time.Time, attempt int) <-chan
 	go func() {
 		cn, err := c.getConn()
 		if err != nil {
+			// Dial failure or ErrClosed: nothing was sent, always safe
+			// to retry (Close aborts the op via c.done regardless).
 			ch <- attemptReply{kind: kindRetryable}
 			return
 		}
-		resp, err := cn.roundTrip(line)
+		resp, consumed, err := cn.roundTrip(line, c.ioDeadline(deadline))
 		if err != nil {
+			// Whatever broke this conn — stall past the I/O deadline,
+			// reset, torn response — it never re-enters the pool.
 			c.dropConn(cn)
+			if consumed && !c.cfg.Idempotent(op) {
+				// Response bytes were consumed, so the server started
+				// executing a non-idempotent op: re-sending could apply
+				// it twice. Terminal.
+				ch <- attemptReply{kind: kindBroken}
+				return
+			}
 			ch <- attemptReply{kind: kindRetryable}
 			return
 		}
@@ -368,6 +482,19 @@ func (c *Client) startAttempt(op string, deadline time.Time, attempt int) <-chan
 		ch <- attemptReply{resp: resp, kind: classify(resp)}
 	}()
 	return ch
+}
+
+// ioDeadline computes one attempt's wire deadline: the earlier of
+// now+IOTimeout and the op deadline; zero (no bound) when neither is
+// configured.
+func (c *Client) ioDeadline(opDeadline time.Time) time.Time {
+	d := opDeadline
+	if c.cfg.IOTimeout > 0 {
+		if t := time.Now().Add(c.cfg.IOTimeout); d.IsZero() || t.Before(d) {
+			d = t
+		}
+	}
+	return d
 }
 
 // Do runs one operation (a protocol line without metadata tokens, e.g.
@@ -418,6 +545,13 @@ func (c *Client) Do(op string) (Result, error) {
 			res.Resp = reply.resp
 			res.Outcome = Expired
 			return res, nil
+		case kindBroken:
+			// The server may have executed this non-idempotent op before
+			// the transport broke: re-sending risks double execution, so
+			// the op settles Errored instead of entering the retry loop.
+			atomic.AddUint64(&c.errored, 1)
+			res.Outcome = Errored
+			return res, nil
 		}
 		// Retryable: spend budget, back off (cancellably), go again.
 		if res.Retries >= c.cfg.RetryMax || !c.budget.Take() {
@@ -446,9 +580,9 @@ func (c *Client) Do(op string) (Result, error) {
 // raceAttempts runs one primary attempt and, when hedging is enabled
 // and the budget allows, a hedge after the adaptive delay. The first
 // successful response wins; a failed leg waits for its in-flight twin
-// before reporting (the twin might still succeed). Expiry outranks
-// retryable when both legs fail: the operation's deadline passed, so
-// retrying is pointless.
+// before reporting (the twin might still succeed). When both legs
+// fail, failRank picks the verdict: expired > broken > retryable (see
+// failRank for why broken must be sticky).
 func (c *Client) raceAttempts(op string, deadline time.Time, attempt *int, res *Result) (attemptReply, bool) {
 	primary := c.startAttempt(op, deadline, *attempt)
 	*attempt++
@@ -486,7 +620,7 @@ func (c *Client) raceAttempts(op string, deadline time.Time, attempt *int, res *
 			if r.kind == kindOK {
 				return r, false
 			}
-			if !haveFail || r.kind == kindExpired {
+			if !haveFail || failRank(r.kind) > failRank(fail.kind) {
 				fail, haveFail = r, true
 			}
 			if pending == 0 {
@@ -500,7 +634,7 @@ func (c *Client) raceAttempts(op string, deadline time.Time, attempt *int, res *
 				res.HedgeWon = true
 				return r, false
 			}
-			if !haveFail || r.kind == kindExpired {
+			if !haveFail || failRank(r.kind) > failRank(fail.kind) {
 				fail, haveFail = r, true
 			}
 			if pending == 0 {

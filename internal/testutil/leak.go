@@ -1,0 +1,129 @@
+// Package testutil holds shared test instrumentation. Its first
+// resident is the goroutine-leak guard: resilience code is full of
+// per-connection readers, per-request attempt goroutines, and
+// supervisor loops, and the failure mode of every one of them is the
+// same — a teardown path that forgets one blocked goroutine. The guard
+// makes that failure loud in any test that calls it.
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ignoredStack reports goroutines that are expected to outlive a test:
+// the runtime's own helpers, the testing harness, and this guard's
+// snapshot machinery.
+func ignoredStack(stack string) bool {
+	for _, frag := range []string{
+		"testing.RunTests",
+		"testing.(*T).Run",
+		"testing.(*M).",
+		"testing.runFuzz",
+		"testing.tRunner",
+		"runtime.goexit",
+		"created by runtime",
+		"runtime/trace",
+		"signal.signal_recv",
+		"os/signal.loop",
+		"testutil.interestingStacks",
+		"runtime.ReadTrace",
+	} {
+		if strings.Contains(stack, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+// interestingStacks snapshots the current goroutine stacks, drops the
+// ignorable ones, and returns one normalized header line per goroutine
+// ("function (state)") plus the full dump for diagnostics.
+func interestingStacks() ([]string, string) {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	dump := string(buf[:n])
+	var headers []string
+	for _, g := range strings.Split(dump, "\n\n") {
+		if g == "" || ignoredStack(g) {
+			continue
+		}
+		lines := strings.SplitN(g, "\n", 3)
+		if len(lines) < 2 {
+			continue
+		}
+		// lines[0] is "goroutine N [state]:" — keep the state, drop the
+		// ID (IDs never match across snapshots); lines[1] the top frame.
+		state := lines[0]
+		if i := strings.IndexByte(state, '['); i >= 0 {
+			state = state[i:]
+		}
+		headers = append(headers, strings.TrimSpace(lines[1])+" "+strings.TrimSpace(state))
+	}
+	sort.Strings(headers)
+	return headers, dump
+}
+
+// CheckGoroutineLeaks snapshots the goroutine set now and, at test
+// cleanup, fails the test if goroutines born after the snapshot are
+// still alive. Teardown is given a short grace period — goroutines
+// legitimately exiting (a just-closed listener's accept loop, a
+// connection handler draining) settle within it; a genuinely leaked
+// one does not.
+//
+// Use it before constructing the system under test:
+//
+//	testutil.CheckGoroutineLeaks(t)
+//	srv := startServer(t)
+//	...
+func CheckGoroutineLeaks(t *testing.T) {
+	t.Helper()
+	before, _ := interestingStacks()
+	base := make(map[string]int, len(before))
+	for _, h := range before {
+		base[h]++
+	}
+	t.Cleanup(func() {
+		if t.Failed() {
+			return // don't pile a leak report onto a real failure
+		}
+		deadline := time.Now().Add(2 * time.Second)
+		var leaked []string
+		var dump string
+		for {
+			leaked = leaked[:0]
+			var after []string
+			after, dump = interestingStacks()
+			counts := make(map[string]int, len(base))
+			for k, v := range base {
+				counts[k] = v
+			}
+			for _, h := range after {
+				if counts[h] > 0 {
+					counts[h]--
+					continue
+				}
+				leaked = append(leaked, h)
+			}
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "%d goroutine(s) leaked past test cleanup:\n", len(leaked))
+		for _, h := range leaked {
+			fmt.Fprintf(&b, "  %s\n", h)
+		}
+		b.WriteString("\nfull dump:\n")
+		b.WriteString(dump)
+		t.Error(b.String())
+	})
+}

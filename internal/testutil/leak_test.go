@@ -1,0 +1,37 @@
+package testutil
+
+import (
+	"testing"
+	"time"
+)
+
+// TestInterestingStacksSeesSpawned: the snapshot must count a blocked
+// goroutine born after a baseline, and stop counting it once released.
+func TestInterestingStacksSeesSpawned(t *testing.T) {
+	before, _ := interestingStacks()
+	ch := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ch
+	}()
+	time.Sleep(20 * time.Millisecond) // let it park
+	after, _ := interestingStacks()
+	if len(after) <= len(before) {
+		t.Fatalf("snapshot did not grow: before=%d after=%d", len(before), len(after))
+	}
+	close(ch)
+	<-done
+}
+
+// TestCheckGoroutineLeaksClean: a test whose goroutines all exit before
+// cleanup passes the guard (including ones still draining at cleanup
+// time, via the grace period).
+func TestCheckGoroutineLeaksClean(t *testing.T) {
+	CheckGoroutineLeaks(t)
+	ch := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func() { <-ch }()
+	}
+	close(ch)
+}
