@@ -29,6 +29,7 @@
 //
 //	preembench -soak -duration 60s -seed 1
 //	preembench -soak -scenario wire -shards 4 -clients 8
+//	preembench -soak -scenario crash -duration 30s   whole-process SIGKILL + WAL recovery
 //	preembench -soak -planonly -seed 1       print the fault schedule
 //
 // Output is tab-separated tables, one block per artifact, in the same
@@ -43,10 +44,14 @@ import (
 	"time"
 
 	"repro/internal/perfval"
+	"repro/internal/soak"
 	"repro/preemptsim"
 )
 
 func main() {
+	// The crash soak re-execs this binary as its server child; in a
+	// normal invocation this is a no-op.
+	soak.ServerMainIfRequested()
 	var (
 		list  = flag.Bool("list", false, "list experiment ids and exit")
 		exp   = flag.String("exp", "", "experiment id to run (see -list)")
@@ -63,7 +68,7 @@ func main() {
 
 		doSoak   = flag.Bool("soak", false, "run a chaos soak against the live stack instead of a simulation experiment")
 		soakDur  = flag.Duration("duration", 60*time.Second, "soak length (soak mode)")
-		soakScn  = flag.String("scenario", "combined", "soak injector set: quiet|wire|kills|combined (soak mode)")
+		soakScn  = flag.String("scenario", "combined", "soak injector set: quiet|wire|kills|combined|crash (soak mode)")
 		soakSh   = flag.Int("shards", 4, "server shard count (soak mode)")
 		soakCl   = flag.Int("clients", 8, "client workers (soak mode)")
 		soakOut  = flag.String("soakout", "SOAK.jsonl", "append-only soak report file (soak mode; empty = no file)")

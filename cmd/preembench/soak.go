@@ -25,10 +25,12 @@ type soakFlags struct {
 // 0 clean, 1 invariant violations or execution error, 2 usage error.
 func runSoak(f soakFlags) int {
 	switch f.scenario {
-	case soak.ScenarioQuiet, soak.ScenarioWire, soak.ScenarioKills, soak.ScenarioCombined:
+	case soak.ScenarioQuiet, soak.ScenarioWire, soak.ScenarioKills, soak.ScenarioCombined,
+		soak.ScenarioCrash:
 	default:
-		fmt.Fprintf(os.Stderr, "preembench: unknown scenario %q (want %s|%s|%s|%s)\n",
-			f.scenario, soak.ScenarioQuiet, soak.ScenarioWire, soak.ScenarioKills, soak.ScenarioCombined)
+		fmt.Fprintf(os.Stderr, "preembench: unknown scenario %q (want %s|%s|%s|%s|%s)\n",
+			f.scenario, soak.ScenarioQuiet, soak.ScenarioWire, soak.ScenarioKills,
+			soak.ScenarioCombined, soak.ScenarioCrash)
 		return 2
 	}
 	cfg := soak.Config{
@@ -54,6 +56,10 @@ func runSoak(f soakFlags) int {
 	fmt.Printf("soak: ops=%v\n", rep.Ops)
 	fmt.Printf("soak: wire-faults=%d restarts=%d conservation-samples=%d\n",
 		rep.WireFaults, rep.Restarts, rep.Samples)
+	if f.scenario == soak.ScenarioCrash {
+		fmt.Printf("soak: crashes=%d acked-writes=%d verified-keys=%d\n",
+			rep.Crashes, rep.AckedWrites, rep.VerifiedKeys)
+	}
 	if rep.ViolationsTotal > 0 {
 		fmt.Printf("soak: FAIL — %d invariant violation(s):\n  %s\n",
 			rep.ViolationsTotal, strings.Join(rep.Violations, "\n  "))

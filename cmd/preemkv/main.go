@@ -6,6 +6,14 @@
 //
 //	preemkv -serve :7070 -workers 2 -quantum 500us
 //
+// Durable serve: with -wal each shard write-ahead logs acknowledged
+// SETs (group-commit fsync by default) and snapshots its partition
+// every -snapshotevery SETs; after a crash or restart the same -wal
+// directory recovers every acknowledged write:
+//
+//	preemkv -serve :7070 -shards 4 -wal /tmp/preemkv-wal
+//	preemkv -serve :7070 -wal /tmp/preemkv-wal -walsync always
+//
 // Benchmark (against a running server): mixed GET/SET traffic from
 // several client connections while a COMPRESS stream occupies the
 // pool, reporting KV latency percentiles:
@@ -61,6 +69,7 @@ import (
 	"repro/internal/liveserver"
 	"repro/internal/shard"
 	"repro/internal/tailclient"
+	"repro/internal/wal"
 	"repro/preemptible"
 )
 
@@ -85,6 +94,9 @@ func main() {
 		restrtWin = flag.Duration("restartwindow", 10*time.Second, "sliding window for the restart budget (serve mode)")
 		restrtDrn = flag.Duration("restartdrain", 500*time.Millisecond, "drain deadline when restarting a failed shard (serve mode)")
 		metrics   = flag.String("metrics", "", "HTTP address exporting the STATS2 series at /metrics (serve mode; empty = disabled)")
+		walDir    = flag.String("wal", "", "directory for per-shard write-ahead logs: SETs are acknowledged only after fsync and survive crashes/restarts (serve mode; empty = no durability)")
+		walSync   = flag.String("walsync", "group", "WAL durability mode: group (amortized fsync), always (fsync per SET), off (ack before sync; crash may lose acked writes) (serve mode)")
+		snapEvery = flag.Int("snapshotevery", 4096, "snapshot a shard's partition after this many logged SETs and truncate its WAL (serve mode; 0 = never)")
 		clients   = flag.Int("clients", 4, "client connections (bench mode)")
 		ops       = flag.Int("ops", 2000, "ops per client (bench mode)")
 		compress  = flag.Bool("compress", true, "run a background COMPRESS stream during bench")
@@ -100,6 +112,10 @@ func main() {
 
 	switch {
 	case *serveAddr != "":
+		syncMode, err := wal.ParseSyncMode(*walSync)
+		if err != nil {
+			fatal(err)
+		}
 		serve(*serveAddr, liveserver.Config{
 			Shards:          *shards,
 			Workers:         *workers,
@@ -111,6 +127,9 @@ func main() {
 			IdleTimeout:     *idleTO,
 			WriteTimeout:    *writeTO,
 			BreakerDisabled: *noBreaker,
+			WALDir:          *walDir,
+			WALSync:         syncMode,
+			SnapshotEvery:   *snapEvery,
 			Supervise: shard.SuperviseConfig{
 				HeartbeatInterval: *hbEvery,
 				MaxRestarts:       *maxRestrt,
@@ -171,8 +190,12 @@ func serve(addr string, cfg liveserver.Config, drain time.Duration, metricsAddr 
 	if cfg.SuperviseEnabled {
 		supervised = fmt.Sprintf("heartbeat every %v", cfg.Supervise.HeartbeatInterval)
 	}
-	fmt.Printf("preemkv serving on %s (%d shards × %d workers, %v quantum, %s); Ctrl-C to stop\n",
-		ln.Addr(), max(cfg.Shards, 1), cfg.Workers, cfg.Quantum, supervised)
+	durable := "no wal"
+	if cfg.WALDir != "" {
+		durable = fmt.Sprintf("wal %s (%v)", cfg.WALDir, cfg.WALSync)
+	}
+	fmt.Printf("preemkv serving on %s (%d shards × %d workers, %v quantum, %s, %s); Ctrl-C to stop\n",
+		ln.Addr(), max(cfg.Shards, 1), cfg.Workers, cfg.Quantum, supervised, durable)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -226,6 +249,12 @@ func serve(addr string, cfg liveserver.Config, drain time.Duration, metricsAddr 
 		fmt.Printf("shard %d: %s, gen %d, %d restarts, %d LC + %d BE requests, %d unavailable, brownout %v\n",
 			i, sh.Health(), sh.Generation(), g.Restarts(i),
 			lc.Requests, be.Requests, lc.Unavailable+be.Unavailable, sh.BrownoutState())
+		if cfg.WALDir != "" {
+			wst := sh.WALStats()
+			fmt.Printf("  wal: %d appends, %d fsyncs, %d snapshots, %d recovered records, recovery %v\n",
+				wst.Appends, wst.Fsyncs, wst.Snapshots, wst.RecoveredRecords,
+				wst.Recovery.Round(time.Millisecond))
+		}
 	}
 }
 

@@ -1,0 +1,283 @@
+package chaos
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sim"
+	"repro/internal/wal"
+)
+
+// Filesystem faults: the hostile-disk face of the chaos package, aimed
+// at the WAL (internal/wal). Where Conn/Listener degrade the byte
+// stream between processes, FS/File degrade the byte stream between a
+// process and stable storage — the surface a durability layer's
+// promises actually rest on: writes that persist only a prefix, fsyncs
+// that fail, and crash points past which everything "written" silently
+// never reaches the platter (the power-cut-eats-the-page-cache model).
+//
+// Determinism follows the wire contract: each opened file gets its own
+// RNG seeded with ChildSeed(Seed, openIndex), so the fault stream a
+// file experiences is a pure function of (root seed, open index, that
+// file's own operation sequence). Burstiness rides the same
+// Gilbert–Elliott chain, stepped once per faultable operation, and
+// SetActive masks fire verdicts without perturbing any draw — the
+// advance-but-mask discipline every injector in this package shares.
+
+var (
+	// ErrInjectedWrite is the error a short write reports: the prefix
+	// persisted, the rest did not, and the caller was told.
+	ErrInjectedWrite = errors.New("chaos: injected short write")
+	// ErrInjectedSync is the error an injected fsync failure reports.
+	ErrInjectedSync = errors.New("chaos: injected fsync error")
+)
+
+// FSConfig parameterizes a filesystem-fault injector. The zero value
+// injects nothing.
+type FSConfig struct {
+	// Seed fixes every decision; per-file streams are derived with
+	// ChildSeed(Seed, openIndex).
+	Seed uint64
+
+	// ShortWriteProb is the probability one Write persists only a
+	// seeded prefix of its payload and returns ErrInjectedWrite.
+	ShortWriteProb float64
+	// SyncErrProb is the probability one Sync fails with
+	// ErrInjectedSync (durability denied; the data may or may not be
+	// on disk — exactly the ambiguity a real EIO leaves).
+	SyncErrProb float64
+
+	// CrashAtBytes, when positive, is a crash point: once the
+	// cumulative bytes offered to Write across the whole FS reach it,
+	// every later byte is silently dropped while Write keeps reporting
+	// success — the unsynced page cache a power cut never flushed. A
+	// write straddling the boundary persists exactly its prefix up to
+	// the point, which is how seeded torn tails land mid-frame.
+	// Deterministic and positional: not gated by Burst or SetActive.
+	CrashAtBytes int64
+
+	// Burst, when non-nil, gates the probabilistic faults behind a
+	// per-file Gilbert–Elliott chain stepped once per faultable
+	// operation, so fsync errors and short writes arrive in storms.
+	// Burst.Seed is ignored — each file derives its chain seed from
+	// its own child seed.
+	Burst *GEConfig
+}
+
+func (c FSConfig) validate() {
+	for _, p := range []float64{c.ShortWriteProb, c.SyncErrProb} {
+		if p < 0 || p > 1 {
+			panic("chaos: fs probability outside [0,1]")
+		}
+	}
+}
+
+// FSCounters tallies injected filesystem faults.
+type FSCounters struct {
+	// Opens counts files wrapped.
+	Opens uint64
+	// ShortWrites and SyncErrs count fired faults by kind.
+	ShortWrites, SyncErrs uint64
+	// DroppedBytes counts bytes silently discarded past CrashAtBytes.
+	DroppedBytes uint64
+	// Suppressed counts fault verdicts masked off while the injector
+	// was inactive (see FS.SetActive).
+	Suppressed uint64
+}
+
+// FS wraps a wal.FS, dressing every opened file in a seeded
+// fault-injecting File. It satisfies wal.FS and is handed to the WAL
+// through shard.Config.WALFS / wal.Config.FS.
+type FS struct {
+	inner  wal.FS
+	cfg    FSConfig
+	next   uint64 // open index
+	active atomic.Bool
+
+	mu      sync.Mutex
+	ctr     FSCounters
+	written int64 // cumulative bytes offered to Write, FS-wide
+}
+
+// NewFS wraps inner (nil = the real OS filesystem). The injector
+// starts active; SetActive(false) suspends the probabilistic faults
+// (decision streams keep advancing).
+func NewFS(inner wal.FS, cfg FSConfig) *FS {
+	cfg.validate()
+	if inner == nil {
+		inner = wal.OSFS{}
+	}
+	f := &FS{inner: inner, cfg: cfg}
+	f.active.Store(true)
+	return f
+}
+
+// SetActive enables or disables probabilistic fault firing. While
+// inactive every draw still happens — per-file RNGs and burst chains
+// advance identically — but fire verdicts are masked off and tallied
+// as Suppressed. CrashAtBytes is positional, not probabilistic, and is
+// unaffected.
+func (f *FS) SetActive(v bool) { f.active.Store(v) }
+
+// Active reports whether probabilistic faults currently fire.
+func (f *FS) Active() bool { return f.active.Load() }
+
+// Counters snapshots the fault tally.
+func (f *FS) Counters() FSCounters {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ctr
+}
+
+func (f *FS) MkdirAll(dir string) error { return f.inner.MkdirAll(dir) }
+
+func (f *FS) ReadDir(dir string) ([]string, error) { return f.inner.ReadDir(dir) }
+
+func (f *FS) Rename(oldpath, newpath string) error { return f.inner.Rename(oldpath, newpath) }
+
+func (f *FS) Remove(name string) error { return f.inner.Remove(name) }
+
+// OpenFile opens through the inner FS and wraps the handle with its
+// own deterministic fault stream, seeded by open order.
+func (f *FS) OpenFile(name string, flag int) (wal.File, error) {
+	inner, err := f.inner.OpenFile(name, flag)
+	if err != nil {
+		return nil, err
+	}
+	idx := atomic.AddUint64(&f.next, 1) - 1
+	f.mu.Lock()
+	f.ctr.Opens++
+	f.mu.Unlock()
+	seed := ChildSeed(f.cfg.Seed, idx)
+	file := &File{
+		inner:  inner,
+		parent: f,
+		rng:    sim.NewRNG(seed ^ 0x6673), // "fs"
+	}
+	if f.cfg.Burst != nil {
+		b := *f.cfg.Burst
+		b.Seed = seed ^ 0x6662 // "fb"
+		file.burst = NewGilbertElliott(b)
+	}
+	return file, nil
+}
+
+// crashCut reports how many of n offered bytes still reach the disk
+// given the FS-wide crash point, and advances the byte cursor.
+func (f *FS) crashCut(n int) int {
+	if f.cfg.CrashAtBytes <= 0 {
+		return n
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	keep := n
+	if remain := f.cfg.CrashAtBytes - f.written; int64(keep) > remain {
+		if remain < 0 {
+			remain = 0
+		}
+		keep = int(remain)
+		f.ctr.DroppedBytes += uint64(n - keep)
+	}
+	f.written += int64(n)
+	return keep
+}
+
+func (f *FS) count(field func(*FSCounters) *uint64) {
+	f.mu.Lock()
+	*field(&f.ctr)++
+	f.mu.Unlock()
+}
+
+// File is one fault-injecting file handle. All fault decisions come
+// from its private RNG (and burst chain) under its own mutex, mirroring
+// chaos.Conn's discipline.
+type File struct {
+	inner  wal.File
+	parent *FS
+
+	decMu sync.Mutex
+	rng   *sim.RNG
+	burst *GilbertElliott
+}
+
+// decide draws one operation's fire verdict for the given probability.
+// Every draw happens unconditionally and in a fixed order — burst step
+// first, then the Bernoulli coin — so the decision stream advances
+// identically whether or not faults currently fire.
+func (fl *File) decide(prob float64) bool {
+	fire, _ := fl.decideN(prob, 0)
+	return fire
+}
+
+// decideN is decide plus an unconditional auxiliary draw in [0, n):
+// the short-write path needs a seeded prefix length, and drawing it
+// only on fire would shift every later draw when a verdict is masked.
+func (fl *File) decideN(prob float64, n int) (bool, int) {
+	if prob <= 0 && fl.burst == nil {
+		return false, 0
+	}
+	fl.decMu.Lock()
+	defer fl.decMu.Unlock()
+	inBurst := true
+	if fl.burst != nil {
+		bad, _ := fl.burst.Step()
+		inBurst = bad
+	}
+	fire := prob > 0 && fl.rng.Bernoulli(prob)
+	aux := 0
+	if n > 0 {
+		aux = fl.rng.Intn(n)
+	}
+	if !fire || !inBurst {
+		return false, 0
+	}
+	if !fl.parent.active.Load() {
+		fl.parent.count(func(c *FSCounters) *uint64 { return &c.Suppressed })
+		return false, 0
+	}
+	return true, aux
+}
+
+// Write forwards p, applying the crash-point cutoff (silent, success
+// reported) and the short-write fault (prefix persisted, error
+// reported).
+func (fl *File) Write(p []byte) (int, error) {
+	if fire, keep := fl.decideN(fl.parent.cfg.ShortWriteProb, len(p)); fire {
+		fl.parent.count(func(c *FSCounters) *uint64 { return &c.ShortWrites })
+		keep = fl.parent.crashCut(keep)
+		if keep > 0 {
+			if n, err := fl.inner.Write(p[:keep]); err != nil {
+				return n, err
+			}
+		}
+		return keep, ErrInjectedWrite
+	}
+	keep := fl.parent.crashCut(len(p))
+	if keep < len(p) {
+		// Past the crash point: persist the prefix, lie about the rest.
+		if keep > 0 {
+			if n, err := fl.inner.Write(p[:keep]); err != nil {
+				return n, err
+			}
+		}
+		return len(p), nil
+	}
+	return fl.inner.Write(p)
+}
+
+// Sync forwards, unless the fsync-error fault fires — then the sync
+// never reaches the disk and the caller gets ErrInjectedSync.
+func (fl *File) Sync() error {
+	if fl.decide(fl.parent.cfg.SyncErrProb) {
+		fl.parent.count(func(c *FSCounters) *uint64 { return &c.SyncErrs })
+		return ErrInjectedSync
+	}
+	return fl.inner.Sync()
+}
+
+func (fl *File) Read(p []byte) (int, error) { return fl.inner.Read(p) }
+
+func (fl *File) Truncate(size int64) error { return fl.inner.Truncate(size) }
+
+func (fl *File) Close() error { return fl.inner.Close() }

@@ -1,0 +1,230 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/wal"
+)
+
+// crashRecords is the fixed workload for the crash-point property:
+// fixed-width keys, varying-length values, so frame boundaries land at
+// irregular byte offsets.
+func crashRecords(n int) (keys, vals [][]byte, ends []int) {
+	keys = make([][]byte, n)
+	vals = make([][]byte, n)
+	ends = make([]int, n)
+	total := 0
+	for i := 0; i < n; i++ {
+		keys[i] = []byte(fmt.Sprintf("crash-key-%02d", i))
+		vals[i] = bytes.Repeat([]byte{byte('A' + i%26)}, 1+(i*11)%56)
+		// One WAL frame is 8 bytes of [len][crc] header plus a 12-byte
+		// [lsn][keyLen][valLen] payload prefix (see internal/wal
+		// record.go); recompute it here so the test fails loudly if the
+		// format drifts.
+		total += 8 + 12 + len(keys[i]) + len(vals[i])
+		ends[i] = total
+	}
+	return keys, vals, ends
+}
+
+// TestFSCrashPointExactPrefix is the acceptance property, injector
+// edition: for 128 seeded crash points, a WAL written through chaos.FS
+// with CrashAtBytes — every byte past the point silently eaten while
+// writes report success, the power-loss model — recovers on the clean
+// filesystem to exactly the records whose frames lie wholly below the
+// point.
+func TestFSCrashPointExactPrefix(t *testing.T) {
+	const n = 32
+	keys, vals, ends := crashRecords(n)
+	total := ends[n-1]
+	rng := sim.NewRNG(0xC7A5)
+	for trial := 0; trial < 128; trial++ {
+		cut := rng.Intn(total + 1)
+		dir := t.TempDir()
+		cfs := NewFS(nil, FSConfig{Seed: uint64(trial), CrashAtBytes: int64(cut)})
+		l, err := wal.Open(wal.Config{Dir: dir, Sync: wal.SyncOff, FS: cfs}, func(k, v []byte) {
+			t.Fatalf("trial %d: record %q on first open of empty dir", trial, k)
+		})
+		if err != nil {
+			t.Fatalf("trial %d: Open: %v", trial, err)
+		}
+		for i := 0; i < n; i++ {
+			if _, err := l.Append(keys[i], vals[i]); err != nil {
+				t.Fatalf("trial %d: Append %d: %v", trial, i, err)
+			}
+		}
+		l.Close()
+
+		expect := 0
+		for expect < n && ends[expect] <= cut {
+			expect++
+		}
+		if cut < total {
+			if got := cfs.Counters().DroppedBytes; got != uint64(total-cut) {
+				t.Fatalf("trial %d: DroppedBytes = %d, want %d", trial, got, total-cut)
+			}
+		}
+
+		// Recover on the real filesystem: this is the disk after the
+		// power came back.
+		var got [][2]string
+		l2, err := wal.Open(wal.Config{Dir: dir}, func(k, v []byte) {
+			got = append(got, [2]string{string(k), string(v)})
+		})
+		if err != nil {
+			t.Fatalf("trial %d: recovery Open: %v", trial, err)
+		}
+		if len(got) != expect {
+			t.Fatalf("trial %d: cut %d recovered %d records, want exactly %d", trial, cut, len(got), expect)
+		}
+		for i, p := range got {
+			if p[0] != string(keys[i]) || p[1] != string(vals[i]) {
+				t.Fatalf("trial %d: record %d = %q/%q, want %q/%q", trial, i, p[0], p[1], keys[i], vals[i])
+			}
+		}
+		if lsn, err := l2.Append([]byte("post"), []byte("crash")); err != nil || lsn != uint64(expect+1) {
+			t.Fatalf("trial %d: post-recovery Append = (%d, %v), want (%d, nil)", trial, lsn, err, expect+1)
+		}
+		l2.Close()
+	}
+}
+
+func TestFSShortWriteFailsStopTheLog(t *testing.T) {
+	dir := t.TempDir()
+	cfs := NewFS(nil, FSConfig{Seed: 11, ShortWriteProb: 1})
+	l, err := wal.Open(wal.Config{Dir: dir, Sync: wal.SyncAlways, FS: cfs}, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := l.Append([]byte("k"), []byte("v")); !errors.Is(err, ErrInjectedWrite) {
+		t.Fatalf("Append = %v, want ErrInjectedWrite", err)
+	}
+	if _, err := l.Append([]byte("k2"), []byte("v2")); err == nil {
+		t.Fatal("append accepted after fail-stop")
+	}
+	if got := cfs.Counters().ShortWrites; got != 1 {
+		t.Fatalf("ShortWrites = %d, want 1", got)
+	}
+	l.Close()
+	// The unacknowledged torn record must not resurface.
+	var got int
+	l2, err := wal.Open(wal.Config{Dir: dir}, func(k, v []byte) { got++ })
+	if err != nil {
+		t.Fatalf("recovery Open: %v", err)
+	}
+	defer l2.Close()
+	if got != 0 {
+		t.Fatalf("recovered %d records from a short-written unacked frame, want 0", got)
+	}
+}
+
+func TestFSSyncErrorDeniesAck(t *testing.T) {
+	dir := t.TempDir()
+	cfs := NewFS(nil, FSConfig{Seed: 12, SyncErrProb: 1})
+	l, err := wal.Open(wal.Config{Dir: dir, Sync: wal.SyncGroup, FS: cfs}, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	lsn, err := l.Append([]byte("k"), []byte("v"))
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.Sync(lsn); !errors.Is(err, ErrInjectedSync) {
+		t.Fatalf("Sync = %v, want ErrInjectedSync", err)
+	}
+	if got := cfs.Counters().SyncErrs; got == 0 {
+		t.Fatal("SyncErrs = 0 after injected fsync failure")
+	}
+}
+
+// fsRun drives one File through a fixed op sequence and returns the
+// per-op fire pattern (true = the op got an injected error).
+func fsRun(t *testing.T, cfg FSConfig, activeFrom int) ([]bool, *FS) {
+	t.Helper()
+	cfs := NewFS(nil, cfg)
+	f, err := cfs.OpenFile(filepath.Join(t.TempDir(), "probe"), os.O_CREATE|os.O_RDWR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var fires []bool
+	payload := bytes.Repeat([]byte{0x5a}, 64)
+	for op := 0; op < 40; op++ {
+		cfs.SetActive(op >= activeFrom)
+		var err error
+		if op%2 == 0 {
+			_, err = f.Write(payload)
+		} else {
+			err = f.Sync()
+		}
+		fires = append(fires, err != nil)
+	}
+	return fires, cfs
+}
+
+func TestFSDeterministicAndAdvanceButMask(t *testing.T) {
+	cfg := FSConfig{Seed: 99, ShortWriteProb: 0.4, SyncErrProb: 0.4}
+
+	// Same seed, same ops: identical fault stream.
+	a1, _ := fsRun(t, cfg, 0)
+	a2, _ := fsRun(t, cfg, 0)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("op %d: fire %v vs %v across identical runs", i, a1[i], a2[i])
+		}
+	}
+
+	// Advance-but-mask: a run masked for the first half must fire
+	// identically to the always-active run in the second half — the
+	// decision stream advanced while masked rather than shifting.
+	b, cfs := fsRun(t, cfg, 20)
+	suppressedWant := 0
+	for i := 0; i < 20; i++ {
+		if b[i] {
+			t.Fatalf("op %d fired while inactive", i)
+		}
+		if a1[i] {
+			suppressedWant++
+		}
+	}
+	for i := 20; i < 40; i++ {
+		if a1[i] != b[i] {
+			t.Fatalf("op %d: masked-history run fired %v, active run %v — draws shifted", i, b[i], a1[i])
+		}
+	}
+	if got := cfs.Counters().Suppressed; got != uint64(suppressedWant) {
+		t.Fatalf("Suppressed = %d, want %d", got, suppressedWant)
+	}
+}
+
+func TestFSZeroConfigInjectsNothing(t *testing.T) {
+	cfs := NewFS(nil, FSConfig{Seed: 7})
+	name := filepath.Join(t.TempDir(), "clean")
+	f, err := cfs.OpenFile(name, os.O_CREATE|os.O_RDWR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("all bytes arrive intact")
+	if n, err := f.Write(want); err != nil || n != len(want) {
+		t.Fatalf("Write = (%d, %v)", n, err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	f.Close()
+	got, err := os.ReadFile(name)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("file = %q (%v), want %q", got, err, want)
+	}
+	c := cfs.Counters()
+	if c.ShortWrites != 0 || c.SyncErrs != 0 || c.DroppedBytes != 0 {
+		t.Fatalf("zero config injected faults: %+v", c)
+	}
+}

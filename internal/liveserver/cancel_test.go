@@ -77,10 +77,10 @@ func TestDisconnectEvictsQueued(t *testing.T) {
 
 	// Wedge the single worker deterministically: hold the store lock so
 	// a GET blocks inside its critical section (no safepoints there).
-	s.storeMu[0].Lock()
+	release := holdStoreLock(s, 0)
 	wedged := dial(t, addr)
 	if _, err := wedged.conn.Write([]byte("GET k\n")); err != nil {
-		s.storeMu[0].Unlock()
+		release()
 		t.Fatal(err)
 	}
 	waitFor(t, 2*time.Second, func() bool {
@@ -91,7 +91,7 @@ func TestDisconnectEvictsQueued(t *testing.T) {
 	// client.
 	queued := dial(t, addr)
 	if _, err := queued.conn.Write([]byte("PING\n")); err != nil {
-		s.storeMu[0].Unlock()
+		release()
 		t.Fatal(err)
 	}
 	waitFor(t, 2*time.Second, func() bool { return s.group.Shard(0).Pool().QueueLen() == 1 },
@@ -113,7 +113,7 @@ func TestDisconnectEvictsQueued(t *testing.T) {
 
 	// Release the wedge: the original GET completes normally and is the
 	// only task that ever ran.
-	s.storeMu[0].Unlock()
+	release()
 	if !wedged.r.Scan() {
 		t.Fatalf("no response to wedged GET: %v", wedged.r.Err())
 	}

@@ -49,14 +49,15 @@ func TestIdleTimeoutSparesInflightRequest(t *testing.T) {
 		t.Fatalf("SET → %q", got)
 	}
 
-	s.storeMu[0].Lock()
+	release := holdStoreLock(s, 0)
 	if _, err := c.conn.Write([]byte("GET k\n")); err != nil {
+		release()
 		t.Fatal(err)
 	}
 	// Let the GET reach the store lock, then sit well past several idle
 	// periods with the connection quiet in both directions.
 	time.Sleep(5 * idle)
-	s.storeMu[0].Unlock()
+	release()
 
 	c.conn.SetReadDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
 	if !c.r.Scan() {
@@ -118,7 +119,7 @@ func TestWriteTimeoutClosesStuckClient(t *testing.T) {
 	if _, err := io.ReadFull(conn, rbuf); err != nil || string(rbuf) != "OK\n" {
 		t.Fatalf("SET response = %q, %v", rbuf, err)
 	}
-	req := strings.Repeat("GET big\n", 300) // ~18 MB of responses, far past any buffer
+	req := strings.Repeat("GET big\n", 300)                // ~18 MB of responses, far past any buffer
 	conn.SetWriteDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
 	conn.Write([]byte(req))                                //nolint:errcheck
 

@@ -104,7 +104,9 @@ import (
 	"repro/internal/bejob"
 	"repro/internal/breaker"
 	"repro/internal/brownout"
+	"repro/internal/mica"
 	"repro/internal/shard"
+	"repro/internal/wal"
 	"repro/preemptible"
 )
 
@@ -196,19 +198,33 @@ type Config struct {
 	// accounting single-shard deployments rely on.
 	Supervise        shard.SuperviseConfig
 	SuperviseEnabled bool
+
+	// WALDir, when non-empty, enables per-shard durability: shard i
+	// write-ahead logs acknowledged SETs under WALDir/shard-<i>, and a
+	// restart (supervised rebuild or whole-process crash) recovers each
+	// partition from snapshot+log instead of starting empty. A SET is
+	// acknowledged "OK" only after its record is fsynced (per WALSync);
+	// a SET the log cannot promise answers "ERR wal".
+	WALDir string
+	// WALSync is the log's durability mode (default: group commit —
+	// one fsync covers every append since the last, so the hot path
+	// pays amortized not per-op sync cost).
+	WALSync wal.SyncMode
+	// SnapshotEvery snapshots each shard's partition after this many
+	// logged SETs and truncates the covered log (0 = never).
+	SnapshotEvery int
+	// WALFS overrides the WAL's filesystem (chaos fault injection);
+	// nil = the OS.
+	WALFS wal.FS
+	// WALLie builds a deliberately broken durability layer that acks
+	// without logging — see shard.Config.WALLie. Test-only.
+	WALLie bool
 }
 
 // Server serves the protocol over TCP.
 type Server struct {
 	rt    *preemptible.Runtime
 	group *shard.Group
-
-	// storeMu serializes access to each shard's store: mica.Store
-	// mutates its hit counters even on Get, so reads are writes. One
-	// mutex per shard — the pre-sharding server's single full-exclusion
-	// store lock, split N ways so shards never contend on each other's
-	// keys.
-	storeMu []sync.Mutex
 
 	maxConns     int
 	reqTimeout   time.Duration
@@ -335,8 +351,12 @@ func New(rt *preemptible.Runtime, cfg Config) *Server {
 			Breaker:             cfg.Breaker,
 			BreakerDisabled:     cfg.BreakerDisabled,
 			PanicInject:         cfg.PanicInject,
+			WALDir:              cfg.WALDir,
+			WALSync:             cfg.WALSync,
+			SnapshotEvery:       cfg.SnapshotEvery,
+			WALFS:               cfg.WALFS,
+			WALLie:              cfg.WALLie,
 		}, scfg),
-		storeMu:      make([]sync.Mutex, shards),
 		maxConns:     maxConns,
 		reqTimeout:   cfg.RequestTimeout,
 		maxLineBytes: maxLine,
@@ -604,7 +624,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		// long passed, and this line should not block on a dead client.
 		conn.SetWriteDeadline(time.Now().Add(100 * time.Millisecond)) //nolint:errcheck
 		w.WriteString("ERR line too long\n")                          //nolint:errcheck
-		w.Flush()                            //nolint:errcheck
+		w.Flush()                                                     //nolint:errcheck
 		// Drain the unread remainder of the over-long line so the close
 		// sends FIN, not RST — otherwise the error line may never reach
 		// the client.
@@ -811,9 +831,7 @@ func (s *Server) handleRequest(line string, gone <-chan struct{}) string {
 		idx := s.group.Route(key)
 		sh := s.group.Shard(idx)
 		run(idx, preemptible.ClassLC, func(ctx *preemptible.Ctx) {
-			s.storeMu[idx].Lock()
-			res := sh.Store().Get(key)
-			s.storeMu[idx].Unlock()
+			res := sh.StoreGet(key)
 			if res.Hit {
 				resp = "VALUE " + string(res.Value)
 			} else {
@@ -831,12 +849,17 @@ func (s *Server) handleRequest(line string, gone <-chan struct{}) string {
 		idx := s.group.Route(key)
 		sh := s.group.Shard(idx)
 		run(idx, preemptible.ClassLC, func(ctx *preemptible.Ctx) {
-			s.storeMu[idx].Lock()
-			ok := sh.Store().Set(key, []byte(value))
-			s.storeMu[idx].Unlock()
-			if ok {
+			// The ack gate: "OK" means the record is applied AND durable
+			// (logged + fsynced when a WAL is configured). A write the
+			// log cannot promise answers "ERR wal" — the store may have
+			// changed, but the client was never promised anything.
+			ok, err := sh.DurableSet(key, []byte(value))
+			switch {
+			case err != nil:
+				resp = "ERR wal"
+			case ok:
 				resp = "OK"
-			} else {
+			default:
 				resp = "ERR value too large"
 			}
 		})
@@ -1007,17 +1030,16 @@ func (s *Server) handleMGet(keys []string, meta reqMeta, gone <-chan struct{}) s
 			// between: it either ran (every token set) or it did not run
 			// at all, so a failure token never overwrites a real value.
 			res := s.group.Do(idx, preemptible.ClassLC, func(ctx *preemptible.Ctx) {
-				s.storeMu[idx].Lock()
-				st := sh.Store()
-				for _, i := range kidx {
-					r := st.Get([]byte(keys[i]))
-					if r.Hit {
-						tokens[i] = "=" + url.QueryEscape(string(r.Value))
-					} else {
-						tokens[i] = "NOT_FOUND"
+				sh.StoreView(func(st *mica.Store) {
+					for _, i := range kidx {
+						r := st.Get([]byte(keys[i]))
+						if r.Hit {
+							tokens[i] = "=" + url.QueryEscape(string(r.Value))
+						} else {
+							tokens[i] = "NOT_FOUND"
+						}
 					}
-				}
-				s.storeMu[idx].Unlock()
+				})
 			}, shard.DoOptions{Deadline: meta.deadline, Attempt: meta.attempt, Gone: gone})
 			if s.settle(preemptible.ClassLC, res) != "" {
 				tok := failToken(res.Outcome)

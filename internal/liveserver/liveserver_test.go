@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/mica"
 	"repro/preemptible"
 )
 
@@ -31,6 +32,28 @@ func startServer(t *testing.T, cfg Config) (*Server, string) {
 	go s.Serve(ln) //nolint:errcheck
 	t.Cleanup(s.Close)
 	return s, ln.Addr().String()
+}
+
+// holdStoreLock occupies shard idx's store lock until the returned
+// release func is called — the deterministic way to wedge a GET inside
+// its critical section (no safepoints there). It returns once the lock
+// is actually held.
+func holdStoreLock(s *Server, idx int) (release func()) {
+	entered := make(chan struct{})
+	released := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		s.group.Shard(idx).StoreView(func(*mica.Store) {
+			close(entered)
+			<-released
+		})
+		close(done)
+	}()
+	<-entered
+	return func() {
+		close(released)
+		<-done
+	}
 }
 
 func dial(t *testing.T, addr string) *testClient {

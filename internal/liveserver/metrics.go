@@ -36,8 +36,12 @@ import (
 
 // MetricsSchemaVersion identifies the STATS v2 document layout. Bump it
 // on any field removal or semantic change; additions are backward
-// compatible and do not bump.
-const MetricsSchemaVersion = 2
+// compatible and do not bump. Schema 3 added the durability plane
+// (WALSeries: wal_appends, wal_fsyncs, wal_recovered_records,
+// snapshot_count, recovery_ms) — a bump rather than a silent addition
+// because perf gates now read those fields and must not run against a
+// server that doesn't export them.
+const MetricsSchemaVersion = 3
 
 // statsV2Prefix frames the wire encoding of a MetricsV2 document.
 const statsV2Prefix = "STATS2 "
@@ -107,6 +111,28 @@ func (p *PoolSeries) add(o PoolSeries) {
 	p.DegradedRuns += o.DegradedRuns
 }
 
+// WALSeries is the durability-plane slice of the document (schema 3):
+// per-shard write-ahead-log and snapshot counters, accumulated across
+// shard generations like every other counter. All zero when the server
+// runs without -wal.
+type WALSeries struct {
+	WalAppends          uint64 `json:"wal_appends"`
+	WalFsyncs           uint64 `json:"wal_fsyncs"`
+	WalRecoveredRecords uint64 `json:"wal_recovered_records"`
+	SnapshotCount       uint64 `json:"snapshot_count"`
+	// RecoveryMillis is cumulative wall time spent replaying
+	// snapshot+log across all of this shard's rebuilds.
+	RecoveryMillis int64 `json:"recovery_ms"`
+}
+
+func (w *WALSeries) add(o WALSeries) {
+	w.WalAppends += o.WalAppends
+	w.WalFsyncs += o.WalFsyncs
+	w.WalRecoveredRecords += o.WalRecoveredRecords
+	w.SnapshotCount += o.SnapshotCount
+	w.RecoveryMillis += o.RecoveryMillis
+}
+
 // ShardSeries is one shard's block of the document.
 type ShardSeries struct {
 	Shard      int                    `json:"shard"`
@@ -116,6 +142,7 @@ type ShardSeries struct {
 	Brownout   string                 `json:"brownout"`
 	Classes    map[string]ClassSeries `json:"classes"` // keyed "lc", "be"
 	Pool       PoolSeries             `json:"pool"`
+	WAL        WALSeries              `json:"wal"`
 }
 
 // MetricsV2 is the STATS v2 document.
@@ -139,6 +166,8 @@ type MetricsV2 struct {
 	Totals map[string]ClassSeries `json:"totals"`
 	// Pool is the scheduling counters summed over PerShard.
 	Pool PoolSeries `json:"pool"`
+	// WAL is the durability counters summed over PerShard.
+	WAL WALSeries `json:"wal"`
 
 	PerShard []ShardSeries `json:"per_shard"`
 }
@@ -208,6 +237,7 @@ func (s *Server) MetricsV2() MetricsV2 {
 			m.Load = l
 		}
 		cs := sh.Counters()
+		wst := sh.WALStats()
 		block := ShardSeries{
 			Shard:      i,
 			Health:     sh.Health().String(),
@@ -216,6 +246,13 @@ func (s *Server) MetricsV2() MetricsV2 {
 			Brownout:   sh.BrownoutState().String(),
 			Classes:    make(map[string]ClassSeries, preemptible.NumClasses),
 			Pool:       poolSeries(sh.Stats()),
+			WAL: WALSeries{
+				WalAppends:          wst.Appends,
+				WalFsyncs:           wst.Fsyncs,
+				WalRecoveredRecords: wst.RecoveredRecords,
+				SnapshotCount:       wst.Snapshots,
+				RecoveryMillis:      wst.Recovery.Milliseconds(),
+			},
 		}
 		for c := 0; c < preemptible.NumClasses; c++ {
 			class := preemptible.Class(c)
@@ -225,6 +262,7 @@ func (s *Server) MetricsV2() MetricsV2 {
 			sh.MergeLatency(class, merged[c])
 		}
 		m.Pool.add(block.Pool)
+		m.WAL.add(block.WAL)
 		m.PerShard = append(m.PerShard, block)
 	}
 	for c := 0; c < preemptible.NumClasses; c++ {

@@ -47,22 +47,25 @@ func goldenDoc() MetricsV2 {
 	}
 	pool := PoolSeries{Submitted: 160, Completed: 130, Preemptions: 44, Shed: 9, Failed: 4, DegradedRuns: 2}
 	halfPool := PoolSeries{Submitted: 80, Completed: 65, Preemptions: 22, Shed: 4, Failed: 2, DegradedRuns: 1}
+	walTot := WALSeries{WalAppends: 240, WalFsyncs: 60, WalRecoveredRecords: 90, SnapshotCount: 6, RecoveryMillis: 14}
+	halfWAL := WALSeries{WalAppends: 120, WalFsyncs: 30, WalRecoveredRecords: 45, SnapshotCount: 3, RecoveryMillis: 7}
 	return MetricsV2{
-		Schema:      MetricsSchemaVersion,
-		State:       "brownout",
-		Load:        0.875,
-		Shards:      2,
+		Schema:        MetricsSchemaVersion,
+		State:         "brownout",
+		Load:          0.875,
+		Shards:        2,
 		ShedConns:     3,
 		LineTooLong:   1,
 		IdleClosed:    2,
 		WriteTimeouts: 1,
-		Totals:      map[string]ClassSeries{"lc": lc, "be": be},
-		Pool:        pool,
+		Totals:        map[string]ClassSeries{"lc": lc, "be": be},
+		Pool:          pool,
+		WAL:           walTot,
 		PerShard: []ShardSeries{
 			{Shard: 0, Health: "healthy", Generation: 1, Restarts: 1, Brownout: "brownout",
-				Classes: map[string]ClassSeries{"lc": halve(lc), "be": halve(be)}, Pool: halfPool},
+				Classes: map[string]ClassSeries{"lc": halve(lc), "be": halve(be)}, Pool: halfPool, WAL: halfWAL},
 			{Shard: 1, Health: "dead", Generation: 2, Restarts: 2, Brownout: "normal",
-				Classes: map[string]ClassSeries{"lc": halve(lc), "be": halve(be)}, Pool: halfPool},
+				Classes: map[string]ClassSeries{"lc": halve(lc), "be": halve(be)}, Pool: halfPool, WAL: halfWAL},
 		},
 	}
 }
@@ -117,9 +120,10 @@ func TestStatsV2DecodeRejectsBadInput(t *testing.T) {
 
 // sumShardSeries recomputes totals from a document's per-shard blocks,
 // the way the invariant defines them.
-func sumShardSeries(m MetricsV2) (map[string]ClassSeries, PoolSeries) {
+func sumShardSeries(m MetricsV2) (map[string]ClassSeries, PoolSeries, WALSeries) {
 	totals := map[string]ClassSeries{}
 	var pool PoolSeries
+	var wal WALSeries
 	for _, sh := range m.PerShard {
 		for name, cs := range sh.Classes {
 			agg := totals[name]
@@ -128,8 +132,9 @@ func sumShardSeries(m MetricsV2) (map[string]ClassSeries, PoolSeries) {
 			totals[name] = agg
 		}
 		pool.add(sh.Pool)
+		wal.add(sh.WAL)
 	}
-	return totals, pool
+	return totals, pool, wal
 }
 
 // stripQuantiles zeroes the non-additive latency fields so additive
@@ -206,7 +211,7 @@ func TestMetricsTotalsEqualShardSums(t *testing.T) {
 		if doc.Shards != 4 || len(doc.PerShard) != 4 {
 			t.Fatalf("%s: want 4 shards, got %d (%d blocks)", name, doc.Shards, len(doc.PerShard))
 		}
-		sums, poolSum := sumShardSeries(doc)
+		sums, poolSum, walSum := sumShardSeries(doc)
 		for class, total := range doc.Totals {
 			if got, want := stripQuantiles(total), stripQuantiles(sums[class]); !reflect.DeepEqual(got, want) {
 				t.Errorf("%s: totals.%s != Σ shards:\n got %+v\nwant %+v", name, class, got, want)
@@ -214,6 +219,9 @@ func TestMetricsTotalsEqualShardSums(t *testing.T) {
 		}
 		if !reflect.DeepEqual(doc.Pool, poolSum) {
 			t.Errorf("%s: pool totals != Σ shards:\n got %+v\nwant %+v", name, doc.Pool, poolSum)
+		}
+		if !reflect.DeepEqual(doc.WAL, walSum) {
+			t.Errorf("%s: wal totals != Σ shards:\n got %+v\nwant %+v", name, doc.WAL, walSum)
 		}
 		if doc.Totals["lc"].Completed == 0 {
 			t.Errorf("%s: no completed LC requests recorded under load", name)

@@ -97,7 +97,7 @@ func TestRequestTimeoutSheds(t *testing.T) {
 	getC := dial(t, addr)
 	pingC := dial(t, addr)
 
-	s.storeMu[0].Lock()
+	release := holdStoreLock(s, 0)
 	getDone := make(chan string, 1)
 	go func() { getDone <- getC.roundTrip(t, "GET k") }()
 	time.Sleep(10 * time.Millisecond) // the worker is now blocked on the store lock
@@ -105,7 +105,7 @@ func TestRequestTimeoutSheds(t *testing.T) {
 	pingDone := make(chan string, 1)
 	go func() { pingDone <- pingC.roundTrip(t, "PING") }()
 	time.Sleep(20 * time.Millisecond) // PING's pickup deadline lapses in queue
-	s.storeMu[0].Unlock()
+	release()
 
 	if got := <-pingDone; got != "ERR overloaded" {
 		t.Fatalf("queued PING → %q, want ERR overloaded", got)

@@ -1,0 +1,87 @@
+package mica
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestRangeMatchesGet drives the store hard enough to create every
+// kind of stale index state — log wrap, overwritten slots, bucket
+// evictions — and checks Range's contract both ways: everything Get
+// hits is emitted with the same value, and everything emitted is a
+// Get hit.
+func TestRangeMatchesGet(t *testing.T) {
+	s := NewStore(2048, 8) // small log + few buckets: wraps and evicts
+	const keys = 200
+	for round := 0; round < 3; round++ {
+		for i := 0; i < keys; i++ {
+			k := []byte(fmt.Sprintf("rk-%03d", i))
+			v := bytes.Repeat([]byte{byte('a' + round)}, 1+(i*13)%40)
+			s.Set(k, v)
+		}
+	}
+
+	emitted := map[string][]byte{}
+	s.Range(func(k, v []byte) bool {
+		if _, dup := emitted[string(k)]; dup {
+			t.Fatalf("Range emitted key %q twice", k)
+		}
+		emitted[string(k)] = v
+		return true
+	})
+	if len(emitted) == 0 {
+		t.Fatal("Range emitted nothing from a populated store")
+	}
+
+	hits := 0
+	for i := 0; i < keys; i++ {
+		k := []byte(fmt.Sprintf("rk-%03d", i))
+		r := s.Get(k)
+		if r.Hit {
+			hits++
+			got, ok := emitted[string(k)]
+			if !ok {
+				t.Fatalf("Get hits %q but Range omitted it", k)
+			}
+			if !bytes.Equal(got, r.Value) {
+				t.Fatalf("key %q: Range value %q, Get value %q", k, got, r.Value)
+			}
+		}
+	}
+	if hits != len(emitted) {
+		t.Fatalf("Range emitted %d pairs, Get hits %d — sets differ", len(emitted), hits)
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	s := NewStore(4096, 16)
+	for i := 0; i < 20; i++ {
+		s.Set([]byte(fmt.Sprintf("es-%02d", i)), []byte("v"))
+	}
+	calls := 0
+	s.Range(func(k, v []byte) bool {
+		calls++
+		return calls < 5
+	})
+	if calls != 5 {
+		t.Fatalf("Range made %d calls after stop at 5", calls)
+	}
+}
+
+func TestRangeCopiesOutliveMutation(t *testing.T) {
+	s := NewStore(1024, 4)
+	s.Set([]byte("stable-key"), []byte("stable-value"))
+	var k, v []byte
+	s.Range(func(key, value []byte) bool {
+		k, v = key, value
+		return true
+	})
+	// Churn the log so the original record bytes are overwritten.
+	for i := 0; i < 300; i++ {
+		s.Set([]byte(fmt.Sprintf("churn-%03d", i)), bytes.Repeat([]byte{'x'}, 30))
+	}
+	if string(k) != "stable-key" || string(v) != "stable-value" {
+		t.Fatalf("Range output mutated by later writes: %q/%q", k, v)
+	}
+}

@@ -192,6 +192,59 @@ func (s *Store) valueAt(off uint32, key []byte) ([]byte, bool) {
 	return out, true
 }
 
+// Range calls fn for every live key/value pair — exactly the pairs a
+// Get would currently hit — until fn returns false. The snapshot path
+// (internal/wal via internal/shard) is the consumer: the emitted set
+// must be the store's observable contents, so each index entry is
+// validated before emission. The log is circular and the index lossy,
+// so a slot may point at bytes since overwritten by another record;
+// an entry owns its record only if the key found there still hashes to
+// this bucket with this entry's tag. When two slots in a bucket claim
+// the same key (one stale), only the first — the one Get would return
+// — is emitted. Key and value are copied; fn may retain them.
+func (s *Store) Range(fn func(key, value []byte) bool) {
+	for bi := range s.buckets {
+		b := &s.buckets[bi]
+		for i := range b {
+			if !b[i].used {
+				continue
+			}
+			off := int(b[i].offset)
+			if off+headerBytes > len(s.log) {
+				continue
+			}
+			kl := int(binary.LittleEndian.Uint16(s.log[off:]))
+			vl := int(binary.LittleEndian.Uint16(s.log[off+2:]))
+			end := off + headerBytes + kl + vl
+			if end > len(s.log) {
+				continue
+			}
+			key := s.log[off+headerBytes : off+headerBytes+kl]
+			h := hash64(key)
+			if uint32(h)&s.mask != uint32(bi) || uint16(h>>48) != b[i].tag {
+				continue // slot overwritten by a record from another bucket
+			}
+			first := true
+			for j := 0; j < i; j++ {
+				if b[j].used && b[j].tag == b[i].tag && s.keyAt(b[j].offset, key) {
+					first = false
+					break
+				}
+			}
+			if !first {
+				continue
+			}
+			k := make([]byte, kl)
+			copy(k, key)
+			v := make([]byte, vl)
+			copy(v, s.log[off+headerBytes+kl:end])
+			if !fn(k, v) {
+				return
+			}
+		}
+	}
+}
+
 // HitRate reports the GET hit fraction so far.
 func (s *Store) HitRate() float64 {
 	if s.Gets == 0 {

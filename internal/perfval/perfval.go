@@ -26,6 +26,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"os"
 	"runtime"
 	"sync"
 	"testing"
@@ -190,6 +191,13 @@ type HotPath struct {
 	SetAllocsPerOp    int64 `json:"set_allocs_per_op"`
 	Stats2NsPerOp     int64 `json:"stats2_ns_per_op"`
 	Stats2AllocsPerOp int64 `json:"stats2_allocs_per_op"`
+	// WalSet* probe the durable SET path (group-commit WAL on a temp
+	// dir): the cost of logging + fsync batching over the in-memory
+	// SET above. Additive since schema 1, and omitempty so a pre-WAL
+	// baseline round-trips without fabricating a zero and the gate
+	// skips them until a real baseline exists.
+	WalSetNsPerOp     int64 `json:"wal_set_ns_per_op,omitempty"`
+	WalSetAllocsPerOp int64 `json:"wal_set_allocs_per_op,omitempty"`
 }
 
 // Execute runs the full matrix and returns the Run (Bench is left 0;
@@ -462,6 +470,21 @@ func measureHotPath() (*HotPath, error) {
 			srv.HandleLine("STATS2")
 		}
 	})
+	walDir, err := os.MkdirTemp("", "perfval-wal-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(walDir)
+	wsrv := liveserver.New(rt, liveserver.Config{Shards: 1, WALDir: walDir})
+	defer wsrv.Close()
+	if resp := wsrv.HandleLine("SET bench-key bench-value"); resp != "OK" {
+		return nil, fmt.Errorf("hot path seed durable SET: %q", resp)
+	}
+	walSet := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			wsrv.HandleLine("SET bench-key bench-value")
+		}
+	})
 	return &HotPath{
 		ParseNsPerOp:      parse.NsPerOp(),
 		ParseAllocsPerOp:  parse.AllocsPerOp(),
@@ -471,5 +494,7 @@ func measureHotPath() (*HotPath, error) {
 		SetAllocsPerOp:    set.AllocsPerOp(),
 		Stats2NsPerOp:     stats2.NsPerOp(),
 		Stats2AllocsPerOp: stats2.AllocsPerOp(),
+		WalSetNsPerOp:     walSet.NsPerOp(),
+		WalSetAllocsPerOp: walSet.AllocsPerOp(),
 	}, nil
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/testutil"
 	"repro/preemptible"
 )
 
@@ -41,6 +42,7 @@ func fastSupervise() SuperviseConfig {
 }
 
 func TestGroupServesAllShards(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	rt := newTestRuntime(t)
 	g := NewGroup(rt, 3, Config{Workers: 1}, SuperviseConfig{Disabled: true})
 	defer g.Close()
@@ -65,6 +67,7 @@ func TestGroupServesAllShards(t *testing.T) {
 // bound — while the sibling shards never leave Healthy and never fail a
 // request.
 func TestSupervisorRestartsWedgedShard(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	rt := newTestRuntime(t)
 	g := NewGroup(rt, 3, Config{Workers: 1}, fastSupervise())
 	defer g.Close()
@@ -149,6 +152,7 @@ func TestSupervisorRestartsWedgedShard(t *testing.T) {
 // exhausts MaxRestarts within RestartWindow and is retired permanently,
 // mirroring the watchdog's terminal escalation.
 func TestRestartBudgetEscalatesToDead(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	rt := newTestRuntime(t)
 	scfg := fastSupervise()
 	scfg.MaxRestarts = 2
@@ -192,6 +196,7 @@ func TestRestartBudgetEscalatesToDead(t *testing.T) {
 // are conserved across a drain + rebuild — nothing a restart throws
 // away is a counter.
 func TestCountersSurviveRestart(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	rt := newTestRuntime(t)
 	g := NewGroup(rt, 2, Config{Workers: 1}, SuperviseConfig{Disabled: true, RestartDrain: 100 * time.Millisecond})
 	defer g.Close()
@@ -244,6 +249,7 @@ func TestCountersSurviveRestart(t *testing.T) {
 // identical before, during, and after its shard's outage — bulkhead
 // routing never smears a dead shard's keys onto siblings.
 func TestKeyedRoutingUnaffectedByOutage(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	rt := newTestRuntime(t)
 	g := NewGroup(rt, 3, Config{Workers: 1}, SuperviseConfig{Disabled: true, RestartDrain: 50 * time.Millisecond})
 	defer g.Close()

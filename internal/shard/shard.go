@@ -14,15 +14,22 @@
 // The failure semantics are deliberately partial: while a shard is
 // down, only keys that route to it answer Unavailable — the router
 // never fails keys over to a sibling whose store has never seen them.
-// A rebuilt shard restarts with an empty store partition (cache
-// semantics, exactly like a restarted memcached node); its admission
-// counters live in the Shard, not the pool, and survive restarts, so
-// conservation invariants hold across the whole lifecycle.
+// Without durability configured, a rebuilt shard restarts with an
+// empty store partition (cache semantics, exactly like a restarted
+// memcached node). With Config.WALDir set, each shard owns a
+// write-ahead log (internal/wal): SETs are logged and group-commit
+// fsynced before they are acknowledged (DurableSet), and rebuild
+// recovers the partition from snapshot+log, so acknowledged writes
+// survive both supervised restarts and whole-process crashes. The
+// shard's admission counters live in the Shard, not the pool, and
+// survive restarts, so conservation invariants hold across the whole
+// lifecycle; WAL counters accumulate the same way across generations.
 package shard
 
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,6 +39,7 @@ import (
 	"repro/internal/brownout"
 	"repro/internal/mica"
 	"repro/internal/stats"
+	"repro/internal/wal"
 	"repro/preemptible"
 )
 
@@ -101,6 +109,26 @@ type Config struct {
 	// PanicInject, when non-nil, poisons an admitted request's task with
 	// a mid-run panic (the chaos hook; see chaos.PanicInjector).
 	PanicInject func(class preemptible.Class) bool
+
+	// WALDir, when non-empty, enables per-shard durability: shard i
+	// logs acknowledged SETs to WALDir/shard-<i>, and a supervised
+	// rebuild recovers the partition from snapshot+log instead of
+	// restarting empty.
+	WALDir string
+	// WALSync is the log's durability mode (default: group commit).
+	WALSync wal.SyncMode
+	// SnapshotEvery snapshots the partition after this many logged SETs
+	// and truncates the covered log (0 = never snapshot).
+	SnapshotEvery int
+	// WALFS overrides the WAL's filesystem (chaos fault injection);
+	// nil = the OS.
+	WALFS wal.FS
+	// WALLie builds a deliberately broken durability layer: SETs are
+	// acknowledged as durable without being logged, so every restart
+	// silently loses them. It exists to prove the soak checker's
+	// durability invariant catches a lying WAL; never set it outside
+	// tests.
+	WALLie bool
 }
 
 func (c Config) withDefaults() Config {
@@ -246,9 +274,18 @@ type DoOptions struct {
 // a restart throws away and recreates. Swapping the whole struct under
 // one mutex keeps Do's snapshot race-free against a concurrent rebuild.
 type unit struct {
-	pool     *preemptible.Pool
-	store    *mica.Store
-	engine   *bejob.Engine
+	pool   *preemptible.Pool
+	store  *mica.Store
+	engine *bejob.Engine
+	// wal is this generation's write-ahead log, nil when durability is
+	// off. It is opened (recovering the store) in buildUnit and closed
+	// in retire, after the pool drains — so the log's lifetime brackets
+	// every SET the generation acknowledged.
+	wal *wal.Log
+	// walErr records a failed WAL open: the shard still serves GETs
+	// from the recovered-so-far store, but DurableSet refuses to
+	// acknowledge what it cannot log.
+	walErr   error
 	ctl      *brownout.Controller
 	breakers [preemptible.NumClasses]*breaker.Breaker
 	loopStop chan struct{}
@@ -270,6 +307,17 @@ type Shard struct {
 	mu  sync.Mutex
 	cur *unit
 	gen uint64
+
+	// storeMu serializes store access AND its WAL append: DurableSet
+	// holds it across Set+Append so log order equals apply order.
+	// (Recovery writes need no lock — they land on a unit that is not
+	// yet installed as s.cur.)
+	storeMu sync.Mutex
+	// walRetired accumulates retired generations' WAL counters, like
+	// the retired pool stats; snapWG tracks in-flight async snapshot
+	// writers so retire can close the log behind them.
+	walRetired wal.Stats
+	snapWG     sync.WaitGroup
 
 	health     atomic.Int32
 	bstate     atomic.Int32 // brownout.State, written by the generation's loop
@@ -314,6 +362,23 @@ func (s *Shard) buildUnit() *unit {
 		loopStop: make(chan struct{}),
 		killed:   make(chan struct{}),
 	}
+	if s.cfg.WALDir != "" {
+		// Opening the log IS the recovery: snapshot + replay applies
+		// every acknowledged SET into the fresh partition before the
+		// generation serves anything. A failed open degrades the shard
+		// to read-only-of-recovered-state rather than killing it.
+		l, err := wal.Open(wal.Config{
+			Dir:           filepath.Join(s.cfg.WALDir, fmt.Sprintf("shard-%d", s.idx)),
+			Sync:          s.cfg.WALSync,
+			SnapshotEvery: s.cfg.SnapshotEvery,
+			FS:            s.cfg.WALFS,
+		}, func(k, v []byte) { u.store.Set(k, v) })
+		if err != nil {
+			u.walErr = fmt.Errorf("shard %d: wal open: %w", s.idx, err)
+		} else {
+			u.wal = l
+		}
+	}
 	if !s.cfg.BreakerDisabled {
 		for c := range u.breakers {
 			u.breakers[c] = breaker.New(s.cfg.Breaker)
@@ -355,8 +420,101 @@ func (s *Shard) Generation() uint64 {
 // Pool exposes the current generation's pool (tests, drain).
 func (s *Shard) Pool() *preemptible.Pool { return s.snapshot().pool }
 
-// Store exposes the current generation's store partition.
+// Store exposes the current generation's store partition. Concurrent
+// callers must serialize through StoreView/StoreGet/DurableSet.
 func (s *Shard) Store() *mica.Store { return s.snapshot().store }
+
+// StoreGet looks key up in the current generation's store under the
+// shard's store lock.
+func (s *Shard) StoreGet(key []byte) mica.GetResult {
+	u := s.snapshot()
+	s.storeMu.Lock()
+	r := u.store.Get(key)
+	s.storeMu.Unlock()
+	return r
+}
+
+// StoreView runs f on the current generation's store under the shard's
+// store lock — the multi-op access path (MGET, tests).
+func (s *Shard) StoreView(f func(st *mica.Store)) {
+	u := s.snapshot()
+	s.storeMu.Lock()
+	f(u.store)
+	s.storeMu.Unlock()
+}
+
+// DurableSet applies one SET and, when durability is configured, logs
+// and fsyncs it. ok reports whether the store accepted the item (false
+// = too large, same as Store().Set). A nil error with ok=true is the
+// durability promise: the record is on disk (or durability is off) and
+// the write may be acknowledged. A non-nil error means the store
+// changed but the log could not promise the write — the caller must
+// NOT ack (liveserver answers "ERR wal").
+func (s *Shard) DurableSet(key, value []byte) (ok bool, err error) {
+	u := s.snapshot()
+	s.storeMu.Lock()
+	ok = u.store.Set(key, value)
+	var lsn uint64
+	var aerr error
+	if ok && u.wal != nil && !s.cfg.WALLie {
+		lsn, aerr = u.wal.Append(key, value)
+	}
+	s.storeMu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	if u.walErr != nil {
+		return true, u.walErr
+	}
+	if u.wal == nil || s.cfg.WALLie {
+		return true, nil
+	}
+	if aerr != nil {
+		return true, aerr
+	}
+	if err := u.wal.Sync(lsn); err != nil {
+		return true, err
+	}
+	s.maybeSnapshot(u)
+	return true, nil
+}
+
+// maybeSnapshot kicks off an async snapshot of the partition when the
+// log says one is due. The entry set and its covering LSN are captured
+// atomically under storeMu (no append can land between them); only the
+// file write happens off the hot path.
+func (s *Shard) maybeSnapshot(u *unit) {
+	if !u.wal.SnapshotDue() || !u.wal.BeginSnapshot() {
+		return
+	}
+	s.storeMu.Lock()
+	upTo := u.wal.LastLSN()
+	var entries []wal.Entry
+	u.store.Range(func(k, v []byte) bool {
+		entries = append(entries, wal.Entry{Key: k, Value: v})
+		return true
+	})
+	s.storeMu.Unlock()
+	s.snapWG.Add(1)
+	go func() {
+		defer s.snapWG.Done()
+		u.wal.WriteSnapshot(upTo, entries) //nolint:errcheck // failures are counted in wal.Stats
+	}()
+}
+
+// WALStats reports the shard's durability counters accumulated across
+// every generation, like Stats does for the pool. Zero when durability
+// is off.
+func (s *Shard) WALStats() wal.Stats {
+	s.mu.Lock()
+	st := s.walRetired
+	u := s.cur
+	s.mu.Unlock()
+	if u.wal != nil {
+		st.Add(u.wal.Stats())
+	}
+	return st
+}
 
 // Engine exposes the current generation's compression engine.
 func (s *Shard) Engine() *bejob.Engine { return s.snapshot().engine }
@@ -702,16 +860,30 @@ func (s *Shard) retire(ctx context.Context) {
 	u.pool.Drain(ctx) //nolint:errcheck // stragglers are cancelled either way
 	close(u.loopStop)
 	s.loopWG.Wait()
+	// The pool is drained: no request can append anymore. Wait out any
+	// in-flight snapshot writer, then close the log — its final flush
+	// covers the tail — and fold its counters so WALStats stays a pure
+	// accumulation across generations.
+	var wst wal.Stats
+	if u.wal != nil {
+		s.snapWG.Wait()
+		u.wal.Close() //nolint:errcheck // best-effort final flush; acks were already synced
+		wst = u.wal.Stats()
+	}
 	s.mu.Lock()
 	addPoolStats(&s.retired, u.pool.Stats())
+	s.walRetired.Add(wst)
 	s.mu.Unlock()
 }
 
 // rebuild is the supervisor's repair path: retire the wedged
 // generation (drain cancels its stragglers), then install a fresh
-// pool + empty store partition + reset controller and breakers, and
-// re-admit. The shard must be in Restarting when called; it is Healthy
-// again on return.
+// pool + store partition + reset controller and breakers, and
+// re-admit. With durability configured the new partition is recovered
+// from the WAL inside buildUnit — every SET acknowledged before the
+// failure is back before the shard serves again; without it the
+// partition restarts empty. The shard must be in Restarting when
+// called; it is Healthy again on return.
 func (s *Shard) rebuild(ctx context.Context) {
 	if s.Health() != Restarting {
 		panic("shard: rebuild outside Restarting")

@@ -191,6 +191,19 @@ var poolCounterFields = []struct {
 	{"degraded_runs", func(p liveserver.PoolSeries) uint64 { return p.DegradedRuns }},
 }
 
+// walCounterFields: the schema-3 durability counters are summable like
+// every other counter (recovery_ms is int64 and checked separately in
+// checkConservation).
+var walCounterFields = []struct {
+	name string
+	get  func(liveserver.WALSeries) uint64
+}{
+	{"wal_appends", func(w liveserver.WALSeries) uint64 { return w.WalAppends }},
+	{"wal_fsyncs", func(w liveserver.WALSeries) uint64 { return w.WalFsyncs }},
+	{"wal_recovered_records", func(w liveserver.WALSeries) uint64 { return w.WalRecoveredRecords }},
+	{"snapshot_count", func(w liveserver.WALSeries) uint64 { return w.SnapshotCount }},
+}
+
 // checkConservation asserts the STATS v2 contract on one sampled
 // document: every counter in Totals equals the sum of that counter
 // over PerShard — exactly, through any number of shard restarts. The
@@ -220,5 +233,21 @@ func checkConservation(m liveserver.MetricsV2, v *violations) {
 		if got := f.get(m.Pool); got != sum {
 			v.add("conservation: pool.%s=%d but Σ shards=%d", f.name, got, sum)
 		}
+	}
+	for _, f := range walCounterFields {
+		var sum uint64
+		for _, sh := range m.PerShard {
+			sum += f.get(sh.WAL)
+		}
+		if got := f.get(m.WAL); got != sum {
+			v.add("conservation: wal.%s=%d but Σ shards=%d", f.name, got, sum)
+		}
+	}
+	var recMS int64
+	for _, sh := range m.PerShard {
+		recMS += sh.WAL.RecoveryMillis
+	}
+	if m.WAL.RecoveryMillis != recMS {
+		v.add("conservation: wal.recovery_ms=%d but Σ shards=%d", m.WAL.RecoveryMillis, recMS)
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"io"
 	"net"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,6 +47,12 @@ const (
 	ScenarioWire     = "wire"     // wire faults only
 	ScenarioKills    = "kills"    // shard kills only
 	ScenarioCombined = "combined" // wire + kills + panic poisoning
+	// ScenarioCrash runs the WAL-enabled server as a child process and
+	// SIGKILLs the whole process at planned times — the only fault the
+	// in-process injectors cannot model. After every restart the parent
+	// verifies each acknowledged SET recovered from the write-ahead log
+	// (see crash.go). Requires ServerMainIfRequested wired into main().
+	ScenarioCrash = "crash"
 )
 
 // Config parameterizes one soak run.
@@ -66,6 +73,14 @@ type Config struct {
 	// the broken-build test hook: a wrapper that fabricates or reorders
 	// response bytes must be caught by the checkers.
 	WrapConn func(net.Conn) net.Conn
+	// WALDir is the crash scenario's durable directory, shared across
+	// the child server's restarts (empty = a temp dir removed at the
+	// end; set it to keep the WAL for post-mortem).
+	WALDir string
+	// WALLie makes the crash scenario's child server ack SETs without
+	// logging them — the deliberately broken build the durability
+	// checker must catch. Test-only.
+	WALLie bool
 }
 
 func (cfg Config) withDefaults() Config {
@@ -94,6 +109,8 @@ func (cfg Config) wantKills() bool {
 
 func (cfg Config) wantPanics() bool { return cfg.Scenario == ScenarioCombined }
 
+func (cfg Config) wantCrashes() bool { return cfg.Scenario == ScenarioCrash }
+
 // FaultWindow is one interval during which wire faults are armed.
 type FaultWindow struct {
 	FromMicros int64 `json:"from_us"`
@@ -104,6 +121,11 @@ type FaultWindow struct {
 type KillEvent struct {
 	AtMicros int64 `json:"at_us"`
 	Shard    int   `json:"shard"`
+}
+
+// CrashEvent is one scheduled whole-process SIGKILL (crash scenario).
+type CrashEvent struct {
+	AtMicros int64 `json:"at_us"`
 }
 
 // Plan is the rendered fault schedule: a pure function of the config's
@@ -117,6 +139,7 @@ type Plan struct {
 	Shards         int           `json:"shards"`
 	Wire           []FaultWindow `json:"wire"`
 	Kills          []KillEvent   `json:"kills"`
+	Crashes        []CrashEvent  `json:"crashes"`
 }
 
 // Encode renders the plan as compact JSON.
@@ -137,6 +160,7 @@ const (
 	killSeedChild  = 2
 	wireConnChild  = 3
 	panicSeedChild = 4
+	crashSeedChild = 5
 	clientChild    = 6
 	workerChild    = 100
 	thinkChild     = 300
@@ -155,6 +179,7 @@ func BuildPlan(cfg Config) Plan {
 		Shards:         cfg.Shards,
 		Wire:           []FaultWindow{},
 		Kills:          []KillEvent{},
+		Crashes:        []CrashEvent{},
 	}
 	if cfg.wantWire() {
 		for _, w := range chaos.BurstWindows(chaos.ChildSeed(cfg.Seed, wireSeedChild),
@@ -182,20 +207,68 @@ func BuildPlan(cfg Config) Plan {
 			}
 		}
 	}
+	if cfg.wantCrashes() {
+		// Seeded gaps of 0.9–1.5s between whole-process kills: long
+		// enough for the restarted child to recover and re-accumulate
+		// acknowledged writes, short enough that even a brief soak
+		// exercises several recoveries.
+		rng := sim.NewRNG(chaos.ChildSeed(cfg.Seed, crashSeedChild))
+		for at := time.Duration(0); ; {
+			at += 900*time.Millisecond + time.Duration(rng.Intn(int(600*time.Millisecond)))
+			if at > cfg.Duration {
+				break
+			}
+			p.Crashes = append(p.Crashes, CrashEvent{AtMicros: at.Microseconds()})
+		}
+	}
 	return p
 }
 
+// ReportSchemaVersion identifies the report line layout. Schema 2
+// added the environment header (go_version, gomaxprocs) and the crash
+// scenario's durability fields — all additive, so schema-1 lines in an
+// accreted nightly file still parse; the version lets a reader know
+// which fields it may rely on.
+const ReportSchemaVersion = 2
+
 // Report is one soak run's result line.
 type Report struct {
+	Schema int `json:"schema"`
+	// Environment header: the toolchain and parallelism the run
+	// actually executed under, so a report line from a nightly file
+	// carries enough context to reproduce or discount it.
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+
 	Plan       Plan              `json:"plan"`
 	Clients    int               `json:"clients"`
 	Ops        map[string]uint64 `json:"ops"` // keyed by client outcome
 	WireFaults uint64            `json:"wire_faults"`
 	Restarts   uint64            `json:"restarts"`
 	Samples    uint64            `json:"samples"` // conservation samples taken
-	Violations []string          `json:"violations"`
+
+	// Crash-scenario durability ledger (zero in other scenarios):
+	// process kills executed, SETs acknowledged by the child server,
+	// and acked keys re-verified readable after recoveries.
+	Crashes      uint64 `json:"crashes"`
+	AckedWrites  uint64 `json:"acked_writes"`
+	VerifiedKeys uint64 `json:"verified_keys"`
+
+	Violations []string `json:"violations"`
 	// ViolationsTotal can exceed len(Violations): the list is capped.
 	ViolationsTotal uint64 `json:"violations_total"`
+}
+
+// newReport stamps the environment header every scenario shares.
+func newReport(plan Plan, clients int) *Report {
+	return &Report{
+		Schema:     ReportSchemaVersion,
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Plan:       plan,
+		Clients:    clients,
+		Violations: []string{},
+	}
 }
 
 // Run executes one soak and returns its report. A non-nil error means
@@ -209,8 +282,21 @@ func Run(cfg Config) (*Report, error) {
 			fmt.Fprintf(cfg.Log, "soak: "+format+"\n", args...)
 		}
 	}
-	logf("plan: scenario=%s duration=%s shards=%d wire-windows=%d kills=%d",
-		cfg.Scenario, cfg.Duration, cfg.Shards, len(plan.Wire), len(plan.Kills))
+	logf("plan: scenario=%s duration=%s shards=%d wire-windows=%d kills=%d crashes=%d",
+		cfg.Scenario, cfg.Duration, cfg.Shards, len(plan.Wire), len(plan.Kills), len(plan.Crashes))
+
+	if cfg.wantCrashes() {
+		rep, err := runCrash(cfg, plan, logf)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.ReportPath != "" {
+			if err := appendReport(cfg.ReportPath, rep); err != nil {
+				return rep, err
+			}
+		}
+		return rep, nil
+	}
 
 	v := &violations{}
 	drift := newDriftChecker()
@@ -458,18 +544,14 @@ func Run(cfg Config) (*Report, error) {
 	drift.Check(v)
 
 	list, total := v.snapshot()
-	rep := &Report{
-		Plan:            plan,
-		Clients:         cfg.Clients,
-		Ops:             ops,
-		WireFaults:      wireFaults,
-		Restarts:        restarts,
-		Samples:         atomic.LoadUint64(&samples),
-		Violations:      list,
-		ViolationsTotal: total,
-	}
-	if rep.Violations == nil {
-		rep.Violations = []string{}
+	rep := newReport(plan, cfg.Clients)
+	rep.Ops = ops
+	rep.WireFaults = wireFaults
+	rep.Restarts = restarts
+	rep.Samples = atomic.LoadUint64(&samples)
+	rep.ViolationsTotal = total
+	if list != nil {
+		rep.Violations = list
 	}
 	logf("done: ops=%v wire-faults=%d restarts=%d samples=%d violations=%d",
 		ops, wireFaults, restarts, rep.Samples, total)

@@ -14,6 +14,14 @@ import (
 	"repro/internal/liveserver"
 )
 
+// TestMain hooks the crash scenario's re-exec: when the parent soak
+// spawns this test binary with SOAK_CRASH_SERVER=1, it must become the
+// server child instead of running the tests.
+func TestMain(m *testing.M) {
+	ServerMainIfRequested()
+	os.Exit(m.Run())
+}
+
 // TestPlanDeterministic is the reproducibility acceptance bar: the
 // rendered fault schedule is a pure function of (seed, scenario,
 // duration, shards) — two builds are byte-identical — and a different
@@ -50,6 +58,7 @@ func TestPlanScenarioGating(t *testing.T) {
 		{ScenarioQuiet, false, false},
 		{ScenarioWire, true, false},
 		{ScenarioKills, false, true},
+		{ScenarioCrash, false, false},
 	} {
 		cfg := base
 		cfg.Scenario = tc.scenario
@@ -57,6 +66,24 @@ func TestPlanScenarioGating(t *testing.T) {
 		if (len(p.Wire) > 0) != tc.wantWire || (len(p.Kills) > 0) != tc.wants {
 			t.Fatalf("%s: wire=%d kills=%d", tc.scenario, len(p.Wire), len(p.Kills))
 		}
+		if (len(p.Crashes) > 0) != (tc.scenario == ScenarioCrash) {
+			t.Fatalf("%s: crashes=%d", tc.scenario, len(p.Crashes))
+		}
+	}
+	// Crash times are deterministic and strictly increasing within the
+	// duration.
+	cfg := base
+	cfg.Scenario = ScenarioCrash
+	p := BuildPlan(cfg)
+	if !bytes.Equal(p.Encode(), BuildPlan(cfg).Encode()) {
+		t.Fatal("crash plan not deterministic")
+	}
+	last := int64(0)
+	for _, ev := range p.Crashes {
+		if ev.AtMicros <= last || ev.AtMicros > cfg.Duration.Microseconds() {
+			t.Fatalf("crash time %dus out of order or out of range", ev.AtMicros)
+		}
+		last = ev.AtMicros
 	}
 }
 
@@ -108,6 +135,93 @@ func TestSoakCombinedShort(t *testing.T) {
 	}
 	if !bytes.Equal(fromDisk.Plan.Encode(), rep.Plan.Encode()) {
 		t.Fatal("report plan does not round-trip")
+	}
+}
+
+// TestSoakCrashShort is the end-to-end durability acceptance: a short
+// crash-scenario soak SIGKILLs the whole WAL-enabled server process at
+// seeded times and must find zero acked-write losses after recovery —
+// plus a schema-2 report line carrying the environment header and the
+// crash ledger.
+func TestSoakCrashShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash soak needs wall-clock time and process restarts")
+	}
+	report := filepath.Join(t.TempDir(), "soak.jsonl")
+	rep, err := Run(Config{
+		Seed:       1,
+		Duration:   3 * time.Second,
+		Scenario:   ScenarioCrash,
+		Shards:     2,
+		Clients:    4,
+		WALDir:     t.TempDir(),
+		ReportPath: report,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ViolationsTotal != 0 {
+		t.Fatalf("%d violation(s):\n%s", rep.ViolationsTotal, strings.Join(rep.Violations, "\n"))
+	}
+	if rep.Crashes == 0 {
+		t.Fatal("no crashes executed — the scenario never killed the child")
+	}
+	if rep.AckedWrites == 0 {
+		t.Fatal("no SETs acknowledged — the durability claim was vacuous")
+	}
+	if rep.VerifiedKeys == 0 {
+		t.Fatal("no keys verified after recovery")
+	}
+	if rep.Schema != ReportSchemaVersion || rep.GoVersion == "" || rep.GoMaxProcs <= 0 {
+		t.Fatalf("report header incomplete: schema=%d go=%q procs=%d",
+			rep.Schema, rep.GoVersion, rep.GoMaxProcs)
+	}
+	raw, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fromDisk Report
+	if err := json.Unmarshal(bytes.TrimSpace(raw), &fromDisk); err != nil {
+		t.Fatalf("report line is not JSON: %v", err)
+	}
+	if fromDisk.GoVersion != rep.GoVersion || fromDisk.Crashes != rep.Crashes {
+		t.Fatalf("report did not round-trip: %+v", fromDisk)
+	}
+}
+
+// TestSoakCrashCatchesLyingWAL proves the durability checker has
+// teeth: with WALLie the child acknowledges SETs without logging them,
+// so crashes lose acked writes — and the soak must say so.
+func TestSoakCrashCatchesLyingWAL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash soak needs wall-clock time and process restarts")
+	}
+	rep, err := Run(Config{
+		Seed:     1,
+		Duration: 1500 * time.Millisecond,
+		Scenario: ScenarioCrash,
+		Shards:   2,
+		Clients:  4,
+		WALDir:   t.TempDir(),
+		WALLie:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AckedWrites == 0 {
+		t.Fatal("lying server acked nothing — the test proved nothing")
+	}
+	if rep.ViolationsTotal == 0 {
+		t.Fatal("lying WAL lost acked writes and the checker missed it")
+	}
+	found := false
+	for _, s := range rep.Violations {
+		if strings.Contains(s, "durability:") && strings.Contains(s, "lost") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violations do not name the durability loss: %v", rep.Violations)
 	}
 }
 
@@ -211,6 +325,26 @@ func TestConservationCheckerCatchesImbalance(t *testing.T) {
 	if _, n := v2.snapshot(); n != 0 {
 		list, _ := v2.snapshot()
 		t.Fatalf("balanced document flagged: %v", list)
+	}
+
+	// The schema-3 WAL counters are under the same contract.
+	doc.WAL = liveserver.WALSeries{WalAppends: 9, RecoveryMillis: 3}
+	doc.PerShard[0].WAL = liveserver.WALSeries{WalAppends: 4, RecoveryMillis: 1}
+	doc.PerShard[1].WAL = liveserver.WALSeries{WalAppends: 4, RecoveryMillis: 1}
+	v3 := &violations{}
+	checkConservation(doc, v3)
+	list3, n3 := v3.snapshot()
+	if n3 != 2 {
+		t.Fatalf("imbalanced WAL counters: want 2 violations, got %d: %v", n3, list3)
+	}
+	found = false
+	for _, s := range list3 {
+		if strings.Contains(s, "wal.wal_appends=9") && strings.Contains(s, "Σ shards=8") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violations did not name the WAL imbalance: %v", list3)
 	}
 }
 

@@ -1,0 +1,65 @@
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// FS is the slice of filesystem the WAL needs. The indirection exists
+// for exactly one consumer besides the OS: chaos.FS (internal/chaos)
+// wraps it to inject short writes, torn tails, fsync errors, and
+// crash-point byte cutoffs under the repo's seeded-fault discipline.
+// Production code always runs on OSFS.
+type FS interface {
+	// MkdirAll creates dir and parents (no error when present).
+	MkdirAll(dir string) error
+	// OpenFile opens name with os.OpenFile flags (mode 0o644 implied).
+	OpenFile(name string, flag int) (File, error)
+	// ReadDir lists the names (not paths) of dir's entries.
+	ReadDir(dir string) ([]string, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes name.
+	Remove(name string) error
+}
+
+// File is one open WAL or snapshot file.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes written bytes to stable storage. Durability promises
+	// are made only after Sync returns nil.
+	Sync() error
+	// Truncate cuts the file to size bytes (torn-tail removal).
+	Truncate(size int64) error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OSFS) OpenFile(name string, flag int) (File, error) {
+	return os.OpenFile(name, flag, 0o644)
+}
+
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names, nil
+}
+
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// join builds a path inside the WAL dir; filepath keeps it portable.
+func join(dir, name string) string { return filepath.Join(dir, name) }

@@ -1,0 +1,110 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+)
+
+// Record framing. Every log record is one frame:
+//
+//	[payloadLen uint32][crc uint32][payload]
+//
+// with payloadLen and crc little-endian, crc = CRC-32C (Castagnoli)
+// over the payload bytes alone, and the payload laid out as
+//
+//	[lsn uint64][keyLen uint16][valLen uint16][key][value]
+//
+// A frame is valid only when the whole thing is present, its internal
+// lengths are consistent (payloadLen == recHeaderBytes+keyLen+valLen),
+// and the CRC matches. Anything shorter than a complete valid frame at
+// the end of a segment is a torn tail: the write was cut mid-frame by
+// a crash, and recovery truncates the file back to the last valid
+// frame boundary. A frame whose bytes are all present but whose CRC or
+// lengths disagree is corruption — also a truncation point, since
+// nothing after an unparseable frame can be trusted to be framed at
+// all.
+
+const (
+	// frameHeaderBytes is the [payloadLen][crc] prefix.
+	frameHeaderBytes = 8
+	// recHeaderBytes is the fixed payload prefix: [lsn][keyLen][valLen].
+	recHeaderBytes = 12
+	// maxPayloadBytes bounds one record's payload so a corrupt length
+	// prefix can never drive a huge allocation: keys and values are
+	// uint16-sized, so the true maximum is recHeaderBytes + 2*65535.
+	maxPayloadBytes = recHeaderBytes + 2*0xffff
+)
+
+// castagnoli is the CRC-32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+var (
+	// ErrTorn reports an incomplete frame at the end of the input: the
+	// bytes stop mid-frame. On recovery this is the expected crash
+	// artifact and truncates exactly here.
+	ErrTorn = errors.New("wal: torn frame")
+	// ErrCorrupt reports a structurally complete but invalid frame: CRC
+	// mismatch or inconsistent lengths.
+	ErrCorrupt = errors.New("wal: corrupt frame")
+)
+
+// Record is one decoded SET.
+type Record struct {
+	LSN        uint64
+	Key, Value []byte
+}
+
+// frameSize reports the encoded size of a key/value record.
+func frameSize(keyLen, valLen int) int {
+	return frameHeaderBytes + recHeaderBytes + keyLen + valLen
+}
+
+// appendRecord encodes one frame onto buf.
+func appendRecord(buf []byte, lsn uint64, key, value []byte) []byte {
+	payloadLen := recHeaderBytes + len(key) + len(value)
+	start := len(buf)
+	buf = append(buf, make([]byte, frameHeaderBytes+payloadLen)...)
+	binary.LittleEndian.PutUint32(buf[start:], uint32(payloadLen))
+	p := buf[start+frameHeaderBytes:]
+	binary.LittleEndian.PutUint64(p[0:], lsn)
+	binary.LittleEndian.PutUint16(p[8:], uint16(len(key)))
+	binary.LittleEndian.PutUint16(p[10:], uint16(len(value)))
+	copy(p[recHeaderBytes:], key)
+	copy(p[recHeaderBytes+len(key):], value)
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(p, castagnoli))
+	return buf
+}
+
+// DecodeRecord decodes the first frame of buf. It returns the record,
+// the number of bytes the frame occupies, and an error: ErrTorn when
+// buf ends mid-frame, ErrCorrupt when the frame is complete but
+// invalid. The returned Key/Value alias buf. DecodeRecord never
+// panics and never returns a record that was not fully and correctly
+// written — the fuzz target (FuzzWALDecode) holds it to exactly that.
+func DecodeRecord(buf []byte) (Record, int, error) {
+	if len(buf) < frameHeaderBytes {
+		return Record{}, 0, ErrTorn
+	}
+	payloadLen := int(binary.LittleEndian.Uint32(buf[0:]))
+	if payloadLen < recHeaderBytes || payloadLen > maxPayloadBytes {
+		return Record{}, 0, ErrCorrupt
+	}
+	if len(buf) < frameHeaderBytes+payloadLen {
+		return Record{}, 0, ErrTorn
+	}
+	p := buf[frameHeaderBytes : frameHeaderBytes+payloadLen]
+	if crc32.Checksum(p, castagnoli) != binary.LittleEndian.Uint32(buf[4:]) {
+		return Record{}, 0, ErrCorrupt
+	}
+	keyLen := int(binary.LittleEndian.Uint16(p[8:]))
+	valLen := int(binary.LittleEndian.Uint16(p[10:]))
+	if recHeaderBytes+keyLen+valLen != payloadLen {
+		return Record{}, 0, ErrCorrupt
+	}
+	return Record{
+		LSN:   binary.LittleEndian.Uint64(p[0:]),
+		Key:   p[recHeaderBytes : recHeaderBytes+keyLen],
+		Value: p[recHeaderBytes+keyLen : recHeaderBytes+keyLen+valLen],
+	}, frameHeaderBytes + payloadLen, nil
+}

@@ -1,0 +1,729 @@
+// Package wal is a per-shard write-ahead log with snapshots: the
+// durability layer under one mica.Store partition. SET records are
+// appended as length-prefixed, CRC-32C-framed records with monotonic
+// LSNs (record.go); fsync cost is amortized by group commit (a single
+// syncer goroutine batches every append that landed since the last
+// fsync into one Sync call, so the hot path pays ~1/batch of a sync);
+// periodic snapshots of the store bound replay time and let covered
+// log segments be deleted.
+//
+// The durability contract: a SET is acknowledged only after Sync(lsn)
+// returns nil, and every acknowledged SET survives any crash —
+// process SIGKILL included — because recovery (Open) replays the
+// latest valid snapshot plus every complete log record after it. A
+// crash mid-append leaves a torn tail; recovery truncates the segment
+// back to the last complete valid frame, exactly: records before the
+// tear are kept, the torn record (never acknowledged — its Sync never
+// returned) is dropped, and nothing else is lost. A failed fsync is
+// sticky fail-stop: the log refuses all further appends rather than
+// acknowledge writes it cannot promise.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SyncMode selects when Append/Sync promise durability.
+type SyncMode int
+
+const (
+	// SyncGroup (default): appends are buffered and a dedicated syncer
+	// batches them into one fsync; Sync(lsn) blocks until the batch
+	// containing lsn is durable. Amortized sync cost, full durability.
+	SyncGroup SyncMode = iota
+	// SyncAlways: every append flushes and fsyncs before returning —
+	// the slow, maximally paranoid mode.
+	SyncAlways
+	// SyncOff: appends are buffered and flushed lazily; Sync returns
+	// immediately with no durability promise. Crash loses the buffer
+	// tail; recovery still sees every flushed complete record.
+	SyncOff
+)
+
+func (m SyncMode) String() string {
+	switch m {
+	case SyncGroup:
+		return "group"
+	case SyncAlways:
+		return "always"
+	case SyncOff:
+		return "off"
+	default:
+		return fmt.Sprintf("SyncMode(%d)", int(m))
+	}
+}
+
+// ParseSyncMode maps the -walsync flag values.
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch s {
+	case "group", "":
+		return SyncGroup, nil
+	case "always":
+		return SyncAlways, nil
+	case "off":
+		return SyncOff, nil
+	}
+	return SyncGroup, fmt.Errorf("wal: unknown sync mode %q (want group|always|off)", s)
+}
+
+// ErrClosed reports an operation on a closed log.
+var ErrClosed = errors.New("wal: closed")
+
+// Config parameterizes one Log.
+type Config struct {
+	// Dir holds the log's segments and snapshots (one dir per shard).
+	Dir string
+	// Sync is the durability mode (default SyncGroup).
+	Sync SyncMode
+	// SnapshotEvery triggers a snapshot after this many appends since
+	// the last one (0 = snapshots disabled, the log grows unbounded).
+	SnapshotEvery int
+	// FS overrides the filesystem (chaos injection); nil = the OS.
+	FS FS
+}
+
+// Stats is a Log's counter snapshot. Counters accumulate from Open;
+// the shard layer folds retired generations' stats on top.
+type Stats struct {
+	// Appends counts records appended; Fsyncs counts Sync syscalls
+	// actually issued (group commit makes Fsyncs ≪ Appends the proof
+	// of amortization).
+	Appends, Fsyncs uint64
+	// Failures counts sticky fail-stop events (fsync or write errors).
+	Failures uint64
+	// Snapshots counts snapshots durably written; SnapshotFailures
+	// counts attempts abandoned on error.
+	Snapshots, SnapshotFailures uint64
+	// RecoveredRecords counts entries restored at Open: snapshot
+	// entries applied plus log records replayed.
+	RecoveredRecords uint64
+	// TruncatedBytes counts torn/corrupt tail bytes cut off at Open.
+	TruncatedBytes uint64
+	// Recovery is how long Open's recovery pass took.
+	Recovery time.Duration
+}
+
+// Add folds o into s (Recovery sums — it is total time spent
+// recovering across generations).
+func (s *Stats) Add(o Stats) {
+	s.Appends += o.Appends
+	s.Fsyncs += o.Fsyncs
+	s.Failures += o.Failures
+	s.Snapshots += o.Snapshots
+	s.SnapshotFailures += o.SnapshotFailures
+	s.RecoveredRecords += o.RecoveredRecords
+	s.TruncatedBytes += o.TruncatedBytes
+	s.Recovery += o.Recovery
+}
+
+// Entry is one key/value pair handed to WriteSnapshot.
+type Entry struct {
+	Key, Value []byte
+}
+
+// segment is one log file, named by the LSN of its first record.
+type segment struct {
+	start uint64 // LSN of the segment's first record
+	name  string
+}
+
+// Log is one shard's write-ahead log.
+type Log struct {
+	cfg Config
+	fs  FS
+
+	mu         sync.Mutex
+	f          File          // active segment
+	w          *bufio.Writer // buffers appends into f
+	buf        []byte        // frame scratch, reused across appends
+	segments   []segment     // all live segments, ascending; last = active
+	nextLSN    uint64        // next LSN to assign
+	syncedLSN  uint64        // highest LSN known durable
+	snapLSN    uint64        // highest LSN covered by a durable snapshot
+	sinceSnap  int           // appends since the last durable snapshot
+	snapping   bool          // a snapshot is in flight
+	dirty      bool          // bytes appended since the last flush+sync
+	err        error         // sticky fail-stop error
+	closing    bool
+	stats      Stats
+	appendCond *sync.Cond // wakes the group syncer
+	syncedCond *sync.Cond // wakes Sync waiters
+	loopWG     sync.WaitGroup
+}
+
+func segName(start uint64) string { return fmt.Sprintf("wal-%016x.log", start) }
+func snapName(upTo uint64) string { return fmt.Sprintf("snap-%016x", upTo) }
+
+// parseSeq extracts the hex LSN from a segment or snapshot name.
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	hex := name[len(prefix) : len(name)-len(suffix)]
+	if len(hex) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Open recovers the log in dir and returns it ready for appends.
+// Recovery order: load the newest valid snapshot (invalid ones are
+// skipped — the previous snapshot is never deleted before its
+// successor is durable), then replay every complete log record with
+// LSN above the snapshot, in segment order, applying each through
+// apply. The first torn or corrupt frame truncates its segment at the
+// last valid boundary and ends replay; later segments (unreachable
+// LSNs) are removed. A fresh segment starting at the next LSN becomes
+// the append target.
+func Open(cfg Config, apply func(key, value []byte)) (*Log, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("wal: Config.Dir required")
+	}
+	if cfg.FS == nil {
+		cfg.FS = OSFS{}
+	}
+	l := &Log{cfg: cfg, fs: cfg.FS}
+	l.appendCond = sync.NewCond(&l.mu)
+	l.syncedCond = sync.NewCond(&l.mu)
+	start := time.Now()
+	if err := l.recover(apply); err != nil {
+		return nil, err
+	}
+	l.stats.Recovery = time.Since(start)
+	if cfg.Sync == SyncGroup {
+		l.loopWG.Add(1)
+		go l.syncLoop()
+	}
+	return l, nil
+}
+
+// recover performs the snapshot+replay pass and opens the active
+// segment. Called once, before the log is shared.
+func (l *Log) recover(apply func(key, value []byte)) error {
+	if err := l.fs.MkdirAll(l.cfg.Dir); err != nil {
+		return fmt.Errorf("wal: mkdir: %w", err)
+	}
+	names, err := l.fs.ReadDir(l.cfg.Dir)
+	if err != nil {
+		return fmt.Errorf("wal: list: %w", err)
+	}
+	var snaps []uint64
+	var segs []segment
+	for _, name := range names {
+		if strings.HasSuffix(name, ".tmp") {
+			l.fs.Remove(join(l.cfg.Dir, name)) //nolint:errcheck // stray tmp from a crash mid-snapshot
+			continue
+		}
+		if v, ok := parseSeq(name, "snap-", ""); ok {
+			snaps = append(snaps, v)
+			continue
+		}
+		if v, ok := parseSeq(name, "wal-", ".log"); ok {
+			segs = append(segs, segment{start: v, name: name})
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] > snaps[j] })
+	sort.Slice(segs, func(i, j int) bool { return segs[i].start < segs[j].start })
+
+	// Newest valid snapshot wins; a torn or corrupt one falls back to
+	// its predecessor (still on disk by construction).
+	for _, upTo := range snaps {
+		n, err := l.loadSnapshot(join(l.cfg.Dir, snapName(upTo)), upTo, apply)
+		if err != nil {
+			continue
+		}
+		l.snapLSN = upTo
+		l.stats.RecoveredRecords += n
+		break
+	}
+
+	// Replay segments above the snapshot. The first torn/corrupt frame
+	// truncates its segment at the last valid boundary and drops every
+	// later segment — their LSNs are unreachable past the cut.
+	last := l.snapLSN
+	drop := false
+	kept := make(map[string]bool, len(segs))
+	for _, seg := range segs {
+		if !drop && seg.start > last+1 {
+			drop = true // LSN gap: nothing after it can be trusted
+		}
+		if drop {
+			l.fs.Remove(join(l.cfg.Dir, seg.name)) //nolint:errcheck
+			continue
+		}
+		n, lastLSN, intact, err := l.replaySegment(seg, last, apply)
+		if err != nil {
+			return err
+		}
+		l.stats.RecoveredRecords += n
+		if lastLSN > last {
+			last = lastLSN
+		}
+		kept[seg.name] = true
+		if !intact {
+			drop = true
+		}
+	}
+	l.nextLSN = last + 1
+
+	// Fresh active segment. Its name may collide with a surviving empty
+	// segment (zero records past the snapshot); O_TRUNC makes the
+	// collision safe and the old entry is dropped from the frozen list.
+	name := segName(l.nextLSN)
+	f, err := l.fs.OpenFile(join(l.cfg.Dir, name), os.O_CREATE|os.O_RDWR|os.O_TRUNC)
+	if err != nil {
+		return fmt.Errorf("wal: open segment: %w", err)
+	}
+	l.f = f
+	l.w = bufio.NewWriterSize(f, 64<<10)
+	l.segments = l.segments[:0]
+	for _, seg := range segs {
+		if kept[seg.name] && seg.name != name {
+			l.segments = append(l.segments, seg)
+		}
+	}
+	l.segments = append(l.segments, segment{start: l.nextLSN, name: name})
+	return nil
+}
+
+// replaySegment applies seg's records with LSN > from. It returns the
+// number applied, the highest LSN consumed, whether the segment was
+// fully valid (false = it was truncated at a torn/corrupt frame), and
+// a hard I/O error.
+func (l *Log) replaySegment(seg segment, from uint64, apply func(key, value []byte)) (uint64, uint64, bool, error) {
+	f, err := l.fs.OpenFile(join(l.cfg.Dir, seg.name), os.O_RDWR)
+	if err != nil {
+		return 0, from, false, fmt.Errorf("wal: open %s: %w", seg.name, err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return 0, from, false, fmt.Errorf("wal: read %s: %w", seg.name, err)
+	}
+	var applied uint64
+	last := from
+	var prev uint64 // last LSN decoded from THIS segment (0 = none; real LSNs start at 1)
+	off := 0
+	for off < len(data) {
+		rec, n, derr := DecodeRecord(data[off:])
+		bad := derr != nil
+		if !bad {
+			// Within a segment LSNs are consecutive from seg.start; a
+			// frame that checksums but breaks the sequence is garbage
+			// that happened to collide — treat it as corruption too.
+			if prev == 0 {
+				bad = rec.LSN != seg.start
+			} else {
+				bad = rec.LSN != prev+1
+			}
+		}
+		if bad {
+			// Torn or corrupt tail: cut the file back to the last valid
+			// frame boundary. Everything before off is intact; the torn
+			// record was never acknowledged (its Sync never returned).
+			l.stats.TruncatedBytes += uint64(len(data) - off)
+			if terr := f.Truncate(int64(off)); terr != nil {
+				return applied, last, false, fmt.Errorf("wal: truncate %s: %w", seg.name, terr)
+			}
+			return applied, last, false, nil
+		}
+		prev = rec.LSN
+		if rec.LSN > from {
+			apply(rec.Key, rec.Value)
+			applied++
+			last = rec.LSN
+		}
+		off += n
+	}
+	return applied, last, true, nil
+}
+
+// Snapshot file layout: magic "WSNAP001", u64 coverage LSN, then
+// [keyLen u16][valLen u16][key][value] entries, then a trailing u32
+// CRC-32C over everything after the magic. Written to a .tmp and
+// renamed into place only after fsync, so a crash mid-snapshot leaves
+// the previous snapshot authoritative.
+var snapMagic = []byte("WSNAP001")
+
+// loadSnapshot validates and applies one snapshot file, returning the
+// entry count.
+func (l *Log) loadSnapshot(path string, upTo uint64, apply func(key, value []byte)) (uint64, error) {
+	f, err := l.fs.OpenFile(path, os.O_RDONLY)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return 0, err
+	}
+	if len(data) < len(snapMagic)+8+4 || string(data[:len(snapMagic)]) != string(snapMagic) {
+		return 0, ErrCorrupt
+	}
+	body := data[len(snapMagic) : len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, castagnoli) != want {
+		return 0, ErrCorrupt
+	}
+	if binary.LittleEndian.Uint64(body) != upTo {
+		return 0, ErrCorrupt
+	}
+	var n uint64
+	off := 8
+	for off < len(body) {
+		if off+4 > len(body) {
+			return 0, ErrCorrupt
+		}
+		kl := int(binary.LittleEndian.Uint16(body[off:]))
+		vl := int(binary.LittleEndian.Uint16(body[off+2:]))
+		if off+4+kl+vl > len(body) {
+			return 0, ErrCorrupt
+		}
+		apply(body[off+4:off+4+kl], body[off+4+kl:off+4+kl+vl])
+		off += 4 + kl + vl
+		n++
+	}
+	return n, nil
+}
+
+// Append frames key/value under the next LSN and buffers it. The
+// caller must serialize Append with its store mutation so log order
+// equals apply order (the shard layer holds its store mutex across
+// both). Durability is promised only by a following Sync(lsn).
+func (l *Log) Append(key, value []byte) (uint64, error) {
+	if len(key) > 0xffff || len(value) > 0xffff {
+		return 0, fmt.Errorf("wal: record too large (%d/%d bytes)", len(key), len(value))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return 0, l.err
+	}
+	if l.closing {
+		return 0, ErrClosed
+	}
+	lsn := l.nextLSN
+	l.buf = appendRecord(l.buf[:0], lsn, key, value)
+	if _, err := l.w.Write(l.buf); err != nil {
+		l.failLocked(err)
+		return 0, l.err
+	}
+	l.nextLSN++
+	l.stats.Appends++
+	l.sinceSnap++
+	switch l.cfg.Sync {
+	case SyncAlways:
+		if err := l.flushSyncLocked(); err != nil {
+			return 0, err
+		}
+	default:
+		l.dirty = true
+		if l.cfg.Sync == SyncGroup {
+			l.appendCond.Signal()
+		}
+	}
+	return lsn, nil
+}
+
+// Sync blocks until lsn is durable (SyncGroup), returns immediately
+// (SyncAlways — Append already synced; SyncOff — no promise), or
+// returns the sticky error when the log has failed and lsn is not
+// covered. A nil return IS the durability promise: the caller may
+// acknowledge the write.
+func (l *Log) Sync(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.cfg.Sync == SyncOff {
+		return nil
+	}
+	for l.syncedLSN < lsn && l.err == nil && !l.closing {
+		if l.cfg.Sync != SyncGroup {
+			break
+		}
+		l.syncedCond.Wait()
+	}
+	if lsn <= l.syncedLSN {
+		return nil
+	}
+	if l.err != nil {
+		return l.err
+	}
+	if l.closing {
+		return ErrClosed
+	}
+	return nil
+}
+
+// flushSyncLocked flushes the buffer and fsyncs, holding l.mu (the
+// SyncAlways path and rotation).
+func (l *Log) flushSyncLocked() error {
+	if err := l.w.Flush(); err != nil {
+		l.failLocked(err)
+		return l.err
+	}
+	if err := l.f.Sync(); err != nil {
+		l.failLocked(err)
+		return l.err
+	}
+	l.stats.Fsyncs++
+	if l.nextLSN-1 > l.syncedLSN {
+		l.syncedLSN = l.nextLSN - 1
+	}
+	l.syncedCond.Broadcast()
+	return nil
+}
+
+// failLocked makes the log fail-stop: the first error sticks, every
+// waiter and every future append sees it. Better a dead log than an
+// acknowledged write that is not on disk.
+func (l *Log) failLocked(err error) {
+	if l.err == nil {
+		l.err = fmt.Errorf("wal: fail-stop: %w", err)
+		l.stats.Failures++
+	}
+	l.syncedCond.Broadcast()
+	l.appendCond.Broadcast()
+}
+
+// syncLoop is the group-commit syncer: each round flushes everything
+// appended so far and issues ONE fsync for the whole batch, then
+// wakes every Sync waiter at or below the batch bound.
+func (l *Log) syncLoop() {
+	defer l.loopWG.Done()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		for !l.dirty && !l.closing && l.err == nil {
+			l.appendCond.Wait()
+		}
+		if l.closing || l.err != nil {
+			return
+		}
+		l.dirty = false
+		target := l.nextLSN - 1
+		if err := l.w.Flush(); err != nil {
+			l.failLocked(err)
+			return
+		}
+		f := l.f
+		l.mu.Unlock()
+		serr := f.Sync() // the one syscall the whole batch shares
+		l.mu.Lock()
+		if serr != nil {
+			l.failLocked(serr)
+			return
+		}
+		l.stats.Fsyncs++
+		if target > l.syncedLSN {
+			l.syncedLSN = target
+		}
+		l.syncedCond.Broadcast()
+	}
+}
+
+// LastLSN reports the newest assigned LSN (0 = none yet).
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN - 1
+}
+
+// SnapshotDue reports whether enough appends have accumulated for a
+// snapshot and none is in flight.
+func (l *Log) SnapshotDue() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.cfg.SnapshotEvery > 0 && !l.snapping && !l.closing && l.err == nil &&
+		l.sinceSnap >= l.cfg.SnapshotEvery
+}
+
+// BeginSnapshot claims the snapshot slot when one is due. On true the
+// caller MUST follow with WriteSnapshot (which releases the slot).
+func (l *Log) BeginSnapshot() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.cfg.SnapshotEvery <= 0 || l.snapping || l.closing || l.err != nil ||
+		l.sinceSnap < l.cfg.SnapshotEvery {
+		return false
+	}
+	l.snapping = true
+	return true
+}
+
+// WriteSnapshot persists entries as the snapshot covering every LSN ≤
+// upTo, then deletes the log segments and older snapshots it makes
+// redundant. The caller guarantees entries reflect every record ≤
+// upTo (the shard layer collects them and reads LastLSN under its
+// store mutex). Requires a prior successful BeginSnapshot.
+func (l *Log) WriteSnapshot(upTo uint64, entries []Entry) error {
+	done := func(err error) error {
+		l.mu.Lock()
+		l.snapping = false
+		if err != nil {
+			l.stats.SnapshotFailures++
+		}
+		l.mu.Unlock()
+		return err
+	}
+	// Rotate first: the active segment freezes with every record ≤
+	// upTo inside it, so after the snapshot is durable the frozen
+	// segments are deletable.
+	l.mu.Lock()
+	if l.closing || l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return done(err)
+	}
+	if err := l.rotateLocked(); err != nil {
+		l.mu.Unlock()
+		return done(err)
+	}
+	dir := l.cfg.Dir
+	l.mu.Unlock()
+
+	// Build and persist the snapshot file off the append path.
+	buf := make([]byte, 0, 1<<16)
+	buf = append(buf, snapMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, upTo)
+	for _, e := range entries {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(e.Key)))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(e.Value)))
+		buf = append(buf, e.Key...)
+		buf = append(buf, e.Value...)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf[len(snapMagic):], castagnoli))
+	tmp := join(dir, snapName(upTo)+".tmp")
+	f, err := l.fs.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC)
+	if err != nil {
+		return done(err)
+	}
+	if _, err = f.Write(buf); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		l.fs.Remove(tmp) //nolint:errcheck
+		return done(err)
+	}
+	if err := l.fs.Rename(tmp, join(dir, snapName(upTo))); err != nil {
+		return done(err)
+	}
+
+	// The snapshot is durable: account it and collect what it made
+	// redundant (covered frozen segments, older snapshots).
+	l.mu.Lock()
+	l.stats.Snapshots++
+	oldSnap := l.snapLSN
+	if upTo > l.snapLSN {
+		l.snapLSN = upTo
+	}
+	// Appends that landed after the snapshot boundary count toward the
+	// next one.
+	l.sinceSnap = int(l.nextLSN - 1 - upTo)
+	var dead []string
+	live := l.segments[:0]
+	for i, seg := range l.segments {
+		covered := i+1 < len(l.segments) && l.segments[i+1].start <= upTo+1
+		if covered {
+			dead = append(dead, seg.name)
+		} else {
+			live = append(live, seg)
+		}
+	}
+	l.segments = live
+	l.mu.Unlock()
+	for _, name := range dead {
+		l.fs.Remove(join(dir, name)) //nolint:errcheck
+	}
+	if oldSnap > 0 && oldSnap < upTo {
+		l.fs.Remove(join(dir, snapName(oldSnap))) //nolint:errcheck
+	}
+	return done(nil)
+}
+
+// rotateLocked flushes+fsyncs the active segment and starts a fresh
+// one at the next LSN. Caller holds l.mu.
+func (l *Log) rotateLocked() error {
+	if err := l.flushSyncLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		l.failLocked(err)
+		return l.err
+	}
+	name := segName(l.nextLSN)
+	f, err := l.fs.OpenFile(join(l.cfg.Dir, name), os.O_CREATE|os.O_RDWR|os.O_TRUNC)
+	if err != nil {
+		l.failLocked(err)
+		return l.err
+	}
+	l.f = f
+	l.w.Reset(f)
+	l.segments = append(l.segments, segment{start: l.nextLSN, name: name})
+	return nil
+}
+
+// Stats snapshots the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Err reports the sticky fail-stop error, if any.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Close flushes and fsyncs the tail (best effort), stops the syncer,
+// and closes the active segment. Pending Sync waiters whose records
+// made the final fsync succeed; later ones get ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closing {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closing = true
+	var err error
+	if l.err == nil && l.cfg.Sync != SyncOff {
+		err = l.flushSyncLocked()
+	} else if l.err == nil {
+		if ferr := l.w.Flush(); ferr != nil {
+			l.failLocked(ferr)
+		}
+	}
+	l.appendCond.Broadcast()
+	l.syncedCond.Broadcast()
+	l.mu.Unlock()
+	l.loopWG.Wait()
+	l.mu.Lock()
+	cerr := l.f.Close()
+	if err == nil {
+		err = cerr
+	}
+	l.mu.Unlock()
+	return err
+}
